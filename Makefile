@@ -1,0 +1,22 @@
+# Convenience targets for the DICER reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:            ## quick-mode campaign (truncated populations)
+	pytest benchmarks/ --benchmark-only
+
+bench-full:       ## paper-scale campaign (3481 pairs, 120-workload grid)
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf benchmarks/results benchmarks/.benchmarks .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Parameter-sensitivity ablations (the analysis Section 4.1 mentions but
+omits): saturation threshold, alpha, phase threshold, sampling grid,
+resampling cooldown."""
+
+from conftest import publish
+
+from repro.experiments.ablation import (
+    sweep_alpha,
+    sweep_bw_threshold,
+    sweep_cooldown,
+    sweep_noise_robustness,
+    sweep_phase_threshold,
+    sweep_sampling_grid,
+)
+
+
+def bench_ablation_bw_threshold(benchmark):
+    publish("ablation_bw", benchmark.pedantic(sweep_bw_threshold, rounds=1, iterations=1))
+
+
+def bench_ablation_alpha(benchmark):
+    publish("ablation_alpha", benchmark.pedantic(sweep_alpha, rounds=1, iterations=1))
+
+
+def bench_ablation_phase(benchmark):
+    publish("ablation_phase", benchmark.pedantic(sweep_phase_threshold, rounds=1, iterations=1))
+
+
+def bench_ablation_grid(benchmark):
+    publish("ablation_grid", benchmark.pedantic(sweep_sampling_grid, rounds=1, iterations=1))
+
+
+def bench_ablation_cooldown(benchmark):
+    publish("ablation_cooldown", benchmark.pedantic(sweep_cooldown, rounds=1, iterations=1))
+
+
+def bench_ablation_noise(benchmark):
+    """Measurement noise vs alpha (hardware-robustness study)."""
+    publish(
+        "ablation_noise",
+        benchmark.pedantic(sweep_noise_robustness, rounds=1, iterations=1),
+    )

@@ -1,0 +1,21 @@
+"""Figure 1 — CDF of HP slowdown under UM and CT (9 BEs).
+
+Paper: UM leaves ~64 % of workloads around 1.1x and ~2.5 % beyond 2x;
+CT shifts the distribution left. Full population with REPRO_FULL=1.
+"""
+
+from conftest import FULL, LIMIT, RESULTS_DIR, publish
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.reporting import fig1_to_csv
+
+
+def bench_fig1(benchmark, store):
+    data = benchmark.pedantic(
+        lambda: run_fig1(store, limit_hp=LIMIT, limit_be=LIMIT),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig1", render_fig1(data))
+    out = RESULTS_DIR.parent / ("results_full" if FULL else "results")
+    fig1_to_csv(data, out / "fig1.csv")

@@ -1,0 +1,13 @@
+"""Figure 3 — HP slowdown across static LLC splits, milc + 9 gcc.
+
+Paper: best at ~2 ways (1.09x), CT detrimental (1.45x), UM near best.
+"""
+
+from conftest import publish
+
+from repro.experiments.fig3 import render_fig3, run_fig3
+
+
+def bench_fig3(benchmark):
+    data = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    publish("fig3", render_fig3(data))

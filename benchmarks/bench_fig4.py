@@ -1,0 +1,14 @@
+"""Figure 4 — EFU vs HP slowdown scatter for UM and CT (full server)."""
+
+from conftest import publish
+
+from repro.experiments.fig4 import extract_fig4, render_fig4
+
+
+def bench_fig4(benchmark, grid):
+    data = benchmark.pedantic(
+        lambda: extract_fig4(grid, n_cores=max(grid.cores)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig4", render_fig4(data))

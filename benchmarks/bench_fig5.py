@@ -1,0 +1,18 @@
+"""Figure 5 — normalised HP/BE IPC per workload and class, UM/CT/DICER.
+
+Paper: DICER tracks CT on CT-Favoured workloads and UM on CT-Thwarted
+ones, and always lifts BE throughput over CT.
+"""
+
+from conftest import publish
+
+from repro.experiments.fig5 import extract_fig5, render_fig5
+
+
+def bench_fig5(benchmark, grid):
+    data = benchmark.pedantic(
+        lambda: extract_fig5(grid, n_cores=max(grid.cores)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5", render_fig5(data))

@@ -1,0 +1,17 @@
+"""Figure 6 — geomean effective utilisation vs employed cores.
+
+Paper: UM highest, CT collapses with core count, DICER close to UM
+(~0.6 at the full 10-core server).
+"""
+
+from conftest import FULL, RESULTS_DIR, publish
+
+from repro.experiments.fig6 import extract_fig6, render_fig6
+from repro.experiments.reporting import grid_to_csv
+
+
+def bench_fig6(benchmark, grid):
+    data = benchmark.pedantic(lambda: extract_fig6(grid), rounds=1, iterations=1)
+    publish("fig6", render_fig6(data))
+    out = RESULTS_DIR.parent / ("results_full" if FULL else "results")
+    grid_to_csv(grid, out / "grid.csv")

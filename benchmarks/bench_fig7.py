@@ -1,0 +1,15 @@
+"""Figure 7 — % workloads achieving HP SLOs of 80/85/90/95 %.
+
+Paper: DICER >= CT, especially past half occupancy; UM collapses;
+DICER achieves the 80 % SLO for >90 % of workloads and the 90 % SLO
+for 74 %.
+"""
+
+from conftest import publish
+
+from repro.experiments.fig7 import extract_fig7, render_fig7
+
+
+def bench_fig7(benchmark, grid):
+    data = benchmark.pedantic(lambda: extract_fig7(grid), rounds=1, iterations=1)
+    publish("fig7", render_fig7(data))

@@ -1,0 +1,13 @@
+"""Figure 8 — geomean SUCI across SLOs, cores, and lambda in {0.5, 1, 2}.
+
+Paper: DICER dominates UM and CT over the whole grid.
+"""
+
+from conftest import publish
+
+from repro.experiments.fig8 import extract_fig8, render_fig8
+
+
+def bench_fig8(benchmark, grid):
+    data = benchmark.pedantic(lambda: extract_fig8(grid), rounds=1, iterations=1)
+    publish("fig8", render_fig8(data))

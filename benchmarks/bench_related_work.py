@@ -1,0 +1,39 @@
+"""Related-work comparison (paper Section 5): DICER vs DCP-QoS.
+
+DCP-QoS (Papadakis et al.) is DICER without bandwidth-saturation
+detection. The delta on CT-Thwarted workloads is the paper's novelty
+claim made measurable.
+"""
+
+from conftest import publish
+
+from repro.core.dcpqos import DcpQosPolicy
+from repro.core.policies import CacheTakeoverPolicy, DicerPolicy
+from repro.experiments.runner import run_pair
+from repro.util.tables import format_table
+from repro.workloads.mix import make_mix
+
+PAIRS = (
+    ("milc1", "gcc_base6"),   # CT-T: saturation is the whole story
+    ("lbm1", "gcc_base8"),    # CT-T: streaming HP
+    ("omnetpp1", "bzip22"),   # CT-F: both should match CT
+)
+
+
+def bench_related_work(benchmark):
+    def run():
+        rows = []
+        for hp, be in PAIRS:
+            mix = make_mix(hp, be, n_be=9)
+            for policy in (CacheTakeoverPolicy(), DcpQosPolicy(), DicerPolicy()):
+                r = run_pair(mix, policy)
+                rows.append(
+                    [f"{hp}+{be}", r.policy, r.hp_norm_ipc, r.be_norm_ipc, r.efu]
+                )
+        return format_table(
+            ["Workload", "Policy", "HP norm IPC", "BE norm IPC", "EFU"],
+            rows,
+            title="Related work: CT vs DCP-QoS vs DICER",
+        )
+
+    publish("related_work", benchmark.pedantic(run, rounds=1, iterations=1))

@@ -1,0 +1,10 @@
+"""Table 1 — system configuration (regenerated from the live defaults)."""
+
+from conftest import publish
+
+from repro.experiments.table1 import render_table1
+
+
+def bench_table1(benchmark):
+    text = benchmark(render_table1)
+    publish("table1", text)

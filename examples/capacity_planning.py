@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: capacity planning — how many batch jobs fit beside the HP?
+
+Uses the BE-admission extension (paper Section 6 future work): for a given
+HP, BE type and SLO, binary-search the largest number of BE instances the
+10-core server admits before the SLO breaks, under each policy.
+
+Two contrasting BE types are planned:
+
+* compute-bound batch (namd-like): nearly free to admit;
+* streaming analytics (milc-like): each instance eats memory bandwidth,
+  so admission saturates early — and the policy matters.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    UnmanagedPolicy,
+    find_max_bes,
+)
+from repro.util.tables import format_table
+
+HP = "omnetpp1"
+SLO = 0.80
+
+
+def main() -> None:
+    print(
+        f"HP: {HP}   SLO: {SLO:.0%} of isolated performance\n"
+        "Max admissible BE instances (out of 9 spare cores):\n"
+    )
+    rows = []
+    for be, label in (
+        ("hmmer1", "compute-bound batch"),
+        ("bzip22", "compression batch"),
+        ("milc1", "streaming analytics"),
+    ):
+        row: list[object] = [f"{be} ({label})"]
+        for policy in (UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy()):
+            plan = find_max_bes(HP, be, policy, SLO)
+            row.append(plan.max_bes)
+        rows.append(row)
+
+    print(
+        format_table(
+            ["BE type", "UM", "CT", "DICER"],
+            rows,
+            title=f"Admission frontier at SLO {SLO:.0%}",
+        )
+    )
+
+    # Show one full frontier so the trade-off is visible, not just the edge.
+    plan = find_max_bes(HP, "milc1", DicerPolicy(), SLO)
+    print("\nDICER frontier for streaming BEs (probes from the search):")
+    print(
+        format_table(
+            ["BE instances", "HP norm IPC", "EFU"],
+            [[n, hp, efu] for n, hp, efu in plan.frontier()],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

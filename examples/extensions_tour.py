@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tour of the paper's future-work extensions (Section 6), implemented.
+
+1. **DICER-MBA** — when even the best cache split leaves the memory link
+   saturated (here: a compute HP beside nine streaming BEs), DICER-MBA
+   throttles the BEs' bandwidth to shield the HP.
+2. **Overlapping partitions** — a zone both HP and BEs may fill; for some
+   workloads that beats any exclusive split.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro import (
+    DicerPolicy,
+    MbaDicerPolicy,
+    explore_overlap,
+    make_mix,
+    run_pair,
+)
+from repro.core.overlap import render_overlap
+from repro.util.tables import format_table
+
+
+def mba_demo() -> None:
+    mix = make_mix("namd1", "lbm1", n_be=9)  # HP compute, BEs streaming
+    rows = []
+    for policy in (DicerPolicy(), MbaDicerPolicy()):
+        result = run_pair(mix, policy)
+        rows.append(
+            [result.policy, result.hp_norm_ipc, result.be_norm_ipc, result.efu]
+        )
+    print(
+        format_table(
+            ["Policy", "HP norm IPC", "BE norm IPC", "EFU"],
+            rows,
+            title="DICER vs DICER-MBA: compute HP + 9 streaming BEs",
+        )
+    )
+    print(
+        "Reading: cache partitioning cannot unclog the link (the BEs' miss"
+        "\nstreams are cache-immune), so baseline DICER leaves the HP"
+        "\nexposed; MBA throttling trades BE bandwidth for HP protection.\n"
+    )
+
+
+def overlap_demo() -> None:
+    sweep = explore_overlap("omnetpp1", "bzip22")
+    print(render_overlap(sweep))
+    (_, best_overlap) = sweep.best(overlapping=True)
+    (_, best_exclusive) = sweep.best(overlapping=False)
+    delta = best_overlap.efu - best_exclusive.efu
+    print(
+        f"\nOverlap vs best exclusive split: EFU {best_overlap.efu:.3f} vs "
+        f"{best_exclusive.efu:.3f} ({delta:+.3f})"
+    )
+
+
+def main() -> None:
+    mba_demo()
+    overlap_demo()
+
+
+if __name__ == "__main__":
+    main()

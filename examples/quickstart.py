@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: consolidate one High-Priority app with nine Best-Effort apps.
+
+Runs the paper's flagship example — milc (bandwidth-bound HP) next to nine
+gcc instances — under the three co-location policies and prints the
+comparison the paper's Figure 3 and Section 4 build on:
+
+* UM   — unmanaged sharing: decent HP, good BEs;
+* CT   — cache takeover: *hurts* this HP (the BEs saturate the link);
+* DICER — detects the saturation, samples allocations, and lands on a
+  small HP partition: best HP performance AND best server utilisation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    UnmanagedPolicy,
+    make_mix,
+    run_pair,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    mix = make_mix("milc1", "gcc_base6", n_be=9)
+    print(f"Workload: HP = {mix.hp.name}, BEs = 9 x {mix.be.name}\n")
+
+    rows = []
+    dicer_result = None
+    for policy in (UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy()):
+        result = run_pair(mix, policy)
+        rows.append(
+            [
+                result.policy,
+                result.hp_slowdown,
+                result.hp_norm_ipc,
+                result.be_norm_ipc,
+                result.efu,
+            ]
+        )
+        if result.policy == "DICER":
+            dicer_result = result
+
+    print(
+        format_table(
+            ["Policy", "HP slowdown", "HP norm IPC", "BE norm IPC", "EFU"],
+            rows,
+            title="Co-location policies compared",
+        )
+    )
+
+    assert dicer_result is not None
+    print("\nDICER's first decisions (saturation -> sampling -> settle):")
+    for record in dicer_result.trace[:12]:
+        bw_gbps = record.total_bw_bytes_s * 8 / 1e9
+        flag = "SAT" if record.saturated else "   "
+        print(
+            f"  t={record.period:3d}s {flag} bw={bw_gbps:5.1f} Gbps "
+            f"ipc={record.hp_ipc:.3f} -> {record.allocation}  {record.note}"
+        )
+
+
+if __name__ == "__main__":
+    main()

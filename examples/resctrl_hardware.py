@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The hardware path: driving DICER through a Linux resctrl filesystem.
+
+The same :class:`DicerController` that runs against the simulator drives
+real Intel RDT hardware through :class:`ResctrlRdt`. This script
+demonstrates the full control loop against a *fake* resctrl tree (so it
+runs anywhere); on an RDT-capable machine, point ``root`` at the real mount
+and replace the stub IPC reader with ``PerfStatIpcReader()``:
+
+    sudo mount -t resctrl resctrl /sys/fs/resctrl
+    backend = ResctrlRdt(hp_cpu=0, ipc_reader=PerfStatIpcReader())
+
+Run:  python examples/resctrl_hardware.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DicerConfig, DicerController
+from repro.rdt.perfstat import IpcReader
+from repro.rdt.resctrl import ResctrlRdt
+
+
+def make_fake_resctrl(root: Path) -> None:
+    """Lay out the files a mounted resctrl filesystem would expose."""
+    (root / "mon_data" / "mon_L3_00").mkdir(parents=True)
+    (root / "schemata").write_text("L3:0=fffff\n")
+    (root / "cpus_list").write_text("0-9\n")
+    (root / "mon_data" / "mon_L3_00" / "mbm_total_bytes").write_text("0\n")
+    (root / "mon_data" / "mon_L3_00" / "llc_occupancy").write_text("0\n")
+
+
+class ScriptedIpcReader(IpcReader):
+    """Stands in for `perf stat`: replays a plausible IPC trajectory."""
+
+    def __init__(self) -> None:
+        self._values = [0.50, 0.51, 0.50, 0.49, 0.50, 0.42, 0.50, 0.51]
+        self._i = 0
+
+    def start(self, cpu: int) -> None:  # noqa: ARG002 - interface parity
+        pass
+
+    def finish(self) -> float:
+        value = self._values[self._i % len(self._values)]
+        self._i += 1
+        return value
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        make_fake_resctrl(root)
+        # Pre-create the HP group's monitor files (the kernel does this on
+        # mkdir; the fake tree needs them laid in by hand).
+        hp_mon = root / "hp" / "mon_data" / "mon_L3_00"
+        hp_mon.mkdir(parents=True)
+        (hp_mon / "mbm_total_bytes").write_text("0\n")
+        (hp_mon / "llc_occupancy").write_text("0\n")
+        (root / "hp" / "cpus_list").touch()
+        (root / "hp" / "schemata").touch()
+
+        backend = ResctrlRdt(hp_cpu=0, ipc_reader=ScriptedIpcReader(), root=root)
+        controller = DicerController(
+            DicerConfig(period_s=0.05), backend.total_ways
+        )
+        backend.apply(controller.initial_allocation())
+
+        print(f"LLC ways detected from schemata: {backend.total_ways}")
+        print("Driving 6 monitoring periods against the fake tree:\n")
+        for period in range(6):
+            sample = backend.sample(0.05)
+            allocation = controller.update(sample)
+            backend.apply(allocation)
+            hp_schemata = (root / "hp" / "schemata").read_text().strip()
+            be_schemata = (root / "schemata").read_text().strip()
+            print(
+                f"  period {period + 1}: ipc={sample.hp_ipc:.2f} "
+                f"-> {allocation}   HP '{hp_schemata}'  BE '{be_schemata}'"
+            )
+
+        print(
+            "\nNote the CAT masks: HP owns the top ways, BEs the bottom —"
+            "\nnon-overlapping and jointly covering the 20-way CBM, exactly"
+            "\nwhat the paper's implementation writes via intel-cmt-cat."
+        )
+
+
+if __name__ == "__main__":
+    main()

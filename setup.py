@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e .` in offline environments that lack
+the `wheel` package required for PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

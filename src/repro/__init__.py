@@ -1,0 +1,78 @@
+"""DICER reproduction — diligent dynamic LLC partitioning for HP/BE
+workload consolidation (Nikas et al., ICPP 2019).
+
+The package reproduces the paper end to end on a simulated substrate:
+
+* :mod:`repro.core` — the DICER controller (paper Listings 1-3), the UM/CT
+  baselines, and the future-work extensions (MBA, admission, overlap);
+* :mod:`repro.sim` — the multicore server model standing in for the Xeon
+  testbed (way-partitioned LLC, saturating memory link, contention solver);
+* :mod:`repro.rdt` — the CAT/CMT/MBM surface, with a simulator backend and
+  a real Linux resctrl driver for RDT hardware;
+* :mod:`repro.workloads` — the 59-entry SPEC/Parsec-like catalog;
+* :mod:`repro.cachesim` — a trace-driven set-associative cache simulator
+  grounding the analytic miss-ratio curves;
+* :mod:`repro.metrics` — slowdown, EFU (Eq. 1), SLO, SUCI (Eq. 4-5);
+* :mod:`repro.experiments` — one campaign per paper table/figure plus the
+  ``dicer-repro`` CLI.
+
+Quickstart::
+
+    from repro import run_pair, make_mix, DicerPolicy
+
+    result = run_pair(make_mix("milc1", "gcc_base6", n_be=9), DicerPolicy())
+    print(result.hp_norm_ipc, result.efu)
+"""
+
+from repro.core import (
+    Allocation,
+    CacheTakeoverPolicy,
+    DicerConfig,
+    DicerController,
+    DicerPolicy,
+    MbaDicerPolicy,
+    Policy,
+    StaticPolicy,
+    TABLE1_DICER_CONFIG,
+    UnmanagedPolicy,
+    explore_overlap,
+    find_max_bes,
+)
+from repro.experiments import PairResult, ResultStore, run_pair
+from repro.metrics import PAPER_SLOS, efu, slo_achieved, suci
+from repro.sim import PlatformConfig, Server, TABLE1_PLATFORM, solo_profile
+from repro.workloads import WorkloadMix, app_names, catalog, get_app, make_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "CacheTakeoverPolicy",
+    "DicerConfig",
+    "DicerController",
+    "DicerPolicy",
+    "MbaDicerPolicy",
+    "Policy",
+    "StaticPolicy",
+    "TABLE1_DICER_CONFIG",
+    "UnmanagedPolicy",
+    "explore_overlap",
+    "find_max_bes",
+    "PairResult",
+    "ResultStore",
+    "run_pair",
+    "PAPER_SLOS",
+    "efu",
+    "slo_achieved",
+    "suci",
+    "PlatformConfig",
+    "Server",
+    "TABLE1_PLATFORM",
+    "solo_profile",
+    "WorkloadMix",
+    "app_names",
+    "catalog",
+    "get_app",
+    "make_mix",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Trace-driven set-associative cache simulator with CAT-style way masks.
+
+The reproduction's ground truth for cache behaviour: synthetic address
+traces replayed against an LRU cache whose fills respect per-CLOS way
+masks. Used to validate both the analytic miss-ratio curves of
+:mod:`repro.workloads.mrc` and CAT's isolation guarantees.
+"""
+
+from repro.cachesim.cache import CacheGeometry, CacheStats, SetAssociativeCache
+from repro.cachesim.mrc import measure_miss_ratio, measure_mrc
+from repro.cachesim.traces import (
+    mixed_trace,
+    streaming_trace,
+    working_set_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "SetAssociativeCache",
+    "measure_miss_ratio",
+    "measure_mrc",
+    "mixed_trace",
+    "streaming_trace",
+    "working_set_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,45 @@
+"""DICER's core: allocations, the controller (Listings 1-3), co-location
+policies, and the paper's future-work extensions (MBA throttling, BE
+admission control, overlapping partitions)."""
+
+from repro.core.allocation import Allocation
+from repro.core.config import TABLE1_DICER_CONFIG, DicerConfig
+from repro.core.dcpqos import DcpQosPolicy
+from repro.core.trace_tools import allocation_strip, render_trace, summarise_trace
+from repro.core.dicer import ControllerMode, DecisionRecord, DicerController
+from repro.core.admission import AdmissionPlan, find_max_bes
+from repro.core.mba import MBA_LEVELS, MbaDicerController, MbaDicerPolicy
+from repro.core.overlap import OverlapSweep, explore_overlap, render_overlap
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    Policy,
+    StaticPolicy,
+    UnmanagedPolicy,
+)
+
+__all__ = [
+    "Allocation",
+    "TABLE1_DICER_CONFIG",
+    "DicerConfig",
+    "ControllerMode",
+    "DecisionRecord",
+    "DicerController",
+    "CacheTakeoverPolicy",
+    "DicerPolicy",
+    "Policy",
+    "StaticPolicy",
+    "UnmanagedPolicy",
+    "DcpQosPolicy",
+    "allocation_strip",
+    "render_trace",
+    "summarise_trace",
+    "AdmissionPlan",
+    "find_max_bes",
+    "MBA_LEVELS",
+    "MbaDicerController",
+    "MbaDicerPolicy",
+    "OverlapSweep",
+    "explore_overlap",
+    "render_overlap",
+]

@@ -1,0 +1,95 @@
+"""BE admission planning — the paper's second future-work extension.
+
+    "To better safeguard the performance of the HP application, we intend
+    to extend DICER to dynamically manage the number of co-located BEs."
+    (Section 6)
+
+:func:`find_max_bes` answers the operator's question directly: given an HP,
+a BE type, a policy and an SLO, how many BE instances can the server admit
+before the SLO breaks? Conformance is monotone non-increasing in the BE
+count under every policy here (each extra instance only adds cache and
+bandwidth pressure), so a binary search over the instance count suffices.
+
+:class:`AdmissionPlan` carries the full sweep so capacity-planning examples
+can show the whole frontier, not just the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import Policy
+from repro.experiments.runner import PairResult, run_pair
+from repro.metrics.slo import slo_achieved
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.workloads.mix import make_mix
+
+__all__ = ["AdmissionPlan", "find_max_bes"]
+
+
+@dataclass(frozen=True)
+class AdmissionPlan:
+    """Outcome of an admission search."""
+
+    hp_name: str
+    be_name: str
+    policy: str
+    slo: float
+    #: BE count -> experiment result, for every count probed.
+    probes: dict[int, PairResult]
+    #: Largest admissible BE count (0 when even one BE breaks the SLO).
+    max_bes: int
+
+    def frontier(self) -> list[tuple[int, float, float]]:
+        """(n_be, HP normalised IPC, EFU) rows sorted by BE count."""
+        return [
+            (n, r.hp_norm_ipc, r.efu) for n, r in sorted(self.probes.items())
+        ]
+
+
+def find_max_bes(
+    hp_name: str,
+    be_name: str,
+    policy: Policy,
+    slo: float,
+    *,
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    max_cores: int | None = None,
+) -> AdmissionPlan:
+    """Binary-search the largest BE count that keeps HP's SLO.
+
+    Probes are memoised in the returned plan; the search runs
+    O(log max_bes) experiments.
+    """
+    limit = (max_cores or platform.n_cores) - 1
+    if limit < 1:
+        raise ValueError("need room for at least one BE")
+    probes: dict[int, PairResult] = {}
+
+    def ok(n_be: int) -> bool:
+        result = probes.get(n_be)
+        if result is None:
+            result = run_pair(
+                make_mix(hp_name, be_name, n_be=n_be), policy, platform
+            )
+            probes[n_be] = result
+        return slo_achieved(result.hp_norm_ipc, slo)
+
+    lo, hi = 0, limit  # invariant: lo admissible (0 trivially), hi+1 not probed
+    if ok(limit):
+        lo = limit
+    else:
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if ok(mid):
+                lo = mid
+            else:
+                hi = mid
+    return AdmissionPlan(
+        hp_name=hp_name,
+        be_name=be_name,
+        policy=policy.name,
+        slo=slo,
+        probes=probes,
+        max_bes=lo,
+    )

@@ -1,0 +1,105 @@
+"""HP/BE way allocations — the controller's decision variable.
+
+DICER's whole output is a single number per period: how many of the LLC's
+ways the High-Priority application owns exclusively (the BEs share the
+rest). :class:`Allocation` wraps that number with validation and the
+transitions the controller performs (shrink by one way, Cache-Takeover,
+etc.), and converts to the simulator's partition spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.partition import PartitionSpec
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True, order=True)
+class Allocation:
+    """An HP/BE split of ``total_ways`` LLC ways.
+
+    ``overlap_ways`` supports the overlapping-partition extension (paper
+    Section 6): that many ways are reachable by both HP and BEs. The
+    baseline DICER/CT configurations always use ``overlap_ways=0``
+    (non-overlapping, Section 3.3).
+    """
+
+    hp_ways: int
+    total_ways: int
+    overlap_ways: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_ways < 2:
+            raise ValueError(f"total_ways must be >= 2, got {self.total_ways}")
+        if self.hp_ways < 1:
+            raise ValueError(f"hp_ways must be >= 1, got {self.hp_ways}")
+        if self.overlap_ways < 0:
+            raise ValueError(
+                f"overlap_ways must be >= 0, got {self.overlap_ways}"
+            )
+        if self.be_ways < 1:
+            raise ValueError(
+                f"hp_ways={self.hp_ways} + overlap={self.overlap_ways} "
+                f"leaves no exclusive way for BEs out of {self.total_ways}"
+            )
+
+    @property
+    def be_ways(self) -> int:
+        """Ways exclusively available to the BE group."""
+        return self.total_ways - self.hp_ways - self.overlap_ways
+
+    # -- factories --------------------------------------------------------
+
+    @classmethod
+    def cache_takeover(cls, total_ways: int) -> "Allocation":
+        """CT: all but one way to HP, one way shared by all BEs."""
+        return cls(hp_ways=total_ways - 1, total_ways=total_ways)
+
+    @classmethod
+    def even_split(cls, total_ways: int) -> "Allocation":
+        """A 50/50 reference split (used by ablations)."""
+        return cls(hp_ways=total_ways // 2, total_ways=total_ways)
+
+    # -- transitions -------------------------------------------------------
+
+    def shrink_hp(self) -> "Allocation":
+        """Give one HP way to the BEs (DICER's optimisation step).
+
+        At the floor (HP already at 1 way) returns ``self`` unchanged.
+        """
+        if self.hp_ways <= 1:
+            return self
+        return Allocation(
+            hp_ways=self.hp_ways - 1,
+            total_ways=self.total_ways,
+            overlap_ways=self.overlap_ways,
+        )
+
+    def with_hp_ways(self, hp_ways: int) -> "Allocation":
+        """Copy with a different HP way count."""
+        return Allocation(
+            hp_ways=hp_ways,
+            total_ways=self.total_ways,
+            overlap_ways=self.overlap_ways,
+        )
+
+    # -- conversions -------------------------------------------------------
+
+    def to_partition(self, n_cores: int) -> PartitionSpec:
+        """The simulator-side partition this allocation denotes."""
+        return PartitionSpec.hp_be(
+            self.hp_ways,
+            n_cores,
+            self.total_ways,
+            overlap_ways=self.overlap_ways,
+        )
+
+    def __str__(self) -> str:
+        if self.overlap_ways:
+            return (
+                f"HP:{self.hp_ways}+{self.overlap_ways}sh/"
+                f"BE:{self.be_ways}+{self.overlap_ways}sh"
+            )
+        return f"HP:{self.hp_ways}/BE:{self.be_ways}"

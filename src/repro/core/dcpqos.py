@@ -1,0 +1,47 @@
+"""DCP-QoS — the related-work baseline (paper Section 5).
+
+    "Papadakis et al. proposed DCP-QoS, a dynamic cache partitioning scheme
+    for co-locating HP and BEs that is similar to DICER. While DCP-QoS
+    follows a black-box approach, it lacks support for identifying and
+    mitigating memory bandwidth saturation."
+
+Implemented as DICER with :attr:`~repro.core.config.DicerConfig.
+saturation_detection` disabled: the identical IPC-driven optimisation and
+phase/reset machinery, but no bandwidth monitoring — so a CT-Thwarted
+workload is never reclassified and the controller keeps treating CT's
+allocation as the safe harbour. Comparing :class:`DcpQosPolicy` against
+:class:`~repro.core.policies.DicerPolicy` isolates the paper's novelty
+claim (the saturation path) experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.core.dicer import DicerController
+from repro.core.policies import DicerPolicy
+
+__all__ = ["DcpQosPolicy"]
+
+
+class DcpQosPolicy(DicerPolicy):
+    """Dynamic cache partitioning without bandwidth-saturation awareness."""
+
+    name = "DCP-QoS"
+
+    def __init__(self, config: DicerConfig = TABLE1_DICER_CONFIG) -> None:
+        super().__init__(replace(config, saturation_detection=False))
+
+    def setup(self, total_ways: int) -> Allocation | None:
+        """Build the saturation-blind controller and return CT."""
+        self._controller = DicerController(self.config, total_ways)
+        return self._controller.initial_allocation()
+
+    def fresh(self) -> "DcpQosPolicy":
+        # Re-derive from the (already flag-stripped) config.
+        """Stateless copy for the next experiment."""
+        clone = DcpQosPolicy.__new__(DcpQosPolicy)
+        DicerPolicy.__init__(clone, self.config)
+        return clone

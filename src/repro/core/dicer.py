@@ -1,0 +1,279 @@
+"""The DICER controller — paper Listings 1, 2 and 3 as a state machine.
+
+DICER observes one :class:`~repro.rdt.interface.PeriodSample` per monitoring
+period and answers with the HP/BE way split for the next period. It is a
+pure state machine: no knowledge of the workload, the simulator, or the
+backend — exactly the black-box transparency the paper argues for.
+
+Control flow (Listing 1)::
+
+    every period:  monitor()
+                   if BW saturated  -> allocation_sampling()
+                   else             -> allocation_optimisation()
+
+* **allocation_sampling** (Section 3.2.1): the first saturation reclassifies
+  the workload as CT-Thwarted; DICER probes decreasing HP way counts and
+  keeps the one with the highest HP IPC (``optimal_allocation, IPC_opt``).
+* **allocation_optimisation** (Listing 2): on a *phase change* (Equation 2)
+  reset; on *stable* IPC (Equation 3) donate one HP way to the BEs; on
+  improved IPC hold; on degraded IPC reset.
+* **allocation_reset** (Listing 3): return to the best-known allocation (CT
+  for CT-Favoured, ``optimal_allocation`` for CT-Thwarted) and validate the
+  decision against the following period's measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig
+from repro.rdt.sample import PeriodSample
+
+__all__ = ["DicerController", "ControllerMode", "DecisionRecord"]
+
+
+class ControllerMode(enum.Enum):
+    """Top-level state of the DICER state machine."""
+
+    #: First period: measurements exist but no previous IPC to compare to.
+    WARMUP = "warmup"
+    #: Normal operation (Listing 2).
+    OPTIMISE = "optimise"
+    #: Probing the sampling grid (Section 3.2.1).
+    SAMPLING = "sampling"
+    #: One-period validation after a reset (Listing 3).
+    RESET_VALIDATE = "reset_validate"
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Telemetry: one controller decision (for traces, tests, examples)."""
+
+    period: int
+    mode: ControllerMode
+    hp_ipc: float
+    total_bw_bytes_s: float
+    saturated: bool
+    phase_change: bool
+    allocation: Allocation
+    note: str = ""
+
+
+@dataclass
+class _SamplingState:
+    pending: list[int] = field(default_factory=list)
+    results: dict[int, float] = field(default_factory=dict)
+    dwell_left: int = 0
+    active_ways: int | None = None
+
+
+class DicerController:
+    """Dynamic HP/BE cache partitioning per the paper's Listings 1-3."""
+
+    def __init__(self, config: DicerConfig, total_ways: int) -> None:
+        if total_ways < 2:
+            raise ValueError(f"total_ways must be >= 2, got {total_ways}")
+        self.config = config
+        self.total_ways = total_ways
+
+        # Listing 1 initial state: assume CT-Favoured, start like CT.
+        self.current = Allocation.cache_takeover(total_ways)
+        self.optimal = self.current
+        self.ipc_opt: float | None = None
+        self.ct_favoured = True
+
+        self.mode = ControllerMode.WARMUP
+        self._last_ipc: float | None = None
+        self._hp_bw_history: deque[float] = deque(maxlen=3)
+        self._hp_bw_ewma: float | None = None
+        self._sampling = _SamplingState()
+        self._reset_trigger_ipc = 0.0
+        self._rollback = self.current
+        self._cooldown = 0
+        self._period = 0
+        self.trace: list[DecisionRecord] = []
+
+    # -- public API ---------------------------------------------------------
+
+    def initial_allocation(self) -> Allocation:
+        """The allocation to enforce before the first monitoring period."""
+        return self.current
+
+    def update(self, sample: PeriodSample) -> Allocation:
+        """Consume one period's measurements; return the next allocation."""
+        self._period += 1
+        raw_saturated = (
+            self.config.saturation_detection
+            and sample.total_mem_bytes_s > self.config.bw_threshold_bytes
+        )
+        # The cooldown guard treats "saturated but recently sampled" as not
+        # saturated, preventing a sampling livelock when even the optimum
+        # operating point exceeds the threshold (see DicerConfig).
+        saturated = raw_saturated and self._cooldown == 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+
+        phase_change = False
+        note = ""
+        if self.mode is ControllerMode.SAMPLING:
+            note = self._step_sampling(sample)
+        elif saturated:
+            note = self._start_sampling()
+        elif self.mode is ControllerMode.WARMUP:
+            self.mode = ControllerMode.OPTIMISE
+            note = "warmup"
+        elif self.mode is ControllerMode.RESET_VALIDATE:
+            note = self._validate_reset(sample)
+        else:
+            phase_change, note = self._optimise(sample)
+
+        # Bookkeeping AFTER decisions: Equation 2 compares this period's HP
+        # bandwidth against the *previous* periods' baseline.
+        self._hp_bw_history.append(sample.hp_mem_bytes_s)
+        w = self.config.ewma_weight
+        self._hp_bw_ewma = (
+            sample.hp_mem_bytes_s
+            if self._hp_bw_ewma is None
+            else (1.0 - w) * self._hp_bw_ewma + w * sample.hp_mem_bytes_s
+        )
+        self._last_ipc = sample.hp_ipc
+
+        self.trace.append(
+            DecisionRecord(
+                period=self._period,
+                mode=self.mode,
+                hp_ipc=sample.hp_ipc,
+                total_bw_bytes_s=sample.total_mem_bytes_s,
+                saturated=raw_saturated,
+                phase_change=phase_change,
+                allocation=self.current,
+                note=note,
+            )
+        )
+        return self.current
+
+    # -- Section 3.2.1: allocation sampling ----------------------------------
+
+    def _start_sampling(self) -> str:
+        """First/renewed saturation: reclassify as CT-T and probe the grid."""
+        self.ct_favoured = False
+        grid = [
+            w for w in self.config.sample_hp_ways if w < self.total_ways
+        ]
+        self._sampling = _SamplingState(
+            pending=list(grid),
+            results={},
+            dwell_left=self.config.sample_periods,
+            active_ways=None,
+        )
+        self.mode = ControllerMode.SAMPLING
+        self._advance_sampling()
+        return "sampling: start"
+
+    def _advance_sampling(self) -> None:
+        state = self._sampling
+        state.active_ways = state.pending.pop(0)
+        state.dwell_left = self.config.sample_periods
+        self.current = self.current.with_hp_ways(state.active_ways)
+
+    def _step_sampling(self, sample: PeriodSample) -> str:
+        state = self._sampling
+        assert state.active_ways is not None
+        state.dwell_left -= 1
+        if state.dwell_left > 0:
+            return f"sampling: dwell hp={state.active_ways}"
+        # The last dwell period's IPC is the sample's score ("long enough to
+        # make the effects of the partitioning visible").
+        state.results[state.active_ways] = sample.hp_ipc
+        if state.pending:
+            self._advance_sampling()
+            return f"sampling: probe hp={state.active_ways}"
+        return self._conclude_sampling()
+
+    def _conclude_sampling(self) -> str:
+        state = self._sampling
+        best_ways = max(state.results, key=lambda w: state.results[w])
+        self.ipc_opt = state.results[best_ways]
+        self.optimal = self.current.with_hp_ways(best_ways)
+        self.current = self.optimal
+        self.mode = ControllerMode.OPTIMISE
+        self._cooldown = self.config.resample_cooldown_periods
+        # Sampling distorted HP's bandwidth trajectory; restart Equation 2's
+        # history so the next periods are not misread as phase changes.
+        self._hp_bw_history.clear()
+        self._hp_bw_ewma = None
+        return f"sampling: optimal hp={best_ways} ipc={self.ipc_opt:.3f}"
+
+    # -- Listing 2: allocation optimisation ----------------------------------
+
+    def _phase_change(self, sample: PeriodSample) -> bool:
+        """Equation 2: HP bandwidth jump against its recent baseline.
+
+        The paper's statistic is the geometric mean of the previous three
+        periods; the ``ewma`` variant substitutes an exponentially weighted
+        average (see DicerConfig.phase_detector).
+        """
+        threshold = 1.0 + self.config.phase_threshold
+        if self.config.phase_detector == "ewma":
+            baseline = self._hp_bw_ewma
+            if baseline is None:
+                return False
+            return sample.hp_mem_bytes_s > threshold * max(baseline, 1.0)
+        if len(self._hp_bw_history) < 3:
+            return False
+        gmean = math.exp(
+            sum(math.log(max(b, 1.0)) for b in self._hp_bw_history) / 3.0
+        )
+        return sample.hp_mem_bytes_s > threshold * gmean
+
+    def _optimise(self, sample: PeriodSample) -> tuple[bool, str]:
+        if self._phase_change(sample):
+            return True, self._reset(sample)
+        assert self._last_ipc is not None
+        lo = (1.0 - self.config.alpha) * self._last_ipc
+        hi = (1.0 + self.config.alpha) * self._last_ipc
+        if lo <= sample.hp_ipc <= hi:
+            # Stable: the allocation exceeds HP's needs — donate one way.
+            before = self.current.hp_ways
+            self.current = self.current.shrink_hp()
+            if self.current.hp_ways != before:
+                return False, f"stable: shrink hp to {self.current.hp_ways}"
+            return False, "stable: at floor"
+        if sample.hp_ipc > hi:
+            # Improved: new phase with same cache needs; hold position.
+            return False, "better: hold"
+        return False, self._reset(sample)
+
+    # -- Listing 3: allocation reset -----------------------------------------
+
+    def _reset(self, sample: PeriodSample) -> str:
+        self._reset_trigger_ipc = sample.hp_ipc
+        if self.ct_favoured:
+            self._rollback = self.current
+            self.current = Allocation.cache_takeover(self.total_ways)
+            self.mode = ControllerMode.RESET_VALIDATE
+            return "reset: to CT (CT-F)"
+        self.current = self.optimal
+        self.mode = ControllerMode.RESET_VALIDATE
+        return f"reset: to optimal hp={self.optimal.hp_ways} (CT-T)"
+
+    def _validate_reset(self, sample: PeriodSample) -> str:
+        # Saturation during validation is handled by the caller (it starts
+        # sampling before reaching this method), mirroring Listing 3's
+        # explicit BW_saturated checks.
+        alpha = self.config.alpha
+        self.mode = ControllerMode.OPTIMISE
+        if self.ct_favoured:
+            if sample.hp_ipc > (1.0 + alpha) * self._reset_trigger_ipc:
+                return "validate: CT reset helped"
+            # The IPC drop was a phase effect, not an allocation effect.
+            self.current = self._rollback
+            return f"validate: rollback hp={self.current.hp_ways}"
+        assert self.ipc_opt is not None
+        if sample.hp_ipc >= (1.0 - alpha) * self.ipc_opt:
+            return "validate: back at optimal"
+        return self._start_sampling()

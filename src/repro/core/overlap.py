@@ -1,0 +1,95 @@
+"""Overlapping-partition exploration — the paper's third future-work item.
+
+    "Further analysis is also necessary to investigate whether assigning
+    overlapping cache partitions to the HP and the BEs can benefit some
+    workloads." (Section 6)
+
+An overlapping allocation gives HP a small exclusive slice plus a zone both
+groups may fill; the zone's ways flow to whoever misses more (the sharing
+model of :mod:`repro.sim.llc`). :func:`explore_overlap` sweeps
+(exclusive HP ways, overlap ways) for one workload and reports where — if
+anywhere — overlap beats the best non-overlapping split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import StaticPolicy
+from repro.experiments.runner import PairResult, run_pair
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.util.tables import format_table
+from repro.workloads.mix import make_mix
+
+__all__ = ["OverlapSweep", "explore_overlap", "render_overlap"]
+
+
+@dataclass(frozen=True)
+class OverlapSweep:
+    """Results over the (hp_ways, overlap_ways) grid for one workload."""
+
+    hp_name: str
+    be_name: str
+    #: (hp_exclusive_ways, overlap_ways) -> result.
+    results: dict[tuple[int, int], PairResult]
+
+    def best(
+        self, *, overlapping: bool | None = None
+    ) -> tuple[tuple[int, int], PairResult]:
+        """Configuration with the highest EFU among SLO-comparable points.
+
+        ``overlapping=True`` restricts to overlap > 0, ``False`` to the
+        plain non-overlapping splits, ``None`` considers everything.
+        """
+        candidates = {
+            k: v
+            for k, v in self.results.items()
+            if overlapping is None or (k[1] > 0) == overlapping
+        }
+        if not candidates:
+            raise ValueError("no configurations match the filter")
+        key = max(candidates, key=lambda k: candidates[k].efu)
+        return key, candidates[key]
+
+
+def explore_overlap(
+    hp_name: str,
+    be_name: str,
+    *,
+    n_be: int = 9,
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    hp_ways_grid: tuple[int, ...] = (1, 2, 4, 6, 8),
+    overlap_grid: tuple[int, ...] = (0, 2, 4, 8),
+) -> OverlapSweep:
+    """Sweep exclusive/overlap combinations for one workload."""
+    mix = make_mix(hp_name, be_name, n_be=n_be)
+    results: dict[tuple[int, int], PairResult] = {}
+    for hp_ways in hp_ways_grid:
+        for overlap in overlap_grid:
+            if hp_ways + overlap >= platform.llc_ways:
+                continue  # must leave >= 1 exclusive BE way
+            policy = StaticPolicy(hp_ways, overlap_ways=overlap)
+            results[(hp_ways, overlap)] = run_pair(mix, policy, platform)
+    return OverlapSweep(hp_name=hp_name, be_name=be_name, results=results)
+
+
+def render_overlap(sweep: OverlapSweep) -> str:
+    """ASCII table of the sweep plus the best-configuration verdict."""
+    rows = [
+        [hp, ov, r.hp_norm_ipc, r.be_norm_ipc, r.efu]
+        for (hp, ov), r in sorted(sweep.results.items())
+    ]
+    (bh, bo), best_all = sweep.best()
+    verdict = (
+        f"best: HP={bh}+{bo} shared (EFU {best_all.efu:.3f}; "
+        f"HP norm IPC {best_all.hp_norm_ipc:.3f})"
+    )
+    table = format_table(
+        ["HP excl ways", "Overlap ways", "HP norm IPC", "BE norm IPC", "EFU"],
+        rows,
+        title=(
+            f"Overlapping partitions: {sweep.hp_name} + "
+            f"BEs {sweep.be_name}"
+        ),
+    )
+    return f"{table}\n{verdict}"

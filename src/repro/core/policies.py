@@ -1,0 +1,135 @@
+"""Co-location policies: UM, CT, static splits, and the DICER wrapper.
+
+A :class:`Policy` is the runner-facing abstraction: it declares whether the
+LLC is partitioned at all, the initial allocation, and (for dynamic
+policies) a per-period update. UM and CT are the paper's baselines
+(Section 2.2); :class:`StaticPolicy` provides the per-way sweep behind
+Figure 3; :class:`DicerPolicy` adapts every period via
+:class:`~repro.core.dicer.DicerController`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.core.dicer import DicerController
+from repro.rdt.sample import PeriodSample
+
+__all__ = [
+    "Policy",
+    "UnmanagedPolicy",
+    "CacheTakeoverPolicy",
+    "StaticPolicy",
+    "DicerPolicy",
+]
+
+
+class Policy(ABC):
+    """A cache-allocation policy for one HP + N×BE experiment."""
+
+    #: Display name used in reports ("UM", "CT", "DICER", ...).
+    name: str = "?"
+
+    @abstractmethod
+    def setup(self, total_ways: int) -> Allocation | None:
+        """Initial allocation; ``None`` means the LLC stays unmanaged."""
+
+    def update(self, sample: PeriodSample) -> Allocation | None:
+        """Per-period decision; ``None`` means keep the current allocation.
+
+        Only called when :attr:`dynamic` is true.
+        """
+        return None
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether the runner must drive a monitoring loop."""
+        return False
+
+    @property
+    def period_s(self) -> float:
+        """Monitoring period for dynamic policies."""
+        return 1.0
+
+    def fresh(self) -> "Policy":
+        """A stateless copy for the next experiment (overridden by DICER)."""
+        return self
+
+
+class UnmanagedPolicy(Policy):
+    """UM: no control over resource sharing, no QoS enforcement."""
+
+    name = "UM"
+
+    def setup(self, total_ways: int) -> Allocation | None:
+        """See :meth:`Policy.setup`."""
+        return None
+
+
+class CacheTakeoverPolicy(Policy):
+    """CT: HP conservatively takes all but one way; BEs share one way."""
+
+    name = "CT"
+
+    def setup(self, total_ways: int) -> Allocation | None:
+        """See :meth:`Policy.setup`."""
+        return Allocation.cache_takeover(total_ways)
+
+
+class StaticPolicy(Policy):
+    """A fixed HP/BE split (the per-configuration points of Figure 3)."""
+
+    def __init__(self, hp_ways: int, overlap_ways: int = 0) -> None:
+        self.hp_ways = hp_ways
+        self.overlap_ways = overlap_ways
+        self.name = f"S{hp_ways}" + (f"+{overlap_ways}o" if overlap_ways else "")
+
+    def setup(self, total_ways: int) -> Allocation | None:
+        """See :meth:`Policy.setup`."""
+        return Allocation(
+            hp_ways=self.hp_ways,
+            total_ways=total_ways,
+            overlap_ways=self.overlap_ways,
+        )
+
+
+class DicerPolicy(Policy):
+    """DICER: dynamic adaptation via the Listings 1-3 state machine."""
+
+    name = "DICER"
+
+    def __init__(self, config: DicerConfig = TABLE1_DICER_CONFIG) -> None:
+        self.config = config
+        self._controller: DicerController | None = None
+
+    @property
+    def dynamic(self) -> bool:
+        """DICER adapts every monitoring period."""
+        return True
+
+    @property
+    def period_s(self) -> float:
+        """Monitoring period from the DICER config."""
+        return self.config.period_s
+
+    @property
+    def controller(self) -> DicerController:
+        """The live controller (after :meth:`setup`)."""
+        if self._controller is None:
+            raise RuntimeError("setup() has not run yet")
+        return self._controller
+
+    def setup(self, total_ways: int) -> Allocation | None:
+        """See :meth:`Policy.setup`."""
+        self._controller = DicerController(self.config, total_ways)
+        return self._controller.initial_allocation()
+
+    def update(self, sample: PeriodSample) -> Allocation | None:
+        """Delegate the period's decision to the controller."""
+        return self.controller.update(sample)
+
+    def fresh(self) -> "DicerPolicy":
+        """New policy with a fresh controller, same config."""
+        return DicerPolicy(self.config)

@@ -1,0 +1,81 @@
+"""Human-readable rendering of DICER decision traces.
+
+Examples and operational debugging both need to *see* what the controller
+did: when it sampled, where it settled, what triggered resets. These
+helpers format a :class:`~repro.core.dicer.DecisionRecord` sequence as a
+compact timeline or an ASCII strip chart of the HP allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dicer import DecisionRecord
+
+__all__ = ["render_trace", "allocation_strip", "summarise_trace"]
+
+
+def render_trace(
+    trace: Sequence[DecisionRecord], *, limit: int | None = None
+) -> str:
+    """One line per monitoring period: mode, signals, allocation, event."""
+    lines = [
+        f"{'t':>4} {'mode':<14} {'alloc':<12} {'ipc':>7} {'bw':>9}  event"
+    ]
+    for record in trace[:limit]:
+        flags = []
+        if record.saturated:
+            flags.append("SAT")
+        if record.phase_change:
+            flags.append("PHASE")
+        lines.append(
+            f"{record.period:>4} {record.mode.value:<14} "
+            f"{str(record.allocation):<12} {record.hp_ipc:>7.3f} "
+            f"{record.total_bw_bytes_s * 8 / 1e9:>7.1f}G  "
+            f"{' '.join(flags):<9} {record.note}"
+        )
+    if limit is not None and len(trace) > limit:
+        lines.append(f"... ({len(trace) - limit} more periods)")
+    return "\n".join(lines)
+
+
+def allocation_strip(
+    trace: Sequence[DecisionRecord], *, width: int = 72
+) -> str:
+    """ASCII strip chart of HP ways over time (one column per period).
+
+    Way counts are mapped onto digits/letters (1-9, then a=10, b=11, ...),
+    giving a dense at-a-glance view of sampling descents, stable plateaus
+    and reset jumps. Long traces are decimated to ``width`` columns.
+    """
+    if not trace:
+        raise ValueError("empty trace")
+    values = [r.allocation.hp_ways for r in trace]
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+
+    def glyph(ways: int) -> str:
+        return str(ways) if ways < 10 else chr(ord("a") + ways - 10)
+
+    strip = "".join(glyph(v) for v in values)
+    return f"HP ways/period: [{strip}]  (a=10, b=11, ...)"
+
+
+def summarise_trace(trace: Sequence[DecisionRecord]) -> dict[str, object]:
+    """Aggregate counters over a trace (used by tests and reports)."""
+    if not trace:
+        raise ValueError("empty trace")
+    sampling_periods = sum(
+        1 for r in trace if r.mode.value == "sampling"
+    )
+    return {
+        "periods": len(trace),
+        "sampling_periods": sampling_periods,
+        "sampling_share": sampling_periods / len(trace),
+        "resets": sum(1 for r in trace if "reset" in r.note),
+        "phase_changes": sum(1 for r in trace if r.phase_change),
+        "saturated_periods": sum(1 for r in trace if r.saturated),
+        "final_hp_ways": trace[-1].allocation.hp_ways,
+        "mean_hp_ways": sum(r.allocation.hp_ways for r in trace) / len(trace),
+    }

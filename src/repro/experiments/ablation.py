@@ -1,0 +1,268 @@
+"""Ablations — the sensitivity analysis the paper mentions but omits.
+
+Section 4.1 notes every DICER parameter "has been selected after performing
+a sensitivity analysis which for the sake of space is not included". These
+sweeps reconstruct that analysis for the design choices DESIGN.md calls
+out: the bandwidth-saturation threshold, the IPC stability band, the phase
+threshold, the sampling grid, the resampling cooldown, and (on the
+experiment side) the CT-F/CT-T materiality threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.core.policies import DicerPolicy
+from repro.experiments.runner import PairResult, run_pair
+from repro.experiments.store import ResultStore
+from repro.sim.platform import TABLE1_PLATFORM, gbps_to_bytes
+from repro.util.tables import format_table
+from repro.workloads.catalog import app_names
+from repro.workloads.mix import make_mix
+
+__all__ = [
+    "sweep_noise_robustness",
+    "sweep_bw_threshold",
+    "sweep_alpha",
+    "sweep_phase_threshold",
+    "sweep_phase_detector",
+    "sweep_sampling_grid",
+    "sweep_cooldown",
+    "sweep_classification_threshold",
+    "DEFAULT_ABLATION_PAIRS",
+]
+
+#: A small, class-diverse pair set: CT-T saturating, CT-F cache-sensitive,
+#: and a phased HP that exercises the reset path.
+DEFAULT_ABLATION_PAIRS: tuple[tuple[str, str], ...] = (
+    ("milc1", "gcc_base3"),
+    ("omnetpp1", "bzip22"),
+    ("wrf1", "gcc_base5"),
+)
+
+
+def _run_variants(
+    pairs: tuple[tuple[str, str], ...],
+    variants: list[tuple[str, DicerConfig]],
+    n_be: int = 9,
+) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for label, config in variants:
+        for hp, be in pairs:
+            result: PairResult = run_pair(
+                make_mix(hp, be, n_be=n_be),
+                DicerPolicy(config),
+                TABLE1_PLATFORM,
+            )
+            rows.append(
+                [
+                    label,
+                    result.label,
+                    result.hp_norm_ipc,
+                    result.be_norm_ipc,
+                    result.efu,
+                ]
+            )
+    return rows
+
+
+def _render(title: str, rows: list[list[object]]) -> str:
+    return format_table(
+        ["Variant", "Workload", "HP norm IPC", "BE norm IPC", "EFU"],
+        rows,
+        title=title,
+    )
+
+
+def sweep_bw_threshold(
+    thresholds_gbps: tuple[float, ...] = (30.0, 40.0, 50.0, 60.0, 68.0),
+    pairs: tuple[tuple[str, str], ...] = DEFAULT_ABLATION_PAIRS,
+) -> str:
+    """Saturation threshold: too low resamples forever, too high never
+    reclassifies a CT-Thwarted workload."""
+    variants = [
+        (
+            f"thr={g:.0f}Gbps",
+            replace(TABLE1_DICER_CONFIG, bw_threshold_bytes=gbps_to_bytes(g)),
+        )
+        for g in thresholds_gbps
+    ]
+    return _render(
+        "Ablation: bandwidth saturation threshold",
+        _run_variants(pairs, variants),
+    )
+
+
+def sweep_alpha(
+    alphas: tuple[float, ...] = (0.01, 0.03, 0.05, 0.10, 0.20),
+    pairs: tuple[tuple[str, str], ...] = DEFAULT_ABLATION_PAIRS,
+) -> str:
+    """IPC stability band: small alpha resets on noise, large alpha keeps
+    shrinking HP's allocation through real degradation."""
+    variants = [
+        (f"alpha={a:.0%}", replace(TABLE1_DICER_CONFIG, alpha=a))
+        for a in alphas
+    ]
+    return _render("Ablation: IPC stability alpha", _run_variants(pairs, variants))
+
+
+def sweep_phase_threshold(
+    thresholds: tuple[float, ...] = (0.10, 0.30, 0.60, 1.00),
+    pairs: tuple[tuple[str, str], ...] = (("wrf1", "gcc_base5"),
+                                          ("ferret1", "bzip22")),
+) -> str:
+    """Phase threshold (Equation 2), probed with phased HPs."""
+    variants = [
+        (f"phase_thr={t:.0%}", replace(TABLE1_DICER_CONFIG, phase_threshold=t))
+        for t in thresholds
+    ]
+    return _render(
+        "Ablation: phase-change threshold", _run_variants(pairs, variants)
+    )
+
+
+def sweep_sampling_grid(
+    pairs: tuple[tuple[str, str], ...] = (("milc1", "gcc_base3"),
+                                          ("omnetpp1", "milc1")),
+) -> str:
+    """Sampling grid density vs sampling cost."""
+    grids: dict[str, tuple[int, ...]] = {
+        "coarse": (19, 10, 4, 1),
+        "default": TABLE1_DICER_CONFIG.sample_hp_ways,
+        "exhaustive": tuple(range(19, 0, -1)),
+    }
+    variants = [
+        (name, replace(TABLE1_DICER_CONFIG, sample_hp_ways=grid))
+        for name, grid in grids.items()
+    ]
+    return _render("Ablation: sampling grid", _run_variants(pairs, variants))
+
+
+def sweep_cooldown(
+    cooldowns: tuple[int, ...] = (0, 1, 3, 5, 10),
+    pairs: tuple[tuple[str, str], ...] = (("milc1", "milc1"),
+                                          ("namd1", "lbm1")),
+) -> str:
+    """Resampling cooldown, probed with workloads saturated even at their
+    optimum (the livelock case the guard exists for)."""
+    variants = [
+        (
+            f"cooldown={c}",
+            replace(TABLE1_DICER_CONFIG, resample_cooldown_periods=c),
+        )
+        for c in cooldowns
+    ]
+    return _render("Ablation: resampling cooldown", _run_variants(pairs, variants))
+
+
+def sweep_classification_threshold(
+    store: ResultStore,
+    thresholds: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05, 0.10),
+    *,
+    limit: int | None = None,
+) -> str:
+    """CT-F materiality threshold vs resulting CT-T population share."""
+    from repro.experiments.classify import classify_all  # cycle-free import
+
+    names = app_names()[:limit]
+    classes = classify_all(store, hp_names=names, be_names=names)
+    rows = []
+    for eps in thresholds:
+        ctt = sum(
+            1
+            for c in classes
+            if (c.um_slowdown - c.ct_slowdown) / c.um_slowdown <= eps
+        )
+        rows.append([f"eps={eps:.0%}", len(classes), 100.0 * ctt / len(classes)])
+    return format_table(
+        ["Threshold", "Pairs", "CT-T share (%)"],
+        rows,
+        float_fmt=".1f",
+        title="Ablation: CT-F materiality threshold (paper reports ~60% CT-T)",
+    )
+
+
+def sweep_noise_robustness(
+    noise_levels: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10),
+    alphas: tuple[float, ...] = (0.01, 0.05, 0.15),
+    pairs: tuple[tuple[str, str], ...] = (("omnetpp1", "bzip22"),
+                                          ("milc1", "gcc_base6")),
+    seed: int = 0,
+) -> str:
+    """Measurement noise vs the IPC stability band (Equation 3's alpha).
+
+    On hardware, IPC jitter that exceeds alpha masquerades as performance
+    changes: too-small alpha triggers spurious resets, and the controller
+    thrashes. This sweep quantifies the alpha the paper's 5 % default must
+    absorb — the sensitivity study Section 4.1 alludes to, extended with an
+    explicit noise axis the simulator makes controllable.
+    """
+    from repro.core.dicer import DicerController
+    from repro.rdt.harness import drive
+    from repro.rdt.noisy import NoisyRdt
+    from repro.rdt.simulated import SimulatedRdt
+    from repro.sim.server import Server
+    from repro.sim.solo import solo_profile
+
+    rows: list[list[object]] = []
+    for noise in noise_levels:
+        for alpha in alphas:
+            config = replace(TABLE1_DICER_CONFIG, alpha=alpha)
+            for hp, be in pairs:
+                mix = make_mix(hp, be, n_be=9)
+                apps = mix.apps()
+                server = Server(
+                    TABLE1_PLATFORM,
+                    apps,
+                    Allocation.cache_takeover(20).to_partition(len(apps)),
+                )
+                backend = NoisyRdt(
+                    SimulatedRdt(server),
+                    ipc_noise=noise,
+                    bw_noise=noise,
+                    seed=seed,
+                )
+                controller = DicerController(config, 20)
+                trace = drive(controller, backend, max_periods=400)
+                solo = solo_profile(mix.hp, TABLE1_PLATFORM)
+                hp_norm = (
+                    server.apps[0].total_instructions
+                    / (TABLE1_PLATFORM.freq_hz * server.time)
+                    / solo.avg_ipc
+                )
+                resets = sum(1 for r in trace if "reset" in r.note)
+                rows.append(
+                    [
+                        f"noise={noise:.0%} alpha={alpha:.0%}",
+                        f"{hp} {be}",
+                        hp_norm,
+                        float(resets) / len(trace),
+                        float(len(trace)),
+                    ]
+                )
+    return format_table(
+        ["Variant", "Workload", "HP norm IPC", "Resets/period", "Periods"],
+        rows,
+        title="Ablation: measurement noise vs IPC stability band",
+    )
+
+
+def sweep_phase_detector(
+    pairs: tuple[tuple[str, str], ...] = (("wrf1", "gcc_base5"),
+                                          ("ferret1", "bzip22"),
+                                          ("omnetpp1", "bzip22")),
+) -> str:
+    """Equation 2's statistic: geomean-of-3 (paper) vs EWMA baseline."""
+    variants = [
+        ("geomean3", TABLE1_DICER_CONFIG),
+        ("ewma w=0.3", replace(TABLE1_DICER_CONFIG, phase_detector="ewma")),
+        (
+            "ewma w=0.1",
+            replace(
+                TABLE1_DICER_CONFIG, phase_detector="ewma", ewma_weight=0.1
+            ),
+        ),
+    ]
+    return _render("Ablation: phase detector", _run_variants(pairs, variants))

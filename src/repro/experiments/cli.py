@@ -1,0 +1,169 @@
+"""Command-line entry point: ``dicer-repro <experiment> [options]``.
+
+Regenerates any of the paper's tables/figures from the terminal::
+
+    dicer-repro table1
+    dicer-repro fig1 --limit 12        # truncated population, quick
+    dicer-repro fig3
+    dicer-repro fig5 --limit 10
+    dicer-repro fig7                   # full 120-workload grid (minutes)
+    dicer-repro ablation-alpha
+
+``--limit N`` truncates the catalog to its first N entries on both axes,
+trading population size for wall-clock time; omit it for the paper-scale
+campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablation import (
+    sweep_alpha,
+    sweep_bw_threshold,
+    sweep_classification_threshold,
+    sweep_cooldown,
+    sweep_noise_robustness,
+    sweep_phase_detector,
+    sweep_phase_threshold,
+    sweep_sampling_grid,
+)
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig3 import render_fig3, run_fig3
+from repro.experiments.fig4 import extract_fig4, render_fig4
+from repro.experiments.fig5 import extract_fig5, render_fig5
+from repro.experiments.fig6 import extract_fig6, render_fig6
+from repro.experiments.fig7 import extract_fig7, render_fig7
+from repro.experiments.fig8 import extract_fig8, render_fig8
+from repro.experiments.grid import build_sample, run_grid
+from repro.experiments.store import ResultStore
+from repro.experiments.table1 import render_table1
+
+__all__ = ["main"]
+
+GRID_FIGURES = {
+    "fig4": (extract_fig4, render_fig4),
+    "fig5": (extract_fig5, render_fig5),
+    "fig6": (extract_fig6, render_fig6),
+    "fig7": (extract_fig7, render_fig7),
+    "fig8": (extract_fig8, render_fig8),
+}
+
+EXPERIMENTS = (
+    ["table1", "fig1", "fig2", "fig3"]
+    + sorted(GRID_FIGURES)
+    + [
+        "ablation-bw",
+        "ablation-alpha",
+        "ablation-phase",
+        "ablation-grid",
+        "ablation-cooldown",
+        "ablation-classify",
+        "ablation-noise",
+        "ablation-detector",
+        "recommend",
+    ]
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dicer-repro",
+        description="Regenerate the DICER paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="truncate the catalog to its first N entries (quick mode)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        help="core counts for grid figures (default: 2..10)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        help="JSON file to persist/reuse experiment results",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--hp", type=str, default="omnetpp1",
+                        help="HP application (recommend)")
+    parser.add_argument("--be", type=str, default="bzip22",
+                        help="BE application (recommend)")
+    parser.add_argument("--slo", type=float, default=0.9,
+                        help="HP SLO fraction (recommend)")
+    parser.add_argument("--n-be", type=int, default=9,
+                        help="BE instance count (recommend)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, run the experiment, print it."""
+    args = _build_parser().parse_args(argv)
+    store = ResultStore(cache_path=args.cache)
+    exp = args.experiment
+
+    if exp == "table1":
+        print(render_table1())
+    elif exp == "fig1":
+        print(
+            render_fig1(
+                run_fig1(store, limit_hp=args.limit, limit_be=args.limit)
+            )
+        )
+    elif exp == "fig2":
+        print(render_fig2(run_fig2(limit=args.limit)))
+    elif exp == "fig3":
+        print(render_fig3(run_fig3()))
+    elif exp in GRID_FIGURES:
+        extract, render = GRID_FIGURES[exp]
+        sample = build_sample(store, limit=args.limit, seed=args.seed)
+        cores = tuple(args.cores) if args.cores else (2, 3, 4, 5, 6, 7, 8, 9, 10)
+        if exp in ("fig4", "fig5"):
+            cores = (max(cores),)
+            grid = run_grid(store, sample, cores=cores)
+            print(render(extract(grid, n_cores=cores[0])))
+        else:
+            grid = run_grid(store, sample, cores=cores)
+            print(render(extract(grid)))
+    elif exp == "ablation-bw":
+        print(sweep_bw_threshold())
+    elif exp == "ablation-alpha":
+        print(sweep_alpha())
+    elif exp == "ablation-phase":
+        print(sweep_phase_threshold())
+    elif exp == "ablation-grid":
+        print(sweep_sampling_grid())
+    elif exp == "ablation-cooldown":
+        print(sweep_cooldown())
+    elif exp == "ablation-classify":
+        print(sweep_classification_threshold(store, limit=args.limit))
+    elif exp == "ablation-noise":
+        print(sweep_noise_robustness())
+    elif exp == "ablation-detector":
+        print(sweep_phase_detector())
+    elif exp == "recommend":
+        from repro.experiments.recommend import recommend, render_recommendation
+
+        print(
+            render_recommendation(
+                recommend(args.hp, args.be, slo=args.slo, n_be=args.n_be)
+            )
+        )
+    else:  # pragma: no cover - argparse already rejects
+        raise SystemExit(f"unknown experiment {exp}")
+
+    store.save()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Figure 1 — cumulative distribution of HP slowdown under UM and CT.
+
+Reproduces the paper's motivation figure: all 59 × 59 = 3481 pairs, one HP
+plus nine BEs, measured as HP slowdown relative to isolated execution. The
+paper's reading: under UM ~64 % of workloads sit around 1.1x and ~2.5 %
+beyond 2x; CT shifts the whole distribution left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.store import ResultStore
+from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.util.stats import fraction_below
+from repro.util.tables import format_table
+from repro.workloads.catalog import app_names
+
+__all__ = ["Fig1Data", "run_fig1", "render_fig1", "PAPER_X_GRID"]
+
+#: The slowdown thresholds on the paper's x axis.
+PAPER_X_GRID: tuple[float, ...] = (
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.7, 2.0, 3.0, 4.0, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class Fig1Data:
+    """Slowdowns per policy across the pair population."""
+
+    um_slowdowns: tuple[float, ...]
+    ct_slowdowns: tuple[float, ...]
+
+    def cdf_row(self, threshold: float) -> tuple[float, float]:
+        """(UM, CT) fraction of workloads at or below ``threshold``."""
+        return (
+            fraction_below(self.um_slowdowns, threshold),
+            fraction_below(self.ct_slowdowns, threshold),
+        )
+
+
+def run_fig1(
+    store: ResultStore,
+    *,
+    n_be: int = 9,
+    limit_hp: int | None = None,
+    limit_be: int | None = None,
+) -> Fig1Data:
+    """Execute the Figure 1 campaign.
+
+    ``limit_hp``/``limit_be`` truncate the catalog for quick runs (tests and
+    default benchmark mode); ``None`` runs the full 3481 pairs.
+    """
+    hps = app_names()[:limit_hp]
+    bes = app_names()[:limit_be]
+    um: list[float] = []
+    ct: list[float] = []
+    for hp in hps:
+        for be in bes:
+            um.append(store.get(hp, be, UnmanagedPolicy(), n_be=n_be).hp_slowdown)
+            ct.append(
+                store.get(hp, be, CacheTakeoverPolicy(), n_be=n_be).hp_slowdown
+            )
+    return Fig1Data(um_slowdowns=tuple(um), ct_slowdowns=tuple(ct))
+
+
+def render_fig1(data: Fig1Data) -> str:
+    """The CDF series the paper plots, as a table (one row per x point)."""
+    rows = []
+    for x in PAPER_X_GRID:
+        um_frac, ct_frac = data.cdf_row(x)
+        rows.append([f"<= {x:.1f}x", 100.0 * um_frac, 100.0 * ct_frac])
+    return format_table(
+        ["HP slowdown", "UM (% workloads)", "CT (% workloads)"],
+        rows,
+        float_fmt=".1f",
+        title=(
+            f"Figure 1: CDF of HP slowdown with 9 BEs "
+            f"({len(data.um_slowdowns)} workloads)"
+        ),
+    )

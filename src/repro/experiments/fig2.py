@@ -1,0 +1,78 @@
+"""Figure 2 — cumulative distribution of HP's minimum LLC allocation.
+
+For each application run in isolation, find the smallest number of ways at
+which it achieves 90 %, 95 % and 99 % of the performance it gets with the
+full 20-way LLC. The paper's reading: 50 % of applications hit 99 % of peak
+with only 6 ways, and 90 % hit 90 % of peak with 5 ways — the headroom DICER
+harvests for the BEs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.sim.solo import solo_ipc_at_ways
+from repro.util.tables import format_table
+from repro.workloads.catalog import app_names, get_app
+
+__all__ = ["Fig2Data", "run_fig2", "render_fig2", "PAPER_TARGETS"]
+
+#: The performance targets of the paper's three curves.
+PAPER_TARGETS: tuple[float, ...] = (0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class Fig2Data:
+    """Per-application minimum ways for each performance target."""
+
+    #: target -> app name -> minimum ways (math.inf if unreachable).
+    min_ways: dict[float, dict[str, float]]
+    total_ways: int
+
+    def cdf(self, target: float, ways: int) -> float:
+        """Fraction of applications needing <= ``ways`` for ``target``."""
+        per_app = self.min_ways[target]
+        return sum(1 for w in per_app.values() if w <= ways) / len(per_app)
+
+
+def run_fig2(
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    *,
+    limit: int | None = None,
+    targets: tuple[float, ...] = PAPER_TARGETS,
+) -> Fig2Data:
+    """Sweep each catalog application's solo IPC over 1..20 ways."""
+    names = app_names()[:limit]
+    min_ways: dict[float, dict[str, float]] = {t: {} for t in targets}
+    for name in names:
+        app = get_app(name)
+        peak = solo_ipc_at_ways(app, platform, platform.llc_ways)
+        for target in targets:
+            needed = math.inf
+            for ways in range(1, platform.llc_ways + 1):
+                if solo_ipc_at_ways(app, platform, ways) >= target * peak:
+                    needed = float(ways)
+                    break
+            min_ways[target][name] = needed
+    return Fig2Data(min_ways=min_ways, total_ways=platform.llc_ways)
+
+
+def render_fig2(data: Fig2Data) -> str:
+    """The paper's three CDF curves, one row per allocated-way count."""
+    targets = sorted(data.min_ways)
+    rows = []
+    for ways in range(1, data.total_ways + 1):
+        rows.append(
+            [f"{ways} ways"]
+            + [100.0 * data.cdf(t, ways) for t in targets]
+        )
+    headers = ["Allocation"] + [f"{t:.0%} of peak (%)" for t in targets]
+    n_apps = len(next(iter(data.min_ways.values())))
+    return format_table(
+        headers,
+        rows,
+        float_fmt=".1f",
+        title=f"Figure 2: CDF of minimum LLC ways ({n_apps} applications)",
+    )

@@ -1,0 +1,99 @@
+"""Figure 3 — HP slowdown across all static LLC partitionings.
+
+The paper's bandwidth-saturation case study: milc (HP) with nine gcc BEs.
+Sweeping the static HP allocation from 1 to 19 ways shows (i) HP performs
+best with a *small* allocation, (ii) CT's 19-way grab is detrimental, and
+(iii) UM sits near the best static point. This figure motivates DICER's
+allocation-sampling mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import StaticPolicy, UnmanagedPolicy
+from repro.experiments.runner import PairResult, run_pair
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.util.tables import format_table
+from repro.workloads.mix import make_mix
+
+__all__ = ["Fig3Data", "run_fig3", "render_fig3"]
+
+#: The paper's case study names one HP (milc) and one BE (gcc); our catalog
+#: equivalents.
+DEFAULT_HP = "milc1"
+DEFAULT_BE = "gcc_base6"
+
+
+@dataclass(frozen=True)
+class Fig3Data:
+    """Static-sweep results for one (HP, BE) pair."""
+
+    hp_name: str
+    be_name: str
+    #: HP ways -> result, plus the UM reference.
+    static: dict[int, PairResult]
+    unmanaged: PairResult
+
+    @property
+    def best_ways(self) -> int:
+        """HP way count with the lowest HP slowdown."""
+        return min(self.static, key=lambda w: self.static[w].hp_slowdown)
+
+    @property
+    def ct_ways(self) -> int:
+        """The largest swept allocation (CT's choice)."""
+        return max(self.static)
+
+
+def run_fig3(
+    hp_name: str = DEFAULT_HP,
+    be_name: str = DEFAULT_BE,
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    *,
+    n_be: int = 9,
+    ways: tuple[int, ...] | None = None,
+) -> Fig3Data:
+    """Run every static partition for one pair (plus UM)."""
+    mix = make_mix(hp_name, be_name, n_be=n_be)
+    if ways is None:
+        ways = tuple(range(1, platform.llc_ways))
+    static = {
+        w: run_pair(mix, StaticPolicy(w), platform) for w in ways
+    }
+    um = run_pair(mix, UnmanagedPolicy(), platform)
+    return Fig3Data(
+        hp_name=hp_name, be_name=be_name, static=static, unmanaged=um
+    )
+
+
+def render_fig3(data: Fig3Data) -> str:
+    """ASCII table of the static sweep plus the best/CT verdict."""
+    rows = [
+        [f"HP={w:2d} ways", r.hp_slowdown, r.be_norm_ipc, r.efu]
+        for w, r in sorted(data.static.items())
+    ]
+    rows.append(
+        [
+            "UM",
+            data.unmanaged.hp_slowdown,
+            data.unmanaged.be_norm_ipc,
+            data.unmanaged.efu,
+        ]
+    )
+    best = data.best_ways
+    note = (
+        f"best static: {best} ways "
+        f"(slowdown {data.static[best].hp_slowdown:.3f}); "
+        f"CT ({data.ct_ways} ways) slowdown "
+        f"{data.static[data.ct_ways].hp_slowdown:.3f}"
+    )
+    table = format_table(
+        ["Configuration", "HP slowdown", "BE norm IPC", "EFU"],
+        rows,
+        title=(
+            f"Figure 3: {data.hp_name} (HP) + 9x{data.be_name} (BEs), "
+            "static LLC sweeps"
+        ),
+    )
+    return f"{table}\n{note}"

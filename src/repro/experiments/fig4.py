@@ -1,0 +1,80 @@
+"""Figure 4 — effective utilisation vs HP slowdown scatter (UM and CT).
+
+Each of the 120 sampled workloads is one point per policy: CT protects HP
+(points bunch at low slowdown) at the price of low EFU; UM reaches high EFU
+but scatters far right. The scatter motivates Key Observation 3: a scheme
+is needed with UM's utilisation and CT's protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.util.stats import geomean
+from repro.util.tables import format_table
+
+__all__ = ["Fig4Data", "extract_fig4", "render_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Data:
+    """(slowdown, EFU) scatter points per policy at full server width."""
+
+    #: policy -> list of (workload label, HP slowdown, EFU).
+    points: dict[str, list[tuple[str, float, float]]]
+
+
+def extract_fig4(grid: GridData, *, n_cores: int = 10) -> Fig4Data:
+    """Project the scatter out of the shared campaign grid."""
+    points: dict[str, list[tuple[str, float, float]]] = {}
+    for policy in ("UM", "CT"):
+        for p in grid.select(policy=policy, n_cores=n_cores):
+            points.setdefault(policy, []).append(
+                (p.result.label, p.result.hp_slowdown, p.result.efu)
+            )
+    if not points:
+        raise ValueError(f"grid holds no UM/CT points at {n_cores} cores")
+    return Fig4Data(points=points)
+
+
+def render_fig4(data: Fig4Data, *, max_rows: int = 20) -> str:
+    """Summary statistics plus the first scatter rows per policy."""
+    summary_rows = []
+    for policy, pts in data.points.items():
+        slowdowns = [s for _, s, _ in pts]
+        efus = [e for _, _, e in pts]
+        summary_rows.append(
+            [
+                policy,
+                len(pts),
+                geomean(slowdowns),
+                max(slowdowns),
+                geomean(efus),
+                min(efus),
+                max(efus),
+            ]
+        )
+    summary = format_table(
+        [
+            "Policy",
+            "Workloads",
+            "Geomean slowdown",
+            "Max slowdown",
+            "Geomean EFU",
+            "Min EFU",
+            "Max EFU",
+        ],
+        summary_rows,
+        title="Figure 4: EFU vs HP slowdown (summary)",
+    )
+    detail_rows = []
+    for policy, pts in data.points.items():
+        for label, slowdown, efu_value in pts[:max_rows]:
+            detail_rows.append([policy, label, slowdown, efu_value])
+    detail = format_table(
+        ["Policy", "Workload", "HP slowdown", "EFU"],
+        detail_rows,
+        title=f"Scatter points (first {max_rows} per policy)",
+    )
+    return f"{summary}\n\n{detail}"

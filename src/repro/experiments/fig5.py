@@ -1,0 +1,111 @@
+"""Figure 5 — normalised HP and BE IPC per workload for UM / CT / DICER.
+
+The paper's per-workload panels, split by class: for CT-Favoured workloads
+DICER should track CT on HP performance (while lifting BE throughput); for
+CT-Thwarted workloads it should track UM. Rendered as the per-workload rows
+plus the class-level aggregate the text quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.util.stats import geomean
+from repro.util.tables import format_table
+
+__all__ = ["Fig5Data", "extract_fig5", "render_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One workload's normalised IPCs under the three policies."""
+
+    label: str
+    workload_class: str
+    hp_norm: dict[str, float]
+    be_norm: dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig5Data:
+    """Per-workload normalised IPCs under each policy."""
+    rows: tuple[Fig5Row, ...]
+    policies: tuple[str, ...]
+
+    def class_geomean(
+        self, workload_class: str, policy: str
+    ) -> tuple[float, float]:
+        """(HP, BE) geomean normalised IPC for one class and policy."""
+        hp = [
+            r.hp_norm[policy]
+            for r in self.rows
+            if r.workload_class == workload_class
+        ]
+        be = [
+            r.be_norm[policy]
+            for r in self.rows
+            if r.workload_class == workload_class
+        ]
+        if not hp:
+            raise ValueError(f"no rows in class {workload_class!r}")
+        return geomean(hp), geomean(be)
+
+
+def extract_fig5(grid: GridData, *, n_cores: int = 10) -> Fig5Data:
+    """Project Figure 5's rows out of the campaign grid."""
+    rows: dict[str, Fig5Row] = {}
+    for point in grid.points:
+        if point.n_cores != n_cores:
+            continue
+        label = point.result.label
+        row = rows.get(label)
+        if row is None:
+            row = Fig5Row(
+                label=label,
+                workload_class=point.workload.label,
+                hp_norm={},
+                be_norm={},
+            )
+            rows[label] = row
+        row.hp_norm[point.policy] = point.result.hp_norm_ipc
+        row.be_norm[point.policy] = point.result.be_norm_ipc
+    if not rows:
+        raise ValueError(f"grid holds no points at {n_cores} cores")
+    ordered = sorted(
+        rows.values(), key=lambda r: (r.workload_class, r.label)
+    )
+    return Fig5Data(rows=tuple(ordered), policies=grid.policies)
+
+
+def render_fig5(data: Fig5Data, *, max_rows_per_class: int = 15) -> str:
+    """Class aggregates plus per-workload rows, per the paper's panels."""
+    sections = []
+    for cls in ("CT-F", "CT-T"):
+        class_rows = [r for r in data.rows if r.workload_class == cls]
+        if not class_rows:
+            continue
+        agg = [
+            [policy, *data.class_geomean(cls, policy)]
+            for policy in data.policies
+        ]
+        sections.append(
+            format_table(
+                ["Policy", "HP norm IPC (geomean)", "BE norm IPC (geomean)"],
+                agg,
+                title=f"Figure 5 — {cls} class ({len(class_rows)} workloads)",
+            )
+        )
+        detail = [
+            [r.label]
+            + [r.hp_norm.get(p, float("nan")) for p in data.policies]
+            + [r.be_norm.get(p, float("nan")) for p in data.policies]
+            for r in class_rows[:max_rows_per_class]
+        ]
+        headers = (
+            ["Workload"]
+            + [f"HP {p}" for p in data.policies]
+            + [f"BE {p}" for p in data.policies]
+        )
+        sections.append(format_table(headers, detail))
+    return "\n\n".join(sections)

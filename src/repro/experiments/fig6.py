@@ -1,0 +1,50 @@
+"""Figure 6 — geometric-mean effective utilisation vs employed cores.
+
+UM yields the highest EFU (no resources withheld), CT collapses as BEs
+multiply inside their single way, and DICER tracks UM closely by donating
+HP's spare ways. One row per core count, one column per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.util.stats import geomean
+from repro.util.tables import format_table
+
+__all__ = ["Fig6Data", "extract_fig6", "render_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    """Geomean EFU per (policy, core count)."""
+    cores: tuple[int, ...]
+    policies: tuple[str, ...]
+    #: (policy, n_cores) -> geomean EFU.
+    efu: dict[tuple[str, int], float]
+
+
+def extract_fig6(grid: GridData) -> Fig6Data:
+    """Aggregate the grid into Figure 6's series."""
+    efu: dict[tuple[str, int], float] = {}
+    for policy in grid.policies:
+        for n_cores in grid.cores:
+            points = grid.select(policy=policy, n_cores=n_cores)
+            if not points:
+                raise ValueError(f"no grid points for {policy}@{n_cores}")
+            efu[(policy, n_cores)] = geomean(p.result.efu for p in points)
+    return Fig6Data(cores=grid.cores, policies=grid.policies, efu=efu)
+
+
+def render_fig6(data: Fig6Data) -> str:
+    """One row per core count, one column per policy."""
+    rows = [
+        [n_cores] + [data.efu[(p, n_cores)] for p in data.policies]
+        for n_cores in data.cores
+    ]
+    return format_table(
+        ["Cores"] + list(data.policies),
+        rows,
+        title="Figure 6: geomean effective utilisation vs employed cores",
+    )

@@ -1,0 +1,77 @@
+"""Figure 7 — percentage of workloads achieving a given HP SLO.
+
+For SLOs of 80/85/90/95 % and 2..10 employed cores: the fraction of sampled
+workloads whose HP kept its normalised IPC above the SLO. The paper's
+reading: UM collapses as cores fill; DICER matches or beats CT, especially
+beyond half occupancy; at 95 % DICER and CT converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.metrics.slo import PAPER_SLOS, slo_achieved
+from repro.util.tables import format_table
+
+__all__ = ["Fig7Data", "extract_fig7", "render_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Data:
+    """SLO-conformance fractions per (SLO, policy, cores)."""
+    cores: tuple[int, ...]
+    policies: tuple[str, ...]
+    slos: tuple[float, ...]
+    #: (slo, policy, n_cores) -> fraction achieved in [0, 1].
+    achieved: dict[tuple[float, str, int], float]
+
+
+def extract_fig7(
+    grid: GridData, slos: tuple[float, ...] = PAPER_SLOS
+) -> Fig7Data:
+    """Aggregate the grid into Figure 7's series."""
+    achieved: dict[tuple[float, str, int], float] = {}
+    for slo in slos:
+        for policy in grid.policies:
+            for n_cores in grid.cores:
+                points = grid.select(policy=policy, n_cores=n_cores)
+                if not points:
+                    raise ValueError(
+                        f"no grid points for {policy}@{n_cores}"
+                    )
+                hits = sum(
+                    1
+                    for p in points
+                    if slo_achieved(p.result.hp_norm_ipc, slo)
+                )
+                achieved[(slo, policy, n_cores)] = hits / len(points)
+    return Fig7Data(
+        cores=grid.cores,
+        policies=grid.policies,
+        slos=slos,
+        achieved=achieved,
+    )
+
+
+def render_fig7(data: Fig7Data) -> str:
+    """One table per SLO level."""
+    sections = []
+    for slo in data.slos:
+        rows = [
+            [n_cores]
+            + [
+                100.0 * data.achieved[(slo, p, n_cores)]
+                for p in data.policies
+            ]
+            for n_cores in data.cores
+        ]
+        sections.append(
+            format_table(
+                ["Cores"] + [f"{p} (%)" for p in data.policies],
+                rows,
+                float_fmt=".1f",
+                title=f"Figure 7: workloads achieving SLO = {slo:.0%}",
+            )
+        )
+    return "\n\n".join(sections)

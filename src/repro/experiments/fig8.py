@@ -1,0 +1,98 @@
+"""Figure 8 — geometric mean of SUCI for the joint optimisation problem.
+
+SUCI (Equations 4-5) couples SLO conformance with effective utilisation:
+zero on an SLA violation, ``EFU^lambda`` otherwise. Evaluated over the
+sample for SLOs 80-95 %, cores 2-10 and lambda in {0.5, 1, 2}; the paper's
+claim is that DICER dominates UM and CT across the whole grid.
+
+Note on aggregation: a true geometric mean is zero the moment any workload
+misses its SLO, so (as the paper's non-zero curves imply) zero SUCI values
+are floored at a small epsilon before averaging — see
+:func:`repro.util.stats.geomean_with_zeros`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.metrics.slo import PAPER_SLOS
+from repro.metrics.suci import PAPER_LAMBDAS, suci
+from repro.util.stats import geomean_with_zeros
+from repro.util.tables import format_table
+
+__all__ = ["Fig8Data", "extract_fig8", "render_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Data:
+    """Geomean SUCI per (lambda, SLO, policy, cores)."""
+    cores: tuple[int, ...]
+    policies: tuple[str, ...]
+    slos: tuple[float, ...]
+    lambdas: tuple[float, ...]
+    #: (lambda, slo, policy, n_cores) -> geomean SUCI.
+    values: dict[tuple[float, float, str, int], float]
+
+
+def extract_fig8(
+    grid: GridData,
+    slos: tuple[float, ...] = PAPER_SLOS,
+    lambdas: tuple[float, ...] = PAPER_LAMBDAS,
+) -> Fig8Data:
+    """Aggregate the grid into Figure 8's series."""
+    values: dict[tuple[float, float, str, int], float] = {}
+    for lam in lambdas:
+        for slo in slos:
+            for policy in grid.policies:
+                for n_cores in grid.cores:
+                    points = grid.select(policy=policy, n_cores=n_cores)
+                    if not points:
+                        raise ValueError(
+                            f"no grid points for {policy}@{n_cores}"
+                        )
+                    per_workload = [
+                        suci(
+                            p.result.hp_norm_ipc,
+                            p.result.efu,
+                            slo,
+                            lam,
+                        )
+                        for p in points
+                    ]
+                    values[(lam, slo, policy, n_cores)] = geomean_with_zeros(
+                        per_workload
+                    )
+    return Fig8Data(
+        cores=grid.cores,
+        policies=grid.policies,
+        slos=slos,
+        lambdas=lambdas,
+        values=values,
+    )
+
+
+def render_fig8(data: Fig8Data) -> str:
+    """One table per (lambda, SLO) panel."""
+    sections = []
+    for lam in data.lambdas:
+        for slo in data.slos:
+            rows = [
+                [n_cores]
+                + [
+                    data.values[(lam, slo, p, n_cores)]
+                    for p in data.policies
+                ]
+                for n_cores in data.cores
+            ]
+            sections.append(
+                format_table(
+                    ["Cores"] + list(data.policies),
+                    rows,
+                    title=(
+                        f"Figure 8: geomean SUCI, SLO = {slo:.0%}, "
+                        f"lambda = {lam:g}"
+                    ),
+                )
+            )
+    return "\n\n".join(sections)

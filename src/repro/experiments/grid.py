@@ -1,0 +1,139 @@
+"""The shared evaluation campaign behind Figures 4-8.
+
+The paper evaluates UM, CT and DICER on a representative sample of 120
+multiprogrammed workloads (50 CT-F + 70 CT-T), varying the number of
+employed cores from 2 to 10 (one core to HP, the rest to BEs). All of
+Figures 4-8 are projections of that one grid of executions, so it is built
+once here and the figure modules post-process it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    Policy,
+    UnmanagedPolicy,
+)
+from repro.experiments.classify import (
+    PairClass,
+    classify_all,
+    representative_sample,
+)
+from repro.experiments.runner import PairResult
+from repro.experiments.store import ResultStore
+from repro.workloads.catalog import app_names
+
+__all__ = ["GridPoint", "GridData", "default_policies", "run_grid", "build_sample"]
+
+#: Core counts evaluated by the paper (x axes of Figures 6-8).
+PAPER_CORES: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def default_policies() -> list[Policy]:
+    """The paper's three co-location policies."""
+    return [UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy()]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One executed cell of the evaluation grid."""
+
+    workload: PairClass
+    n_cores: int
+    policy: str
+    result: PairResult
+
+
+@dataclass(frozen=True)
+class GridData:
+    """The full campaign: sample x cores x policies."""
+
+    sample: tuple[PairClass, ...]
+    cores: tuple[int, ...]
+    policies: tuple[str, ...]
+    points: tuple[GridPoint, ...]
+
+    def select(
+        self,
+        *,
+        policy: str | None = None,
+        n_cores: int | None = None,
+        workload_class: str | None = None,
+    ) -> list[GridPoint]:
+        """Grid points matching the given filters."""
+        out = []
+        for p in self.points:
+            if policy is not None and p.policy != policy:
+                continue
+            if n_cores is not None and p.n_cores != n_cores:
+                continue
+            if (
+                workload_class is not None
+                and p.workload.label != workload_class
+            ):
+                continue
+            out.append(p)
+        return out
+
+
+def build_sample(
+    store: ResultStore,
+    *,
+    n_ctf: int = 50,
+    n_ctt: int = 70,
+    limit: int | None = None,
+    seed: int | None = None,
+) -> list[PairClass]:
+    """Classify the population and draw the evaluation sample.
+
+    ``limit`` truncates the catalog on both axes for quick runs; the sample
+    sizes shrink proportionally when the limited population cannot supply
+    50/70.
+    """
+    names = app_names()[:limit]
+    classes = classify_all(store, hp_names=names, be_names=names)
+    if limit is not None:
+        n_f = len([c for c in classes if c.ct_favoured])
+        n_t = len(classes) - n_f
+        n_ctf = min(n_ctf, n_f)
+        n_ctt = min(n_ctt, n_t)
+    return representative_sample(classes, n_ctf=n_ctf, n_ctt=n_ctt, seed=seed)
+
+
+def run_grid(
+    store: ResultStore,
+    sample: list[PairClass],
+    *,
+    cores: tuple[int, ...] = PAPER_CORES,
+    policies: list[Policy] | None = None,
+) -> GridData:
+    """Execute the sample under every (core count, policy) combination."""
+    if policies is None:
+        policies = default_policies()
+    points: list[GridPoint] = []
+    for workload in sample:
+        for n_cores in cores:
+            for policy in policies:
+                result = store.get(
+                    workload.hp_name,
+                    workload.be_name,
+                    policy,
+                    n_be=n_cores - 1,
+                )
+                points.append(
+                    GridPoint(
+                        workload=workload,
+                        n_cores=n_cores,
+                        policy=policy.name,
+                        result=result,
+                    )
+                )
+    return GridData(
+        sample=tuple(sample),
+        cores=tuple(cores),
+        policies=tuple(p.name for p in policies),
+        points=tuple(points),
+    )

@@ -1,0 +1,93 @@
+"""The paper's headline claims, evaluated on the reproduction.
+
+Abstract / Section 4.2 quote four summary numbers:
+
+1. DICER achieves an SLO of 80 % for more than 90 % of workloads;
+2. DICER achieves an SLO of 90 % for 74 % of workloads;
+3. DICER maintains full-server effective utilisation of ~0.6 on average;
+4. ~60 % of the 3481 pairs are CT-Thwarted (Section 2.3.3).
+
+:func:`evaluate_headlines` computes each on a campaign grid (claims 1-3)
+and a classification run (claim 4), and reports paper-vs-measured — the
+data behind EXPERIMENTS.md's summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.grid import GridData
+from repro.metrics.slo import slo_achieved
+from repro.util.stats import geomean
+from repro.util.tables import format_table
+
+__all__ = ["HeadlineClaim", "evaluate_headlines", "render_headlines"]
+
+
+@dataclass(frozen=True)
+class HeadlineClaim:
+    """One paper claim with its measured counterpart."""
+    description: str
+    paper_value: float
+    measured_value: float
+
+    @property
+    def delta(self) -> float:
+        """measured - paper."""
+        return self.measured_value - self.paper_value
+
+
+def evaluate_headlines(
+    grid: GridData, ctt_fraction: float | None = None
+) -> list[HeadlineClaim]:
+    """Evaluate the four headline claims on a full-width campaign grid."""
+    n_cores = max(grid.cores)
+    dicer_points = grid.select(policy="DICER", n_cores=n_cores)
+    if not dicer_points:
+        raise ValueError("grid has no DICER points at full width")
+
+    def slo_share(slo: float) -> float:
+        hits = sum(
+            1 for p in dicer_points if slo_achieved(p.result.hp_norm_ipc, slo)
+        )
+        return hits / len(dicer_points)
+
+    claims = [
+        HeadlineClaim(
+            "workloads meeting SLO 80% under DICER (full server)",
+            paper_value=0.90,
+            measured_value=slo_share(0.80),
+        ),
+        HeadlineClaim(
+            "workloads meeting SLO 90% under DICER (full server)",
+            paper_value=0.74,
+            measured_value=slo_share(0.90),
+        ),
+        HeadlineClaim(
+            "geomean effective utilisation under DICER (full server)",
+            paper_value=0.60,
+            measured_value=geomean(p.result.efu for p in dicer_points),
+        ),
+    ]
+    if ctt_fraction is not None:
+        claims.append(
+            HeadlineClaim(
+                "CT-Thwarted share of the pair population",
+                paper_value=0.60,
+                measured_value=ctt_fraction,
+            )
+        )
+    return claims
+
+
+def render_headlines(claims: list[HeadlineClaim]) -> str:
+    """Paper-vs-measured table of the headline claims."""
+    rows = [
+        [c.description, c.paper_value, c.measured_value, c.delta]
+        for c in claims
+    ]
+    return format_table(
+        ["Claim", "Paper", "Measured", "Delta"],
+        rows,
+        title="Headline claims: paper vs reproduction",
+    )

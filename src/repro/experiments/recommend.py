@@ -1,0 +1,122 @@
+"""Operator-facing recommendation: which policy for *this* consolidation?
+
+The paper's evaluation machinery answers the research question; operators
+ask a smaller one — "I have this HP, these BEs and this SLO: what should I
+run?" :func:`recommend` executes the candidate policies on the requested
+mix and ranks them exactly the way the paper would: SUCI first (SLA
+violations are disqualifying), effective utilisation as the tiebreak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    Policy,
+    UnmanagedPolicy,
+)
+from repro.experiments.runner import PairResult, run_pair
+from repro.metrics.slo import slo_achieved
+from repro.metrics.suci import suci
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.util.tables import format_table
+from repro.workloads.mix import make_mix
+
+__all__ = ["PolicyVerdict", "Recommendation", "recommend", "render_recommendation"]
+
+
+@dataclass(frozen=True)
+class PolicyVerdict:
+    """One candidate policy's outcome on the requested mix."""
+
+    policy: str
+    result: PairResult
+    slo_met: bool
+    suci: float
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked verdicts; ``best`` is what the operator should deploy."""
+
+    hp_name: str
+    be_name: str
+    n_be: int
+    slo: float
+    verdicts: tuple[PolicyVerdict, ...]
+
+    @property
+    def best(self) -> PolicyVerdict:
+        """The top-ranked verdict."""
+        return self.verdicts[0]
+
+
+def recommend(
+    hp_name: str,
+    be_name: str,
+    *,
+    slo: float = 0.9,
+    n_be: int = 9,
+    lam: float = 1.0,
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    policies: list[Policy] | None = None,
+) -> Recommendation:
+    """Run the candidates and rank by (SUCI, EFU) descending."""
+    if policies is None:
+        policies = [UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy()]
+    verdicts = []
+    for policy in policies:
+        result = run_pair(make_mix(hp_name, be_name, n_be=n_be), policy, platform)
+        verdicts.append(
+            PolicyVerdict(
+                policy=result.policy,
+                result=result,
+                slo_met=slo_achieved(result.hp_norm_ipc, slo),
+                suci=suci(result.hp_norm_ipc, result.efu, slo, lam),
+            )
+        )
+    verdicts.sort(key=lambda v: (v.suci, v.result.efu), reverse=True)
+    return Recommendation(
+        hp_name=hp_name,
+        be_name=be_name,
+        n_be=n_be,
+        slo=slo,
+        verdicts=tuple(verdicts),
+    )
+
+
+def render_recommendation(rec: Recommendation) -> str:
+    """Ranked table plus a deploy/shed-load verdict line."""
+    rows = [
+        [
+            v.policy,
+            v.result.hp_norm_ipc,
+            v.result.be_norm_ipc,
+            v.result.efu,
+            v.slo_met,
+            v.suci,
+        ]
+        for v in rec.verdicts
+    ]
+    table = format_table(
+        ["Policy", "HP norm IPC", "BE norm IPC", "EFU", "SLO met", "SUCI"],
+        rows,
+        title=(
+            f"Recommendation: {rec.hp_name} + {rec.n_be}x{rec.be_name} "
+            f"at SLO {rec.slo:.0%}"
+        ),
+    )
+    best = rec.best
+    if best.slo_met:
+        verdict = (
+            f"deploy {best.policy}: SLO holds with EFU {best.result.efu:.2f}"
+        )
+    else:
+        verdict = (
+            f"no candidate meets the SLO; {best.policy} comes closest "
+            f"(HP at {best.result.hp_norm_ipc:.0%}) — shed BEs or relax "
+            "the SLO (see repro.core.find_max_bes)"
+        )
+    return f"{table}\nVerdict: {verdict}"

@@ -1,0 +1,96 @@
+"""CSV export for campaign data.
+
+The benchmark harness renders ASCII tables for humans; this module writes
+the same series as CSV for plotting pipelines (the paper's figures are one
+``pandas.read_csv`` + ``matplotlib`` step away). All writers go through
+:func:`write_csv`, which is atomic (write-then-rename) so an interrupted
+campaign never leaves a truncated file.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.fig1 import Fig1Data, PAPER_X_GRID
+from repro.experiments.fig2 import Fig2Data
+from repro.experiments.grid import GridData
+
+__all__ = ["write_csv", "grid_to_csv", "fig1_to_csv", "fig2_to_csv"]
+
+
+def write_csv(
+    path: Path | str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows atomically; returns the final path."""
+    path = Path(path)
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    tmp.replace(path)
+    return path
+
+
+def grid_to_csv(grid: GridData, path: Path | str) -> Path:
+    """One row per executed grid cell — the master data behind Figs. 4-8."""
+    rows = [
+        [
+            p.workload.hp_name,
+            p.workload.be_name,
+            p.workload.label,
+            p.n_cores,
+            p.policy,
+            p.result.hp_norm_ipc,
+            p.result.be_norm_ipc,
+            p.result.hp_slowdown,
+            p.result.efu,
+        ]
+        for p in grid.points
+    ]
+    return write_csv(
+        path,
+        [
+            "hp",
+            "be",
+            "class",
+            "cores",
+            "policy",
+            "hp_norm_ipc",
+            "be_norm_ipc",
+            "hp_slowdown",
+            "efu",
+        ],
+        rows,
+    )
+
+
+def fig1_to_csv(data: Fig1Data, path: Path | str) -> Path:
+    """The two CDF series of Figure 1."""
+    rows = []
+    for x in PAPER_X_GRID:
+        um, ct = data.cdf_row(x)
+        rows.append([x, um, ct])
+    return write_csv(path, ["slowdown", "um_fraction", "ct_fraction"], rows)
+
+
+def fig2_to_csv(data: Fig2Data, path: Path | str) -> Path:
+    """The three CDF curves of Figure 2."""
+    targets = sorted(data.min_ways)
+    rows = [
+        [ways] + [data.cdf(t, ways) for t in targets]
+        for ways in range(1, data.total_ways + 1)
+    ]
+    return write_csv(
+        path, ["ways"] + [f"target_{t:.2f}" for t in targets], rows
+    )

@@ -1,0 +1,107 @@
+"""Campaign result store.
+
+The paper's figures reuse the same underlying executions: Figures 4-8 all
+draw on the 120-workload sample under UM/CT/DICER across core counts, and
+Figure 1 plus the CT-F/CT-T classification share the full 3481-pair UM/CT
+runs. :class:`ResultStore` memoises :class:`~repro.experiments.runner.
+PairResult` objects per (hp, be, n_be, policy) in memory, with optional JSON
+persistence so a long campaign survives process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.policies import Policy
+from repro.experiments.runner import PairResult, run_pair
+from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
+from repro.workloads.mix import make_mix
+
+__all__ = ["ResultStore"]
+
+#: Fields persisted to JSON (the decision trace is dropped — it is bulky and
+#: only examples/tests inspect it).
+_PERSISTED_FIELDS = (
+    "hp_name",
+    "be_name",
+    "n_be",
+    "policy",
+    "hp_norm_ipc",
+    "be_norm_ipc",
+    "hp_slowdown",
+    "efu",
+    "duration_s",
+    "hp_completions",
+)
+
+
+class ResultStore:
+    """Memoising executor for (workload, policy, size) experiments."""
+
+    def __init__(
+        self,
+        platform: PlatformConfig = TABLE1_PLATFORM,
+        cache_path: Path | str | None = None,
+    ) -> None:
+        self.platform = platform
+        self._results: dict[tuple[str, str, int, str], PairResult] = {}
+        self._cache_path = Path(cache_path) if cache_path else None
+        if self._cache_path and self._cache_path.exists():
+            self._load()
+
+    # -- execution ---------------------------------------------------------
+
+    def get(
+        self,
+        hp_name: str,
+        be_name: str,
+        policy: Policy,
+        n_be: int = 9,
+        **run_kwargs,
+    ) -> PairResult:
+        """Fetch (or run and memoise) one experiment."""
+        key = (hp_name, be_name, n_be, policy.name)
+        result = self._results.get(key)
+        if result is None:
+            result = run_pair(
+                make_mix(hp_name, be_name, n_be=n_be),
+                policy,
+                self.platform,
+                **run_kwargs,
+            )
+            self._results[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        """Write all results to the JSON cache (no-op without a path)."""
+        if not self._cache_path:
+            return
+        payload = [
+            {k: v for k, v in asdict(r).items() if k in _PERSISTED_FIELDS}
+            for r in self._results.values()
+        ]
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._cache_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self._cache_path)
+
+    def _load(self) -> None:
+        assert self._cache_path is not None
+        try:
+            payload = json.loads(self._cache_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt caches are simply ignored (results recompute)
+        for row in payload:
+            try:
+                result = PairResult(**row)
+            except TypeError:
+                continue  # schema drift: recompute
+            key = (result.hp_name, result.be_name, result.n_be, result.policy)
+            self._results[key] = result

@@ -1,0 +1,8 @@
+"""Evaluation metrics: HP slowdown, EFU (Eq. 1), SLO conformance, SUCI
+(Eq. 4-5)."""
+
+from repro.metrics.efu import efu
+from repro.metrics.slo import PAPER_SLOS, slo_achieved
+from repro.metrics.suci import PAPER_LAMBDAS, suci
+
+__all__ = ["efu", "PAPER_SLOS", "slo_achieved", "PAPER_LAMBDAS", "suci"]

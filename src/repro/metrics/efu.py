@@ -1,0 +1,41 @@
+"""Effective Utilisation (paper Equation 1).
+
+``EFU = IPC_norm_hmean``: the harmonic mean of every co-located
+application's IPC normalised to its isolated IPC. Values lie in (0, 1];
+1 means consolidation cost nothing. The harmonic mean (rather than
+arithmetic) penalises unfairness: one starved application drags the whole
+index down, which is exactly why CT scores poorly as BEs multiply
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.util.stats import hmean
+
+__all__ = ["efu"]
+
+
+def efu(normalised_ipcs: Iterable[float]) -> float:
+    """Effective utilisation of one consolidated workload.
+
+    ``normalised_ipcs`` holds ``IPC_corun / IPC_alone`` for the HP *and*
+    every BE instance. Each must be positive; values marginally above 1
+    (measurement jitter) are accepted, but anything above 1.5 is rejected
+    as a probable normalisation bug.
+    """
+    values = list(normalised_ipcs)
+    if not values:
+        raise ValueError("efu needs at least one application")
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"normalised IPC must be > 0, got {v}")
+        if v > 1.5:
+            raise ValueError(
+                f"normalised IPC {v} > 1.5 — wrong isolation baseline?"
+            )
+    # Clamp at 1: time-averaged IPC over an experiment that ends mid-run can
+    # sit epsilon above the solo average when the truncated run stopped in a
+    # high-IPC phase; EFU is defined on [0, 1].
+    return min(1.0, hmean(values))

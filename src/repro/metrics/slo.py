@@ -1,0 +1,28 @@
+"""SLO conformance (paper Section 4.1).
+
+The reproduction follows the paper's black-box QoS definition: an HP
+application with an SLO of, say, 90 % meets its Service-Level Objective iff
+its co-run IPC is at least 90 % of its isolated IPC. The standard SLO grid
+evaluated by Figures 7 and 8 is exported here.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+__all__ = ["slo_achieved", "PAPER_SLOS"]
+
+#: The SLO levels of Figures 7 and 8.
+PAPER_SLOS: tuple[float, ...] = (0.80, 0.85, 0.90, 0.95)
+
+
+def slo_achieved(hp_normalised_ipc: float, slo: float) -> bool:
+    """Whether HP's QoS target is met (Equation 5's indicator).
+
+    ``slo`` is a fraction in (0, 1], e.g. ``0.9`` for "within 90 % of
+    isolated performance".
+    """
+    check_positive("hp_normalised_ipc", hp_normalised_ipc)
+    if not 0.0 < slo <= 1.0:
+        raise ValueError(f"slo must be in (0, 1], got {slo}")
+    return hp_normalised_ipc >= slo

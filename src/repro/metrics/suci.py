@@ -1,0 +1,38 @@
+"""SLO-Effective-Utilisation Combined Index (paper Equations 4-5).
+
+``SUCI = c_SLO * EFU^lambda`` where ``c_SLO`` is 1 iff the HP met its SLO
+and 0 otherwise. A missed SLO zeroes the index *on purpose*: BE throughput
+gains that violated the SLA must not count (Section 4.2.2). ``lambda``
+weighs utilisation against SLO conformance: >1 favours utilisation, <1
+favours conformance; Figure 8 evaluates lambda ∈ {0.5, 1, 2}.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.slo import slo_achieved
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["suci", "PAPER_LAMBDAS"]
+
+#: The weightings evaluated in Figure 8.
+PAPER_LAMBDAS: tuple[float, ...] = (0.5, 1.0, 2.0)
+
+
+def suci(
+    hp_normalised_ipc: float,
+    efu_value: float,
+    slo: float,
+    lam: float = 1.0,
+) -> float:
+    """Combined index for one consolidated workload.
+
+    Returns 0 when the SLO is missed (SLA violation), otherwise
+    ``EFU ** lam`` — a value in (0, 1] that rises with server utilisation.
+    """
+    check_fraction("efu_value", efu_value)
+    if efu_value <= 0.0:
+        raise ValueError("efu_value must be > 0")
+    check_positive("lam", lam)
+    if not slo_achieved(hp_normalised_ipc, slo):
+        return 0.0
+    return efu_value**lam

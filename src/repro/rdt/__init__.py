@@ -1,0 +1,42 @@
+"""Resource Director Technology surface.
+
+Backend-agnostic monitoring/allocation interface
+(:class:`~repro.rdt.interface.RdtBackend` /
+:class:`~repro.rdt.interface.PeriodSample`), CAT capacity-bitmask utilities,
+a simulator-bound backend, and a real Linux resctrl sysfs driver with a
+``perf stat`` IPC reader for RDT hardware.
+"""
+
+from repro.rdt.harness import drive
+from repro.rdt.interface import PeriodSample, RdtBackend
+from repro.rdt.noisy import NoisyRdt
+from repro.rdt.masks import (
+    cbm_to_ways,
+    format_cbm,
+    hp_be_masks,
+    is_contiguous,
+    parse_cbm,
+    ways_to_cbm,
+)
+from repro.rdt.perfstat import IpcReader, PerfStatIpcReader, parse_perf_stat_csv
+from repro.rdt.resctrl import ResctrlError, ResctrlRdt
+from repro.rdt.simulated import SimulatedRdt
+
+__all__ = [
+    "drive",
+    "NoisyRdt",
+    "PeriodSample",
+    "RdtBackend",
+    "cbm_to_ways",
+    "format_cbm",
+    "hp_be_masks",
+    "is_contiguous",
+    "parse_cbm",
+    "ways_to_cbm",
+    "IpcReader",
+    "PerfStatIpcReader",
+    "parse_perf_stat_csv",
+    "ResctrlError",
+    "ResctrlRdt",
+    "SimulatedRdt",
+]

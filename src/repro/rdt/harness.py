@@ -1,0 +1,47 @@
+"""The generic control loop: controller × backend.
+
+One function owns the monitor-decide-actuate cycle used everywhere — the
+simulator runner, the hardware path, the examples — so backend-specific
+code never reimplements it (and a bug fix lands once).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.rdt.interface import RdtBackend
+
+if TYPE_CHECKING:  # import cycle guard: repro.core imports repro.rdt.sample
+    from repro.core.dicer import DecisionRecord, DicerController
+
+__all__ = ["drive"]
+
+
+def drive(
+    controller: "DicerController",
+    backend: RdtBackend,
+    *,
+    max_periods: int | None = None,
+) -> "list[DecisionRecord]":
+    """Run the control loop until the backend finishes.
+
+    Applies the controller's initial allocation, then per monitoring
+    period: sample → update → apply (plus the MBA throttle when both sides
+    support it). Returns the decision trace. ``max_periods`` bounds the
+    loop for hardware sessions that have no natural end.
+    """
+    backend.apply(controller.initial_allocation())
+    period_s = controller.config.period_s
+    periods = 0
+    while not backend.finished:
+        if max_periods is not None and periods >= max_periods:
+            break
+        sample = backend.sample(period_s)
+        allocation = controller.update(sample)
+        backend.apply(allocation)
+        throttle = getattr(controller, "be_throttle", None)
+        apply_throttle = getattr(backend, "apply_be_throttle", None)
+        if throttle is not None and apply_throttle is not None:
+            apply_throttle(throttle)
+        periods += 1
+    return controller.trace

@@ -1,0 +1,54 @@
+"""Backend-agnostic monitoring/allocation interface (the RDT surface).
+
+The paper implements DICER on the Intel RDT Software Package, using three
+mechanisms: CAT (way-granular LLC allocation), CMT (LLC occupancy
+monitoring) and MBM (memory-bandwidth monitoring), plus per-core IPC from
+perf counters. :class:`RdtBackend` abstracts exactly those signals, so the
+same controller drives either the simulator
+(:class:`repro.rdt.simulated.SimulatedRdt`) or a real Linux resctrl
+filesystem (:class:`repro.rdt.resctrl.ResctrlRdt`).
+
+The controller consumes :class:`~repro.rdt.sample.PeriodSample` objects —
+one per monitoring period T — which is the *entire* information DICER is
+allowed to see (black-box operation: no application-provided metrics, no
+profiles).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.rdt.sample import PeriodSample
+
+if TYPE_CHECKING:  # import cycle guard: core imports this module
+    from repro.core.allocation import Allocation
+
+__all__ = ["PeriodSample", "RdtBackend"]
+
+
+class RdtBackend(ABC):
+    """Monitoring + allocation mechanism used by the control loop."""
+
+    @abstractmethod
+    def apply(self, allocation: "Allocation") -> None:
+        """Enforce an HP/BE way split (CAT write)."""
+
+    @abstractmethod
+    def sample(self, period_s: float) -> PeriodSample:
+        """Wait one monitoring period and return its aggregated sample.
+
+        On hardware this sleeps ``period_s`` wall-clock seconds and diffs
+        counters; on the simulator it advances simulated time.
+        """
+
+    @property
+    @abstractmethod
+    def total_ways(self) -> int:
+        """Way count of the managed LLC."""
+
+    @property
+    @abstractmethod
+    def finished(self) -> bool:
+        """True once the monitored workload has completed (simulator) or
+        the harness asked the loop to stop (hardware)."""

@@ -1,0 +1,82 @@
+"""Capacity-bitmask (CBM) utilities.
+
+Intel CAT expresses a class-of-service's LLC allocation as a contiguous
+bitmask over ways (the hardware *requires* contiguity). DICER's HP/BE split
+maps way counts onto masks: HP takes the ``hp_ways`` most-significant ways,
+BEs take the rest — non-overlapping, covering the whole cache, exactly like
+the paper's implementation on a 20-way CBM (``0xfffff``).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ways_to_cbm",
+    "cbm_to_ways",
+    "is_contiguous",
+    "hp_be_masks",
+    "format_cbm",
+    "parse_cbm",
+]
+
+
+def ways_to_cbm(n_ways: int, *, offset: int = 0) -> int:
+    """A contiguous mask of ``n_ways`` ways starting at bit ``offset``."""
+    check_positive_int("n_ways", n_ways)
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    return ((1 << n_ways) - 1) << offset
+
+
+def cbm_to_ways(cbm: int) -> int:
+    """Number of ways in a mask (population count)."""
+    if cbm < 0:
+        raise ValueError(f"cbm must be >= 0, got {cbm}")
+    return bin(cbm).count("1")
+
+
+def is_contiguous(cbm: int) -> bool:
+    """Whether the set bits of ``cbm`` form one contiguous run.
+
+    Zero is *not* contiguous (CAT forbids empty masks). Uses the classic
+    trick: shifting out trailing zeros must leave ``2^k - 1``.
+    """
+    if cbm <= 0:
+        return False
+    shifted = cbm >> (cbm & -cbm).bit_length() - 1
+    return (shifted & (shifted + 1)) == 0
+
+
+def hp_be_masks(hp_ways: int, total_ways: int) -> tuple[int, int]:
+    """Non-overlapping (HP, BE) masks for an HP/BE split.
+
+    HP occupies the top ``hp_ways`` ways, BEs the bottom remainder; both
+    masks are contiguous and together cover ``total_ways``.
+    """
+    check_positive_int("hp_ways", hp_ways)
+    check_positive_int("total_ways", total_ways)
+    if hp_ways >= total_ways:
+        raise ValueError(
+            f"hp_ways ({hp_ways}) must leave >= 1 way for BEs "
+            f"(total {total_ways})"
+        )
+    be_ways = total_ways - hp_ways
+    hp_mask = ways_to_cbm(hp_ways, offset=be_ways)
+    be_mask = ways_to_cbm(be_ways)
+    return hp_mask, be_mask
+
+
+def format_cbm(cbm: int) -> str:
+    """Hex text as written to a resctrl schemata file (no 0x prefix)."""
+    if cbm <= 0:
+        raise ValueError(f"cbm must be > 0, got {cbm}")
+    return format(cbm, "x")
+
+
+def parse_cbm(text: str) -> int:
+    """Parse a schemata hex mask (accepts optional 0x prefix)."""
+    value = int(text.strip(), 16)
+    if value <= 0:
+        raise ValueError(f"cbm must be > 0, got {text!r}")
+    return value

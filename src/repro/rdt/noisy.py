@@ -1,0 +1,87 @@
+"""Measurement-noise injection for controller robustness studies.
+
+The simulator's samples are noise-free; hardware counters are not — IPC
+wobbles with interrupts and frequency transitions, and MBM counters
+quantise. DICER's stability band (Equation 3's alpha = 5 %) exists to
+absorb exactly that jitter, but the paper never quantifies how much noise
+the controller tolerates. :class:`NoisyRdt` wraps any backend and
+perturbs each sample with seeded multiplicative noise, so the robustness
+ablation can sweep noise against alpha.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.rdt.interface import RdtBackend
+from repro.rdt.sample import PeriodSample
+from repro.util.rng import make_rng
+from repro.util.validation import check_fraction
+
+__all__ = ["NoisyRdt"]
+
+
+class NoisyRdt(RdtBackend):
+    """Decorator backend: multiplicative Gaussian jitter on measurements.
+
+    ``ipc_noise`` / ``bw_noise`` are relative standard deviations (0.03 =
+    3 % jitter). Perturbations are clipped at ±3 sigma so a single extreme
+    draw cannot produce a negative counter; the HP/total bandwidth pair is
+    perturbed consistently (total >= hp stays true).
+    """
+
+    def __init__(
+        self,
+        inner: RdtBackend,
+        *,
+        ipc_noise: float = 0.03,
+        bw_noise: float = 0.03,
+        seed: int | None = None,
+    ) -> None:
+        self._inner = inner
+        self._ipc_noise = check_fraction("ipc_noise", ipc_noise)
+        self._bw_noise = check_fraction("bw_noise", bw_noise)
+        self._rng = make_rng(seed)
+
+    def _jitter(self, sigma: float) -> float:
+        if sigma == 0.0:
+            return 1.0
+        draw = float(self._rng.normal(0.0, sigma))
+        draw = max(-3.0 * sigma, min(3.0 * sigma, draw))
+        return 1.0 + draw
+
+    # -- RdtBackend ---------------------------------------------------------
+
+    @property
+    def total_ways(self) -> int:
+        """Way count of the wrapped backend."""
+        return self._inner.total_ways
+
+    @property
+    def finished(self) -> bool:
+        """Delegates to the wrapped backend."""
+        return self._inner.finished
+
+    def apply(self, allocation: Allocation) -> None:
+        """Actuation is never perturbed; forward as-is."""
+        self._inner.apply(allocation)
+
+    def apply_be_throttle(self, scale: float) -> None:
+        """Forward the MBA throttle when the inner backend supports it."""
+        inner_throttle = getattr(self._inner, "apply_be_throttle", None)
+        if inner_throttle is not None:
+            inner_throttle(scale)
+
+    def sample(self, period_s: float) -> PeriodSample:
+        """Sample the inner backend and jitter the measurements."""
+        clean = self._inner.sample(period_s)
+        hp_scale = self._jitter(self._bw_noise)
+        total_scale = self._jitter(self._bw_noise)
+        hp_bw = clean.hp_mem_bytes_s * hp_scale
+        total_bw = max(clean.total_mem_bytes_s * total_scale, hp_bw)
+        return PeriodSample(
+            duration_s=clean.duration_s,
+            hp_ipc=clean.hp_ipc * self._jitter(self._ipc_noise),
+            hp_mem_bytes_s=hp_bw,
+            total_mem_bytes_s=total_bw,
+            hp_llc_occupancy_bytes=clean.hp_llc_occupancy_bytes,
+        )

@@ -1,0 +1,112 @@
+"""HP IPC measurement via ``perf stat`` (hardware path).
+
+DICER needs one performance signal the resctrl filesystem does not provide:
+the HP core's IPC. On hardware we run
+``perf stat -x, -e instructions,cycles -C <cpu> -- sleep <T>`` and parse its
+CSV output. The parser is a pure function so it is fully unit-testable
+offline; :class:`PerfStatIpcReader` owns the subprocess plumbing, and
+:class:`IpcReader` is the minimal interface the resctrl backend needs (tests
+substitute a stub).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from abc import ABC, abstractmethod
+
+__all__ = ["IpcReader", "PerfStatIpcReader", "parse_perf_stat_csv"]
+
+
+def parse_perf_stat_csv(output: str) -> float:
+    """Extract IPC from ``perf stat -x,`` CSV output.
+
+    Expects ``instructions`` and ``cycles`` event rows; tolerates the
+    leading comment lines, per-row trailing fields, and ``<not counted>``
+    placeholders (which raise, since an IPC of unknown provenance must not
+    silently steer the controller).
+    """
+    instructions: float | None = None
+    cycles: float | None = None
+    for line in output.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 3:
+            continue
+        value_text, _unit, event = fields[0], fields[1], fields[2]
+        event = event.strip().lower()
+        if event in ("instructions", "instructions:u", "instructions:k"):
+            instructions = _parse_count(value_text, event)
+        elif event in ("cycles", "cpu-cycles"):
+            cycles = _parse_count(value_text, event)
+    if instructions is None or cycles is None:
+        raise ValueError(
+            "perf stat output lacks instructions/cycles rows:\n" + output
+        )
+    if cycles <= 0:
+        raise ValueError(f"non-positive cycle count: {cycles}")
+    return instructions / cycles
+
+
+def _parse_count(text: str, event: str) -> float:
+    text = text.strip()
+    if text.startswith("<"):  # <not counted> / <not supported>
+        raise ValueError(f"perf could not count {event}: {text}")
+    return float(text.replace(",", ""))
+
+
+class IpcReader(ABC):
+    """Minimal interface: bracket a monitoring period, return HP IPC."""
+
+    @abstractmethod
+    def start(self, cpu: int) -> None:
+        """Begin measuring the given logical CPU."""
+
+    @abstractmethod
+    def finish(self) -> float:
+        """Stop measuring and return IPC for the bracketed interval."""
+
+
+class PerfStatIpcReader(IpcReader):
+    """Measure IPC with a background ``perf stat`` process.
+
+    ``start`` launches ``perf stat`` against the CPU; ``finish`` terminates
+    it and parses the CSV on stderr (perf writes statistics there).
+    """
+
+    def __init__(self, perf_binary: str = "perf") -> None:
+        self._perf = perf_binary
+        self._proc: subprocess.Popen[str] | None = None
+
+    def start(self, cpu: int) -> None:
+        """Launch ``perf stat`` against the CPU."""
+        if self._proc is not None:
+            raise RuntimeError("previous measurement still running")
+        self._proc = subprocess.Popen(
+            [
+                self._perf,
+                "stat",
+                "-x,",
+                "-e",
+                "instructions,cycles",
+                "-C",
+                str(cpu),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def finish(self) -> float:
+        """Terminate perf and parse IPC from its CSV stderr."""
+        if self._proc is None:
+            raise RuntimeError("finish() without start()")
+        proc, self._proc = self._proc, None
+        proc.terminate()
+        try:
+            _, stderr = proc.communicate(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            _, stderr = proc.communicate()
+        return parse_perf_stat_csv(stderr)

@@ -1,0 +1,205 @@
+"""Linux ``resctrl`` filesystem backend — the real-hardware path.
+
+On an RDT-capable Xeon with ``mount -t resctrl resctrl /sys/fs/resctrl``,
+this module drives the same mechanisms the paper's implementation uses
+through the Intel RDT Software Package: CAT via ``schemata`` files, CMT via
+``mon_data/*/llc_occupancy``, MBM via ``mon_data/*/mbm_total_bytes``.
+
+The root path is injectable, so the entire driver is unit-tested against a
+fake resctrl tree on tmpfs — no hardware needed (and the hardware gate this
+reproduction faces stays confined to this one module).
+
+Layout driven (one domain assumed, as on the paper's single-socket setup)::
+
+    <root>/
+      schemata                      # default group (the BEs)
+      cpus_list
+      hp/                           # created by this driver for the HP
+        schemata
+        cpus_list
+        mon_data/mon_L3_00/llc_occupancy
+        mon_data/mon_L3_00/mbm_total_bytes
+      mon_data/mon_L3_00/mbm_total_bytes   # default-group counters
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.allocation import Allocation
+from repro.rdt.interface import PeriodSample, RdtBackend
+from repro.rdt.masks import format_cbm, hp_be_masks, parse_cbm
+from repro.rdt.perfstat import IpcReader
+
+__all__ = ["ResctrlError", "ResctrlRdt"]
+
+DEFAULT_ROOT = Path("/sys/fs/resctrl")
+
+
+class ResctrlError(RuntimeError):
+    """The resctrl tree is missing, malformed, or rejected a write."""
+
+
+class ResctrlRdt(RdtBackend):
+    """RDT backend over a mounted resctrl filesystem.
+
+    Parameters
+    ----------
+    hp_cpu:
+        Logical CPU the HP application is pinned to.
+    ipc_reader:
+        Source of HP IPC (wraps ``perf stat``; injectable for tests).
+    root:
+        resctrl mount point (injectable for tests).
+    cache_domain:
+        L3 domain id, ``mon_L3_<id>`` (0 on single-socket machines).
+    """
+
+    def __init__(
+        self,
+        hp_cpu: int,
+        ipc_reader: IpcReader,
+        *,
+        root: Path | str = DEFAULT_ROOT,
+        group_name: str = "hp",
+        cache_domain: int = 0,
+    ) -> None:
+        self._root = Path(root)
+        if not (self._root / "schemata").exists():
+            raise ResctrlError(
+                f"no resctrl filesystem at {self._root} (is it mounted? "
+                "`mount -t resctrl resctrl /sys/fs/resctrl`)"
+            )
+        self._hp_cpu = hp_cpu
+        self._ipc = ipc_reader
+        self._group = self._root / group_name
+        self._domain = f"mon_L3_{cache_domain:02d}"
+        self._total_ways = self._read_total_ways()
+        self._stop = False
+        self._setup_group()
+        self._last_mbm = self._read_mbm_counters()
+        self._last_time = time.monotonic()
+
+    # -- resctrl plumbing --------------------------------------------------
+
+    def _read_total_ways(self) -> int:
+        """Infer the way count from the root schemata's L3 mask."""
+        for line in self._read(self._root / "schemata").splitlines():
+            line = line.strip()
+            if line.startswith("L3:"):
+                first = line[3:].split(";")[0]
+                _, mask_text = first.split("=")
+                return parse_cbm(mask_text).bit_length()
+        raise ResctrlError("root schemata has no L3 line (CAT unsupported?)")
+
+    def _setup_group(self) -> None:
+        """Create the HP control group and pin the HP cpu into it."""
+        try:
+            self._group.mkdir(exist_ok=True)
+        except OSError as exc:  # pragma: no cover - kernel-side failure
+            raise ResctrlError(f"cannot create {self._group}: {exc}") from exc
+        self._write(self._group / "cpus_list", str(self._hp_cpu))
+
+    def _read(self, path: Path) -> str:
+        try:
+            return path.read_text()
+        except OSError as exc:
+            raise ResctrlError(f"cannot read {path}: {exc}") from exc
+
+    def _write(self, path: Path, text: str) -> None:
+        try:
+            path.write_text(text)
+        except OSError as exc:
+            raise ResctrlError(f"cannot write {path}: {exc}") from exc
+
+    def _read_counter(self, group: Path, counter: str) -> float:
+        path = group / "mon_data" / self._domain / counter
+        text = self._read(path).strip()
+        try:
+            return float(int(text))
+        except ValueError as exc:
+            raise ResctrlError(f"unparsable counter {path}: {text!r}") from exc
+
+    def _read_mbm_counters(self) -> tuple[float, float]:
+        """(HP bytes, default-group bytes) cumulative MBM readings."""
+        hp = self._read_counter(self._group, "mbm_total_bytes")
+        default = self._read_counter(self._root, "mbm_total_bytes")
+        return hp, default
+
+    # -- RdtBackend ---------------------------------------------------------
+
+    @property
+    def total_ways(self) -> int:
+        """Way count inferred from the root schemata's CBM."""
+        return self._total_ways
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`stop` was called."""
+        return self._stop
+
+    def stop(self) -> None:
+        """Ask the control loop to wind down (e.g. on SIGTERM)."""
+        self._stop = True
+
+    def apply(self, allocation: Allocation) -> None:
+        """Write the HP/BE CAT masks to both groups' schemata."""
+        if allocation.total_ways != self._total_ways:
+            raise ResctrlError(
+                f"allocation is for {allocation.total_ways} ways, LLC has "
+                f"{self._total_ways}"
+            )
+        if allocation.overlap_ways:
+            # Overlap: extend both masks over the shared zone.
+            hp_mask, be_mask = hp_be_masks(
+                allocation.hp_ways + allocation.overlap_ways,
+                self._total_ways,
+            )
+            overlap = hp_mask & ~(
+                hp_be_masks(allocation.hp_ways, self._total_ways)[0]
+            )
+            be_mask |= overlap
+        else:
+            hp_mask, be_mask = hp_be_masks(
+                allocation.hp_ways, self._total_ways
+            )
+        self._write(self._group / "schemata", f"L3:0={format_cbm(hp_mask)}\n")
+        self._write(self._root / "schemata", f"L3:0={format_cbm(be_mask)}\n")
+
+    def apply_be_throttle(self, scale: float) -> None:
+        """MBA support: throttle the default (BE) group's bandwidth.
+
+        Writes an ``MB:`` schemata line with the nearest 10 %-granular MBA
+        class (real MBA classes step in tens of percent; minimum 10 %).
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        pct = max(10, min(100, int(scale * 10.0 + 0.5) * 10))
+        self._write(self._root / "schemata", f"MB:0={pct}\n")
+
+    def sample(self, period_s: float) -> PeriodSample:
+        """Sleep one period, then diff MBM counters and read perf IPC."""
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self._ipc.start(self._hp_cpu)
+        time.sleep(period_s)
+        hp_ipc = self._ipc.finish()
+
+        now = time.monotonic()
+        duration = max(now - self._last_time, 1e-6)
+        self._last_time = now
+
+        mbm = self._read_mbm_counters()
+        hp_bytes = mbm[0] - self._last_mbm[0]
+        default_bytes = mbm[1] - self._last_mbm[1]
+        self._last_mbm = mbm
+
+        occupancy = self._read_counter(self._group, "llc_occupancy")
+        return PeriodSample(
+            duration_s=duration,
+            hp_ipc=hp_ipc,
+            hp_mem_bytes_s=max(hp_bytes, 0.0) / duration,
+            total_mem_bytes_s=max(hp_bytes + default_bytes, 0.0) / duration,
+            hp_llc_occupancy_bytes=occupancy,
+        )

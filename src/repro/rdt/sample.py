@@ -1,0 +1,49 @@
+"""One monitoring period's measurements (the controller's entire input).
+
+Kept in a leaf module (no imports from :mod:`repro.core`) so both the
+controller and the backends can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PeriodSample"]
+
+
+@dataclass(frozen=True)
+class PeriodSample:
+    """Measurements aggregated over one monitoring period.
+
+    Attributes
+    ----------
+    duration_s:
+        Actual period length (may differ slightly from T at experiment end).
+    hp_ipc:
+        HP instructions retired / HP core cycles during the period.
+    hp_mem_bytes_s:
+        HP memory-link traffic (MBM local equivalent), bytes/second.
+    total_mem_bytes_s:
+        Whole-socket memory traffic, bytes/second.
+    hp_llc_occupancy_bytes:
+        CMT snapshot for the HP class of service (informational; DICER's
+        decisions use IPC and bandwidth only).
+    """
+
+    duration_s: float
+    hp_ipc: float
+    hp_mem_bytes_s: float
+    total_mem_bytes_s: float
+    hp_llc_occupancy_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        for name in ("hp_ipc", "hp_mem_bytes_s", "total_mem_bytes_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def be_mem_bytes_s(self) -> float:
+        """BE aggregate traffic = total minus HP (clamped at zero)."""
+        return max(0.0, self.total_mem_bytes_s - self.hp_mem_bytes_s)

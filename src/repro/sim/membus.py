@@ -1,0 +1,63 @@
+"""Shared memory-link model.
+
+The link is the second shared resource DICER cares about: when Cache-Takeover
+squeezes nine best-effort instances into one way, their miss streams saturate
+the link and the *high-priority* application pays for it (paper Section
+2.3.2). We model the link as a single queueing station:
+
+``latency(U) = L0 * (1 + k * (U / (1 - U))**p)``
+
+an M/M/1-flavoured load-latency curve (cf. "memory access latency under
+load" measurements on real Xeons, which show exactly this hockey-stick).
+Utilisation is capped below 1 so the fixed-point solver always sees a finite
+latency; at the cap the latency is ~30x unloaded, far beyond anything an
+out-of-order core can hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.platform import PlatformConfig
+
+__all__ = ["MemoryLink"]
+
+
+@dataclass(frozen=True)
+class MemoryLink:
+    """Latency/utilisation behaviour of the shared memory link."""
+
+    capacity_bytes: float
+    base_latency_cycles: float
+    queue_gain: float
+    utilisation_cap: float
+    queue_exponent: float = 1.5
+
+    @classmethod
+    def from_platform(cls, platform: PlatformConfig) -> "MemoryLink":
+        """Build the link model from a platform's constants."""
+        return cls(
+            capacity_bytes=platform.mem_bw_bytes,
+            base_latency_cycles=platform.mem_lat_cycles,
+            queue_gain=platform.queue_gain,
+            utilisation_cap=platform.utilisation_cap,
+            queue_exponent=platform.queue_exponent,
+        )
+
+    def utilisation(self, demand_bytes: float) -> float:
+        """Link utilisation for an aggregate demand, capped for stability."""
+        if demand_bytes < 0:
+            raise ValueError(f"demand must be >= 0, got {demand_bytes}")
+        return min(demand_bytes / self.capacity_bytes, self.utilisation_cap)
+
+    def latency_cycles(self, demand_bytes: float) -> float:
+        """Loaded memory latency (core cycles) at the given demand."""
+        u = self.utilisation(demand_bytes)
+        return self.base_latency_cycles * (
+            1.0 + self.queue_gain * (u / (1.0 - u)) ** self.queue_exponent
+        )
+
+    @property
+    def max_latency_cycles(self) -> float:
+        """Latency at the utilisation cap (the model's ceiling)."""
+        return self.latency_cycles(self.capacity_bytes * self.utilisation_cap)

@@ -1,0 +1,230 @@
+"""Event-driven multicore server executor.
+
+Runs one application per core against the contention model. Time advances
+between *events* — phase boundaries, run completions, or controller ticks —
+and within each interval the system sits at the steady state computed by
+:func:`repro.sim.contention.solve_steady_state` (memoised per phase
+combination × partition, which makes the 3481-pair campaigns tractable).
+
+Per the paper's methodology (Section 4.1): all applications start together;
+when one finishes it is restarted immediately, and an experiment is complete
+once every application has finished at least once, so the HP always runs
+under full contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.contention import SteadyState, solve_steady_state
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import PlatformConfig
+from repro.workloads.app import AppModel, Phase
+
+__all__ = ["RunningApp", "Server", "TimelinePoint", "SimulationTimeout"]
+
+#: Relative tolerance for phase-boundary hit detection.
+_BOUNDARY_RTOL = 1e-9
+
+
+class SimulationTimeout(RuntimeError):
+    """An experiment exceeded its simulated-time budget."""
+
+
+@dataclass
+class RunningApp:
+    """Execution state of one application instance on one core."""
+
+    model: AppModel
+    instructions_in_run: float = 0.0
+    run_start_time: float = 0.0
+    completions: int = 0
+    run_times: list[float] = field(default_factory=list)
+    # Cumulative counters since the experiment started (for monitoring).
+    total_instructions: float = 0.0
+    total_mem_bytes: float = 0.0
+
+    def current_phase(self) -> tuple[Phase, float]:
+        """The phase now executing and the instructions left in it."""
+        idx, remaining = self.model.phase_at(self.instructions_in_run)
+        return self.model.phases[idx], remaining
+
+    def advance(self, instructions: float, now: float) -> None:
+        """Retire ``instructions``; handle run completion/restart at ``now``.
+
+        Progress within a run is a float around 1e10-1e11, whose ulp is
+        larger than the sub-instruction residues event alignment produces;
+        anything within one instruction of a phase/run boundary is therefore
+        snapped *onto* the boundary, or the accumulator could absorb the
+        residue forever and wedge the event loop.
+        """
+        self.instructions_in_run += instructions
+        total = self.model.total_instructions
+        if self.instructions_in_run >= total - 1.0:
+            self.completions += 1
+            self.run_times.append(now - self.run_start_time)
+            self.instructions_in_run = 0.0
+            self.run_start_time = now
+            return
+        idx, remaining = self.model.phase_at(self.instructions_in_run)
+        if remaining <= 1.0:
+            # Snap onto the boundary by assignment, not accumulation — the
+            # residue may be below the accumulator's ulp.
+            self.instructions_in_run = float(
+                sum(p.instructions for p in self.model.phases[: idx + 1])
+            )
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One telemetry record (captured at the start of each interval)."""
+
+    time_s: float
+    hp_ways: float
+    hp_ipc: float
+    total_bw_bytes: float
+    latency_cycles: float
+    partition_hp_ways: float | None
+
+
+class Server:
+    """A consolidated multicore server running one app per core."""
+
+    def __init__(
+        self,
+        platform: PlatformConfig,
+        apps: Sequence[AppModel],
+        partition: PartitionSpec | None = None,
+        *,
+        record_timeline: bool = False,
+    ) -> None:
+        if len(apps) > platform.n_cores:
+            raise ValueError(
+                f"{len(apps)} apps exceed {platform.n_cores} cores"
+            )
+        if not apps:
+            raise ValueError("need at least one application")
+        self.platform = platform
+        self.apps = [RunningApp(model=a) for a in apps]
+        self.n_active = len(apps)
+        self.time = 0.0
+        self.partition = partition or PartitionSpec.unmanaged(
+            self.n_active, platform.llc_ways
+        )
+        if self.partition.n_cores != self.n_active:
+            raise ValueError(
+                f"partition covers {self.partition.n_cores} cores but "
+                f"{self.n_active} apps are running"
+            )
+        self.mba_scale: tuple[float, ...] | None = None
+        self.timeline: list[TimelinePoint] = []
+        self._record_timeline = record_timeline
+        self._memo: dict[tuple, SteadyState] = {}
+
+    # -- configuration --------------------------------------------------
+
+    def set_partition(self, partition: PartitionSpec) -> None:
+        """Apply a new LLC partitioning (takes effect immediately).
+
+        Matches real CAT semantics: resident lines are not flushed; the
+        steady-state model simply re-evaluates shares, which corresponds to
+        the gradual natural eviction the paper describes (Section 3.3).
+        """
+        if partition.n_cores != self.n_active:
+            raise ValueError(
+                f"partition covers {partition.n_cores} cores but "
+                f"{self.n_active} apps are running"
+            )
+        self.partition = partition
+
+    def set_mba_scale(self, scale: Sequence[float] | None) -> None:
+        """Apply per-core MBA throttles (None = unthrottled)."""
+        self.mba_scale = None if scale is None else tuple(scale)
+
+    # -- execution -------------------------------------------------------
+
+    def _steady(self) -> SteadyState:
+        phases = [app.current_phase()[0] for app in self.apps]
+        key = (
+            tuple(id(p) for p in phases),
+            self.partition.key(),
+            self.mba_scale,
+        )
+        state = self._memo.get(key)
+        if state is None:
+            state = solve_steady_state(
+                self.platform, phases, self.partition, mba_scale=self.mba_scale
+            )
+            self._memo[key] = state
+        return state
+
+    @property
+    def all_completed(self) -> bool:
+        """Has every application finished at least one full run?"""
+        return all(app.completions >= 1 for app in self.apps)
+
+    def advance(self, max_dt: float) -> float:
+        """Advance simulated time by at most ``max_dt`` seconds.
+
+        Stops early at the next phase boundary / run completion so the
+        steady state stays valid throughout the interval. Returns the
+        actual time advanced.
+        """
+        if max_dt <= 0:
+            raise ValueError(f"max_dt must be > 0, got {max_dt}")
+        state = self._steady()
+        freq = self.platform.freq_hz
+        rates = state.ipc * freq  # instructions / second
+
+        dt = max_dt
+        for app, rate in zip(self.apps, rates):
+            _, remaining = app.current_phase()
+            dt = min(dt, remaining / rate)
+
+        if self._record_timeline:
+            self.timeline.append(
+                TimelinePoint(
+                    time_s=self.time,
+                    hp_ways=float(state.ways[0]),
+                    hp_ipc=float(state.ipc[0]),
+                    total_bw_bytes=state.total_bw_bytes,
+                    latency_cycles=state.latency_cycles,
+                    partition_hp_ways=self.partition.hp_ways,
+                )
+            )
+
+        self.time += dt
+        for i, (app, rate) in enumerate(zip(self.apps, rates)):
+            retired = rate * dt
+            app.total_instructions += retired
+            app.total_mem_bytes += state.bw_bytes[i] * dt
+            _, remaining = app.current_phase()
+            if retired >= remaining * (1.0 - _BOUNDARY_RTOL):
+                retired = remaining  # snap exactly onto the boundary
+            app.advance(retired, self.time)
+        return dt
+
+    def run_until_all_complete(self, max_time_s: float = 3600.0) -> None:
+        """Run (with the current static partition) until every app finishes."""
+        while not self.all_completed:
+            if self.time >= max_time_s:
+                raise SimulationTimeout(
+                    f"simulation exceeded {max_time_s}s "
+                    f"(completions: {[a.completions for a in self.apps]})"
+                )
+            self.advance(max_time_s - self.time)
+
+    # -- monitoring ------------------------------------------------------
+
+    def counters(self) -> dict[str, np.ndarray | float]:
+        """Cumulative per-core counters (the raw material for RDT samples)."""
+        return {
+            "time_s": self.time,
+            "instructions": np.array(
+                [a.total_instructions for a in self.apps]
+            ),
+            "mem_bytes": np.array([a.total_mem_bytes for a in self.apps]),
+        }

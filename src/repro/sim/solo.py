@@ -1,0 +1,106 @@
+"""Solo (isolated) execution profiles.
+
+Every paper metric is normalised to each application's performance when it
+runs *alone* on the server with the whole LLC: HP slowdown (Figures 1, 3),
+normalised IPCs (Figure 5, Equation 1), SLO conformance (Figure 7). Solo
+profiles are deterministic per (application, platform) and are memoised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.contention import solve_steady_state
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import PlatformConfig
+from repro.workloads.app import AppModel
+
+__all__ = ["SoloProfile", "solo_profile", "solo_ipc_at_ways"]
+
+
+@dataclass(frozen=True)
+class SoloProfile:
+    """Isolated-execution reference numbers for one application."""
+
+    app_name: str
+    time_s: float
+    avg_ipc: float
+    phase_ipcs: tuple[float, ...]
+    peak_bw_bytes: float
+
+
+# Cache keyed by (phases tuple, platform). BE clones share phase tuples with
+# their catalog original, so "gcc_base3#7" hits the same entry as gcc_base3.
+_CACHE: dict[tuple, SoloProfile] = {}
+
+
+def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
+    """Compute (or fetch) the solo execution profile of ``app``.
+
+    The app runs alone with all LLC ways; the memory link still applies its
+    load-latency curve to the app's *own* traffic, so a streaming code does
+    not get an unrealistically rosy solo baseline.
+    """
+    key = (app.phases, platform)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    partition = PartitionSpec.unmanaged(1, platform.llc_ways)
+    total_time = 0.0
+    total_instr = 0.0
+    phase_ipcs: list[float] = []
+    peak_bw = 0.0
+    for phase in app.phases:
+        state = solve_steady_state(platform, [phase], partition)
+        ipc = float(state.ipc[0])
+        phase_ipcs.append(ipc)
+        total_time += phase.instructions / (platform.freq_hz * ipc)
+        total_instr += phase.instructions
+        peak_bw = max(peak_bw, state.total_bw_bytes)
+
+    profile = SoloProfile(
+        app_name=app.name,
+        time_s=total_time,
+        avg_ipc=total_instr / (platform.freq_hz * total_time),
+        phase_ipcs=tuple(phase_ipcs),
+        peak_bw_bytes=peak_bw,
+    )
+    _CACHE[key] = profile
+    return profile
+
+
+_WAYS_CACHE: dict[tuple, float] = {}
+
+
+def solo_ipc_at_ways(
+    app: AppModel, platform: PlatformConfig, ways: int
+) -> float:
+    """Average solo IPC when the application may use only ``ways`` LLC ways.
+
+    This is the measurement behind the paper's Figure 2: the minimum
+    allocation at which an isolated application reaches a given fraction of
+    its full-cache performance. Implemented by running the app alone inside
+    a cache restricted to ``ways`` ways (partitioning semantics: the
+    remaining ways are simply unreachable).
+    """
+    if not 1 <= ways <= platform.llc_ways:
+        raise ValueError(
+            f"ways must be in [1, {platform.llc_ways}], got {ways}"
+        )
+    key = (app.phases, platform, ways)
+    cached = _WAYS_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    partition = PartitionSpec.unmanaged(1, ways)
+    total_time = 0.0
+    total_instr = 0.0
+    for phase in app.phases:
+        state = solve_steady_state(platform, [phase], partition)
+        ipc = float(state.ipc[0])
+        total_time += phase.instructions / (platform.freq_hz * ipc)
+        total_instr += phase.instructions
+    result = total_instr / (platform.freq_hz * total_time)
+    _WAYS_CACHE[key] = result
+    return result

@@ -1,0 +1,40 @@
+"""Shared utilities: statistics, validation, RNG seeding, table formatting.
+
+These helpers are deliberately dependency-light (NumPy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.stats import (
+    cdf_points,
+    clamp,
+    fraction_below,
+    geomean,
+    hmean,
+    percentile,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table
+
+__all__ = [
+    "cdf_points",
+    "clamp",
+    "fraction_below",
+    "geomean",
+    "hmean",
+    "percentile",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+]

@@ -1,0 +1,51 @@
+"""Argument validation helpers.
+
+All model constructors validate eagerly so that configuration errors fail at
+build time with a precise message, instead of surfacing as NaNs deep inside
+the fixed-point contention solver.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_fraction",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; returns the value for inline use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; returns the value for inline use."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integral value >= 1; returns it as ``int``."""
+    if isinstance(value, bool) or int(value) != value or value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; returns the value."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; returns the value."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

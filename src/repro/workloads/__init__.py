@@ -1,0 +1,55 @@
+"""Synthetic application models emulating the SPEC CPU 2006 / Parsec 3.0
+population used by the paper's evaluation.
+
+Public surface:
+
+* :class:`~repro.workloads.app.AppModel` / :class:`~repro.workloads.app.Phase`
+  — black-box application models consumed by the server simulator;
+* :mod:`~repro.workloads.mrc` — miss-ratio curve forms;
+* :func:`~repro.workloads.catalog.catalog` — the 59-entry population;
+* :class:`~repro.workloads.mix.WorkloadMix` — HP + N×BE pairings.
+"""
+
+from repro.workloads.app import AppModel, Phase, single_phase_app
+from repro.workloads.archetypes import (
+    cache_sensitive_app,
+    compute_app,
+    phased_app,
+    streaming_app,
+)
+from repro.workloads.catalog import CATALOG_SIZE, app_names, catalog, get_app
+from repro.workloads.generator import ArchetypeWeights, random_app, random_population
+from repro.workloads.mix import HeterogeneousMix, WorkloadMix, all_pairs, make_mix
+from repro.workloads.mrc import (
+    ConstantMRC,
+    ExponentialMRC,
+    KneeMRC,
+    MissRatioCurve,
+    TabulatedMRC,
+)
+
+__all__ = [
+    "AppModel",
+    "Phase",
+    "single_phase_app",
+    "streaming_app",
+    "cache_sensitive_app",
+    "compute_app",
+    "phased_app",
+    "CATALOG_SIZE",
+    "catalog",
+    "app_names",
+    "get_app",
+    "ArchetypeWeights",
+    "random_app",
+    "random_population",
+    "HeterogeneousMix",
+    "WorkloadMix",
+    "all_pairs",
+    "make_mix",
+    "MissRatioCurve",
+    "ConstantMRC",
+    "ExponentialMRC",
+    "KneeMRC",
+    "TabulatedMRC",
+]

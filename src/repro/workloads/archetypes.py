@@ -1,0 +1,226 @@
+"""Behavioural archetype factories for the synthetic application catalog.
+
+The paper's evaluation uses SPEC CPU 2006 and Parsec 3.0 binaries. Those are
+proprietary / unavailable here, so the catalog in
+:mod:`repro.workloads.catalog` models each entry with one of four behavioural
+archetypes, calibrated from published characterisations of the suites
+(Jaleel's SPEC2006 cache studies, the Parsec tech report, and the paper's own
+observations, e.g. milc being bandwidth-bound and gcc moderately
+cache-sensitive):
+
+``streaming``
+    High LLC access rate, essentially flat miss-ratio curve (reuse distance
+    beyond any allocation), prefetch-friendly (low blocking factor). These
+    applications saturate the memory link and gain nothing from cache.
+``cache_sensitive``
+    A pronounced working-set knee: misses drop sharply once the hot set
+    fits. These gain from a big exclusive partition (CT-Favoured material).
+``compute``
+    Few LLC accesses per kilo-instruction; performance is indifferent to
+    both cache allocation and memory bandwidth.
+``phased``
+    Multi-phase composition of the above, to exercise DICER's phase-change
+    detection and reset logic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.app import AppModel, Phase
+from repro.workloads.mrc import (
+    BlendedMRC,
+    ConstantMRC,
+    ExponentialMRC,
+    KneeMRC,
+    MissRatioCurve,
+)
+
+__all__ = [
+    "FREQ_HZ",
+    "estimate_solo_ipc",
+    "duration_to_instructions",
+    "streaming_app",
+    "cache_sensitive_app",
+    "compute_app",
+    "phased_app",
+    "make_phase",
+]
+
+#: Clock frequency used to translate target solo durations into instruction
+#: budgets. Matches Table 1 (Xeon E5-2630 v4 @ 2.2 GHz).
+FREQ_HZ = 2.2e9
+
+#: Unloaded memory latency (cycles) used *only* for budget estimation here;
+#: the simulator owns the authoritative latency model.
+_EST_MEM_LAT = 180.0
+
+
+def estimate_solo_ipc(
+    cpi_exe: float,
+    apki: float,
+    mrc: MissRatioCurve,
+    blocking: float,
+    ways: float = 20.0,
+) -> float:
+    """Rough solo IPC at ``ways`` ways, for sizing instruction budgets."""
+    mpi = (apki / 1000.0) * mrc(ways)
+    return 1.0 / (cpi_exe + mpi * blocking * _EST_MEM_LAT)
+
+
+def duration_to_instructions(duration_s: float, est_ipc: float) -> float:
+    """Instruction budget so the solo run lasts ~``duration_s`` seconds."""
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    return duration_s * FREQ_HZ * est_ipc
+
+
+def make_phase(
+    name: str,
+    *,
+    duration_s: float,
+    cpi_exe: float,
+    apki: float,
+    mrc: MissRatioCurve,
+    blocking: float,
+    write_frac: float,
+    occupancy_ways: float | None = None,
+) -> Phase:
+    """Build a phase whose solo duration is approximately ``duration_s``."""
+    est = estimate_solo_ipc(cpi_exe, apki, mrc, blocking)
+    return Phase(
+        name=name,
+        instructions=duration_to_instructions(duration_s, est),
+        cpi_exe=cpi_exe,
+        apki=apki,
+        mrc=mrc,
+        blocking=blocking,
+        write_frac=write_frac,
+        occupancy_ways=occupancy_ways,
+    )
+
+
+def streaming_app(
+    name: str,
+    *,
+    suite: str = "spec",
+    miss_ratio: float = 0.92,
+    apki: float = 28.0,
+    cpi_exe: float = 0.55,
+    blocking: float = 0.3,
+    write_frac: float = 0.35,
+    duration_s: float = 35.0,
+) -> AppModel:
+    """Bandwidth-bound streaming application (lbm, libquantum, milc, ...)."""
+    phase = make_phase(
+        "stream",
+        duration_s=duration_s,
+        cpi_exe=cpi_exe,
+        apki=apki,
+        mrc=ConstantMRC(miss_ratio),
+        blocking=blocking,
+        write_frac=write_frac,
+    )
+    return AppModel(name=name, suite=suite, archetype="streaming", phases=(phase,))
+
+
+def cache_sensitive_app(
+    name: str,
+    *,
+    suite: str = "spec",
+    knee_ways: float,
+    peak: float = 0.8,
+    floor: float = 0.25,
+    sharpness: float = 2.0,
+    apki: float = 15.0,
+    cpi_exe: float = 0.9,
+    blocking: float = 0.85,
+    write_frac: float = 0.3,
+    duration_s: float = 40.0,
+    form: str = "exp",
+) -> AppModel:
+    """Cache-sensitive application (omnetpp, xalancbmk, soplex, gcc, ...).
+
+    ``form`` selects the miss-ratio curve shape:
+
+    * ``"exp"`` (default) — smooth geometric decay with
+      ``scale = knee_ways / 2``; reuse distances broadly distributed.
+      Even a fraction of a way helps, so squeezing many instances into one
+      shared way sharply raises their bandwidth (the CT saturation effect).
+    * ``"knee"`` — hard logistic knee at ``knee_ways``; one dominant
+      working set.
+    * ``"blend"`` — 30 % short-range exponential + 70 % knee; big-footprint
+      applications (mcf, omnetpp) that still earn something from a sliver
+      of cache.
+    """
+    mrc: MissRatioCurve
+    if form == "exp":
+        mrc = ExponentialMRC(peak=peak, floor=floor, scale=knee_ways / 2.0)
+    elif form == "knee":
+        mrc = KneeMRC(
+            peak=peak, floor=floor, knee_ways=knee_ways, sharpness=sharpness
+        )
+    elif form == "blend":
+        mrc = BlendedMRC(
+            peak=peak,
+            floor=floor,
+            knee_ways=knee_ways,
+            sharpness=sharpness,
+            scale=1.5,
+            blend=0.3,
+        )
+    else:
+        raise ValueError(f"unknown MRC form {form!r}")
+    phase = make_phase(
+        "work",
+        duration_s=duration_s,
+        cpi_exe=cpi_exe,
+        apki=apki,
+        mrc=mrc,
+        blocking=blocking,
+        write_frac=write_frac,
+    )
+    return AppModel(
+        name=name, suite=suite, archetype="cache_sensitive", phases=(phase,)
+    )
+
+
+def compute_app(
+    name: str,
+    *,
+    suite: str = "spec",
+    miss_ratio: float = 0.35,
+    apki: float = 1.5,
+    cpi_exe: float = 0.6,
+    blocking: float = 0.55,
+    write_frac: float = 0.2,
+    duration_s: float = 40.0,
+) -> AppModel:
+    """Compute-bound application (namd, povray, swaptions, ...).
+
+    The resident set of these codes fits in the private caches; the LLC sees
+    only a trickle of accesses, so their unmanaged occupancy is pinned low.
+    """
+    phase = make_phase(
+        "compute",
+        duration_s=duration_s,
+        cpi_exe=cpi_exe,
+        apki=apki,
+        mrc=ConstantMRC(miss_ratio),
+        blocking=blocking,
+        write_frac=write_frac,
+        occupancy_ways=2.0,
+    )
+    return AppModel(name=name, suite=suite, archetype="compute", phases=(phase,))
+
+
+def phased_app(
+    name: str,
+    phases: Sequence[Phase],
+    *,
+    suite: str = "spec",
+) -> AppModel:
+    """Multi-phase application assembled from explicit :class:`Phase` objects."""
+    return AppModel(
+        name=name, suite=suite, archetype="phased", phases=tuple(phases)
+    )

@@ -1,0 +1,163 @@
+"""Random application-model generation.
+
+Beyond the fixed 59-entry catalog, downstream users (and our fuzz tests)
+need populations with controlled statistics: :func:`random_app` draws one
+application from a parameterised archetype distribution, and
+:func:`random_population` builds a whole catalog-like population from one
+seed. Everything flows through :mod:`repro.util.rng`, so generated
+populations are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.app import AppModel
+from repro.workloads.archetypes import (
+    cache_sensitive_app,
+    compute_app,
+    make_phase,
+    phased_app,
+    streaming_app,
+)
+from repro.workloads.mrc import ConstantMRC, ExponentialMRC
+from repro.util.rng import make_rng
+from repro.util.validation import check_fraction, check_positive_int
+
+__all__ = ["ArchetypeWeights", "random_app", "random_population"]
+
+
+@dataclass(frozen=True)
+class ArchetypeWeights:
+    """Mixing proportions of the four behavioural archetypes.
+
+    The defaults mirror the built-in catalog's composition (~1/6 streaming,
+    ~1/2 cache-sensitive, ~1/4 compute, remainder phased).
+    """
+
+    streaming: float = 0.17
+    cache_sensitive: float = 0.50
+    compute: float = 0.25
+    phased: float = 0.08
+
+    def __post_init__(self) -> None:
+        total = self.streaming + self.cache_sensitive + self.compute + self.phased
+        for name in ("streaming", "cache_sensitive", "compute", "phased"):
+            check_fraction(name, getattr(self, name))
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """(streaming, cache_sensitive, compute, phased) proportions."""
+        return (self.streaming, self.cache_sensitive, self.compute, self.phased)
+
+
+def _random_streaming(name: str, rng: np.random.Generator) -> AppModel:
+    return streaming_app(
+        name,
+        miss_ratio=float(rng.uniform(0.8, 0.99)),
+        apki=float(rng.uniform(15, 28)),
+        cpi_exe=float(rng.uniform(0.45, 0.65)),
+        blocking=float(rng.uniform(0.15, 0.35)),
+        write_frac=float(rng.uniform(0.2, 0.45)),
+        duration_s=float(rng.uniform(20, 35)),
+    )
+
+
+def _random_sensitive(name: str, rng: np.random.Generator) -> AppModel:
+    form = rng.choice(["exp", "knee", "blend"], p=[0.6, 0.2, 0.2])
+    return cache_sensitive_app(
+        name,
+        knee_ways=float(rng.uniform(1.5, 14.0)),
+        peak=float(rng.uniform(0.45, 0.95)),
+        floor=float(rng.uniform(0.1, 0.35)),
+        sharpness=float(rng.uniform(0.8, 3.0)),
+        apki=float(rng.uniform(3, 25)),
+        cpi_exe=float(rng.uniform(0.7, 1.1)),
+        blocking=float(rng.uniform(0.5, 0.95)),
+        duration_s=float(rng.uniform(20, 35)),
+        form=str(form),
+    )
+
+
+def _random_compute(name: str, rng: np.random.Generator) -> AppModel:
+    return compute_app(
+        name,
+        miss_ratio=float(rng.uniform(0.2, 0.5)),
+        apki=float(rng.uniform(0.3, 3.0)),
+        cpi_exe=float(rng.uniform(0.5, 0.8)),
+        duration_s=float(rng.uniform(18, 32)),
+    )
+
+
+def _random_phased(name: str, rng: np.random.Generator) -> AppModel:
+    n_phases = int(rng.integers(2, 5))
+    phases = []
+    for i in range(n_phases):
+        if rng.random() < 0.5:
+            mrc = ExponentialMRC(
+                peak=float(rng.uniform(0.5, 0.9)),
+                floor=float(rng.uniform(0.1, 0.4)),
+                scale=float(rng.uniform(0.8, 4.0)),
+            )
+            apki = float(rng.uniform(4, 15))
+        else:
+            mrc = ConstantMRC(float(rng.uniform(0.25, 0.6)))
+            apki = float(rng.uniform(0.5, 5))
+        phases.append(
+            make_phase(
+                f"phase{i}",
+                duration_s=float(rng.uniform(5, 12)),
+                cpi_exe=float(rng.uniform(0.55, 1.0)),
+                apki=apki,
+                mrc=mrc,
+                blocking=float(rng.uniform(0.4, 0.9)),
+                write_frac=float(rng.uniform(0.15, 0.4)),
+            )
+        )
+    return phased_app(name, phases, suite="synthetic")
+
+
+_BUILDERS = {
+    "streaming": _random_streaming,
+    "cache_sensitive": _random_sensitive,
+    "compute": _random_compute,
+    "phased": _random_phased,
+}
+
+
+def random_app(
+    name: str,
+    rng: np.random.Generator,
+    weights: ArchetypeWeights = ArchetypeWeights(),
+) -> AppModel:
+    """Draw one application model from the archetype distribution."""
+    kind = rng.choice(
+        ["streaming", "cache_sensitive", "compute", "phased"],
+        p=weights.as_tuple(),
+    )
+    app = _BUILDERS[str(kind)](name, rng)
+    if app.suite != "synthetic":
+        app = AppModel(
+            name=app.name,
+            suite="synthetic",
+            archetype=app.archetype,
+            phases=app.phases,
+        )
+    return app
+
+
+def random_population(
+    size: int,
+    seed: int | None = None,
+    weights: ArchetypeWeights = ArchetypeWeights(),
+) -> dict[str, AppModel]:
+    """A reproducible synthetic population of ``size`` applications."""
+    check_positive_int("size", size)
+    rng = make_rng(seed)
+    return {
+        f"synth{i:03d}": random_app(f"synth{i:03d}", rng, weights)
+        for i in range(size)
+    }

@@ -1,0 +1,99 @@
+"""Multiprogrammed workload construction.
+
+The paper's execution scenario (Section 2.1): one High-Priority application
+on one core, N-1 instances of one Best-Effort application on the remaining
+cores. :class:`WorkloadMix` captures that pairing plus helpers to enumerate
+the full 59 × 59 = 3481 pair population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.app import AppModel
+from repro.workloads.catalog import app_names, get_app
+from repro.util.validation import check_positive_int
+
+__all__ = ["WorkloadMix", "HeterogeneousMix", "all_pairs", "make_mix"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One HP application co-located with ``n_be`` copies of a BE application.
+
+    ``apps()`` materialises the per-core application list: index 0 is HP,
+    indices 1..n_be are BE instances named ``<be>#k`` so telemetry can tell
+    them apart.
+    """
+
+    hp: AppModel
+    be: AppModel
+    n_be: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_be", self.n_be)
+
+    @property
+    def n_cores(self) -> int:
+        """Cores used: one per BE plus the HP core."""
+        return self.n_be + 1
+
+    @property
+    def label(self) -> str:
+        """Human-readable id matching the paper's "hp be" row labels."""
+        return f"{self.hp.name} {self.be.name}"
+
+    def apps(self) -> list[AppModel]:
+        """Per-core application instances (HP first)."""
+        return [self.hp] + [
+            self.be.with_name(f"{self.be.name}#{k}") for k in range(self.n_be)
+        ]
+
+
+def make_mix(hp_name: str, be_name: str, n_be: int = 9) -> WorkloadMix:
+    """Build a mix from catalog entry names (HP may equal BE)."""
+    return WorkloadMix(hp=get_app(hp_name), be=get_app(be_name), n_be=n_be)
+
+
+def all_pairs(n_be: int = 9) -> Iterator[WorkloadMix]:
+    """Every (HP, BE) pair over the catalog — 3481 mixes at default size."""
+    names = app_names()
+    for hp_name in names:
+        for be_name in names:
+            yield make_mix(hp_name, be_name, n_be=n_be)
+
+
+@dataclass(frozen=True)
+class HeterogeneousMix:
+    """One HP co-located with an arbitrary list of (distinct) BE apps.
+
+    The paper's scenario uses N identical BE instances; real consolidation
+    mixes differ per core. The simulator handles either — this wrapper just
+    relaxes the pairing. BE entries may repeat; repeated models are cloned
+    with ``#k`` suffixes so telemetry stays unambiguous.
+    """
+
+    hp: AppModel
+    bes: tuple[AppModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bes:
+            raise ValueError("need at least one BE application")
+
+    @property
+    def n_cores(self) -> int:
+        """Cores used: one per BE plus the HP core."""
+        return len(self.bes) + 1
+
+    @property
+    def label(self) -> str:
+        """Human-readable id for reports."""
+        return f"{self.hp.name} + [{', '.join(b.name for b in self.bes)}]"
+
+    def apps(self) -> list[AppModel]:
+        """Per-core application instances (HP first)."""
+        out = [self.hp]
+        for k, be in enumerate(self.bes):
+            out.append(be.with_name(f"{be.name}#{k}"))
+        return out

@@ -1,0 +1,123 @@
+"""MRC measurement tests: the bridge between trace simulation and the
+analytic curve families used by the server model."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheGeometry
+from repro.cachesim.mrc import measure_miss_ratio, measure_mrc
+from repro.cachesim.traces import (
+    mixed_trace,
+    streaming_trace,
+    working_set_trace,
+    zipf_trace,
+)
+from repro.util.rng import make_rng
+
+GEO = CacheGeometry(n_sets=128, n_ways=20)
+CAP = GEO.n_sets * GEO.n_ways
+
+
+class TestMeasureMissRatio:
+    def test_ways_validated(self):
+        with pytest.raises(ValueError):
+            measure_miss_ratio([0], GEO, 0)
+
+    def test_warmup_consumes_trace(self):
+        with pytest.raises(ValueError, match="exhausted"):
+            measure_miss_ratio(iter([0, 64]), GEO, 4, warmup=5)
+
+    def test_fitting_set_has_zero_misses_after_warmup(self):
+        trace = list(working_set_trace(20000, make_rng(0), ws_lines=GEO.n_sets))
+        ratio = measure_miss_ratio(iter(trace), GEO, 4, warmup=5000)
+        assert ratio < 0.01
+
+
+class TestArchetypeShapes:
+    """Measured curves must match the analytic family each archetype uses."""
+
+    def test_streaming_curve_is_flat_and_high(self):
+        mrc = measure_mrc(
+            lambda: streaming_trace(40000, footprint_lines=CAP * 4),
+            GEO,
+            [1, 5, 10, 20],
+            warmup=8000,
+        )
+        ways, ratios = mrc.points
+        assert np.all(ratios > 0.95)
+        assert ratios[0] - ratios[-1] < 0.05  # flat, like ConstantMRC
+
+    def test_working_set_curve_has_a_knee(self):
+        ws_ways = 8
+        mrc = measure_mrc(
+            lambda: working_set_trace(
+                60000, make_rng(1), ws_lines=GEO.n_sets * ws_ways
+            ),
+            GEO,
+            [1, 4, 8, 12, 20],
+            warmup=20000,
+        )
+        ways, ratios = mrc.points
+        # High below the knee, ~zero at and beyond it: KneeMRC's shape.
+        assert ratios[0] > 0.5
+        at_knee = ratios[list(ways).index(8.0)]
+        assert at_knee < 0.1
+        assert ratios[-1] < 0.02
+
+    def test_zipf_curve_decays_smoothly(self):
+        mrc = measure_mrc(
+            lambda: zipf_trace(
+                60000, make_rng(2), universe_lines=CAP * 2, exponent=1.2
+            ),
+            GEO,
+            [1, 4, 8, 12, 16, 20],
+            warmup=20000,
+        )
+        _, ratios = mrc.points
+        diffs = np.diff(ratios)
+        assert np.all(diffs <= 0)  # monotone improvement
+        # No cliff: every increment helps somewhat (ExponentialMRC's shape).
+        assert np.all(np.abs(diffs) < 0.35)
+        assert ratios[0] - ratios[-1] > 0.1
+
+    def test_mixed_curve_has_gradient_and_knee(self):
+        ws_ways = 8
+        mrc = measure_mrc(
+            lambda: mixed_trace(
+                60000,
+                make_rng(3),
+                ws_lines=GEO.n_sets * ws_ways,
+                scan_lines=CAP * 4,
+                scan_fraction=0.3,
+            ),
+            GEO,
+            [1, 4, 8, 12, 20],
+            warmup=20000,
+        )
+        ways, ratios = mrc.points
+        # Floor is the scan fraction (scan always misses); working set
+        # eventually fits: BlendedMRC's shape.
+        assert ratios[-1] == pytest.approx(0.3, abs=0.1)
+        assert ratios[0] > ratios[-1] + 0.2
+
+
+class TestTabulatedRoundTrip:
+    def test_measured_curve_usable_in_phase(self):
+        from repro.workloads.app import Phase
+
+        mrc = measure_mrc(
+            lambda: working_set_trace(
+                30000, make_rng(4), ws_lines=GEO.n_sets * 4
+            ),
+            GEO,
+            [1, 2, 4, 8, 20],
+            warmup=10000,
+        )
+        phase = Phase(
+            name="measured",
+            instructions=1e9,
+            cpi_exe=0.8,
+            apki=10.0,
+            mrc=mrc,
+        )
+        assert phase.misses_per_instruction(20) <= phase.misses_per_instruction(1)

@@ -1,0 +1,149 @@
+"""Tests for the bit-PLRU replacement policy and the model cross-validation.
+
+The second class is the reproduction's most direct modelling check: the
+analytic insertion-pressure sharing model (``repro.sim.llc``) predicts how
+competing streams split a shared cache; here two synthetic trace streams
+actually compete on the trace-driven simulator and the measured occupancy
+split is compared against the waterfill prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
+from repro.cachesim.mrc import measure_mrc
+from repro.cachesim.traces import streaming_trace, working_set_trace
+from repro.rdt.masks import ways_to_cbm
+from repro.sim.llc import waterfill
+from repro.util.rng import make_rng
+
+LINE = 64
+
+
+def addr(set_idx, tag, n_sets):
+    return (tag * n_sets + set_idx) * LINE
+
+
+class TestBitPlru:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError, match="policy"):
+            SetAssociativeCache(CacheGeometry(4, 4), policy="rrip")
+
+    def test_hit_miss_basics(self):
+        cache = SetAssociativeCache(CacheGeometry(4, 4), policy="plru")
+        assert cache.access(addr(0, 1, 4)) is False
+        assert cache.access(addr(0, 1, 4)) is True
+
+    def test_working_set_retained(self):
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy="plru")
+        for tag in range(4):
+            cache.access(addr(0, tag, 1))
+        cache.reset_stats()
+        for _ in range(8):
+            for tag in range(4):
+                cache.access(addr(0, tag, 1))
+        assert cache.stats(0).miss_ratio == 0.0
+
+    def test_scan_still_thrashes(self):
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy="plru")
+        for _ in range(3):
+            for tag in range(8):
+                cache.access(addr(0, tag, 1))
+        assert cache.stats(0).miss_ratio > 0.9
+
+    def test_mask_isolation_holds_under_plru(self):
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy="plru")
+        cache.set_clos_mask(0, 0b1100)
+        cache.set_clos_mask(1, 0b0011)
+        cache.access(addr(0, 100, 1), clos=0)
+        cache.access(addr(0, 101, 1), clos=0)
+        for tag in range(40):
+            cache.access(addr(0, tag, 1), clos=1)
+        assert cache.access(addr(0, 100, 1), clos=0) is True
+        assert cache.access(addr(0, 101, 1), clos=0) is True
+
+    def test_plru_approximates_lru_mrc(self):
+        # On a working-set trace the two policies' miss-ratio curves must
+        # agree closely (bit-PLRU is the hardware approximation of LRU).
+        geo = CacheGeometry(64, 8)
+        ws = geo.n_sets * 4
+
+        def factory():
+            return working_set_trace(30000, make_rng(5), ws_lines=ws)
+
+        lru = measure_mrc(factory, geo, [1, 2, 4, 8], warmup=10000)
+        # measure_mrc builds an LRU cache; measure PLRU by hand.
+        ratios = []
+        for ways in (1, 2, 4, 8):
+            cache = SetAssociativeCache(geo, policy="plru")
+            cache.set_clos_mask(0, ways_to_cbm(ways))
+            it = iter(factory())
+            for _, a in zip(range(10000), it):
+                cache.access(a)
+            cache.reset_stats()
+            for a in it:
+                cache.access(a)
+            ratios.append(cache.stats(0).miss_ratio)
+        _, lru_ratios = lru.points
+        for plru_r, lru_r in zip(ratios, lru_ratios):
+            assert plru_r == pytest.approx(lru_r, abs=0.12)
+
+
+class TestSharingModelCrossValidation:
+    """Trace-level occupancy vs the analytic insertion-pressure split."""
+
+    def _corun_occupancy(self, trace_a, trace_b, geo):
+        """Interleave two streams 1:1 on a shared cache; return occupancy
+        fractions and per-CLOS miss counts."""
+        cache = SetAssociativeCache(geo)
+        it_a, it_b = iter(trace_a), iter(trace_b)
+        base_b = geo.capacity_bytes * 16  # disjoint address spaces
+        for _ in range(60000):
+            cache.access(next(it_a), clos=0)
+            cache.access(base_b + next(it_b), clos=1)
+        lines = geo.n_sets * geo.n_ways
+        return (
+            cache.occupancy_lines(0) / lines,
+            cache.occupancy_lines(1) / lines,
+            cache.stats(0).misses,
+            cache.stats(1).misses,
+        )
+
+    def test_equal_streams_split_evenly(self):
+        geo = CacheGeometry(64, 8)
+        occ_a, occ_b, *_ = self._corun_occupancy(
+            streaming_trace(10**9, footprint_lines=geo.n_sets * 64),
+            streaming_trace(10**9, footprint_lines=geo.n_sets * 64),
+            geo,
+        )
+        assert occ_a == pytest.approx(occ_b, abs=0.08)
+
+    def test_occupancy_tracks_contested_insertion_rate(self):
+        # Stream A misses constantly; a small working set B stops missing
+        # once resident. Ground truth: B retains exactly its footprint —
+        # under LRU, any eviction of a B line is immediately re-missed and
+        # re-inserted, so B defends its set. The analytic comparator is
+        # therefore the *contested* insertion pressure (each stream's miss
+        # rate when its lines are being evicted — here both streams miss
+        # every access, so equal weights) with B capped at its footprint:
+        # exactly the waterfill the server model uses, whose fixed point
+        # self-corrects toward this cap (lower share -> higher miss ratio
+        # -> higher pressure -> share recovers).
+        geo = CacheGeometry(64, 8)
+        ws_b = geo.n_sets * 2  # B wants 2 of 8 ways
+        occ_a, occ_b, miss_a, miss_b = self._corun_occupancy(
+            streaming_trace(10**9, footprint_lines=geo.n_sets * 64),
+            working_set_trace(10**9, make_rng(3), ws_lines=ws_b),
+            geo,
+        )
+        # Trace-level ground truth: B holds its footprint, A the rest.
+        assert occ_b == pytest.approx(2 / 8, abs=0.08)
+        assert occ_a > 0.6
+        # Equilibrium miss counts confirm the mechanism: B misses only to
+        # defend its set (orders of magnitude fewer than the scan).
+        assert miss_b < miss_a / 5
+        # Contested-pressure waterfill reproduces the split.
+        contested = np.array([1.0, 1.0])  # both all-miss when contested
+        predicted = waterfill(8.0, contested, np.array([np.inf, 2.0]))
+        assert predicted[1] / 8.0 == pytest.approx(occ_b, abs=0.1)
+        assert predicted[0] / 8.0 == pytest.approx(occ_a, abs=0.12)

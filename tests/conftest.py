@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.store import ResultStore
+from repro.sim.platform import TABLE1_PLATFORM
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """The paper's Table 1 platform (immutable, safe to share)."""
+    return TABLE1_PLATFORM
+
+
+@pytest.fixture(scope="session")
+def store():
+    """A session-wide result store so expensive runs are shared."""
+    return ResultStore()

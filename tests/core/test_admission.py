@@ -1,0 +1,57 @@
+"""Tests for the BE-admission planner."""
+
+import pytest
+
+from repro.core.admission import find_max_bes
+from repro.core.policies import CacheTakeoverPolicy, DicerPolicy, UnmanagedPolicy
+from repro.metrics.slo import slo_achieved
+
+
+class TestFindMaxBes:
+    def test_compute_bes_fully_admissible(self):
+        plan = find_max_bes("namd1", "povray1", CacheTakeoverPolicy(), 0.9)
+        assert plan.max_bes == 9
+
+    def test_streaming_bes_limited_under_um(self):
+        plan = find_max_bes("omnetpp1", "milc1", UnmanagedPolicy(), 0.8)
+        assert plan.max_bes < 9
+
+    def test_answer_is_consistent_with_probes(self):
+        plan = find_max_bes("omnetpp1", "milc1", CacheTakeoverPolicy(), 0.8)
+        # The admitted count meets the SLO (when probed)...
+        if plan.max_bes in plan.probes:
+            assert slo_achieved(
+                plan.probes[plan.max_bes].hp_norm_ipc, plan.slo
+            )
+        # ...and the next one fails (when probed).
+        reject = plan.max_bes + 1
+        if reject in plan.probes:
+            assert not slo_achieved(plan.probes[reject].hp_norm_ipc, plan.slo)
+
+    def test_zero_admission_possible(self):
+        # A hopeless pairing: extremely strict SLO.
+        plan = find_max_bes("omnetpp1", "milc1", UnmanagedPolicy(), 0.99)
+        assert plan.max_bes == 0
+
+    def test_frontier_sorted(self):
+        plan = find_max_bes("omnetpp1", "bzip22", DicerPolicy(), 0.85)
+        frontier = plan.frontier()
+        assert [n for n, _, _ in frontier] == sorted(
+            n for n, _, _ in frontier
+        )
+
+    def test_max_cores_respected(self):
+        plan = find_max_bes(
+            "namd1", "povray1", CacheTakeoverPolicy(), 0.9, max_cores=4
+        )
+        assert plan.max_bes <= 3
+
+    def test_needs_room_for_a_be(self):
+        with pytest.raises(ValueError):
+            find_max_bes(
+                "namd1", "povray1", CacheTakeoverPolicy(), 0.9, max_cores=1
+            )
+
+    def test_search_is_logarithmic(self):
+        plan = find_max_bes("omnetpp1", "gcc_base3", CacheTakeoverPolicy(), 0.8)
+        assert len(plan.probes) <= 5  # binary search over 9 candidates

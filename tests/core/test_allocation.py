@@ -1,0 +1,78 @@
+"""Unit tests for Allocation."""
+
+import pytest
+
+from repro.core.allocation import Allocation
+
+
+class TestConstruction:
+    def test_be_ways_derived(self):
+        a = Allocation(hp_ways=12, total_ways=20)
+        assert a.be_ways == 8
+
+    def test_overlap_reduces_exclusive_be(self):
+        a = Allocation(hp_ways=4, total_ways=20, overlap_ways=6)
+        assert a.be_ways == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hp_ways": 0, "total_ways": 20},
+            {"hp_ways": 20, "total_ways": 20},
+            {"hp_ways": 1, "total_ways": 1},
+            {"hp_ways": 10, "total_ways": 20, "overlap_ways": 10},
+            {"hp_ways": 1, "total_ways": 20, "overlap_ways": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Allocation(**kwargs)
+
+
+class TestFactories:
+    def test_cache_takeover(self):
+        ct = Allocation.cache_takeover(20)
+        assert ct.hp_ways == 19
+        assert ct.be_ways == 1
+
+    def test_even_split(self):
+        assert Allocation.even_split(20).hp_ways == 10
+
+
+class TestTransitions:
+    def test_shrink(self):
+        a = Allocation(hp_ways=5, total_ways=20)
+        assert a.shrink_hp().hp_ways == 4
+
+    def test_shrink_at_floor_is_identity(self):
+        a = Allocation(hp_ways=1, total_ways=20)
+        assert a.shrink_hp() is a
+
+    def test_shrink_preserves_overlap(self):
+        a = Allocation(hp_ways=5, total_ways=20, overlap_ways=3)
+        assert a.shrink_hp().overlap_ways == 3
+
+    def test_with_hp_ways(self):
+        a = Allocation(hp_ways=5, total_ways=20)
+        assert a.with_hp_ways(2).hp_ways == 2
+
+
+class TestConversion:
+    def test_to_partition(self):
+        part = Allocation(hp_ways=19, total_ways=20).to_partition(10)
+        assert part.hp_ways == 19.0
+        assert part.n_cores == 10
+
+    def test_to_partition_with_overlap(self):
+        part = Allocation(hp_ways=4, total_ways=20, overlap_ways=6).to_partition(4)
+        assert part.shared_ways == 6.0
+
+    def test_str(self):
+        assert str(Allocation(hp_ways=19, total_ways=20)) == "HP:19/BE:1"
+        assert "sh" in str(Allocation(hp_ways=4, total_ways=20, overlap_ways=2))
+
+    def test_ordering_and_equality(self):
+        a = Allocation(hp_ways=3, total_ways=20)
+        b = Allocation(hp_ways=4, total_ways=20)
+        assert a < b
+        assert a == Allocation(hp_ways=3, total_ways=20)

@@ -1,0 +1,72 @@
+"""Unit tests for DicerConfig."""
+
+import pytest
+
+from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.sim.platform import bytes_to_gbps
+
+
+class TestTable1Defaults:
+    def test_paper_values(self):
+        c = TABLE1_DICER_CONFIG
+        assert c.period_s == 1.0
+        assert bytes_to_gbps(c.bw_threshold_bytes) == pytest.approx(50.0)
+        assert c.phase_threshold == pytest.approx(0.30)
+        assert c.alpha == pytest.approx(0.05)
+
+    def test_sampling_grid_decreasing(self):
+        grid = TABLE1_DICER_CONFIG.sample_hp_ways
+        assert list(grid) == sorted(set(grid), reverse=True)
+        assert min(grid) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_s": 0.0},
+            {"bw_threshold_bytes": -1.0},
+            {"phase_threshold": 0.0},
+            {"alpha": 1.5},
+            {"sample_periods": 0},
+            {"resample_cooldown_periods": -1},
+            {"sample_hp_ways": ()},
+            {"sample_hp_ways": (1, 5, 3)},  # not decreasing
+            {"sample_hp_ways": (5, 5, 1)},  # duplicate
+            {"sample_hp_ways": (5, 0)},  # zero ways
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            DicerConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE1_DICER_CONFIG.alpha = 0.1
+
+    def test_custom_config(self):
+        c = DicerConfig(period_s=0.5, alpha=0.1)
+        assert c.period_s == 0.5
+        assert c != TABLE1_DICER_CONFIG
+
+
+class TestForWays:
+    def test_grid_shape(self):
+        config = DicerConfig.for_ways(11)
+        grid = config.sample_hp_ways
+        assert grid[0] == 10  # starts at CT
+        assert grid[-1] == 1  # ends at the floor
+        assert list(grid) == sorted(set(grid), reverse=True)
+
+    def test_respects_way_count(self):
+        for ways in (2, 4, 11, 15, 20, 24):
+            grid = DicerConfig.for_ways(ways).sample_hp_ways
+            assert max(grid) < ways
+
+    def test_overrides_pass_through(self):
+        config = DicerConfig.for_ways(15, alpha=0.1)
+        assert config.alpha == 0.1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DicerConfig.for_ways(1)

@@ -1,0 +1,106 @@
+"""Tests for the DICER-MBA extension."""
+
+import pytest
+
+from repro.core.config import DicerConfig
+from repro.core.mba import MBA_LEVELS, MbaDicerController, MbaDicerPolicy
+from repro.rdt.sample import PeriodSample
+
+QUIET = 10e9 / 8
+SATURATED = 55e9 / 8
+
+
+def sample(ipc=0.5, total_bw=QUIET):
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=1e9,
+        total_mem_bytes_s=total_bw,
+    )
+
+
+def controller(**kwargs):
+    config = DicerConfig(sample_hp_ways=(8, 2), **kwargs)
+    return MbaDicerController(config, 20)
+
+
+class TestLevels:
+    def test_default_levels(self):
+        assert MBA_LEVELS[0] == 1.0
+        assert list(MBA_LEVELS) == sorted(set(MBA_LEVELS), reverse=True)
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError, match="1.0"):
+            MbaDicerController(DicerConfig(), 20, levels=(0.8, 0.5))
+        with pytest.raises(ValueError, match="decreasing"):
+            MbaDicerController(DicerConfig(), 20, levels=(1.0, 0.5, 0.7))
+
+
+class TestThrottling:
+    def test_unthrottled_when_quiet(self):
+        c = controller()
+        for _ in range(5):
+            c.update(sample())
+        assert c.be_throttle == 1.0
+
+    def test_no_throttle_during_sampling(self):
+        c = controller()
+        c.update(sample(total_bw=SATURATED))  # enters sampling
+        assert c.be_throttle == 1.0
+
+    def test_persistent_saturation_steps_down(self):
+        c = controller(resample_cooldown_periods=10)
+        # Sampling pass: 1 trigger + 2 samples.
+        c.update(sample(total_bw=SATURATED))
+        c.update(sample(ipc=0.5, total_bw=SATURATED))
+        c.update(sample(ipc=0.4, total_bw=SATURATED))
+        # Saturation persists after sampling (cooldown suppresses resample):
+        # each further saturated period steps the throttle one level.
+        c.update(sample(total_bw=SATURATED))
+        first = c.be_throttle
+        c.update(sample(total_bw=SATURATED))
+        second = c.be_throttle
+        assert first < 1.0
+        assert second < first
+
+    def test_throttle_floors_at_last_level(self):
+        c = controller(resample_cooldown_periods=10)
+        for _ in range(20):
+            c.update(sample(total_bw=SATURATED))
+        assert c.be_throttle == MBA_LEVELS[-1]
+
+    def test_relaxes_after_quiet_periods(self):
+        c = controller(resample_cooldown_periods=10)
+        for _ in range(6):
+            c.update(sample(total_bw=SATURATED))
+        throttled = c.be_throttle
+        for _ in range(4):
+            c.update(sample(total_bw=QUIET))
+        assert c.be_throttle > throttled
+
+
+class TestPolicy:
+    def test_policy_name_and_surface(self):
+        p = MbaDicerPolicy()
+        p.setup(20)
+        assert p.name == "DICER-MBA"
+        assert p.be_throttle == 1.0
+        assert p.dynamic
+
+    def test_fresh(self):
+        p = MbaDicerPolicy()
+        q = p.fresh()
+        assert isinstance(q, MbaDicerPolicy)
+        assert q is not p
+
+    def test_end_to_end_protects_hp(self):
+        # Compute HP + 9 streaming BEs: the saturated-at-optimum case.
+        from repro.core.policies import DicerPolicy
+        from repro.experiments.runner import run_pair
+        from repro.workloads.mix import make_mix
+
+        mix = make_mix("namd1", "lbm1", n_be=9)
+        base = run_pair(mix, DicerPolicy())
+        mba = run_pair(mix, MbaDicerPolicy())
+        assert mba.hp_norm_ipc > base.hp_norm_ipc
+        assert mba.be_norm_ipc < base.be_norm_ipc  # the price

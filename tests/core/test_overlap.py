@@ -1,0 +1,65 @@
+"""Tests for the overlapping-partition exploration."""
+
+import pytest
+
+from repro.core.overlap import explore_overlap, render_overlap
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return explore_overlap(
+        "omnetpp1",
+        "bzip22",
+        hp_ways_grid=(2, 6),
+        overlap_grid=(0, 4),
+    )
+
+
+class TestExploreOverlap:
+    def test_grid_coverage(self, sweep):
+        assert set(sweep.results) == {(2, 0), (2, 4), (6, 0), (6, 4)}
+
+    def test_infeasible_points_skipped(self):
+        sweep = explore_overlap(
+            "namd1",
+            "povray1",
+            n_be=2,
+            hp_ways_grid=(8,),
+            overlap_grid=(0, 12),
+        )
+        # 8 + 12 = 20 leaves no exclusive BE way: skipped.
+        assert (8, 12) not in sweep.results
+        assert (8, 0) in sweep.results
+
+    def test_best_filters(self, sweep):
+        (_, ov), _ = sweep.best(overlapping=True)
+        assert ov > 0
+        (_, ov), _ = sweep.best(overlapping=False)
+        assert ov == 0
+
+    def test_best_is_max_efu(self, sweep):
+        _, best = sweep.best()
+        assert best.efu == max(r.efu for r in sweep.results.values())
+
+    def test_bad_filter_rejected(self, sweep):
+        lonely = explore_overlap(
+            "namd1", "povray1", n_be=2, hp_ways_grid=(2,), overlap_grid=(0,)
+        )
+        with pytest.raises(ValueError):
+            lonely.best(overlapping=True)
+
+    def test_overlap_gives_hp_more_reach(self):
+        # For a cache-hungry HP, adding a shared zone on top of a small
+        # exclusive slice must not hurt its performance.
+        sweep = explore_overlap(
+            "omnetpp1", "bzip22", hp_ways_grid=(2,), overlap_grid=(0, 8)
+        )
+        assert (
+            sweep.results[(2, 8)].hp_norm_ipc
+            >= sweep.results[(2, 0)].hp_norm_ipc - 1e-9
+        )
+
+    def test_render(self, sweep):
+        text = render_overlap(sweep)
+        assert "Overlapping partitions" in text
+        assert "best:" in text

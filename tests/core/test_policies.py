@@ -1,0 +1,86 @@
+"""Unit tests for the policy layer."""
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    StaticPolicy,
+    UnmanagedPolicy,
+)
+from repro.rdt.sample import PeriodSample
+
+
+def sample():
+    return PeriodSample(
+        duration_s=1.0, hp_ipc=0.5, hp_mem_bytes_s=1e9, total_mem_bytes_s=3e9
+    )
+
+
+class TestStaticPolicies:
+    def test_unmanaged(self):
+        p = UnmanagedPolicy()
+        assert p.setup(20) is None
+        assert p.dynamic is False
+        assert p.name == "UM"
+
+    def test_cache_takeover(self):
+        p = CacheTakeoverPolicy()
+        assert p.setup(20) == Allocation.cache_takeover(20)
+        assert p.name == "CT"
+
+    def test_static(self):
+        p = StaticPolicy(7)
+        assert p.setup(20).hp_ways == 7
+        assert p.name == "S7"
+
+    def test_static_with_overlap(self):
+        p = StaticPolicy(4, overlap_ways=2)
+        allocation = p.setup(20)
+        assert allocation.overlap_ways == 2
+        assert "o" in p.name
+
+    def test_update_is_noop(self):
+        p = CacheTakeoverPolicy()
+        p.setup(20)
+        assert p.update(sample()) is None
+
+    def test_fresh_returns_self_for_stateless(self):
+        p = UnmanagedPolicy()
+        assert p.fresh() is p
+
+
+class TestDicerPolicy:
+    def test_dynamic_with_period(self):
+        p = DicerPolicy(DicerConfig(period_s=0.5))
+        assert p.dynamic is True
+        assert p.period_s == 0.5
+
+    def test_setup_builds_controller(self):
+        p = DicerPolicy()
+        allocation = p.setup(20)
+        assert allocation == Allocation.cache_takeover(20)
+        assert p.controller is not None
+
+    def test_controller_before_setup_rejected(self):
+        with pytest.raises(RuntimeError, match="setup"):
+            DicerPolicy().controller
+
+    def test_update_delegates(self):
+        p = DicerPolicy()
+        p.setup(20)
+        allocation = p.update(sample())
+        assert isinstance(allocation, Allocation)
+        assert len(p.controller.trace) == 1
+
+    def test_fresh_resets_state(self):
+        p = DicerPolicy()
+        p.setup(20)
+        p.update(sample())
+        q = p.fresh()
+        assert q is not p
+        assert q.config is p.config
+        q.setup(20)
+        assert len(q.controller.trace) == 0

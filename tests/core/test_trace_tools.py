@@ -1,0 +1,58 @@
+"""Tests for trace rendering helpers."""
+
+import pytest
+
+from repro.core.policies import DicerPolicy
+from repro.core.trace_tools import allocation_strip, render_trace, summarise_trace
+from repro.experiments.runner import run_pair
+from repro.workloads.mix import make_mix
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_pair(make_mix("milc1", "gcc_base6", 9), DicerPolicy()).trace
+
+
+class TestRenderTrace:
+    def test_one_line_per_period(self, trace):
+        text = render_trace(trace)
+        assert len(text.splitlines()) == len(trace) + 1  # + header
+
+    def test_limit_with_ellipsis(self, trace):
+        text = render_trace(trace, limit=5)
+        assert "more periods" in text
+        assert len(text.splitlines()) == 7
+
+    def test_flags_shown(self, trace):
+        text = render_trace(trace)
+        assert "SAT" in text  # the flagship pair saturates under CT
+
+
+class TestAllocationStrip:
+    def test_glyphs(self, trace):
+        strip = allocation_strip(trace)
+        assert strip.startswith("HP ways/period:")
+        # Starts at CT (19 ways = 'j').
+        assert "j" in strip
+
+    def test_decimation(self, trace):
+        strip = allocation_strip(trace, width=10)
+        payload = strip.split("[")[1].split("]")[0]
+        assert len(payload) <= 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allocation_strip([])
+
+
+class TestSummarise:
+    def test_counters(self, trace):
+        summary = summarise_trace(trace)
+        assert summary["periods"] == len(trace)
+        assert summary["sampling_periods"] > 0
+        assert summary["final_hp_ways"] <= 4  # settles small (Fig. 3)
+        assert 1 <= summary["mean_hp_ways"] <= 19
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise_trace([])

@@ -1,0 +1,49 @@
+"""Smoke + behaviour tests for the ablation sweeps (tiny configurations)."""
+
+from repro.experiments.ablation import (
+    sweep_alpha,
+    sweep_bw_threshold,
+    sweep_cooldown,
+    sweep_noise_robustness,
+    sweep_phase_threshold,
+    sweep_sampling_grid,
+)
+
+
+class TestSweeps:
+    def test_bw_threshold(self):
+        text = sweep_bw_threshold(
+            thresholds_gbps=(40.0, 68.0), pairs=(("milc1", "gcc_base6"),)
+        )
+        assert "thr=40Gbps" in text and "thr=68Gbps" in text
+
+    def test_alpha(self):
+        text = sweep_alpha(alphas=(0.05,), pairs=(("omnetpp1", "bzip22"),))
+        assert "alpha=5%" in text
+
+    def test_phase_threshold(self):
+        text = sweep_phase_threshold(
+            thresholds=(0.3,), pairs=(("wrf1", "gcc_base5"),)
+        )
+        assert "phase_thr=30%" in text
+
+    def test_sampling_grid(self):
+        text = sweep_sampling_grid(pairs=(("milc1", "gcc_base6"),))
+        assert "exhaustive" in text
+
+    def test_cooldown(self):
+        text = sweep_cooldown(cooldowns=(0, 5), pairs=(("milc1", "milc1"),))
+        assert "cooldown=0" in text
+
+    def test_noise(self):
+        text = sweep_noise_robustness(
+            noise_levels=(0.0, 0.05),
+            alphas=(0.05,),
+            pairs=(("milc1", "gcc_base6"),),
+        )
+        assert "noise=5%" in text
+        # Noise must not crash the controller or destroy the result: every
+        # HP norm IPC row stays positive.
+        for line in text.splitlines()[4:]:
+            cells = [c.strip() for c in line.split("|")]
+            assert float(cells[2]) > 0.3

@@ -1,0 +1,85 @@
+"""Tests for CT-F/CT-T classification and the 120-workload sample."""
+
+import pytest
+
+from repro.experiments.classify import (
+    PairClass,
+    classify_all,
+    classify_pair,
+    representative_sample,
+)
+
+# A small but class-diverse corner of the catalog.
+SUBSET = [
+    "milc1",
+    "omnetpp1",
+    "namd1",
+    "bzip22",
+    "gcc_base6",
+    "lbm1",
+    "hmmer1",
+    "sphinx1",
+]
+
+
+class TestClassifyPair:
+    def test_known_ct_favoured(self, store):
+        cls = classify_pair(store, "omnetpp1", "bzip22")
+        assert cls.ct_favoured
+        assert cls.label == "CT-F"
+
+    def test_known_ct_thwarted(self, store):
+        cls = classify_pair(store, "milc1", "gcc_base6")
+        assert not cls.ct_favoured
+        assert cls.label == "CT-T"
+
+    def test_compute_hp_is_ct_thwarted(self, store):
+        # CT cannot improve an app that does not use the LLC.
+        cls = classify_pair(store, "namd1", "hmmer1")
+        assert not cls.ct_favoured
+
+
+class TestClassifyAll:
+    def test_subset_population(self, store):
+        classes = classify_all(
+            store, hp_names=SUBSET, be_names=SUBSET
+        )
+        assert len(classes) == len(SUBSET) ** 2
+        labels = {c.label for c in classes}
+        assert labels == {"CT-F", "CT-T"}
+
+
+class TestRepresentativeSample:
+    def _classes(self, n_f, n_t):
+        ctf = [
+            PairClass(f"f{i}", "x", um_slowdown=2.0, ct_slowdown=1.0)
+            for i in range(n_f)
+        ]
+        ctt = [
+            PairClass(f"t{i}", "x", um_slowdown=1.0, ct_slowdown=1.0)
+            for i in range(n_t)
+        ]
+        return ctf + ctt
+
+    def test_sizes(self):
+        sample = representative_sample(
+            self._classes(100, 100), n_ctf=50, n_ctt=70
+        )
+        assert len(sample) == 120
+        assert sum(1 for c in sample if c.ct_favoured) == 50
+
+    def test_deterministic_per_seed(self):
+        classes = self._classes(100, 100)
+        a = representative_sample(classes, seed=1)
+        b = representative_sample(classes, seed=1)
+        assert [c.hp_name for c in a] == [c.hp_name for c in b]
+
+    def test_seed_changes_sample(self):
+        classes = self._classes(200, 200)
+        a = representative_sample(classes, seed=1)
+        b = representative_sample(classes, seed=2)
+        assert [c.hp_name for c in a] != [c.hp_name for c in b]
+
+    def test_underpopulated_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            representative_sample(self._classes(10, 100), n_ctf=50, n_ctt=70)

@@ -1,0 +1,55 @@
+"""Tests for the dicer-repro CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig1_limited(self, capsys):
+        assert main(["fig1", "--limit", "4"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig2_limited(self, capsys):
+        assert main(["fig2", "--limit", "3"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_fig6_limited(self, capsys):
+        assert main(["fig6", "--limit", "6", "--cores", "2", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "DICER" in out
+
+    def test_fig5_uses_max_cores_only(self, capsys):
+        assert main(["fig5", "--limit", "6", "--cores", "4"]) == 0
+        assert "CT-" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_cache_persists(self, tmp_path, capsys):
+        cache = tmp_path / "results.json"
+        assert main(["fig1", "--limit", "3", "--cache", str(cache)]) == 0
+        assert cache.exists()
+
+    def test_ablation_classify(self, capsys):
+        assert main(["ablation-classify", "--limit", "5"]) == 0
+        assert "CT-T share" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        assert main([
+            "recommend", "--hp", "namd1", "--be", "povray1", "--slo", "0.9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Recommendation" in out and "Verdict" in out
+
+    def test_ablation_detector(self, capsys):
+        # Smoke only: a single fast pair.
+        from repro.experiments.ablation import sweep_phase_detector
+
+        text = sweep_phase_detector(pairs=(("wrf1", "gcc_base5"),))
+        assert "ewma" in text

@@ -1,0 +1,58 @@
+"""Tests for the shared campaign grid."""
+
+import pytest
+
+from repro.core.policies import DicerPolicy, UnmanagedPolicy
+from repro.experiments.grid import build_sample, default_policies, run_grid
+
+
+class TestBuildSample:
+    def test_limited_population(self, store):
+        sample = build_sample(store, limit=8, seed=0)
+        assert 0 < len(sample) <= 64
+        labels = {c.label for c in sample}
+        assert labels <= {"CT-F", "CT-T"}
+
+    def test_deterministic(self, store):
+        a = build_sample(store, limit=8, seed=3)
+        b = build_sample(store, limit=8, seed=3)
+        assert [(c.hp_name, c.be_name) for c in a] == [
+            (c.hp_name, c.be_name) for c in b
+        ]
+
+
+class TestRunGrid:
+    @pytest.fixture(scope="class")
+    def small_grid(self, store):
+        sample = build_sample(store, limit=6, seed=0)
+        return run_grid(store, sample, cores=(2, 10))
+
+    def test_dimensions(self, small_grid):
+        expected = len(small_grid.sample) * len(small_grid.cores) * 3
+        assert len(small_grid.points) == expected
+        assert small_grid.policies == ("UM", "CT", "DICER")
+
+    def test_select_filters(self, small_grid):
+        um10 = small_grid.select(policy="UM", n_cores=10)
+        assert len(um10) == len(small_grid.sample)
+        assert all(p.policy == "UM" and p.n_cores == 10 for p in um10)
+
+    def test_select_by_class(self, small_grid):
+        ctf = small_grid.select(workload_class="CT-F")
+        ctt = small_grid.select(workload_class="CT-T")
+        assert len(ctf) + len(ctt) == len(small_grid.points)
+
+    def test_results_match_core_count(self, small_grid):
+        for p in small_grid.points:
+            assert p.result.n_be == p.n_cores - 1
+
+    def test_custom_policies(self, store):
+        sample = build_sample(store, limit=5, seed=0)
+        grid = run_grid(
+            store, sample, cores=(10,),
+            policies=[UnmanagedPolicy(), DicerPolicy()],
+        )
+        assert grid.policies == ("UM", "DICER")
+
+    def test_default_policies(self):
+        assert [p.name for p in default_policies()] == ["UM", "CT", "DICER"]

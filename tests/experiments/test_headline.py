@@ -1,0 +1,39 @@
+"""Tests for the headline-claims evaluator."""
+
+import pytest
+
+from repro.experiments.grid import build_sample, run_grid
+from repro.experiments.headline import evaluate_headlines, render_headlines
+
+
+@pytest.fixture(scope="module")
+def grid(store):
+    sample = build_sample(store, limit=8, seed=0)
+    return run_grid(store, sample, cores=(10,))
+
+
+class TestHeadlines:
+    def test_claims_computed(self, grid):
+        claims = evaluate_headlines(grid, ctt_fraction=0.55)
+        assert len(claims) == 4
+        for c in claims:
+            assert 0.0 <= c.measured_value <= 1.0
+        assert claims[3].paper_value == 0.60
+
+    def test_ctt_optional(self, grid):
+        assert len(evaluate_headlines(grid)) == 3
+
+    def test_render(self, grid):
+        text = render_headlines(evaluate_headlines(grid, ctt_fraction=0.6))
+        assert "paper vs reproduction" in text
+        assert "SLO 80%" in text
+
+    def test_requires_dicer_points(self, store):
+        sample = build_sample(store, limit=6, seed=0)
+        from repro.core.policies import UnmanagedPolicy
+
+        no_dicer = run_grid(
+            store, sample, cores=(10,), policies=[UnmanagedPolicy()]
+        )
+        with pytest.raises(ValueError, match="DICER"):
+            evaluate_headlines(no_dicer)

@@ -1,0 +1,62 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.grid import build_sample, run_grid
+from repro.experiments.reporting import (
+    fig1_to_csv,
+    fig2_to_csv,
+    grid_to_csv,
+    write_csv,
+)
+
+
+def read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCsv:
+    def test_basic(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        rows = read(path)
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["3", "4"]
+
+    def test_width_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ["a"], [[1, 2]])
+
+    def test_creates_parents(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_no_tmp_leftover(self, tmp_path):
+        write_csv(tmp_path / "x.csv", ["a"], [[1]])
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCampaignExports:
+    def test_fig1(self, tmp_path, store):
+        data = run_fig1(store, limit_hp=3, limit_be=3)
+        rows = read(fig1_to_csv(data, tmp_path / "fig1.csv"))
+        assert rows[0] == ["slowdown", "um_fraction", "ct_fraction"]
+        assert len(rows) == 11  # header + 10 grid points
+
+    def test_fig2(self, tmp_path):
+        data = run_fig2(limit=3)
+        rows = read(fig2_to_csv(data, tmp_path / "fig2.csv"))
+        assert rows[0][0] == "ways"
+        assert len(rows) == 21  # header + 20 way counts
+
+    def test_grid(self, tmp_path, store):
+        sample = build_sample(store, limit=5, seed=0)
+        grid = run_grid(store, sample, cores=(2, 10))
+        rows = read(grid_to_csv(grid, tmp_path / "grid.csv"))
+        assert rows[0][:3] == ["hp", "be", "class"]
+        assert len(rows) == 1 + len(grid.points)
+        assert {r[3] for r in rows[1:]} == {"2", "10"}

@@ -1,0 +1,76 @@
+"""Tests for heterogeneous-mix execution."""
+
+import pytest
+
+from repro.core.policies import CacheTakeoverPolicy, DicerPolicy, UnmanagedPolicy
+from repro.experiments.runner import run_custom
+from repro.workloads.catalog import get_app
+from repro.workloads.mix import HeterogeneousMix
+
+
+def make_mix(be_names):
+    return HeterogeneousMix(
+        hp=get_app("omnetpp1"), bes=tuple(get_app(n) for n in be_names)
+    )
+
+
+class TestHeterogeneousMix:
+    def test_requires_bes(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMix(hp=get_app("namd1"), bes=())
+
+    def test_apps_layout(self):
+        mix = make_mix(["milc1", "milc1", "namd1"])
+        apps = mix.apps()
+        assert [a.name for a in apps] == [
+            "omnetpp1",
+            "milc1#0",
+            "milc1#1",
+            "namd1#2",
+        ]
+
+    def test_label(self):
+        mix = make_mix(["milc1", "namd1"])
+        assert "milc1" in mix.label and "namd1" in mix.label
+
+
+class TestRunCustom:
+    @pytest.fixture(scope="class")
+    def mix(self):
+        return make_mix(["milc1", "bzip22", "namd1", "lbm1"])
+
+    def test_per_be_normalisation(self, mix):
+        result = run_custom(mix, UnmanagedPolicy())
+        assert len(result.be_norm_ipcs) == 4
+        # The compute BE (namd) must be far less affected than the
+        # streaming BEs sharing a saturated link.
+        namd = result.be_norm_ipcs[2]
+        lbm = result.be_norm_ipcs[3]
+        assert namd > lbm
+
+    def test_policies_ordering(self, mix):
+        um = run_custom(mix, UnmanagedPolicy())
+        ct = run_custom(mix, CacheTakeoverPolicy())
+        dicer = run_custom(mix, DicerPolicy())
+        # CT protects the sensitive HP most; DICER sits between on HP
+        # while beating CT on batch throughput.
+        assert ct.hp_norm_ipc > um.hp_norm_ipc
+        assert dicer.hp_norm_ipc > um.hp_norm_ipc
+        assert (
+            sum(dicer.be_norm_ipcs) > sum(ct.be_norm_ipcs)
+        )
+
+    def test_dicer_trace_present(self, mix):
+        result = run_custom(mix, DicerPolicy())
+        assert len(result.trace) > 0
+
+    def test_efu_bounds(self, mix):
+        for policy in (UnmanagedPolicy(), DicerPolicy()):
+            result = run_custom(mix, policy)
+            assert 0.0 < result.efu <= 1.0
+
+    def test_deterministic(self, mix):
+        a = run_custom(mix, DicerPolicy())
+        b = run_custom(mix, DicerPolicy())
+        assert a.hp_norm_ipc == b.hp_norm_ipc
+        assert a.be_norm_ipcs == b.be_norm_ipcs

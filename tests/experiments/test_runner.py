@@ -1,0 +1,62 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    StaticPolicy,
+    UnmanagedPolicy,
+)
+from repro.experiments.runner import run_pair
+from repro.workloads.mix import make_mix
+
+
+class TestRunPair:
+    def test_result_fields(self):
+        result = run_pair(make_mix("milc1", "gcc_base6", 9), UnmanagedPolicy())
+        assert result.policy == "UM"
+        assert result.hp_name == "milc1"
+        assert result.n_be == 9
+        assert 0 < result.hp_norm_ipc <= 1.05
+        assert 0 < result.be_norm_ipc <= 1.05
+        assert result.hp_slowdown >= 1.0
+        assert 0 < result.efu <= 1.0
+        assert result.hp_completions >= 1
+        assert result.trace == ()
+
+    def test_norm_ipc_and_slowdown_consistent(self):
+        # For a single-phase HP, time-based slowdown ~ 1 / normalised IPC.
+        result = run_pair(
+            make_mix("omnetpp1", "bzip22", 9), CacheTakeoverPolicy()
+        )
+        assert result.hp_slowdown == pytest.approx(
+            1.0 / result.hp_norm_ipc, rel=0.15
+        )
+
+    def test_dicer_records_trace(self):
+        result = run_pair(make_mix("milc1", "gcc_base6", 9), DicerPolicy())
+        assert len(result.trace) > 5
+        assert result.trace[0].period == 1
+
+    def test_policy_reuse_is_safe(self):
+        # The same policy object may be passed twice; fresh() isolates runs.
+        policy = DicerPolicy()
+        a = run_pair(make_mix("milc1", "gcc_base6", 9), policy)
+        b = run_pair(make_mix("milc1", "gcc_base6", 9), policy)
+        assert a.hp_norm_ipc == pytest.approx(b.hp_norm_ipc)
+
+    def test_static_policy(self):
+        result = run_pair(make_mix("milc1", "gcc_base6", 9), StaticPolicy(2))
+        assert result.policy == "S2"
+
+    def test_deterministic(self):
+        a = run_pair(make_mix("wrf1", "gcc_base5", 9), DicerPolicy())
+        b = run_pair(make_mix("wrf1", "gcc_base5", 9), DicerPolicy())
+        assert a.hp_norm_ipc == b.hp_norm_ipc
+        assert a.efu == b.efu
+
+    def test_smaller_mixes(self):
+        result = run_pair(make_mix("milc1", "gcc_base6", 1), DicerPolicy())
+        assert result.n_be == 1
+        assert result.efu > 0

@@ -1,0 +1,58 @@
+"""Tests for the memoising result store."""
+
+import json
+
+from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.experiments.store import ResultStore
+
+
+class TestMemoisation:
+    def test_same_key_returns_cached(self):
+        store = ResultStore()
+        a = store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        b = store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        assert a is b
+        assert len(store) == 1
+
+    def test_distinct_policies_distinct_entries(self):
+        store = ResultStore()
+        store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        store.get("milc1", "gcc_base6", CacheTakeoverPolicy())
+        assert len(store) == 2
+
+    def test_distinct_sizes_distinct_entries(self):
+        store = ResultStore()
+        store.get("milc1", "gcc_base6", UnmanagedPolicy(), n_be=3)
+        store.get("milc1", "gcc_base6", UnmanagedPolicy(), n_be=9)
+        assert len(store) == 2
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = ResultStore(cache_path=path)
+        result = store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        store.save()
+        assert path.exists()
+
+        reloaded = ResultStore(cache_path=path)
+        assert len(reloaded) == 1
+        cached = reloaded.get("milc1", "gcc_base6", UnmanagedPolicy())
+        assert cached.hp_norm_ipc == result.hp_norm_ipc
+
+    def test_save_without_path_is_noop(self):
+        store = ResultStore()
+        store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        store.save()  # must not raise
+
+    def test_corrupt_cache_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        store = ResultStore(cache_path=path)
+        assert len(store) == 0
+
+    def test_schema_drift_recomputes(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps([{"unknown_field": 1}]))
+        store = ResultStore(cache_path=path)
+        assert len(store) == 0

@@ -1,0 +1,108 @@
+"""Fuzz tests: random populations and adversarial sample streams.
+
+The controller and solver must stay within their invariants for *any*
+workload the model can express, not just the calibrated catalog.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig
+from repro.core.dicer import DicerController
+from repro.core.policies import DicerPolicy, UnmanagedPolicy
+from repro.experiments.runner import run_custom, run_pair
+from repro.rdt.sample import PeriodSample
+from repro.sim.platform import TABLE1_PLATFORM
+from repro.util.rng import make_rng
+from repro.workloads.generator import random_app, random_population
+from repro.workloads.mix import HeterogeneousMix, WorkloadMix
+
+samples = st.builds(
+    PeriodSample,
+    duration_s=st.just(1.0),
+    hp_ipc=st.floats(min_value=1e-3, max_value=3.0),
+    hp_mem_bytes_s=st.floats(min_value=0.0, max_value=9e9),
+    total_mem_bytes_s=st.floats(min_value=0.0, max_value=9e9),
+)
+
+
+class TestControllerFuzz:
+    @given(st.lists(samples, min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_any_sample_stream_keeps_allocation_valid(self, stream):
+        controller = DicerController(DicerConfig(), total_ways=20)
+        for sample in stream:
+            allocation = controller.update(sample)
+            assert isinstance(allocation, Allocation)
+            assert 1 <= allocation.hp_ways <= 19
+            assert allocation.hp_ways + allocation.be_ways == 20
+
+    @given(st.lists(samples, min_size=1, max_size=60), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_trace_complete_and_ordered(self, stream, cooldown):
+        config = DicerConfig(resample_cooldown_periods=cooldown)
+        controller = DicerController(config, total_ways=20)
+        for sample in stream:
+            controller.update(sample)
+        assert len(controller.trace) == len(stream)
+        periods = [r.period for r in controller.trace]
+        assert periods == list(range(1, len(stream) + 1))
+
+    @given(st.lists(samples, min_size=5, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_ipc_opt_only_set_after_sampling(self, stream):
+        controller = DicerController(DicerConfig(), total_ways=20)
+        for sample in stream:
+            controller.update(sample)
+        if controller.ipc_opt is not None:
+            assert controller.ct_favoured is False
+
+
+class TestRandomWorkloadExecution:
+    """Random populations must run to completion under every policy."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_random_pair(self, seed):
+        rng = make_rng(seed)
+        hp = random_app("hp", rng)
+        be = random_app("be", rng)
+        mix = WorkloadMix(hp=hp, be=be, n_be=9)
+        for policy in (UnmanagedPolicy(), DicerPolicy()):
+            result = run_pair(mix, policy, TABLE1_PLATFORM)
+            assert 0 < result.hp_norm_ipc <= 1.1
+            assert 0 < result.efu <= 1.0
+            assert np.isfinite(result.hp_slowdown)
+
+    def test_random_heterogeneous_mix(self):
+        pop = list(random_population(7, seed=99).values())
+        mix = HeterogeneousMix(hp=pop[0], bes=tuple(pop[1:]))
+        result = run_custom(mix, DicerPolicy())
+        assert len(result.be_norm_ipcs) == 6
+        assert all(0 < b <= 1.1 for b in result.be_norm_ipcs)
+        assert 0 < result.efu <= 1.0
+
+    def test_random_population_solver_invariants(self):
+        # Steady states over random phases respect physical bounds.
+        from repro.sim.contention import solve_steady_state
+        from repro.sim.partition import PartitionSpec
+
+        pop = list(random_population(20, seed=4).values())
+        for i in range(0, 18, 3):
+            phases = [pop[i].phases[0]] + [pop[i + 1].phases[0]] * 5 + [
+                pop[i + 2].phases[0]
+            ] * 4
+            for part in (
+                PartitionSpec.unmanaged(10, 20),
+                PartitionSpec.hp_be(19, 10, 20),
+                PartitionSpec.hp_be(3, 10, 20, overlap_ways=4),
+            ):
+                state = solve_steady_state(TABLE1_PLATFORM, phases, part)
+                assert state.total_bw_bytes <= TABLE1_PLATFORM.mem_bw_bytes * (
+                    1 + 1e-9
+                )
+                assert np.all(state.ipc > 0)
+                assert np.all(state.ways >= -1e-9)
+                assert state.ways.sum() <= 20 + 1e-6

@@ -1,0 +1,125 @@
+"""Integration tests pinning the paper's qualitative results.
+
+These are the claims the reproduction must preserve (EXPERIMENTS.md tracks
+the quantitative deltas):
+
+* Figure 3's mechanism: for a bandwidth-bound HP with cache-hungry BEs, CT
+  is detrimental, small allocations win, UM sits near the best static
+  point, and DICER finds the small allocation.
+* Figure 5's headline: DICER tracks CT on CT-Favoured workloads and UM on
+  CT-Thwarted ones, while always improving BE throughput over CT.
+* Figures 6-8's ordering: DICER's utilisation ~ UM's >> CT's at high core
+  counts; DICER's SLO conformance >= UM's.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    UnmanagedPolicy,
+)
+from repro.experiments.runner import run_pair
+from repro.workloads.mix import make_mix
+
+
+def run_three(hp, be, n_be=9):
+    mix = make_mix(hp, be, n_be=n_be)
+    return {
+        p.name: run_pair(mix, p)
+        for p in (UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy())
+    }
+
+
+class TestFigure3Mechanism:
+    """milc (HP) + 9 gcc (BEs): the bandwidth-saturation case study."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_three("milc1", "gcc_base6")
+
+    def test_ct_is_detrimental(self, results):
+        assert results["CT"].hp_slowdown > results["UM"].hp_slowdown + 0.1
+
+    def test_dicer_matches_or_beats_um(self, results):
+        assert (
+            results["DICER"].hp_slowdown
+            <= results["UM"].hp_slowdown + 0.02
+        )
+
+    def test_dicer_finds_small_allocation(self, results):
+        final = results["DICER"].trace[-1].allocation
+        assert final.hp_ways <= 4
+
+    def test_dicer_detects_saturation_and_samples(self, results):
+        notes = [r.note for r in results["DICER"].trace]
+        assert any("sampling: start" in n for n in notes)
+        assert any("optimal" in n for n in notes)
+
+    def test_dicer_best_efu(self, results):
+        assert results["DICER"].efu >= results["UM"].efu - 0.02
+        assert results["DICER"].efu > results["CT"].efu + 0.2
+
+
+class TestFigure5CtFavoured:
+    """omnetpp (HP) + 9 bzip2 (BEs): cache-sensitive HP, polite BEs."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_three("omnetpp1", "bzip22")
+
+    def test_um_tramples_hp(self, results):
+        assert results["UM"].hp_norm_ipc < 0.6
+
+    def test_ct_protects_hp(self, results):
+        assert results["CT"].hp_norm_ipc > 0.8
+
+    def test_dicer_tracks_ct_on_hp(self, results):
+        assert results["DICER"].hp_norm_ipc > results["CT"].hp_norm_ipc - 0.05
+
+    def test_dicer_lifts_bes_over_ct(self, results):
+        assert results["DICER"].be_norm_ipc > results["CT"].be_norm_ipc
+
+    def test_dicer_lifts_efu_over_ct(self, results):
+        assert results["DICER"].efu > results["CT"].efu
+
+
+class TestCtThwartedClass:
+    """milc + milc: saturated whatever the partitioning."""
+
+    def test_ct_no_better_than_um(self):
+        results = run_three("milc1", "milc1")
+        assert (
+            results["CT"].hp_slowdown
+            >= results["UM"].hp_slowdown - 0.05
+        )
+
+    def test_dicer_close_to_um(self):
+        results = run_three("milc1", "milc1")
+        assert results["DICER"].hp_norm_ipc == pytest.approx(
+            results["UM"].hp_norm_ipc, abs=0.08
+        )
+
+
+class TestInsensitiveWorkloads:
+    def test_compute_pair_unaffected_by_policy(self):
+        results = run_three("namd1", "povray1")
+        for r in results.values():
+            assert r.hp_norm_ipc > 0.95
+        assert results["DICER"].efu == pytest.approx(
+            results["UM"].efu, abs=0.05
+        )
+
+
+class TestScalingWithCores:
+    """Figure 6's core message at two server widths."""
+
+    def test_ct_efu_collapses_with_more_bes(self):
+        small = run_pair(make_mix("omnetpp1", "bzip22", 2), CacheTakeoverPolicy())
+        large = run_pair(make_mix("omnetpp1", "bzip22", 9), CacheTakeoverPolicy())
+        assert large.efu < small.efu - 0.1
+
+    def test_dicer_beats_ct_efu_at_full_width(self):
+        ct = run_pair(make_mix("omnetpp1", "bzip22", 9), CacheTakeoverPolicy())
+        dicer = run_pair(make_mix("omnetpp1", "bzip22", 9), DicerPolicy())
+        assert dicer.efu > ct.efu

@@ -1,0 +1,93 @@
+"""The stack must work on platforms other than Table 1's.
+
+CAT hardware varies: 11-way CBMs (Xeon E5 v3), 15-way (Cascade Lake),
+different core counts and link speeds. Nothing in the controller or the
+simulator may hard-code Table 1's shape.
+"""
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig
+from repro.core.dicer import DicerController
+from repro.core.policies import CacheTakeoverPolicy, DicerPolicy, UnmanagedPolicy
+from repro.experiments.runner import run_pair
+from repro.sim.platform import PlatformConfig, gbps_to_bytes
+from repro.workloads.mix import make_mix
+
+#: An E5-v3-flavoured machine: 8 cores, 20 MB 11-way LLC, slower link.
+SMALL = PlatformConfig(
+    n_cores=8,
+    llc_ways=11,
+    llc_bytes=20 * 1024 * 1024,
+    mem_bw_bytes=gbps_to_bytes(40.0),
+)
+
+#: A wider machine: 12 cores... capped at 10 by the catalog's mixes, but
+#: the LLC is 15-way like Cascade Lake.
+WIDE = PlatformConfig(n_cores=12, llc_ways=15)
+
+
+def small_config() -> DicerConfig:
+    return DicerConfig(
+        bw_threshold_bytes=gbps_to_bytes(30.0),
+        sample_hp_ways=(10, 7, 5, 3, 2, 1),
+    )
+
+
+class TestSmallPlatform:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [UnmanagedPolicy, CacheTakeoverPolicy, lambda: DicerPolicy(small_config())],
+    )
+    def test_policies_run(self, policy_factory):
+        mix = make_mix("milc1", "gcc_base6", n_be=7)
+        result = run_pair(mix, policy_factory(), SMALL)
+        assert 0 < result.hp_norm_ipc <= 1.05
+        assert 0 < result.efu <= 1.0
+
+    def test_ct_uses_platform_way_count(self):
+        mix = make_mix("omnetpp1", "bzip22", n_be=7)
+        policy = CacheTakeoverPolicy()
+        allocation = policy.setup(SMALL.llc_ways)
+        assert allocation.hp_ways == 10
+        assert allocation.be_ways == 1
+
+    def test_dicer_floor_respects_way_count(self):
+        controller = DicerController(small_config(), SMALL.llc_ways)
+        assert controller.initial_allocation() == Allocation.cache_takeover(11)
+
+    def test_sampling_grid_clipped_to_platform(self):
+        # Grid entries >= total_ways must be dropped, not applied.
+        config = DicerConfig(
+            sample_hp_ways=(19, 10, 5, 1),
+            bw_threshold_bytes=gbps_to_bytes(30.0),
+        )
+        controller = DicerController(config, total_ways=11)
+        from repro.rdt.sample import PeriodSample
+
+        saturated = PeriodSample(
+            duration_s=1.0,
+            hp_ipc=0.5,
+            hp_mem_bytes_s=1e9,
+            total_mem_bytes_s=5e9,
+        )
+        allocation = controller.update(saturated)
+        assert allocation.hp_ways == 10  # 19 skipped (>= 11 ways)
+
+
+class TestWidePlatform:
+    def test_full_width_run(self):
+        mix = make_mix("omnetpp1", "bzip22", n_be=11)
+        result = run_pair(
+            mix,
+            DicerPolicy(DicerConfig(sample_hp_ways=(14, 10, 6, 3, 1))),
+            WIDE,
+        )
+        assert 0 < result.efu <= 1.0
+
+    def test_more_bes_than_table1(self):
+        mix = make_mix("namd1", "povray1", n_be=11)
+        result = run_pair(mix, UnmanagedPolicy(), WIDE)
+        assert result.n_be == 11
+        assert result.hp_norm_ipc > 0.9

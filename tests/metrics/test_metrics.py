@@ -1,0 +1,108 @@
+"""Unit + property tests for EFU, SLO conformance and SUCI."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.efu import efu
+from repro.metrics.slo import PAPER_SLOS, slo_achieved
+from repro.metrics.suci import PAPER_LAMBDAS, suci
+
+norm_ipcs = st.floats(min_value=0.01, max_value=1.0)
+
+
+class TestEfu:
+    def test_no_loss_is_one(self):
+        assert efu([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_equation1_example(self):
+        # EFU = n / sum(1/norm_i), harmonic mean.
+        assert efu([0.5, 1.0]) == pytest.approx(2 / (2 + 1))
+
+    def test_starved_app_dominates(self):
+        assert efu([0.05, 1.0, 1.0, 1.0]) < 0.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            efu([])
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            efu([0.0, 1.0])
+
+    def test_bad_normalisation_flagged(self):
+        with pytest.raises(ValueError, match="baseline"):
+            efu([2.0, 1.0])
+
+    def test_slight_overshoot_tolerated(self):
+        assert efu([1.02, 0.9]) > 0.9
+
+    def test_clamped_at_one(self):
+        # Partial final runs can push time-averaged normalised IPC a hair
+        # above 1; EFU stays within its defined range.
+        assert efu([1.02, 1.01]) == 1.0
+
+    @given(st.lists(norm_ipcs, min_size=1, max_size=10))
+    def test_bounded_by_extremes(self, values):
+        result = efu(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestSlo:
+    def test_boundary_inclusive(self):
+        assert slo_achieved(0.9, 0.9) is True
+        assert slo_achieved(0.8999, 0.9) is False
+
+    def test_paper_grid(self):
+        assert PAPER_SLOS == (0.80, 0.85, 0.90, 0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slo_achieved(0.9, 0.0)
+        with pytest.raises(ValueError):
+            slo_achieved(0.9, 1.1)
+        with pytest.raises(ValueError):
+            slo_achieved(0.0, 0.9)
+
+
+class TestSuci:
+    def test_missed_slo_is_zero(self):
+        assert suci(0.7, 0.9, slo=0.8) == 0.0
+
+    def test_met_slo_is_efu_power(self):
+        assert suci(0.9, 0.64, slo=0.8, lam=1.0) == pytest.approx(0.64)
+        assert suci(0.9, 0.64, slo=0.8, lam=0.5) == pytest.approx(0.8)
+        assert suci(0.9, 0.64, slo=0.8, lam=2.0) == pytest.approx(0.4096)
+
+    def test_paper_lambdas(self):
+        assert PAPER_LAMBDAS == (0.5, 1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            suci(0.9, 1.5, slo=0.8)
+        with pytest.raises(ValueError):
+            suci(0.9, 0.0, slo=0.8)
+        with pytest.raises(ValueError):
+            suci(0.9, 0.5, slo=0.8, lam=0.0)
+
+    @given(
+        norm_ipcs,
+        st.floats(min_value=0.01, max_value=1.0),
+        st.sampled_from(PAPER_SLOS),
+        st.sampled_from(PAPER_LAMBDAS),
+    )
+    def test_bounded(self, hp, efu_value, slo, lam):
+        value = suci(hp, efu_value, slo, lam)
+        assert 0.0 <= value <= 1.0
+
+    @given(norm_ipcs, st.sampled_from(PAPER_SLOS))
+    def test_lambda_orders_values(self, hp, slo):
+        # For EFU < 1: larger lambda -> smaller index (utilisation-hungry).
+        efu_value = 0.5
+        low = suci(hp, efu_value, slo, 0.5)
+        mid = suci(hp, efu_value, slo, 1.0)
+        high = suci(hp, efu_value, slo, 2.0)
+        if slo_achieved(hp, slo):
+            assert low >= mid >= high
+        else:
+            assert low == mid == high == 0.0

@@ -1,0 +1,89 @@
+"""Unit + property tests for CBM mask utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdt.masks import (
+    cbm_to_ways,
+    format_cbm,
+    hp_be_masks,
+    is_contiguous,
+    parse_cbm,
+    ways_to_cbm,
+)
+
+
+class TestWaysToCbm:
+    def test_basic(self):
+        assert ways_to_cbm(4) == 0b1111
+        assert ways_to_cbm(1, offset=3) == 0b1000
+
+    def test_twenty_ways_is_fffff(self):
+        assert format_cbm(ways_to_cbm(20)) == "fffff"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ways_to_cbm(0)
+        with pytest.raises(ValueError):
+            ways_to_cbm(1, offset=-1)
+
+
+class TestCbmToWays:
+    def test_popcount(self):
+        assert cbm_to_ways(0b1011) == 3
+        assert cbm_to_ways(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cbm_to_ways(-1)
+
+
+class TestContiguity:
+    @pytest.mark.parametrize("mask", [0b1, 0b11, 0b1100, 0b11110000])
+    def test_contiguous(self, mask):
+        assert is_contiguous(mask)
+
+    @pytest.mark.parametrize("mask", [0, 0b101, 0b1001, 0b110011])
+    def test_not_contiguous(self, mask):
+        assert not is_contiguous(mask)
+
+    @given(st.integers(1, 20), st.integers(0, 12))
+    def test_generated_masks_contiguous(self, n, offset):
+        assert is_contiguous(ways_to_cbm(n, offset=offset))
+
+
+class TestHpBeMasks:
+    @given(st.integers(1, 19))
+    def test_properties(self, hp_ways):
+        hp, be = hp_be_masks(hp_ways, 20)
+        assert hp & be == 0  # non-overlapping
+        assert hp | be == ways_to_cbm(20)  # jointly cover the cache
+        assert cbm_to_ways(hp) == hp_ways
+        assert cbm_to_ways(be) == 20 - hp_ways
+        assert is_contiguous(hp) and is_contiguous(be)
+
+    def test_hp_takes_top_ways(self):
+        hp, be = hp_be_masks(19, 20)
+        assert be == 0b1  # BEs squeezed into the lowest way (CT)
+        assert hp == ways_to_cbm(19, offset=1)
+
+    def test_hp_must_leave_a_be_way(self):
+        with pytest.raises(ValueError):
+            hp_be_masks(20, 20)
+
+
+class TestFormatParse:
+    @given(st.integers(1, 19))
+    def test_round_trip(self, hp_ways):
+        mask = ways_to_cbm(hp_ways)
+        assert parse_cbm(format_cbm(mask)) == mask
+
+    def test_parse_accepts_prefix_and_whitespace(self):
+        assert parse_cbm(" 0xfffff\n") == 0xFFFFF
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cbm("0")
+        with pytest.raises(ValueError):
+            format_cbm(0)

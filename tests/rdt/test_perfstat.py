@@ -1,0 +1,56 @@
+"""Tests for perf-stat CSV parsing (the hardware IPC source)."""
+
+import pytest
+
+from repro.rdt.perfstat import parse_perf_stat_csv
+
+GOOD = """\
+# started on Mon Aug  5 10:00:00 2019
+
+2200000000,,instructions,1000000000,100.00,,
+1100000000,,cycles,1000000000,100.00,,
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        assert parse_perf_stat_csv(GOOD) == pytest.approx(2.0)
+
+    def test_comments_and_blanks_ignored(self):
+        out = "#comment\n\n" + GOOD
+        assert parse_perf_stat_csv(out) == pytest.approx(2.0)
+
+    def test_float_counts(self):
+        # Scaled counts can be fractional.
+        text = "220.5,,instructions,1,100.0,,\n110.25,,cycles,1,100.0,,\n"
+        assert parse_perf_stat_csv(text) == pytest.approx(2.0)
+
+    def test_cpu_cycles_alias(self):
+        text = "100,,instructions,1,100,,\n50,,cpu-cycles,1,100,,\n"
+        assert parse_perf_stat_csv(text) == pytest.approx(2.0)
+
+    def test_event_modifiers(self):
+        text = "100,,instructions:u,1,100,,\n50,,cycles,1,100,,\n"
+        assert parse_perf_stat_csv(text) == pytest.approx(2.0)
+
+    def test_missing_rows_rejected(self):
+        with pytest.raises(ValueError, match="lacks"):
+            parse_perf_stat_csv("100,,instructions,1,100,,\n")
+
+    def test_not_counted_rejected(self):
+        text = "<not counted>,,instructions,0,0,,\n50,,cycles,1,100,,\n"
+        with pytest.raises(ValueError, match="could not count"):
+            parse_perf_stat_csv(text)
+
+    def test_zero_cycles_rejected(self):
+        text = "100,,instructions,1,100,,\n0,,cycles,1,100,,\n"
+        with pytest.raises(ValueError, match="non-positive"):
+            parse_perf_stat_csv(text)
+
+    def test_unrelated_events_ignored(self):
+        text = (
+            "5,,cache-misses,1,100,,\n"
+            "100,,instructions,1,100,,\n"
+            "50,,cycles,1,100,,\n"
+        )
+        assert parse_perf_stat_csv(text) == pytest.approx(2.0)

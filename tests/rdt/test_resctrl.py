@@ -1,0 +1,141 @@
+"""Tests for the Linux resctrl driver, against a fake sysfs tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.rdt.perfstat import IpcReader
+from repro.rdt.resctrl import ResctrlError, ResctrlRdt
+
+
+class StubIpc(IpcReader):
+    def __init__(self, value=0.8):
+        self.value = value
+        self.started_cpu = None
+
+    def start(self, cpu):
+        self.started_cpu = cpu
+
+    def finish(self):
+        return self.value
+
+
+@pytest.fixture
+def fake_root(tmp_path: Path) -> Path:
+    (tmp_path / "mon_data" / "mon_L3_00").mkdir(parents=True)
+    (tmp_path / "schemata").write_text("L3:0=fffff\n")
+    (tmp_path / "cpus_list").write_text("0-9\n")
+    (tmp_path / "mon_data" / "mon_L3_00" / "mbm_total_bytes").write_text("0\n")
+    (tmp_path / "mon_data" / "mon_L3_00" / "llc_occupancy").write_text("0\n")
+    # Files the kernel would create on `mkdir hp`.
+    hp_mon = tmp_path / "hp" / "mon_data" / "mon_L3_00"
+    hp_mon.mkdir(parents=True)
+    (hp_mon / "mbm_total_bytes").write_text("0\n")
+    (hp_mon / "llc_occupancy").write_text("0\n")
+    (tmp_path / "hp" / "cpus_list").touch()
+    (tmp_path / "hp" / "schemata").touch()
+    return tmp_path
+
+
+def make_backend(root: Path, ipc=None) -> ResctrlRdt:
+    return ResctrlRdt(hp_cpu=3, ipc_reader=ipc or StubIpc(), root=root)
+
+
+class TestSetup:
+    def test_missing_mount_rejected(self, tmp_path):
+        with pytest.raises(ResctrlError, match="mounted"):
+            ResctrlRdt(hp_cpu=0, ipc_reader=StubIpc(), root=tmp_path / "no")
+
+    def test_total_ways_from_schemata(self, fake_root):
+        assert make_backend(fake_root).total_ways == 20
+
+    def test_total_ways_other_cbm(self, fake_root):
+        (fake_root / "schemata").write_text("L3:0=7ff\n")
+        assert make_backend(fake_root).total_ways == 11
+
+    def test_missing_l3_line_rejected(self, fake_root):
+        (fake_root / "schemata").write_text("MB:0=100\n")
+        with pytest.raises(ResctrlError, match="L3"):
+            make_backend(fake_root)
+
+    def test_hp_cpu_pinned(self, fake_root):
+        make_backend(fake_root)
+        assert (fake_root / "hp" / "cpus_list").read_text() == "3"
+
+
+class TestApply:
+    def test_masks_written(self, fake_root):
+        backend = make_backend(fake_root)
+        backend.apply(Allocation(hp_ways=19, total_ways=20))
+        assert (fake_root / "hp" / "schemata").read_text() == "L3:0=ffffe\n"
+        assert (fake_root / "schemata").read_text() == "L3:0=1\n"
+
+    def test_mid_split(self, fake_root):
+        backend = make_backend(fake_root)
+        backend.apply(Allocation(hp_ways=12, total_ways=20))
+        hp = int((fake_root / "hp" / "schemata").read_text().split("=")[1], 16)
+        be = int((fake_root / "schemata").read_text().split("=")[1], 16)
+        assert hp & be == 0
+        assert hp | be == 0xFFFFF
+
+    def test_way_count_mismatch_rejected(self, fake_root):
+        backend = make_backend(fake_root)
+        with pytest.raises(ResctrlError, match="ways"):
+            backend.apply(Allocation(hp_ways=4, total_ways=16))
+
+    def test_overlap_masks_share_zone(self, fake_root):
+        backend = make_backend(fake_root)
+        backend.apply(Allocation(hp_ways=4, total_ways=20, overlap_ways=4))
+        hp = int((fake_root / "hp" / "schemata").read_text().split("=")[1], 16)
+        be = int((fake_root / "schemata").read_text().split("=")[1], 16)
+        assert bin(hp & be).count("1") == 4  # the shared zone
+        assert hp | be == 0xFFFFF
+
+    def test_mba_line_written(self, fake_root):
+        backend = make_backend(fake_root)
+        backend.apply_be_throttle(0.45)
+        assert (fake_root / "schemata").read_text() == "MB:0=50\n"
+        backend.apply_be_throttle(0.04)
+        assert (fake_root / "schemata").read_text() == "MB:0=10\n"
+        with pytest.raises(ValueError):
+            backend.apply_be_throttle(1.2)
+
+
+class TestSampling:
+    def test_sample_diffs_counters(self, fake_root):
+        ipc = StubIpc(0.9)
+        backend = make_backend(fake_root, ipc)
+        hp_counter = fake_root / "hp" / "mon_data" / "mon_L3_00" / "mbm_total_bytes"
+        be_counter = fake_root / "mon_data" / "mon_L3_00" / "mbm_total_bytes"
+        hp_counter.write_text("1000000\n")
+        be_counter.write_text("9000000\n")
+        s = backend.sample(0.01)
+        assert s.hp_ipc == 0.9
+        assert ipc.started_cpu == 3
+        assert s.hp_mem_bytes_s > 0
+        assert s.total_mem_bytes_s >= s.hp_mem_bytes_s
+
+    def test_occupancy_read(self, fake_root):
+        backend = make_backend(fake_root)
+        occ = fake_root / "hp" / "mon_data" / "mon_L3_00" / "llc_occupancy"
+        occ.write_text("123456\n")
+        s = backend.sample(0.01)
+        assert s.hp_llc_occupancy_bytes == 123456
+
+    def test_garbage_counter_rejected(self, fake_root):
+        backend = make_backend(fake_root)
+        bad = fake_root / "hp" / "mon_data" / "mon_L3_00" / "mbm_total_bytes"
+        bad.write_text("not-a-number\n")
+        with pytest.raises(ResctrlError, match="unparsable"):
+            backend.sample(0.01)
+
+    def test_period_validated(self, fake_root):
+        with pytest.raises(ValueError):
+            make_backend(fake_root).sample(0.0)
+
+    def test_stop_sets_finished(self, fake_root):
+        backend = make_backend(fake_root)
+        assert not backend.finished
+        backend.stop()
+        assert backend.finished

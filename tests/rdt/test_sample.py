@@ -1,0 +1,44 @@
+"""Unit tests for PeriodSample."""
+
+import pytest
+
+from repro.rdt.sample import PeriodSample
+
+
+def sample(**kwargs):
+    base = dict(
+        duration_s=1.0,
+        hp_ipc=0.8,
+        hp_mem_bytes_s=1e9,
+        total_mem_bytes_s=5e9,
+    )
+    base.update(kwargs)
+    return PeriodSample(**base)
+
+
+class TestPeriodSample:
+    def test_be_bandwidth_is_difference(self):
+        assert sample().be_mem_bytes_s == pytest.approx(4e9)
+
+    def test_be_bandwidth_clamped(self):
+        # Counter skew can make HP > total momentarily on hardware.
+        s = sample(hp_mem_bytes_s=6e9)
+        assert s.be_mem_bytes_s == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0},
+            {"duration_s": -1.0},
+            {"hp_ipc": -0.1},
+            {"hp_mem_bytes_s": -1.0},
+            {"total_mem_bytes_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            sample(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            sample().hp_ipc = 1.0

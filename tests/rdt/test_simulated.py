@@ -1,0 +1,89 @@
+"""Tests for the simulator-bound RDT backend."""
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.rdt.simulated import SimulatedRdt
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import TABLE1_PLATFORM, bytes_to_gbps
+from repro.sim.server import Server
+from repro.workloads.mix import make_mix
+
+
+def make_backend(hp="milc1", be="gcc_base6", n_be=9):
+    mix = make_mix(hp, be, n_be=n_be)
+    server = Server(
+        TABLE1_PLATFORM,
+        mix.apps(),
+        PartitionSpec.hp_be(19, n_be + 1, 20),
+    )
+    return SimulatedRdt(server), server
+
+
+class TestSampling:
+    def test_advances_simulated_time(self):
+        backend, server = make_backend()
+        backend.sample(1.0)
+        assert server.time == pytest.approx(1.0)
+
+    def test_sample_fields_plausible(self):
+        backend, _ = make_backend()
+        s = backend.sample(1.0)
+        assert s.duration_s == pytest.approx(1.0)
+        assert 0 < s.hp_ipc < 3
+        assert s.total_mem_bytes_s >= s.hp_mem_bytes_s > 0
+        # The flagship pair saturates under CT.
+        assert bytes_to_gbps(s.total_mem_bytes_s) > 50.0
+        assert s.hp_llc_occupancy_bytes > 0
+
+    def test_consecutive_samples_are_deltas(self):
+        backend, server = make_backend()
+        backend.sample(1.0)
+        s2 = backend.sample(1.0)
+        assert s2.duration_s == pytest.approx(1.0)
+        assert server.time == pytest.approx(2.0)
+
+    def test_period_validated(self):
+        backend, _ = make_backend()
+        with pytest.raises(ValueError):
+            backend.sample(0.0)
+
+    def test_finishes(self):
+        backend, server = make_backend(hp="namd1", be="povray1", n_be=1)
+        while not backend.finished:
+            backend.sample(10.0)
+        assert server.all_completed
+
+    def test_degenerate_sample_after_completion(self):
+        backend, _ = make_backend(hp="namd1", be="povray1", n_be=1)
+        while not backend.finished:
+            backend.sample(10.0)
+        s = backend.sample(1.0)  # must not raise or divide by zero
+        assert s.duration_s > 0
+
+
+class TestApply:
+    def test_apply_changes_partition(self):
+        backend, server = make_backend()
+        backend.apply(Allocation(hp_ways=2, total_ways=20))
+        assert server.partition.hp_ways == 2.0
+
+    def test_apply_affects_next_sample(self):
+        backend, _ = make_backend()
+        sat = backend.sample(1.0)
+        backend.apply(Allocation(hp_ways=1, total_ways=20))
+        relieved = backend.sample(1.0)
+        assert relieved.total_mem_bytes_s < sat.total_mem_bytes_s
+
+    def test_total_ways(self):
+        backend, _ = make_backend()
+        assert backend.total_ways == 20
+
+    def test_be_throttle(self):
+        backend, _ = make_backend(hp="namd1", be="lbm1")
+        before = backend.sample(1.0)
+        backend.apply_be_throttle(0.3)
+        after = backend.sample(1.0)
+        assert after.be_mem_bytes_s < before.be_mem_bytes_s
+        with pytest.raises(ValueError):
+            backend.apply_be_throttle(0.0)

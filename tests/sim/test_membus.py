@@ -1,0 +1,54 @@
+"""Unit tests for the memory-link model."""
+
+import pytest
+
+from repro.sim.membus import MemoryLink
+from repro.sim.platform import TABLE1_PLATFORM, gbps_to_bytes
+
+
+@pytest.fixture
+def link():
+    return MemoryLink.from_platform(TABLE1_PLATFORM)
+
+
+class TestUtilisation:
+    def test_zero_demand(self, link):
+        assert link.utilisation(0.0) == 0.0
+
+    def test_capped(self, link):
+        assert link.utilisation(link.capacity_bytes * 5) == pytest.approx(
+            TABLE1_PLATFORM.utilisation_cap
+        )
+
+    def test_negative_rejected(self, link):
+        with pytest.raises(ValueError):
+            link.utilisation(-1.0)
+
+
+class TestLatency:
+    def test_unloaded_latency_is_base(self, link):
+        assert link.latency_cycles(0.0) == pytest.approx(
+            link.base_latency_cycles
+        )
+
+    def test_monotone_in_demand(self, link):
+        demands = [gbps_to_bytes(g) for g in (0, 10, 30, 50, 60, 68, 100)]
+        lats = [link.latency_cycles(d) for d in demands]
+        assert lats == sorted(lats)
+
+    def test_hockey_stick(self, link):
+        # The exponent keeps mid-load latency flat and saturation steep:
+        # going 0 -> 50% must cost less than 80% -> ~cap.
+        mid = link.latency_cycles(0.5 * link.capacity_bytes)
+        high = link.latency_cycles(0.8 * link.capacity_bytes)
+        cap = link.max_latency_cycles
+        assert mid - link.base_latency_cycles < 0.3 * link.base_latency_cycles
+        assert cap - high > mid - link.base_latency_cycles
+
+    def test_bounded_by_max(self, link):
+        assert link.latency_cycles(1e18) == pytest.approx(
+            link.max_latency_cycles
+        )
+
+    def test_max_latency_finite_and_significant(self, link):
+        assert link.base_latency_cycles * 2 < link.max_latency_cycles < 1e5

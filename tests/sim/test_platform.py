@@ -1,0 +1,56 @@
+"""Unit tests for PlatformConfig."""
+
+import pytest
+
+from repro.sim.platform import (
+    TABLE1_PLATFORM,
+    PlatformConfig,
+    bytes_to_gbps,
+    gbps_to_bytes,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        assert bytes_to_gbps(gbps_to_bytes(68.3)) == pytest.approx(68.3)
+
+    def test_known_value(self):
+        assert gbps_to_bytes(8.0) == pytest.approx(1e9)
+
+
+class TestPlatformConfig:
+    def test_table1_values(self):
+        p = TABLE1_PLATFORM
+        assert p.n_cores == 10
+        assert p.llc_ways == 20
+        assert p.llc_bytes == 25 * 1024 * 1024
+        assert bytes_to_gbps(p.mem_bw_bytes) == pytest.approx(68.3)
+        assert p.freq_hz == pytest.approx(2.2e9)
+
+    def test_way_bytes(self):
+        assert TABLE1_PLATFORM.way_bytes == pytest.approx(
+            25 * 1024 * 1024 / 20
+        )
+
+    def test_hashable_for_memoisation(self):
+        assert hash(TABLE1_PLATFORM) == hash(PlatformConfig())
+        assert TABLE1_PLATFORM == PlatformConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"freq_hz": -1.0},
+            {"llc_ways": 0},
+            {"utilisation_cap": 0.3},
+            {"pressure_theta": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PlatformConfig(**kwargs)
+
+    def test_custom_platform_usable(self):
+        small = PlatformConfig(n_cores=4, llc_ways=8)
+        assert small.n_cores == 4
+        assert small != TABLE1_PLATFORM

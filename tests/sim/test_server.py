@@ -1,0 +1,156 @@
+"""Tests for the event-driven server executor."""
+
+import numpy as np
+import pytest
+
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import TABLE1_PLATFORM
+from repro.sim.server import Server, SimulationTimeout
+from repro.sim.solo import solo_profile
+from repro.workloads.catalog import get_app
+from repro.workloads.mix import make_mix
+
+PLAT = TABLE1_PLATFORM
+
+
+def um(n):
+    return PartitionSpec.unmanaged(n, 20)
+
+
+class TestConstruction:
+    def test_too_many_apps_rejected(self):
+        apps = [get_app("namd1")] * 11
+        with pytest.raises(ValueError, match="exceed"):
+            Server(PLAT, apps)
+
+    def test_no_apps_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Server(PLAT, [])
+
+    def test_partition_core_count_checked(self):
+        with pytest.raises(ValueError, match="partition covers"):
+            Server(PLAT, [get_app("namd1")], um(2))
+
+    def test_default_partition_is_unmanaged(self):
+        server = Server(PLAT, [get_app("namd1")])
+        assert server.partition.groups[0].name == "ALL"
+
+
+class TestExecution:
+    def test_solo_run_matches_solo_profile(self):
+        app = get_app("namd1")
+        server = Server(PLAT, [app], um(1))
+        server.run_until_all_complete()
+        profile = solo_profile(app, PLAT)
+        assert server.apps[0].run_times[0] == pytest.approx(
+            profile.time_s, rel=1e-6
+        )
+
+    def test_all_apps_complete_at_least_once(self):
+        mix = make_mix("milc1", "gcc_base3", n_be=9)
+        server = Server(PLAT, mix.apps(), um(10))
+        server.run_until_all_complete()
+        assert all(a.completions >= 1 for a in server.apps)
+
+    def test_short_apps_restart(self):
+        # A fast BE must lap a slow HP (the paper's restart methodology):
+        # omnetpp under nine streaming BEs slows several-fold, so the BEs
+        # finish and restart repeatedly before it completes.
+        mix = make_mix("omnetpp1", "x2641", n_be=9)
+        server = Server(PLAT, mix.apps(), um(10))
+        server.run_until_all_complete()
+        assert server.apps[1].completions >= 2
+
+    def test_time_advances_monotonically(self):
+        mix = make_mix("wrf1", "gcc_base5", n_be=4)
+        server = Server(PLAT, mix.apps(), um(5))
+        last = 0.0
+        for _ in range(200):
+            if server.all_completed:
+                break
+            server.advance(10.0)
+            assert server.time > last
+            last = server.time
+
+    def test_phased_app_does_not_wedge(self):
+        # Regression: floating-point absorption at phase boundaries froze
+        # simulated time (see RunningApp.advance docstring).
+        mix = make_mix("wrf1", "gcc_base5", n_be=9)
+        server = Server(PLAT, mix.apps(), um(10))
+        server.run_until_all_complete(max_time_s=600)
+        assert server.all_completed
+
+    def test_timeout_raised(self):
+        mix = make_mix("milc1", "milc1", n_be=9)
+        server = Server(PLAT, mix.apps(), um(10))
+        with pytest.raises(SimulationTimeout):
+            server.run_until_all_complete(max_time_s=1.0)
+
+    def test_advance_requires_positive_dt(self):
+        server = Server(PLAT, [get_app("namd1")], um(1))
+        with pytest.raises(ValueError):
+            server.advance(0.0)
+
+
+class TestCounters:
+    def test_instruction_conservation(self):
+        # Completed runs * per-run budget <= cumulative counter.
+        app = get_app("gobmk1")
+        server = Server(PLAT, [app], um(1))
+        server.run_until_all_complete()
+        ra = server.apps[0]
+        assert ra.total_instructions == pytest.approx(
+            app.total_instructions * ra.completions, rel=1e-6
+        )
+
+    def test_counters_shape(self):
+        mix = make_mix("namd1", "povray1", n_be=3)
+        server = Server(PLAT, mix.apps(), um(4))
+        server.advance(1.0)
+        counters = server.counters()
+        assert counters["instructions"].shape == (4,)
+        assert counters["mem_bytes"].shape == (4,)
+        assert counters["time_s"] == server.time
+
+    def test_mem_bytes_monotone(self):
+        mix = make_mix("milc1", "lbm1", n_be=3)
+        server = Server(PLAT, mix.apps(), um(4))
+        prev = np.zeros(4)
+        for _ in range(5):
+            server.advance(2.0)
+            now = server.counters()["mem_bytes"]
+            assert np.all(now >= prev)
+            prev = now
+
+
+class TestReconfiguration:
+    def test_set_partition_changes_behaviour(self):
+        mix = make_mix("omnetpp1", "milc1", n_be=9)
+        server = Server(PLAT, mix.apps(), PartitionSpec.hp_be(19, 10, 20))
+        server.advance(1.0)
+        ipc_ct = server._steady().ipc[0]
+        server.set_partition(PartitionSpec.hp_be(1, 10, 20))
+        ipc_squeezed = server._steady().ipc[0]
+        assert ipc_squeezed < ipc_ct
+
+    def test_set_partition_validates_cores(self):
+        server = Server(PLAT, [get_app("namd1")], um(1))
+        with pytest.raises(ValueError):
+            server.set_partition(um(2))
+
+    def test_mba_scale_applies(self):
+        mix = make_mix("namd1", "lbm1", n_be=9)
+        server = Server(PLAT, mix.apps(), um(10))
+        base = server._steady().ipc[1]
+        server.set_mba_scale([1.0] + [0.3] * 9)
+        throttled = server._steady().ipc[1]
+        assert throttled < base
+
+    def test_timeline_recording(self):
+        mix = make_mix("namd1", "povray1", n_be=2)
+        server = Server(PLAT, mix.apps(), um(3), record_timeline=True)
+        server.advance(1.0)
+        server.advance(1.0)
+        assert len(server.timeline) == 2
+        assert server.timeline[0].time_s == 0.0
+        assert server.timeline[1].time_s > 0.0

@@ -1,0 +1,58 @@
+"""Tests for solo profiles and the ways-restricted solo sweep."""
+
+import pytest
+
+from repro.sim.platform import TABLE1_PLATFORM
+from repro.sim.solo import solo_ipc_at_ways, solo_profile
+from repro.workloads.catalog import get_app
+
+PLAT = TABLE1_PLATFORM
+
+
+class TestSoloProfile:
+    def test_memoised(self):
+        a = solo_profile(get_app("milc1"), PLAT)
+        b = solo_profile(get_app("milc1"), PLAT)
+        assert a is b
+
+    def test_be_clone_hits_same_entry(self):
+        base = get_app("gcc_base3")
+        clone = base.with_name("gcc_base3#5")
+        assert solo_profile(clone, PLAT) is solo_profile(base, PLAT)
+
+    def test_phase_ipcs_cover_phases(self):
+        app = get_app("wrf1")
+        profile = solo_profile(app, PLAT)
+        assert len(profile.phase_ipcs) == app.n_phases
+        assert all(ipc > 0 for ipc in profile.phase_ipcs)
+
+    def test_avg_ipc_is_time_weighted(self):
+        profile = solo_profile(get_app("wrf1"), PLAT)
+        assert min(profile.phase_ipcs) <= profile.avg_ipc <= max(
+            profile.phase_ipcs
+        )
+
+
+class TestSoloIpcAtWays:
+    def test_full_cache_matches_profile(self):
+        app = get_app("omnetpp1")
+        assert solo_ipc_at_ways(app, PLAT, 20) == pytest.approx(
+            solo_profile(app, PLAT).avg_ipc, rel=1e-9
+        )
+
+    def test_monotone_for_sensitive_app(self):
+        app = get_app("omnetpp1")
+        ipcs = [solo_ipc_at_ways(app, PLAT, w) for w in (1, 4, 8, 12, 20)]
+        assert ipcs == sorted(ipcs)
+
+    def test_flat_for_streaming_app(self):
+        app = get_app("lbm1")
+        lo = solo_ipc_at_ways(app, PLAT, 1)
+        hi = solo_ipc_at_ways(app, PLAT, 20)
+        assert hi == pytest.approx(lo, rel=0.01)
+
+    def test_ways_validated(self):
+        with pytest.raises(ValueError):
+            solo_ipc_at_ways(get_app("lbm1"), PLAT, 0)
+        with pytest.raises(ValueError):
+            solo_ipc_at_ways(get_app("lbm1"), PLAT, 21)

@@ -1,0 +1,42 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out
+        assert all(len(line) == len(lines[0]) or "-" in line for line in lines)
+
+    def test_title_and_rule(self):
+        out = format_table(["c"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 1"):
+            format_table(["a", "b"], [[1, 2], [3]])
+
+    def test_float_format_override(self):
+        out = format_table(["v"], [[1.23456]], float_fmt=".1f")
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_alignment_right_for_cells(self):
+        out = format_table(["col"], [[1], [100]])
+        body = out.splitlines()[2:]
+        assert body[0].endswith("1")
+        assert body[1].endswith("100")

@@ -1,0 +1,69 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_and_returns(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.0001])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", bad)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int("n", bad)
+
+    def test_integral_float_accepted(self):
+        # 3.0 is integral; callers pass computed counts.
+        assert check_positive_int("n", 3.0) == 3
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("v", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("v", 2.0, 1.0, 2.0) == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[1.0, 2.0\]"):
+            check_in_range("v", 2.5, 1.0, 2.0)

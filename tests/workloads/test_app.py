@@ -1,0 +1,131 @@
+"""Unit tests for Phase / AppModel."""
+
+import pytest
+
+from repro.workloads.app import AppModel, Phase, single_phase_app
+from repro.workloads.mrc import ConstantMRC
+
+
+def make_phase(name="p", instructions=1e9, apki=5.0):
+    return Phase(
+        name=name,
+        instructions=instructions,
+        cpi_exe=0.8,
+        apki=apki,
+        mrc=ConstantMRC(0.5),
+    )
+
+
+class TestPhase:
+    def test_misses_per_instruction(self):
+        p = make_phase(apki=10.0)
+        assert p.misses_per_instruction(5) == pytest.approx(0.005)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"instructions": 0},
+            {"cpi_exe": 0},
+            {"apki": -1},
+            {"blocking": 0.0},
+            {"blocking": 1.5},
+            {"write_frac": 1.5},
+            {"occupancy_ways": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            name="p",
+            instructions=1e9,
+            cpi_exe=0.8,
+            apki=5.0,
+            mrc=ConstantMRC(0.5),
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Phase(**base)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_phase().name = "q"
+
+
+class TestAppModel:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            AppModel(name="a", suite="spec", archetype="compute", phases=())
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError, match="suite"):
+            AppModel(
+                name="a",
+                suite="nas",
+                archetype="compute",
+                phases=(make_phase(),),
+            )
+
+    def test_totals(self):
+        app = AppModel(
+            name="a",
+            suite="spec",
+            archetype="phased",
+            phases=(make_phase("x", 1e9), make_phase("y", 2e9)),
+        )
+        assert app.total_instructions == pytest.approx(3e9)
+        assert app.n_phases == 2
+
+    def test_with_name_shares_phases(self):
+        app = single_phase_app(
+            "a",
+            suite="spec",
+            archetype="compute",
+            instructions=1e9,
+            cpi_exe=0.5,
+            apki=1.0,
+            mrc=ConstantMRC(0.3),
+        )
+        clone = app.with_name("a#0")
+        assert clone.name == "a#0"
+        assert clone.phases is app.phases  # same objects -> memo-friendly
+
+
+class TestPhaseAt:
+    def make_app(self):
+        return AppModel(
+            name="a",
+            suite="spec",
+            archetype="phased",
+            phases=(make_phase("x", 1e9), make_phase("y", 2e9)),
+        )
+
+    def test_start(self):
+        idx, remaining = self.make_app().phase_at(0.0)
+        assert idx == 0
+        assert remaining == pytest.approx(1e9)
+
+    def test_mid_second_phase(self):
+        idx, remaining = self.make_app().phase_at(1.5e9)
+        assert idx == 1
+        assert remaining == pytest.approx(1.5e9)
+
+    def test_boundary_resolves_to_next_phase(self):
+        # Within half an instruction of a boundary -> next phase (the
+        # floating-point absorption regression, see phase_at's docstring).
+        idx, _ = self.make_app().phase_at(1e9 - 0.25)
+        assert idx == 1
+        idx, _ = self.make_app().phase_at(1e9)
+        assert idx == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_app().phase_at(-1.0)
+
+    def test_beyond_run_rejected(self):
+        with pytest.raises(ValueError, match="beyond one run"):
+            self.make_app().phase_at(3.1e9)
+
+    def test_footprint_is_max_over_phases(self):
+        app = self.make_app()
+        assert app.footprint_ways == max(
+            p.mrc.footprint_ways for p in app.phases
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for the archetype factories."""
+
+import pytest
+
+from repro.workloads.archetypes import (
+    FREQ_HZ,
+    cache_sensitive_app,
+    compute_app,
+    duration_to_instructions,
+    estimate_solo_ipc,
+    make_phase,
+    phased_app,
+    streaming_app,
+)
+from repro.workloads.mrc import BlendedMRC, ConstantMRC, ExponentialMRC, KneeMRC
+
+
+class TestFactories:
+    def test_streaming_shape(self):
+        app = streaming_app("s")
+        assert app.archetype == "streaming"
+        phase = app.phases[0]
+        assert isinstance(phase.mrc, ConstantMRC)
+        assert phase.blocking <= 0.4  # prefetch-friendly
+
+    def test_compute_occupancy_pinned(self):
+        app = compute_app("c")
+        assert app.phases[0].occupancy_ways == 2.0
+
+    @pytest.mark.parametrize(
+        "form,expected",
+        [("exp", ExponentialMRC), ("knee", KneeMRC), ("blend", BlendedMRC)],
+    )
+    def test_sensitive_forms(self, form, expected):
+        app = cache_sensitive_app("x", knee_ways=6, form=form)
+        assert isinstance(app.phases[0].mrc, expected)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError, match="form"):
+            cache_sensitive_app("x", knee_ways=6, form="sigmoid")
+
+    def test_phased_app(self):
+        phases = [
+            make_phase(
+                "a",
+                duration_s=5,
+                cpi_exe=0.8,
+                apki=4,
+                mrc=ConstantMRC(0.4),
+                blocking=0.6,
+                write_frac=0.2,
+            ),
+            make_phase(
+                "b",
+                duration_s=5,
+                cpi_exe=0.8,
+                apki=8,
+                mrc=ConstantMRC(0.6),
+                blocking=0.6,
+                write_frac=0.2,
+            ),
+        ]
+        app = phased_app("p", phases)
+        assert app.archetype == "phased"
+        assert app.n_phases == 2
+
+
+class TestBudgets:
+    def test_duration_to_instructions(self):
+        assert duration_to_instructions(10.0, 1.0) == pytest.approx(
+            10.0 * FREQ_HZ
+        )
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError):
+            duration_to_instructions(0.0, 1.0)
+
+    def test_estimate_monotone_in_miss_ratio(self):
+        lo = estimate_solo_ipc(0.8, 10, ConstantMRC(0.1), 0.6)
+        hi = estimate_solo_ipc(0.8, 10, ConstantMRC(0.9), 0.6)
+        assert lo > hi
+
+    def test_estimate_bounded_by_execution_ipc(self):
+        ipc = estimate_solo_ipc(0.5, 10, ConstantMRC(0.5), 0.6)
+        assert 0 < ipc < 1 / 0.5

@@ -1,0 +1,133 @@
+"""Catalog population tests: structure, naming, calibration sanity."""
+
+import collections
+
+import pytest
+
+from repro.sim.platform import TABLE1_PLATFORM, bytes_to_gbps
+from repro.sim.solo import solo_profile
+from repro.workloads.catalog import CATALOG_SIZE, app_names, catalog, get_app
+from repro.workloads.mix import all_pairs, make_mix
+
+
+class TestStructure:
+    def test_size_is_59(self):
+        assert len(catalog()) == CATALOG_SIZE == 59
+
+    def test_pair_population_is_3481(self):
+        assert sum(1 for _ in all_pairs()) == 59 * 59
+
+    def test_names_unique_and_ordered(self):
+        names = app_names()
+        assert len(set(names)) == len(names)
+        assert names == list(catalog().keys())
+
+    def test_suites(self):
+        suites = collections.Counter(a.suite for a in catalog().values())
+        assert suites["parsec"] == 9
+        assert suites["spec"] == 50
+
+    def test_multi_input_families(self):
+        names = set(app_names())
+        for family, count in [
+            ("gcc_base", 9),
+            ("bzip2", 6),
+            ("gobmk", 4),
+            ("h264ref", 3),
+        ]:
+            members = [n for n in names if n.startswith(family)]
+            assert len(members) == count, family
+
+    def test_paper_figure5_names_present(self):
+        # Spot-check names visible in the paper's Figure 5 row labels.
+        for name in (
+            "milc1",
+            "GemsFDTD1",
+            "gcc_base9",
+            "streamcluster1",
+            "libquantum1",
+            "Xalan1",
+            "blackscholes1",
+            "omnetpp1",
+        ):
+            assert name in catalog(), name
+
+    def test_get_app_error_helpful(self):
+        with pytest.raises(KeyError, match="similar"):
+            get_app("gcc_base99")
+
+    def test_archetype_population(self):
+        archetypes = collections.Counter(
+            a.archetype for a in catalog().values()
+        )
+        # Streaming + compute + sensitive + phased must all be represented.
+        assert set(archetypes) == {
+            "streaming",
+            "compute",
+            "cache_sensitive",
+            "phased",
+        }
+        assert archetypes["streaming"] >= 5
+        assert archetypes["compute"] >= 8
+        assert archetypes["phased"] >= 4
+
+    def test_catalog_is_cached(self):
+        assert catalog() is catalog()
+
+
+class TestCalibration:
+    """The behavioural anchors the evaluation relies on."""
+
+    def test_solo_durations_reasonable(self):
+        for app in catalog().values():
+            profile = solo_profile(app, TABLE1_PLATFORM)
+            assert 10.0 < profile.time_s < 120.0, app.name
+
+    def test_streaming_apps_are_bandwidth_heavy(self):
+        for name in ("lbm1", "libquantum1", "milc1", "streamcluster1"):
+            profile = solo_profile(get_app(name), TABLE1_PLATFORM)
+            assert bytes_to_gbps(profile.peak_bw_bytes) > 8.0, name
+
+    def test_compute_apps_are_bandwidth_light(self):
+        for name in ("namd1", "povray1", "swaptions1", "hmmer1"):
+            profile = solo_profile(get_app(name), TABLE1_PLATFORM)
+            assert bytes_to_gbps(profile.peak_bw_bytes) < 4.0, name
+
+    def test_nine_streamers_saturate_the_link(self):
+        # The CT-Thwarted mechanism requires streaming BEs to exceed the
+        # 50 Gbps saturation threshold.
+        from repro.sim.partition import PartitionSpec
+        from repro.sim.server import Server
+
+        mix = make_mix("milc1", "milc1", n_be=9)
+        server = Server(
+            TABLE1_PLATFORM,
+            mix.apps(),
+            PartitionSpec.hp_be(19, 10, 20),
+        )
+        server.run_until_all_complete()
+        counters = server.counters()
+        bw = bytes_to_gbps(sum(counters["mem_bytes"]) / server.time)
+        assert bw > 50.0
+
+    def test_flagship_pair_saturates_under_ct_only(self):
+        # Figure 3's mechanism: milc + 9 gcc saturates at CT, not at the
+        # small-HP optimum.
+        from repro.sim.partition import PartitionSpec
+        from repro.sim.server import Server
+
+        mix = make_mix("milc1", "gcc_base6", n_be=9)
+        bw = {}
+        for hp_ways in (19, 2):
+            server = Server(
+                TABLE1_PLATFORM,
+                mix.apps(),
+                PartitionSpec.hp_be(hp_ways, 10, 20),
+            )
+            server.run_until_all_complete()
+            counters = server.counters()
+            bw[hp_ways] = bytes_to_gbps(
+                sum(counters["mem_bytes"]) / server.time
+            )
+        assert bw[19] > 50.0
+        assert bw[2] < 50.0

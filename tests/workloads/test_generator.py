@@ -1,0 +1,79 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.generator import (
+    ArchetypeWeights,
+    random_app,
+    random_population,
+)
+
+
+class TestArchetypeWeights:
+    def test_defaults_sum_to_one(self):
+        w = ArchetypeWeights()
+        assert sum(w.as_tuple()) == pytest.approx(1.0)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ArchetypeWeights(streaming=0.5, cache_sensitive=0.5, compute=0.5, phased=0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ArchetypeWeights(streaming=-0.1, cache_sensitive=0.6, compute=0.3, phased=0.2)
+
+
+class TestRandomApp:
+    def test_reproducible(self):
+        a = random_app("x", make_rng(42))
+        b = random_app("x", make_rng(42))
+        assert a.archetype == b.archetype
+        assert a.total_instructions == b.total_instructions
+
+    def test_marked_synthetic(self):
+        app = random_app("x", make_rng(0))
+        assert app.suite == "synthetic"
+
+    def test_forced_archetype(self):
+        only_streaming = ArchetypeWeights(
+            streaming=1.0, cache_sensitive=0.0, compute=0.0, phased=0.0
+        )
+        for seed in range(5):
+            app = random_app("x", make_rng(seed), only_streaming)
+            assert app.archetype == "streaming"
+
+    def test_phased_apps_have_multiple_phases(self):
+        only_phased = ArchetypeWeights(
+            streaming=0.0, cache_sensitive=0.0, compute=0.0, phased=1.0
+        )
+        app = random_app("x", make_rng(7), only_phased)
+        assert app.n_phases >= 2
+
+
+class TestRandomPopulation:
+    def test_size_and_names(self):
+        pop = random_population(12, seed=1)
+        assert len(pop) == 12
+        assert all(name == app.name for name, app in pop.items())
+
+    def test_deterministic(self):
+        a = random_population(6, seed=9)
+        b = random_population(6, seed=9)
+        assert [x.archetype for x in a.values()] == [
+            x.archetype for x in b.values()
+        ]
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            random_population(0)
+
+    def test_all_apps_simulatable(self):
+        # Every generated app must run solo without error.
+        from repro.sim.platform import TABLE1_PLATFORM
+        from repro.sim.solo import solo_profile
+
+        for app in random_population(15, seed=5).values():
+            profile = solo_profile(app, TABLE1_PLATFORM)
+            assert profile.time_s > 0
+            assert profile.avg_ipc > 0

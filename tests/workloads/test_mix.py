@@ -1,0 +1,55 @@
+"""Unit tests for WorkloadMix construction."""
+
+import pytest
+
+from repro.workloads.mix import WorkloadMix, all_pairs, make_mix
+
+
+class TestMakeMix:
+    def test_defaults(self):
+        mix = make_mix("milc1", "gcc_base1")
+        assert mix.n_be == 9
+        assert mix.n_cores == 10
+        assert mix.label == "milc1 gcc_base1"
+
+    def test_apps_layout(self):
+        mix = make_mix("milc1", "gcc_base1", n_be=3)
+        apps = mix.apps()
+        assert len(apps) == 4
+        assert apps[0].name == "milc1"
+        assert [a.name for a in apps[1:]] == [
+            "gcc_base1#0",
+            "gcc_base1#1",
+            "gcc_base1#2",
+        ]
+
+    def test_be_clones_share_phase_objects(self):
+        # Memoisation in the solver keys on phase identity.
+        mix = make_mix("milc1", "gcc_base1", n_be=2)
+        apps = mix.apps()
+        assert apps[1].phases is apps[2].phases
+
+    def test_hp_may_equal_be(self):
+        mix = make_mix("milc1", "milc1", n_be=2)
+        assert mix.apps()[0].name == "milc1"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            make_mix("nosuch", "milc1")
+
+    def test_n_be_validated(self):
+        with pytest.raises(ValueError):
+            make_mix("milc1", "gcc_base1", n_be=0)
+
+
+class TestAllPairs:
+    def test_count_and_order(self):
+        pairs = list(all_pairs(n_be=1))
+        assert len(pairs) == 59 * 59
+        assert pairs[0].hp.name == pairs[0].be.name  # (first, first)
+        labels = [p.label for p in pairs]
+        assert len(set(labels)) == len(labels)
+
+    def test_n_be_propagates(self):
+        mix = next(all_pairs(n_be=4))
+        assert mix.n_be == 4
