@@ -1,6 +1,6 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-quick bench-full examples clean
 
 install:
 	pip install -e .
@@ -11,6 +11,10 @@ test:
 bench:            ## quick-mode campaign (truncated populations)
 	pytest benchmarks/ --benchmark-only
 
+bench-quick:      ## quick-mode campaign + autosave + >25% regression gate
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only --benchmark-autosave
+	python benchmarks/compare_saves.py --threshold 0.25
+
 bench-full:       ## paper-scale campaign (3481 pairs, 120-workload grid)
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
 
@@ -18,5 +22,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done
 
 clean:
-	rm -rf benchmarks/results benchmarks/.benchmarks .pytest_cache
+	rm -rf benchmarks/results benchmarks/.benchmarks .benchmarks .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -8,6 +8,7 @@ hardware paper's measurement noise made implicit).
 from conftest import LIMIT, publish
 
 from repro.experiments.ablation import sweep_classification_threshold
+from repro.sim.contention import GLOBAL_STEADY_CACHE
 
 
 def bench_classification(benchmark, store):
@@ -15,5 +16,11 @@ def bench_classification(benchmark, store):
         lambda: sweep_classification_threshold(store, limit=LIMIT),
         rounds=1,
         iterations=1,
+    )
+    cache = GLOBAL_STEADY_CACHE.stats()
+    print(
+        f"\n[steady-state memo] hits={cache['hits']} "
+        f"misses={cache['misses']} size={cache['size']} | "
+        f"[store] workers={store.n_workers} {store.stats()}"
     )
     publish("classification", text)

@@ -33,12 +33,15 @@ LIMIT = None if FULL else 16
 #: Core grid for Figures 6-8.
 CORES = (2, 3, 4, 5, 6, 7, 8, 9, 10) if FULL else (2, 4, 6, 8, 10)
 
+#: Campaign worker processes (REPRO_WORKERS: 1 = serial, 0 = auto-detect).
+WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
+
 
 @pytest.fixture(scope="session")
 def store() -> ResultStore:
     """One memoising store for the whole harness — Figures 1 and 4-8 share
     most of their underlying executions."""
-    return ResultStore()
+    return ResultStore(n_workers=WORKERS)
 
 
 @pytest.fixture(scope="session")

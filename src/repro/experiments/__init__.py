@@ -9,6 +9,7 @@ from repro.experiments.classify import (
     representative_sample,
 )
 from repro.experiments.grid import GridData, GridPoint, build_sample, run_grid
+from repro.experiments.parallel import Cell, ParallelExecutor
 from repro.experiments.recommend import Recommendation, recommend, render_recommendation
 from repro.experiments.reporting import fig1_to_csv, fig2_to_csv, grid_to_csv, write_csv
 from repro.experiments.runner import CustomResult, PairResult, run_custom, run_pair
@@ -24,6 +25,8 @@ __all__ = [
     "GridPoint",
     "build_sample",
     "run_grid",
+    "Cell",
+    "ParallelExecutor",
     "Recommendation",
     "recommend",
     "render_recommendation",

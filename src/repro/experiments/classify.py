@@ -75,11 +75,28 @@ def classify_all(
     hp_names: Iterable[str] | None = None,
     be_names: Iterable[str] | None = None,
 ) -> list[PairClass]:
-    """Classify every (HP, BE) pair over the catalog (3481 by default)."""
+    """Classify every (HP, BE) pair over the catalog (3481 by default).
+
+    The UM and CT executions of every pair are requested as one bulk batch,
+    so a parallel store fans the whole population out over its workers.
+    """
     hps = list(hp_names) if hp_names is not None else app_names()
     bes = list(be_names) if be_names is not None else app_names()
+    um, ct = UnmanagedPolicy(), CacheTakeoverPolicy()
+    cells = []
+    for hp in hps:
+        for be in bes:
+            cells.append((hp, be, n_be, um))
+            cells.append((hp, be, n_be, ct))
+    results = store.get_many(cells)
     return [
-        classify_pair(store, hp, be, n_be=n_be) for hp in hps for be in bes
+        PairClass(
+            hp_name=um_result.hp_name,
+            be_name=um_result.be_name,
+            um_slowdown=um_result.hp_slowdown,
+            ct_slowdown=ct_result.hp_slowdown,
+        )
+        for um_result, ct_result in zip(results[::2], results[1::2])
     ]
 
 

@@ -91,7 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache",
         type=str,
         default=None,
-        help="JSON file to persist/reuse experiment results",
+        help="JSON file to persist/reuse experiment results (also enables "
+        "mid-campaign checkpointing, so an interrupted run resumes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for campaign execution: 1 = serial "
+        "(default), 0 = auto-detect from CPU count, N = that many "
+        "processes; results are identical at any worker count",
     )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--hp", type=str, default="omnetpp1",
@@ -108,7 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run the experiment, print it."""
     args = _build_parser().parse_args(argv)
-    store = ResultStore(cache_path=args.cache)
+    store = ResultStore(cache_path=args.cache, n_workers=args.workers)
     exp = args.experiment
 
     if exp == "table1":

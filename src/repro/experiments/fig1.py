@@ -53,15 +53,17 @@ def run_fig1(
     """
     hps = app_names()[:limit_hp]
     bes = app_names()[:limit_be]
-    um: list[float] = []
-    ct: list[float] = []
+    um_policy, ct_policy = UnmanagedPolicy(), CacheTakeoverPolicy()
+    cells = []
     for hp in hps:
         for be in bes:
-            um.append(store.get(hp, be, UnmanagedPolicy(), n_be=n_be).hp_slowdown)
-            ct.append(
-                store.get(hp, be, CacheTakeoverPolicy(), n_be=n_be).hp_slowdown
-            )
-    return Fig1Data(um_slowdowns=tuple(um), ct_slowdowns=tuple(ct))
+            cells.append((hp, be, n_be, um_policy))
+            cells.append((hp, be, n_be, ct_policy))
+    results = store.get_many(cells)
+    return Fig1Data(
+        um_slowdowns=tuple(r.hp_slowdown for r in results[::2]),
+        ct_slowdowns=tuple(r.hp_slowdown for r in results[1::2]),
+    )
 
 
 def render_fig1(data: Fig1Data) -> str:

@@ -110,27 +110,36 @@ def run_grid(
     cores: tuple[int, ...] = PAPER_CORES,
     policies: list[Policy] | None = None,
 ) -> GridData:
-    """Execute the sample under every (core count, policy) combination."""
+    """Execute the sample under every (core count, policy) combination.
+
+    All cells go to the store as one bulk request, so a parallel store fans
+    the whole campaign out over its workers; cell order (workload-major,
+    then cores, then policies) matches the serial loop the bulk API
+    replaced, keeping grids bit-identical across worker counts.
+    """
     if policies is None:
         policies = default_policies()
-    points: list[GridPoint] = []
-    for workload in sample:
-        for n_cores in cores:
-            for policy in policies:
-                result = store.get(
-                    workload.hp_name,
-                    workload.be_name,
-                    policy,
-                    n_be=n_cores - 1,
-                )
-                points.append(
-                    GridPoint(
-                        workload=workload,
-                        n_cores=n_cores,
-                        policy=policy.name,
-                        result=result,
-                    )
-                )
+    combos = [
+        (workload, n_cores, policy)
+        for workload in sample
+        for n_cores in cores
+        for policy in policies
+    ]
+    results = store.get_many(
+        [
+            (workload.hp_name, workload.be_name, n_cores - 1, policy)
+            for workload, n_cores, policy in combos
+        ]
+    )
+    points = [
+        GridPoint(
+            workload=workload,
+            n_cores=n_cores,
+            policy=policy.name,
+            result=result,
+        )
+        for (workload, n_cores, policy), result in zip(combos, results)
+    ]
     return GridData(
         sample=tuple(sample),
         cores=tuple(cores),

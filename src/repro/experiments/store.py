@@ -6,20 +6,34 @@ Figure 1 plus the CT-F/CT-T classification share the full 3481-pair UM/CT
 runs. :class:`ResultStore` memoises :class:`~repro.experiments.runner.
 PairResult` objects per (hp, be, n_be, policy) in memory, with optional JSON
 persistence so a long campaign survives process restarts.
+
+Bulk requests (:meth:`ResultStore.get_many` / :meth:`ResultStore.prefetch`)
+partition the requested cells into cached vs. pending and fan the pending
+ones out over a :class:`~repro.experiments.parallel.ParallelExecutor`.
+Worker results merge back into the parent cache as they arrive, and — when
+a ``cache_path`` is configured — are checkpointed to disk every
+``checkpoint_every`` results, so an interrupted paper-scale campaign
+resumes mid-grid instead of restarting.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import time
 from dataclasses import asdict
 from pathlib import Path
+from typing import Iterable
 
 from repro.core.policies import Policy
+from repro.experiments.parallel import Cell, ParallelExecutor
 from repro.experiments.runner import PairResult, run_pair
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.workloads.mix import make_mix
 
 __all__ = ["ResultStore"]
+
+_log = logging.getLogger(__name__)
 
 #: Fields persisted to JSON (the decision trace is dropped — it is bulky and
 #: only examples/tests inspect it).
@@ -38,18 +52,66 @@ _PERSISTED_FIELDS = (
 
 
 class ResultStore:
-    """Memoising executor for (workload, policy, size) experiments."""
+    """Memoising executor for (workload, policy, size) experiments.
+
+    Parameters
+    ----------
+    platform:
+        Platform every execution runs on.
+    cache_path:
+        Optional JSON file for persistence across processes.
+    n_workers:
+        Worker processes for bulk requests: ``1`` (default) keeps the exact
+        serial execution path, ``0``/``None`` auto-detects from the CPU
+        count, ``N > 1`` fans pending cells out over N processes. Serial
+        and parallel execution produce bit-identical results.
+    checkpoint_every:
+        With a ``cache_path``, how many freshly computed results may
+        accumulate before the cache is rewritten mid-campaign. Each
+        checkpoint rewrites the whole store, so mid-campaign checkpoints
+        are additionally rate-limited to one per
+        ``_MIN_CHECKPOINT_INTERVAL_S`` seconds; campaigns fast enough to
+        finish inside that window just save once at the end.
+    """
+
+    #: Minimum seconds between mid-campaign checkpoint rewrites.
+    _MIN_CHECKPOINT_INTERVAL_S = 5.0
 
     def __init__(
         self,
         platform: PlatformConfig = TABLE1_PLATFORM,
         cache_path: Path | str | None = None,
+        *,
+        n_workers: int | None = 1,
+        checkpoint_every: int = 256,
     ) -> None:
         self.platform = platform
+        self._executor = ParallelExecutor(n_workers)
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._checkpoint_every = checkpoint_every
         self._results: dict[tuple[str, str, int, str], PairResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
+        self._n_loaded = 0
+        self._n_dropped = 0
+        self._n_computed = 0
+        self._n_served = 0
+        self._pending_checkpoint = 0
+        self._last_checkpoint = float("-inf")
         if self._cache_path and self._cache_path.exists():
             self._load()
+
+    @property
+    def n_workers(self) -> int:
+        """Worker process count used for bulk requests."""
+        return self._executor.n_workers
+
+    @staticmethod
+    def _key(cell: Cell) -> tuple[str, str, int, str]:
+        hp_name, be_name, n_be, policy = cell
+        return (hp_name, be_name, n_be, policy.name)
 
     # -- execution ---------------------------------------------------------
 
@@ -72,10 +134,97 @@ class ResultStore:
                 **run_kwargs,
             )
             self._results[key] = result
+            self._n_computed += 1
+        else:
+            self._n_served += 1
         return result
+
+    def get_many(
+        self,
+        cells: Iterable[Cell],
+        **run_kwargs,
+    ) -> list[PairResult]:
+        """Fetch a batch of cells, fanning pending ones out over workers.
+
+        Cells are ``(hp_name, be_name, n_be, policy)`` tuples. The request
+        is partitioned into cached vs. pending; pending cells (deduplicated,
+        in first-appearance order) run on the store's executor, merge back
+        into the cache as they complete, and are checkpointed to
+        ``cache_path`` along the way. Returns results aligned
+        index-for-index with ``cells``.
+        """
+        cells = list(cells)
+        keys = [self._key(cell) for cell in cells]
+        pending: dict[tuple[str, str, int, str], Cell] = {}
+        for key, cell in zip(keys, cells):
+            if key not in self._results and key not in pending:
+                pending[key] = cell
+        self._n_served += len(cells) - len(pending)
+
+        if pending:
+            pending_keys = list(pending)
+
+            def merge(index: int, cell: Cell, result: PairResult) -> None:
+                self._results[pending_keys[index]] = result
+                self._n_computed += 1
+                self._pending_checkpoint += 1
+                if (
+                    self._cache_path
+                    and self._pending_checkpoint >= self._checkpoint_every
+                    and time.monotonic() - self._last_checkpoint
+                    >= self._MIN_CHECKPOINT_INTERVAL_S
+                ):
+                    self.save()
+
+            self._executor.run(
+                list(pending.values()),
+                self.platform,
+                run_kwargs=run_kwargs or None,
+                on_result=merge,
+            )
+            if self._cache_path and self._pending_checkpoint:
+                self.save()
+
+        return [self._results[key] for key in keys]
+
+    def prefetch(
+        self,
+        cells: Iterable[Cell],
+        **run_kwargs,
+    ) -> dict[str, int]:
+        """Ensure every cell is computed; report the cached/run partition.
+
+        Returns ``{"requested": ..., "cached": ..., "computed": ...}`` for
+        the batch (duplicates within the batch count as cached).
+        """
+        cells = list(cells)
+        computed_before = self._n_computed
+        self.get_many(cells, **run_kwargs)
+        computed = self._n_computed - computed_before
+        return {
+            "requested": len(cells),
+            "cached": len(cells) - computed,
+            "computed": computed,
+        }
 
     def __len__(self) -> int:
         return len(self._results)
+
+    def stats(self) -> dict[str, int]:
+        """Bookkeeping counters for campaign reports.
+
+        ``cached``: results currently held; ``loaded``: rows restored from
+        the JSON cache; ``recomputed``: executions this store ran;
+        ``served``: requests answered from memory; ``dropped``: persisted
+        rows ignored on load (schema drift / corruption).
+        """
+        return {
+            "cached": len(self._results),
+            "loaded": self._n_loaded,
+            "recomputed": self._n_computed,
+            "served": self._n_served,
+            "dropped": self._n_dropped,
+        }
 
     # -- persistence ---------------------------------------------------------
 
@@ -91,17 +240,35 @@ class ResultStore:
         tmp = self._cache_path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(self._cache_path)
+        self._pending_checkpoint = 0
+        self._last_checkpoint = time.monotonic()
 
     def _load(self) -> None:
         assert self._cache_path is not None
         try:
             payload = json.loads(self._cache_path.read_text())
         except (OSError, json.JSONDecodeError):
-            return  # corrupt caches are simply ignored (results recompute)
+            _log.warning(
+                "result cache %s is unreadable; all results will be "
+                "recomputed",
+                self._cache_path,
+            )
+            self._n_dropped += 1
+            return
         for row in payload:
             try:
                 result = PairResult(**row)
             except TypeError:
+                self._n_dropped += 1
                 continue  # schema drift: recompute
             key = (result.hp_name, result.be_name, result.n_be, result.policy)
             self._results[key] = result
+            self._n_loaded += 1
+        if self._n_dropped:
+            _log.warning(
+                "result cache %s: ignored %d of %d rows (schema drift); "
+                "they will be recomputed",
+                self._cache_path,
+                self._n_dropped,
+                len(payload),
+            )

@@ -85,7 +85,7 @@ class SimulatedRdt(RdtBackend):
         total_bw = float(d_bytes.sum()) / dt
 
         # CMT-equivalent occupancy snapshot for the HP core.
-        state = self._server._steady()  # noqa: SLF001 - deliberate peek
+        state = self._server.steady_state()
         occupancy = float(state.ways[0]) * self._server.platform.way_bytes
 
         return PeriodSample(

@@ -19,7 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sim.contention import SteadyState, solve_steady_state
+from repro.sim.contention import (
+    GLOBAL_STEADY_CACHE,
+    SteadyState,
+    SteadyStateCache,
+)
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
 from repro.workloads.app import AppModel, Phase
@@ -100,6 +104,7 @@ class Server:
         partition: PartitionSpec | None = None,
         *,
         record_timeline: bool = False,
+        warm_start: bool = False,
     ) -> None:
         if len(apps) > platform.n_cores:
             raise ValueError(
@@ -122,7 +127,11 @@ class Server:
         self.mba_scale: tuple[float, ...] | None = None
         self.timeline: list[TimelinePoint] = []
         self._record_timeline = record_timeline
+        # Operating points already visited by THIS server (includes warm-
+        # started solves, which the shared process-wide cache refuses).
         self._memo: dict[tuple, SteadyState] = {}
+        self._warm_start = warm_start
+        self._last_state: SteadyState | None = None
 
     # -- configuration --------------------------------------------------
 
@@ -147,19 +156,36 @@ class Server:
     # -- execution -------------------------------------------------------
 
     def _steady(self) -> SteadyState:
-        phases = [app.current_phase()[0] for app in self.apps]
-        key = (
-            tuple(id(p) for p in phases),
-            self.partition.key(),
-            self.mba_scale,
+        phases = tuple(app.current_phase()[0] for app in self.apps)
+        key = SteadyStateCache.make_key(
+            self.platform, phases, self.partition, self.mba_scale
         )
         state = self._memo.get(key)
         if state is None:
-            state = solve_steady_state(
-                self.platform, phases, self.partition, mba_scale=self.mba_scale
+            warm = None
+            if self._warm_start and self._last_state is not None:
+                warm = (
+                    self._last_state.ways,
+                    self._last_state.latency_cycles,
+                )
+            state = GLOBAL_STEADY_CACHE.solve(
+                self.platform,
+                phases,
+                self.partition,
+                mba_scale=self.mba_scale,
+                warm_start=warm,
             )
             self._memo[key] = state
+        self._last_state = state
         return state
+
+    def steady_state(self) -> SteadyState:
+        """The converged operating point for the current phases/partition.
+
+        Public monitoring surface (used by the RDT backend's occupancy
+        snapshot); memoised, so repeated calls between events are free.
+        """
+        return self._steady()
 
     @property
     def all_completed(self) -> bool:

@@ -8,6 +8,7 @@ profiles are deterministic per (application, platform) and are memoised.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.sim.contention import solve_steady_state
@@ -15,7 +16,13 @@ from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
 from repro.workloads.app import AppModel
 
-__all__ = ["SoloProfile", "solo_profile", "solo_ipc_at_ways"]
+__all__ = ["SoloProfile", "solo_profile", "solo_ipc_at_ways", "clear_caches"]
+
+#: Bounds on the module caches below. Generous (the full catalog needs ~60
+#: profile entries and ~60 x llc_ways way entries) but finite, so campaigns
+#: over synthesised or generated catalogs cannot grow them without limit.
+_MAX_PROFILE_ENTRIES = 4096
+_MAX_WAYS_ENTRIES = 16384
 
 
 @dataclass(frozen=True)
@@ -29,9 +36,10 @@ class SoloProfile:
     peak_bw_bytes: float
 
 
-# Cache keyed by (phases tuple, platform). BE clones share phase tuples with
-# their catalog original, so "gcc_base3#7" hits the same entry as gcc_base3.
-_CACHE: dict[tuple, SoloProfile] = {}
+# LRU cache keyed by (phases tuple, platform). BE clones share phase tuples
+# with their catalog original, so "gcc_base3#7" hits the same entry as
+# gcc_base3. Bounded by _MAX_PROFILE_ENTRIES.
+_CACHE: OrderedDict[tuple, SoloProfile] = OrderedDict()
 
 
 def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
@@ -44,6 +52,7 @@ def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
     key = (app.phases, platform)
     cached = _CACHE.get(key)
     if cached is not None:
+        _CACHE.move_to_end(key)
         return cached
 
     partition = PartitionSpec.unmanaged(1, platform.llc_ways)
@@ -67,10 +76,14 @@ def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
         peak_bw_bytes=peak_bw,
     )
     _CACHE[key] = profile
+    if len(_CACHE) > _MAX_PROFILE_ENTRIES:
+        _CACHE.popitem(last=False)
     return profile
 
 
-_WAYS_CACHE: dict[tuple, float] = {}
+# LRU cache keyed by (phases tuple, platform, ways); bounded by
+# _MAX_WAYS_ENTRIES.
+_WAYS_CACHE: OrderedDict[tuple, float] = OrderedDict()
 
 
 def solo_ipc_at_ways(
@@ -91,6 +104,7 @@ def solo_ipc_at_ways(
     key = (app.phases, platform, ways)
     cached = _WAYS_CACHE.get(key)
     if cached is not None:
+        _WAYS_CACHE.move_to_end(key)
         return cached
 
     partition = PartitionSpec.unmanaged(1, ways)
@@ -103,4 +117,12 @@ def solo_ipc_at_ways(
         total_instr += phase.instructions
     result = total_instr / (platform.freq_hz * total_time)
     _WAYS_CACHE[key] = result
+    if len(_WAYS_CACHE) > _MAX_WAYS_ENTRIES:
+        _WAYS_CACHE.popitem(last=False)
     return result
+
+
+def clear_caches() -> None:
+    """Empty both solo-profile caches (test fixtures; long campaigns)."""
+    _CACHE.clear()
+    _WAYS_CACHE.clear()

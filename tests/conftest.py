@@ -18,3 +18,22 @@ def platform():
 def store():
     """A session-wide result store so expensive runs are shared."""
     return ResultStore()
+
+
+@pytest.fixture
+def clean_caches():
+    """Cold module-level caches before and after a test.
+
+    For tests that reason about cold-vs-memoised solves: empties the solo
+    profile caches and the process-wide steady-state solver memo on entry
+    and on exit (so the rest of the suite keeps its warm caches semantics
+    but never sees this test's entries).
+    """
+    from repro.sim.contention import GLOBAL_STEADY_CACHE
+    from repro.sim.solo import clear_caches
+
+    clear_caches()
+    GLOBAL_STEADY_CACHE.clear()
+    yield
+    clear_caches()
+    GLOBAL_STEADY_CACHE.clear()

@@ -36,6 +36,12 @@ class TestCli:
         assert main(["fig1", "--limit", "3", "--cache", str(cache)]) == 0
         assert cache.exists()
 
+    def test_workers_flag_matches_serial(self, capsys):
+        assert main(["fig1", "--limit", "3", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["fig1", "--limit", "3", "--workers", "1"]) == 0
+        assert capsys.readouterr().out == parallel_out
+
     def test_ablation_classify(self, capsys):
         assert main(["ablation-classify", "--limit", "5"]) == 0
         assert "CT-T share" in capsys.readouterr().out

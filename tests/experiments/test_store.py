@@ -1,6 +1,7 @@
 """Tests for the memoising result store."""
 
 import json
+import logging
 
 from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
 from repro.experiments.store import ResultStore
@@ -56,3 +57,93 @@ class TestPersistence:
         path.write_text(json.dumps([{"unknown_field": 1}]))
         store = ResultStore(cache_path=path)
         assert len(store) == 0
+
+    def test_schema_drift_warns_with_count(self, tmp_path, caplog):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps([{"unknown_field": 1}, {"another": 2}])
+        )
+        with caplog.at_level(logging.WARNING, "repro.experiments.store"):
+            store = ResultStore(cache_path=path)
+        assert store.stats()["dropped"] == 2
+        assert any(
+            "ignored 2 of 2 rows" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_corrupt_cache_warns(self, tmp_path, caplog):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with caplog.at_level(logging.WARNING, "repro.experiments.store"):
+            ResultStore(cache_path=path)
+        assert any("unreadable" in r.getMessage() for r in caplog.records)
+
+
+class TestStats:
+    def test_counts_computed_and_served(self):
+        store = ResultStore()
+        store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        store.get("milc1", "gcc_base6", UnmanagedPolicy())
+        stats = store.stats()
+        assert stats["cached"] == 1
+        assert stats["recomputed"] == 1
+        assert stats["served"] == 1
+        assert stats["loaded"] == 0
+        assert stats["dropped"] == 0
+
+    def test_counts_loaded_rows(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = ResultStore(cache_path=path)
+        first.get("milc1", "gcc_base6", UnmanagedPolicy())
+        first.save()
+        reloaded = ResultStore(cache_path=path)
+        assert reloaded.stats()["loaded"] == 1
+        reloaded.get("milc1", "gcc_base6", UnmanagedPolicy())
+        assert reloaded.stats()["recomputed"] == 0
+
+
+class TestBulkAndResume:
+    CELLS = [
+        ("milc1", "gcc_base6", 3, UnmanagedPolicy()),
+        ("milc1", "gcc_base6", 3, CacheTakeoverPolicy()),
+        ("omnetpp1", "gcc_base6", 3, UnmanagedPolicy()),
+        ("omnetpp1", "gcc_base6", 3, CacheTakeoverPolicy()),
+    ]
+
+    def test_prefetch_partitions_cached_vs_pending(self):
+        store = ResultStore()
+        first = store.prefetch(self.CELLS[:2])
+        assert first == {"requested": 2, "cached": 0, "computed": 2}
+        second = store.prefetch(self.CELLS)
+        assert second == {"requested": 4, "cached": 2, "computed": 2}
+
+    def test_get_many_then_get_is_cached(self):
+        store = ResultStore()
+        results = store.get_many(self.CELLS)
+        hp, be, n_be, policy = self.CELLS[0]
+        assert store.get(hp, be, policy, n_be=n_be) is results[0]
+
+    def test_campaign_checkpoints_and_resumes(self, tmp_path):
+        """A mid-grid restart recomputes only what never ran."""
+        path = tmp_path / "cache.json"
+        store = ResultStore(cache_path=path, checkpoint_every=1)
+        store.get_many(self.CELLS[:2])
+        # Checkpointing happened during the bulk call, without save().
+        assert path.exists()
+
+        resumed = ResultStore(cache_path=path)
+        assert resumed.stats()["loaded"] == 2
+        resumed.get_many(self.CELLS)
+        stats = resumed.stats()
+        assert stats["recomputed"] == 2  # only the two missing cells
+        assert stats["served"] == 2
+
+    def test_resumed_results_match_fresh_ones(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = ResultStore(cache_path=path)
+        fresh = store.get_many(self.CELLS)
+        store.save()
+        resumed = ResultStore(cache_path=path).get_many(self.CELLS)
+        for a, b in zip(fresh, resumed):
+            assert a.hp_slowdown == b.hp_slowdown
+            assert a.efu == b.efu

@@ -56,3 +56,33 @@ class TestSoloIpcAtWays:
             solo_ipc_at_ways(get_app("lbm1"), PLAT, 0)
         with pytest.raises(ValueError):
             solo_ipc_at_ways(get_app("lbm1"), PLAT, 21)
+
+
+class TestCacheManagement:
+    def test_clear_caches_empties_both(self, clean_caches):
+        from repro.sim import solo
+
+        solo_profile(get_app("milc1"), PLAT)
+        solo_ipc_at_ways(get_app("milc1"), PLAT, 4)
+        assert solo._CACHE and solo._WAYS_CACHE
+        solo.clear_caches()
+        assert not solo._CACHE and not solo._WAYS_CACHE
+
+    def test_profile_cache_bounded(self, clean_caches, monkeypatch):
+        from repro.sim import solo
+
+        monkeypatch.setattr(solo, "_MAX_PROFILE_ENTRIES", 2)
+        for name in ("milc1", "omnetpp1", "lbm1"):
+            solo_profile(get_app(name), PLAT)
+        assert len(solo._CACHE) == 2
+        # The oldest entry (milc1) was evicted; recomputation re-inserts it.
+        profile = solo_profile(get_app("milc1"), PLAT)
+        assert profile.app_name == "milc1"
+
+    def test_ways_cache_bounded(self, clean_caches, monkeypatch):
+        from repro.sim import solo
+
+        monkeypatch.setattr(solo, "_MAX_WAYS_ENTRIES", 3)
+        for ways in (1, 2, 3, 4, 5):
+            solo_ipc_at_ways(get_app("milc1"), PLAT, ways)
+        assert len(solo._WAYS_CACHE) == 3

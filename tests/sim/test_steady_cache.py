@@ -1,0 +1,183 @@
+"""Tests for the bounded steady-state solver memo and warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.sim.contention import (
+    GLOBAL_STEADY_CACHE,
+    SteadyStateCache,
+    solve_steady_state,
+)
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import TABLE1_PLATFORM
+from repro.sim.server import Server
+from repro.workloads.mix import make_mix
+
+
+def _phases(n_be: int = 3):
+    apps = make_mix("omnetpp1", "gcc_base3", n_be=n_be).apps()
+    return tuple(app.phases[0] for app in apps)
+
+
+def _state_fields(state):
+    return (
+        state.ipc,
+        state.ways,
+        state.miss_ratio,
+        state.bw_bytes,
+        state.latency_cycles,
+        state.utilisation,
+    )
+
+
+class TestSteadyStateCache:
+    def test_memo_matches_cold_solve_across_partitions(self):
+        """The memo must be invisible: same SteadyState as a cold solve,
+        for every partition in a sweep."""
+        phases = _phases()
+        n = len(phases)
+        cache = SteadyStateCache(max_entries=64)
+        for hp_ways in range(1, 17):
+            partition = PartitionSpec.hp_be(
+                hp_ways, n_cores=n, total_ways=TABLE1_PLATFORM.llc_ways
+            )
+            cold = solve_steady_state(TABLE1_PLATFORM, phases, partition)
+            via_cache = cache.solve(TABLE1_PLATFORM, phases, partition)
+            hit = cache.solve(TABLE1_PLATFORM, phases, partition)
+            for a, b in zip(_state_fields(cold), _state_fields(via_cache)):
+                assert np.array_equal(a, b)
+            assert hit is via_cache  # second request is a pure hit
+        assert cache.misses == 16
+        assert cache.hits == 16
+
+    def test_distinct_operating_points_distinct_entries(self):
+        phases = _phases()
+        n = len(phases)
+        cache = SteadyStateCache()
+        um = PartitionSpec.unmanaged(n, TABLE1_PLATFORM.llc_ways)
+        ct = PartitionSpec.hp_be(19, n_cores=n, total_ways=20)
+        cache.solve(TABLE1_PLATFORM, phases, um)
+        cache.solve(TABLE1_PLATFORM, phases, ct)
+        cache.solve(TABLE1_PLATFORM, phases, um, mba_scale=[1.0, 0.5, 0.5, 0.5])
+        assert len(cache) == 3
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_lru_bound_evicts_oldest(self):
+        phases = _phases()
+        n = len(phases)
+        cache = SteadyStateCache(max_entries=4)
+        partitions = [
+            PartitionSpec.hp_be(w, n_cores=n, total_ways=20)
+            for w in range(1, 7)
+        ]
+        for partition in partitions:
+            cache.solve(TABLE1_PLATFORM, phases, partition)
+        assert len(cache) == 4
+        # Oldest entry was evicted: re-requesting it is a miss again.
+        misses_before = cache.misses
+        cache.solve(TABLE1_PLATFORM, phases, partitions[0])
+        assert cache.misses == misses_before + 1
+
+    def test_clear_resets_counters(self):
+        phases = _phases()
+        cache = SteadyStateCache()
+        partition = PartitionSpec.unmanaged(len(phases), 20)
+        cache.solve(TABLE1_PLATFORM, phases, partition)
+        cache.solve(TABLE1_PLATFORM, phases, partition)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "max_entries": cache.max_entries,
+        }
+
+    def test_rejects_degenerate_bound(self):
+        with pytest.raises(ValueError):
+            SteadyStateCache(max_entries=0)
+
+
+class TestWarmStart:
+    def test_warm_start_converges_to_same_fixed_point(self):
+        """Warm-started solves land on the same operating point (within
+        solver tolerance) while spending fewer iterations."""
+        phases = _phases()
+        n = len(phases)
+        previous = None
+        for hp_ways in range(1, 17):
+            partition = PartitionSpec.hp_be(hp_ways, n_cores=n, total_ways=20)
+            cold = solve_steady_state(TABLE1_PLATFORM, phases, partition)
+            if previous is not None:
+                warm = solve_steady_state(
+                    TABLE1_PLATFORM,
+                    phases,
+                    partition,
+                    warm_start=(previous.ways, previous.latency_cycles),
+                )
+                np.testing.assert_allclose(warm.ipc, cold.ipc, rtol=1e-3)
+                np.testing.assert_allclose(
+                    warm.ways, cold.ways, atol=1e-3 * 20
+                )
+                assert warm.latency_cycles == pytest.approx(
+                    cold.latency_cycles, rel=1e-3
+                )
+            previous = cold
+
+    def test_warm_start_validates_shape(self):
+        phases = _phases()
+        partition = PartitionSpec.unmanaged(len(phases), 20)
+        with pytest.raises(ValueError, match="warm_start"):
+            solve_steady_state(
+                TABLE1_PLATFORM,
+                phases,
+                partition,
+                warm_start=([1.0, 2.0], 200.0),
+            )
+
+    def test_warm_started_solves_stay_out_of_the_shared_cache(self):
+        """Only pure (history-independent) solves may be shared."""
+        phases = _phases()
+        partition = PartitionSpec.unmanaged(len(phases), 20)
+        cache = SteadyStateCache()
+        cache.solve(
+            TABLE1_PLATFORM,
+            phases,
+            partition,
+            warm_start=(np.full(len(phases), 5.0), 200.0),
+        )
+        assert len(cache) == 0
+        cache.solve(TABLE1_PLATFORM, phases, partition)
+        assert len(cache) == 1
+
+
+class TestServerIntegration:
+    def test_servers_share_the_global_cache(self, clean_caches):
+        """A second server over the same operating points re-solves
+        nothing."""
+        apps = make_mix("omnetpp1", "gcc_base3", n_be=3).apps()
+        Server(TABLE1_PLATFORM, apps).run_until_all_complete()
+        misses_after_first = GLOBAL_STEADY_CACHE.misses
+        assert misses_after_first > 0
+
+        server = Server(TABLE1_PLATFORM, apps)
+        server.run_until_all_complete()
+        assert GLOBAL_STEADY_CACHE.misses == misses_after_first
+        assert GLOBAL_STEADY_CACHE.hits > 0
+
+    def test_warm_start_server_matches_cold_within_tolerance(
+        self, clean_caches
+    ):
+        """A warm-starting server runs the same execution to within solver
+        tolerance (it is NOT bit-identical by design)."""
+        apps = make_mix("omnetpp1", "gcc_base3", n_be=3).apps()
+        cold = Server(TABLE1_PLATFORM, apps)
+        cold.run_until_all_complete()
+        GLOBAL_STEADY_CACHE.clear()  # force the warm server to re-solve
+        warm = Server(TABLE1_PLATFORM, apps, warm_start=True)
+        warm.run_until_all_complete()
+        assert warm.time == pytest.approx(cold.time, rel=1e-3)
+        for a, b in zip(cold.apps, warm.apps):
+            assert b.total_instructions == pytest.approx(
+                a.total_instructions, rel=1e-3
+            )
