@@ -1,9 +1,20 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: install test bench bench-quick bench-full examples clean
+.PHONY: all install lint test bench bench-quick bench-full examples clean
+
+.DEFAULT_GOAL := all
+
+all: lint test
 
 install:
 	pip install -e .
+
+lint:             ## ruff, if installed (config in .ruff.toml); skipped otherwise
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/ tests/ benchmarks/ examples/; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
 
 test:
 	pytest tests/

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig
+from repro.obs import get_event_log, get_registry
 from repro.rdt.sample import PeriodSample
 
 __all__ = ["DicerController", "ControllerMode", "DecisionRecord"]
@@ -51,7 +52,16 @@ class ControllerMode(enum.Enum):
 
 @dataclass(frozen=True)
 class DecisionRecord:
-    """Telemetry: one controller decision (for traces, tests, examples)."""
+    """Telemetry: one controller decision (for traces, tests, examples).
+
+    ``event`` is the *structured* decision kind — one of ``warmup``,
+    ``sampling_start`` / ``sampling_dwell`` / ``sampling_probe`` /
+    ``sampling_conclude`` / ``sampling_empty``, ``shrink`` / ``floor`` /
+    ``hold``, ``reset_ctf`` / ``reset_ctt``, ``validate_ok`` /
+    ``validate_rollback`` / ``validate_optimal`` — and is what analysis
+    code should branch on. ``note`` is the human-readable rendering of
+    the same decision and carries no stability guarantee.
+    """
 
     period: int
     mode: ControllerMode
@@ -61,6 +71,7 @@ class DecisionRecord:
     phase_change: bool
     allocation: Allocation
     note: str = ""
+    event: str = ""
 
 
 @dataclass
@@ -95,6 +106,11 @@ class DicerController:
         self._rollback = self.current
         self._cooldown = 0
         self._period = 0
+        self._suppress_bw_bookkeeping = False
+        #: Compatibility surface: the decision history as a plain list of
+        #: :class:`DecisionRecord` (what ``trace_tools`` renders). The same
+        #: decisions stream through :mod:`repro.obs` as ``dicer.*`` events
+        #: when telemetry is enabled.
         self.trace: list[DecisionRecord] = []
 
     # -- public API ---------------------------------------------------------
@@ -118,28 +134,33 @@ class DicerController:
             self._cooldown -= 1
 
         phase_change = False
-        note = ""
         if self.mode is ControllerMode.SAMPLING:
-            note = self._step_sampling(sample)
+            event, note = self._step_sampling(sample)
         elif saturated:
-            note = self._start_sampling()
+            event, note = self._start_sampling()
         elif self.mode is ControllerMode.WARMUP:
             self.mode = ControllerMode.OPTIMISE
-            note = "warmup"
+            event, note = "warmup", "warmup"
         elif self.mode is ControllerMode.RESET_VALIDATE:
-            note = self._validate_reset(sample)
+            event, note = self._validate_reset(sample)
         else:
-            phase_change, note = self._optimise(sample)
+            phase_change, event, note = self._optimise(sample)
 
         # Bookkeeping AFTER decisions: Equation 2 compares this period's HP
-        # bandwidth against the *previous* periods' baseline.
-        self._hp_bw_history.append(sample.hp_mem_bytes_s)
-        w = self.config.ewma_weight
-        self._hp_bw_ewma = (
-            sample.hp_mem_bytes_s
-            if self._hp_bw_ewma is None
-            else (1.0 - w) * self._hp_bw_ewma + w * sample.hp_mem_bytes_s
-        )
+        # bandwidth against the *previous* periods' baseline. The period
+        # that concludes sampling is excluded: its bandwidth was measured
+        # under the final probe allocation, and folding it in would
+        # re-pollute the history _conclude_sampling just cleared.
+        if self._suppress_bw_bookkeeping:
+            self._suppress_bw_bookkeeping = False
+        else:
+            self._hp_bw_history.append(sample.hp_mem_bytes_s)
+            w = self.config.ewma_weight
+            self._hp_bw_ewma = (
+                sample.hp_mem_bytes_s
+                if self._hp_bw_ewma is None
+                else (1.0 - w) * self._hp_bw_ewma + w * sample.hp_mem_bytes_s
+            )
         self._last_ipc = sample.hp_ipc
 
         self.trace.append(
@@ -152,27 +173,74 @@ class DicerController:
                 phase_change=phase_change,
                 allocation=self.current,
                 note=note,
+                event=event,
             )
         )
+        self._report(sample, event, note, raw_saturated, phase_change)
         return self.current
+
+    def _report(
+        self,
+        sample: PeriodSample,
+        event: str,
+        note: str,
+        saturated: bool,
+        phase_change: bool,
+    ) -> None:
+        """Mirror the decision into :mod:`repro.obs` (no-op when disabled)."""
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("dicer.decisions").inc()
+            if phase_change:
+                registry.counter("dicer.phase_changes").inc()
+            if event in ("reset_ctf", "reset_ctt"):
+                registry.counter(f"dicer.{event}").inc()
+            elif event in ("sampling_start", "sampling_empty"):
+                registry.counter(f"dicer.{event}").inc()
+            registry.gauge("dicer.hp_ways").set(self.current.hp_ways)
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "dicer.decision",
+                period=self._period,
+                mode=self.mode.value,
+                event=event,
+                note=note,
+                hp_ipc=round(sample.hp_ipc, 6),
+                hp_bw_bytes_s=round(sample.hp_mem_bytes_s, 3),
+                total_bw_bytes_s=round(sample.total_mem_bytes_s, 3),
+                saturated=saturated,
+                phase_change=phase_change,
+                hp_ways=self.current.hp_ways,
+            )
 
     # -- Section 3.2.1: allocation sampling ----------------------------------
 
-    def _start_sampling(self) -> str:
+    def _start_sampling(self) -> tuple[str, str]:
         """First/renewed saturation: reclassify as CT-T and probe the grid."""
-        self.ct_favoured = False
         grid = [
             w for w in self.config.sample_hp_ways if w < self.total_ways
         ]
+        if not grid:
+            # Degenerate caches (e.g. total_ways=2 with a grid tuned for a
+            # 20-way LLC) can leave nothing to probe. Sampling a zero-point
+            # grid would crash; there is also nothing to learn, so keep
+            # optimising with the current allocation. The cooldown stops
+            # persistent saturation from re-entering this dead end every
+            # period (same livelock guard as a completed sampling pass).
+            self.mode = ControllerMode.OPTIMISE
+            self._cooldown = self.config.resample_cooldown_periods
+            return "sampling_empty", "sampling: grid empty"
+        self.ct_favoured = False
         self._sampling = _SamplingState(
-            pending=list(grid),
+            pending=grid,
             results={},
             dwell_left=self.config.sample_periods,
             active_ways=None,
         )
         self.mode = ControllerMode.SAMPLING
         self._advance_sampling()
-        return "sampling: start"
+        return "sampling_start", "sampling: start"
 
     def _advance_sampling(self) -> None:
         state = self._sampling
@@ -180,21 +248,21 @@ class DicerController:
         state.dwell_left = self.config.sample_periods
         self.current = self.current.with_hp_ways(state.active_ways)
 
-    def _step_sampling(self, sample: PeriodSample) -> str:
+    def _step_sampling(self, sample: PeriodSample) -> tuple[str, str]:
         state = self._sampling
         assert state.active_ways is not None
         state.dwell_left -= 1
         if state.dwell_left > 0:
-            return f"sampling: dwell hp={state.active_ways}"
+            return "sampling_dwell", f"sampling: dwell hp={state.active_ways}"
         # The last dwell period's IPC is the sample's score ("long enough to
         # make the effects of the partitioning visible").
         state.results[state.active_ways] = sample.hp_ipc
         if state.pending:
             self._advance_sampling()
-            return f"sampling: probe hp={state.active_ways}"
+            return "sampling_probe", f"sampling: probe hp={state.active_ways}"
         return self._conclude_sampling()
 
-    def _conclude_sampling(self) -> str:
+    def _conclude_sampling(self) -> tuple[str, str]:
         state = self._sampling
         best_ways = max(state.results, key=lambda w: state.results[w])
         self.ipc_opt = state.results[best_ways]
@@ -203,10 +271,17 @@ class DicerController:
         self.mode = ControllerMode.OPTIMISE
         self._cooldown = self.config.resample_cooldown_periods
         # Sampling distorted HP's bandwidth trajectory; restart Equation 2's
-        # history so the next periods are not misread as phase changes.
+        # history so the next periods are not misread as phase changes. The
+        # concluding period's own bandwidth — measured under the final probe
+        # allocation — must not re-enter the cleared history either, so the
+        # caller's bookkeeping append is suppressed for this period.
         self._hp_bw_history.clear()
         self._hp_bw_ewma = None
-        return f"sampling: optimal hp={best_ways} ipc={self.ipc_opt:.3f}"
+        self._suppress_bw_bookkeeping = True
+        return (
+            "sampling_conclude",
+            f"sampling: optimal hp={best_ways} ipc={self.ipc_opt:.3f}",
+        )
 
     # -- Listing 2: allocation optimisation ----------------------------------
 
@@ -230,9 +305,10 @@ class DicerController:
         )
         return sample.hp_mem_bytes_s > threshold * gmean
 
-    def _optimise(self, sample: PeriodSample) -> tuple[bool, str]:
+    def _optimise(self, sample: PeriodSample) -> tuple[bool, str, str]:
         if self._phase_change(sample):
-            return True, self._reset(sample)
+            event, note = self._reset(sample)
+            return True, event, note
         assert self._last_ipc is not None
         lo = (1.0 - self.config.alpha) * self._last_ipc
         hi = (1.0 + self.config.alpha) * self._last_ipc
@@ -241,27 +317,35 @@ class DicerController:
             before = self.current.hp_ways
             self.current = self.current.shrink_hp()
             if self.current.hp_ways != before:
-                return False, f"stable: shrink hp to {self.current.hp_ways}"
-            return False, "stable: at floor"
+                return (
+                    False,
+                    "shrink",
+                    f"stable: shrink hp to {self.current.hp_ways}",
+                )
+            return False, "floor", "stable: at floor"
         if sample.hp_ipc > hi:
             # Improved: new phase with same cache needs; hold position.
-            return False, "better: hold"
-        return False, self._reset(sample)
+            return False, "hold", "better: hold"
+        event, note = self._reset(sample)
+        return False, event, note
 
     # -- Listing 3: allocation reset -----------------------------------------
 
-    def _reset(self, sample: PeriodSample) -> str:
+    def _reset(self, sample: PeriodSample) -> tuple[str, str]:
         self._reset_trigger_ipc = sample.hp_ipc
         if self.ct_favoured:
             self._rollback = self.current
             self.current = Allocation.cache_takeover(self.total_ways)
             self.mode = ControllerMode.RESET_VALIDATE
-            return "reset: to CT (CT-F)"
+            return "reset_ctf", "reset: to CT (CT-F)"
         self.current = self.optimal
         self.mode = ControllerMode.RESET_VALIDATE
-        return f"reset: to optimal hp={self.optimal.hp_ways} (CT-T)"
+        return (
+            "reset_ctt",
+            f"reset: to optimal hp={self.optimal.hp_ways} (CT-T)",
+        )
 
-    def _validate_reset(self, sample: PeriodSample) -> str:
+    def _validate_reset(self, sample: PeriodSample) -> tuple[str, str]:
         # Saturation during validation is handled by the caller (it starts
         # sampling before reaching this method), mirroring Listing 3's
         # explicit BW_saturated checks.
@@ -269,11 +353,14 @@ class DicerController:
         self.mode = ControllerMode.OPTIMISE
         if self.ct_favoured:
             if sample.hp_ipc > (1.0 + alpha) * self._reset_trigger_ipc:
-                return "validate: CT reset helped"
+                return "validate_ok", "validate: CT reset helped"
             # The IPC drop was a phase effect, not an allocation effect.
             self.current = self._rollback
-            return f"validate: rollback hp={self.current.hp_ways}"
+            return (
+                "validate_rollback",
+                f"validate: rollback hp={self.current.hp_ways}",
+            )
         assert self.ipc_opt is not None
         if sample.hp_ipc >= (1.0 - alpha) * self.ipc_opt:
-            return "validate: back at optimal"
+            return "validate_optimal", "validate: back at optimal"
         return self._start_sampling()

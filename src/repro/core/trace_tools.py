@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.dicer import DecisionRecord
+from repro.core.dicer import ControllerMode, DecisionRecord
 
 __all__ = ["render_trace", "allocation_strip", "summarise_trace"]
 
@@ -63,17 +63,28 @@ def allocation_strip(
 
 
 def summarise_trace(trace: Sequence[DecisionRecord]) -> dict[str, object]:
-    """Aggregate counters over a trace (used by tests and reports)."""
+    """Aggregate counters over a trace (used by tests and reports).
+
+    Resets are counted from the *structured* record, never from note
+    wording: the total is the number of decisions that entered
+    ``RESET_VALIDATE`` (a reset is exactly that mode transition), and the
+    CT-Favoured / CT-Thwarted split comes from the ``reset_ctf`` /
+    ``reset_ctt`` event kinds.
+    """
     if not trace:
         raise ValueError("empty trace")
     sampling_periods = sum(
-        1 for r in trace if r.mode.value == "sampling"
+        1 for r in trace if r.mode is ControllerMode.SAMPLING
     )
     return {
         "periods": len(trace),
         "sampling_periods": sampling_periods,
         "sampling_share": sampling_periods / len(trace),
-        "resets": sum(1 for r in trace if "reset" in r.note),
+        "resets": sum(
+            1 for r in trace if r.mode is ControllerMode.RESET_VALIDATE
+        ),
+        "resets_ctf": sum(1 for r in trace if r.event == "reset_ctf"),
+        "resets_ctt": sum(1 for r in trace if r.event == "reset_ctt"),
         "phase_changes": sum(1 for r in trace if r.phase_change),
         "saturated_periods": sum(1 for r in trace if r.saturated),
         "final_hp_ways": trace[-1].allocation.hp_ways,

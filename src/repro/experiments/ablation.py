@@ -14,6 +14,7 @@ from dataclasses import replace
 
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.core.dicer import ControllerMode
 from repro.core.policies import DicerPolicy
 from repro.experiments.runner import PairResult, run_pair
 from repro.experiments.store import ResultStore
@@ -232,7 +233,11 @@ def sweep_noise_robustness(
                     / (TABLE1_PLATFORM.freq_hz * server.time)
                     / solo.avg_ipc
                 )
-                resets = sum(1 for r in trace if "reset" in r.note)
+                resets = sum(
+                    1
+                    for r in trace
+                    if r.mode is ControllerMode.RESET_VALIDATE
+                )
                 rows.append(
                     [
                         f"noise={noise:.0%} alpha={alpha:.0%}",

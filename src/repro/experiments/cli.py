@@ -12,6 +12,13 @@ Regenerates any of the paper's tables/figures from the terminal::
 ``--limit N`` truncates the catalog to its first N entries on both axes,
 trading population size for wall-clock time; omit it for the paper-scale
 campaign.
+
+Telemetry (see :mod:`repro.obs` and DESIGN.md §6): any experiment run
+with ``--metrics out.jsonl`` records controller decisions, solver-cache
+effectiveness and campaign throughput into one JSONL file; ``dicer-repro
+report --metrics out.jsonl`` renders it. ``dicer-repro run --hp A --be B
+[--policy DICER]`` executes a single consolidation pair, the smallest
+unit that produces a full decision trace.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments.ablation import (
     sweep_alpha,
     sweep_bw_threshold,
@@ -37,9 +45,17 @@ from repro.experiments.fig5 import extract_fig5, render_fig5
 from repro.experiments.fig6 import extract_fig6, render_fig6
 from repro.experiments.fig7 import extract_fig7, render_fig7
 from repro.experiments.fig8 import extract_fig8, render_fig8
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    UnmanagedPolicy,
+)
+from repro.core.trace_tools import summarise_trace
 from repro.experiments.grid import build_sample, run_grid
 from repro.experiments.store import ResultStore
 from repro.experiments.table1 import render_table1
+from repro.sim.contention import GLOBAL_STEADY_CACHE
+from repro.util.tables import format_table
 
 __all__ = ["main"]
 
@@ -64,8 +80,17 @@ EXPERIMENTS = (
         "ablation-noise",
         "ablation-detector",
         "recommend",
+        "run",
+        "report",
     ]
 )
+
+#: Policies selectable for ``dicer-repro run``.
+RUN_POLICIES = {
+    "UM": UnmanagedPolicy,
+    "CT": CacheTakeoverPolicy,
+    "DICER": DicerPolicy,
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,21 +129,101 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--hp", type=str, default="omnetpp1",
-                        help="HP application (recommend)")
+                        help="HP application (run / recommend)")
     parser.add_argument("--be", type=str, default="bzip22",
-                        help="BE application (recommend)")
+                        help="BE application (run / recommend)")
     parser.add_argument("--slo", type=float, default=0.9,
                         help="HP SLO fraction (recommend)")
     parser.add_argument("--n-be", type=int, default=9,
-                        help="BE instance count (recommend)")
+                        help="BE instance count (run / recommend)")
+    parser.add_argument(
+        "--policy",
+        choices=sorted(RUN_POLICIES),
+        default="DICER",
+        help="co-location policy for the 'run' experiment",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="telemetry JSONL file: with 'report', the file to summarise; "
+        "with any other experiment, enable collection and write events + "
+        "a final metrics snapshot there (see DESIGN.md §6)",
+    )
     return parser
+
+
+def _run_single(store: ResultStore, args: argparse.Namespace) -> str:
+    """The ``run`` experiment: one consolidation pair, rendered."""
+    policy = RUN_POLICIES[args.policy]()
+    result = store.get(args.hp, args.be, policy, n_be=args.n_be)
+    rows = [
+        ["policy", result.policy],
+        ["workload", f"{result.hp_name} + {result.n_be}x{result.be_name}"],
+        ["hp_norm_ipc", result.hp_norm_ipc],
+        ["be_norm_ipc", result.be_norm_ipc],
+        ["hp_slowdown", result.hp_slowdown],
+        ["efu", result.efu],
+        ["duration_s", result.duration_s],
+        ["hp_completions", result.hp_completions],
+    ]
+    if result.trace:
+        summary = summarise_trace(result.trace)
+        rows += [
+            ["periods", summary["periods"]],
+            ["sampling_share", summary["sampling_share"]],
+            ["resets (CT-F/CT-T)",
+             f"{summary['resets_ctf']}/{summary['resets_ctt']}"],
+            ["final_hp_ways", summary["final_hp_ways"]],
+        ]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=f"Run: {args.hp} + {args.n_be}x{args.be} under {args.policy}",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run the experiment, print it."""
     args = _build_parser().parse_args(argv)
-    store = ResultStore(cache_path=args.cache, n_workers=args.workers)
     exp = args.experiment
+
+    if exp == "report":
+        if not args.metrics:
+            raise SystemExit("report requires --metrics PATH")
+        print(
+            obs.render_metrics_summary(
+                obs.summarise_metrics(obs.load_jsonl(args.metrics))
+            )
+        )
+        return 0
+
+    telemetry = args.metrics is not None
+    if telemetry:
+        obs.enable(args.metrics, campaign_id=exp)
+        obs.emit(
+            "campaign.start",
+            experiment=exp,
+            limit=args.limit,
+            workers=args.workers,
+        )
+
+    try:
+        _dispatch(exp, args)
+    finally:
+        if telemetry:
+            registry = obs.get_registry()
+            for key, value in GLOBAL_STEADY_CACHE.stats().items():
+                registry.gauge(f"steady_cache.{key}").set(value)
+            obs.emit("campaign.end", experiment=exp)
+            obs.finalise()
+    return 0
+
+
+def _dispatch(exp: str, args: argparse.Namespace) -> None:
+    """Run one experiment and print its rendering."""
+    store = ResultStore(cache_path=args.cache, n_workers=args.workers)
 
     if exp == "table1":
         print(render_table1())
@@ -167,11 +272,16 @@ def main(argv: list[str] | None = None) -> int:
                 recommend(args.hp, args.be, slo=args.slo, n_be=args.n_be)
             )
         )
+    elif exp == "run":
+        print(_run_single(store, args))
     else:  # pragma: no cover - argparse already rejects
         raise SystemExit(f"unknown experiment {exp}")
 
+    registry = obs.get_registry()
+    if registry.enabled:
+        for key, value in store.stats().items():
+            registry.gauge(f"store.{key}").set(value)
     store.save()
-    return 0
 
 
 if __name__ == "__main__":

@@ -19,11 +19,13 @@ the exact in-process serial path.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable
 
 from repro.core.policies import Policy
 from repro.experiments.runner import PairResult, run_pair
+from repro.obs import get_event_log, get_registry
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.workloads.mix import make_mix
 
@@ -103,23 +105,48 @@ class ParallelExecutor:
         """
         cells = list(cells)
         results: list[PairResult] = []
+        registry = get_registry()
+        t0 = time.perf_counter() if registry.enabled else 0.0
         if self.n_workers == 1 or len(cells) <= 1:
+            workers_used = 1
             for index, cell in enumerate(cells):
-                result = run_cell(platform, cell, run_kwargs)
+                if registry.enabled:
+                    with registry.histogram("parallel.cell_seconds").time():
+                        result = run_cell(platform, cell, run_kwargs)
+                else:
+                    result = run_cell(platform, cell, run_kwargs)
+                registry.counter("parallel.cells").inc()
                 results.append(result)
                 if on_result is not None:
                     on_result(index, cell, result)
-            return results
-
-        payloads = [(platform, cell, run_kwargs) for cell in cells]
-        chunk = self.chunk_size or self._auto_chunk(len(cells))
-        with ProcessPoolExecutor(
-            max_workers=min(self.n_workers, len(cells))
-        ) as pool:
-            for index, result in enumerate(
-                pool.map(_pool_worker, payloads, chunksize=chunk)
-            ):
-                results.append(result)
-                if on_result is not None:
-                    on_result(index, cells[index], result)
+        else:
+            workers_used = min(self.n_workers, len(cells))
+            payloads = [(platform, cell, run_kwargs) for cell in cells]
+            chunk = self.chunk_size or self._auto_chunk(len(cells))
+            with ProcessPoolExecutor(max_workers=workers_used) as pool:
+                for index, result in enumerate(
+                    pool.map(_pool_worker, payloads, chunksize=chunk)
+                ):
+                    registry.counter("parallel.cells").inc()
+                    results.append(result)
+                    if on_result is not None:
+                        on_result(index, cells[index], result)
+        if registry.enabled and cells:
+            elapsed = time.perf_counter() - t0
+            registry.histogram("parallel.batch_seconds").observe(elapsed)
+            registry.gauge("parallel.n_workers").set(workers_used)
+            throughput = len(cells) / elapsed if elapsed > 0 else 0.0
+            registry.gauge("parallel.cells_per_second").set(throughput)
+            registry.gauge("parallel.cells_per_worker_second").set(
+                throughput / workers_used
+            )
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    "campaign.batch",
+                    cells=len(cells),
+                    workers=workers_used,
+                    seconds=round(elapsed, 6),
+                    cells_per_second=round(throughput, 3),
+                )
         return results

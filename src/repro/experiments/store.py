@@ -27,6 +27,7 @@ from typing import Iterable
 
 from repro.core.policies import Policy
 from repro.experiments.parallel import Cell, ParallelExecutor
+from repro.obs import get_event_log, get_registry
 from repro.experiments.runner import PairResult, run_pair
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.workloads.mix import make_mix
@@ -125,18 +126,30 @@ class ResultStore:
     ) -> PairResult:
         """Fetch (or run and memoise) one experiment."""
         key = (hp_name, be_name, n_be, policy.name)
+        registry = get_registry()
         result = self._results.get(key)
         if result is None:
-            result = run_pair(
-                make_mix(hp_name, be_name, n_be=n_be),
-                policy,
-                self.platform,
-                **run_kwargs,
-            )
+            if registry.enabled:
+                with registry.histogram("store.cell_seconds").time():
+                    result = run_pair(
+                        make_mix(hp_name, be_name, n_be=n_be),
+                        policy,
+                        self.platform,
+                        **run_kwargs,
+                    )
+            else:
+                result = run_pair(
+                    make_mix(hp_name, be_name, n_be=n_be),
+                    policy,
+                    self.platform,
+                    **run_kwargs,
+                )
             self._results[key] = result
             self._n_computed += 1
+            registry.counter("store.computed").inc()
         else:
             self._n_served += 1
+            registry.counter("store.served").inc()
         return result
 
     def get_many(
@@ -160,6 +173,8 @@ class ResultStore:
             if key not in self._results and key not in pending:
                 pending[key] = cell
         self._n_served += len(cells) - len(pending)
+        registry = get_registry()
+        registry.counter("store.served").inc(len(cells) - len(pending))
 
         if pending:
             pending_keys = list(pending)
@@ -167,6 +182,7 @@ class ResultStore:
             def merge(index: int, cell: Cell, result: PairResult) -> None:
                 self._results[pending_keys[index]] = result
                 self._n_computed += 1
+                registry.counter("store.computed").inc()
                 self._pending_checkpoint += 1
                 if (
                     self._cache_path
@@ -232,6 +248,7 @@ class ResultStore:
         """Write all results to the JSON cache (no-op without a path)."""
         if not self._cache_path:
             return
+        t0 = time.perf_counter()
         payload = [
             {k: v for k, v in asdict(r).items() if k in _PERSISTED_FIELDS}
             for r in self._results.values()
@@ -242,6 +259,19 @@ class ResultStore:
         tmp.replace(self._cache_path)
         self._pending_checkpoint = 0
         self._last_checkpoint = time.monotonic()
+        registry = get_registry()
+        if registry.enabled:
+            elapsed = time.perf_counter() - t0
+            registry.counter("store.checkpoints").inc()
+            registry.histogram("store.checkpoint_seconds").observe(elapsed)
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    "store.checkpoint",
+                    path=str(self._cache_path),
+                    results=len(self._results),
+                    seconds=round(elapsed, 6),
+                )
 
     def _load(self) -> None:
         assert self._cache_path is not None

@@ -1,0 +1,159 @@
+"""Structured JSONL event log — the narrative half of :mod:`repro.obs`.
+
+Counters say *how much*; events say *what happened, in order*. Every
+event is one JSON object per line::
+
+    {"ts": 1722950000.123456, "run": "a1b2c3d4", "kind": "dicer.decision",
+     "period": 7, "event": "shrink", "hp_ways": 12, ...}
+
+``ts`` (wall-clock seconds), ``run`` (one process/CLI invocation) and the
+optional ``campaign`` tag are stamped by the log; everything else is the
+emitter's payload. Metric snapshots ride the same stream as
+``kind="metric"`` lines (see :meth:`EventLog.write_metrics`), so a full
+campaign produces exactly one machine-readable telemetry file that
+``dicer-repro report`` can render.
+
+Like the metrics side, the process default is a :class:`NullEventLog`
+whose :meth:`~NullEventLog.emit` does nothing; instrumented code guards
+payload construction behind ``log.enabled`` so disabled telemetry costs
+one attribute check.
+
+The file is opened in append mode and each event is written as a single
+flushed line, so campaign workers forked with an inherited log append
+whole lines rather than interleaving fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "get_event_log",
+    "set_event_log",
+]
+
+
+class EventLog:
+    """Append-only structured log, optionally streamed to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to (parents are created). ``None`` keeps
+        events in memory only — the bounded ``tail`` still fills, which
+        is what tests and interactive sessions inspect.
+    run_id:
+        Identity stamped on every record; defaults to a fresh 8-hex id.
+    campaign_id:
+        Optional second tag grouping several runs (e.g. one grid sweep).
+    tail:
+        How many recent events to keep in memory regardless of ``path``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Path | str | None = None,
+        *,
+        run_id: str | None = None,
+        campaign_id: str | None = None,
+        tail: int = 256,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.run_id = run_id or uuid.uuid4().hex[:8]
+        self.campaign_id = campaign_id
+        self.n_emitted = 0
+        self.tail: deque[dict] = deque(maxlen=tail)
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the full record (tests, chaining)."""
+        record: dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "run": self.run_id,
+            "kind": kind,
+        }
+        if self.campaign_id is not None:
+            record["campaign"] = self.campaign_id
+        record.update(fields)
+        self.n_emitted += 1
+        self.tail.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, default=str) + "\n")
+            self._fh.flush()
+        return record
+
+    def write_metrics(self, registry) -> int:
+        """Append one ``kind="metric"`` line per instrument snapshot."""
+        rows = registry.snapshot()
+        for row in rows:
+            self.emit("metric", **row)
+        return len(rows)
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullEventLog:
+    """Disabled event log: :meth:`emit` is a no-op."""
+
+    enabled = False
+    path = None
+    run_id = None
+    campaign_id = None
+    n_emitted = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        return {}
+
+    def write_metrics(self, registry) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The shared disabled log (also the process default).
+NULL_EVENT_LOG = NullEventLog()
+
+_event_log: EventLog | NullEventLog = NULL_EVENT_LOG
+
+
+def get_event_log() -> EventLog | NullEventLog:
+    """The process-wide event log (a no-op unless telemetry is enabled)."""
+    return _event_log
+
+
+def set_event_log(log: EventLog | NullEventLog) -> EventLog | NullEventLog:
+    """Install ``log`` process-wide; returns the previous one."""
+    global _event_log
+    previous = _event_log
+    _event_log = log
+    return previous

@@ -12,6 +12,7 @@ ablation can sweep noise against alpha.
 from __future__ import annotations
 
 from repro.core.allocation import Allocation
+from repro.obs import get_registry
 from repro.rdt.interface import RdtBackend
 from repro.rdt.sample import PeriodSample
 from repro.util.rng import make_rng
@@ -24,9 +25,10 @@ class NoisyRdt(RdtBackend):
     """Decorator backend: multiplicative Gaussian jitter on measurements.
 
     ``ipc_noise`` / ``bw_noise`` are relative standard deviations (0.03 =
-    3 % jitter). Perturbations are clipped at ±3 sigma so a single extreme
-    draw cannot produce a negative counter; the HP/total bandwidth pair is
-    perturbed consistently (total >= hp stays true).
+    3 % jitter). Perturbations are clipped at ±3 sigma and the resulting
+    scale factor is floored at zero, so no draw — however extreme the
+    sigma — can produce a negative counter; the HP/total bandwidth pair
+    is perturbed consistently (total >= hp stays true).
     """
 
     def __init__(
@@ -47,7 +49,10 @@ class NoisyRdt(RdtBackend):
             return 1.0
         draw = float(self._rng.normal(0.0, sigma))
         draw = max(-3.0 * sigma, min(3.0 * sigma, draw))
-        return 1.0 + draw
+        # The ±3-sigma clip keeps the factor positive only for sigma < 1/3;
+        # at extreme sigma the floor below is what guarantees counters can
+        # never go negative (exercised by property tests).
+        return max(0.0, 1.0 + draw)
 
     # -- RdtBackend ---------------------------------------------------------
 
@@ -74,6 +79,7 @@ class NoisyRdt(RdtBackend):
     def sample(self, period_s: float) -> PeriodSample:
         """Sample the inner backend and jitter the measurements."""
         clean = self._inner.sample(period_s)
+        get_registry().counter("rdt.noisy.samples").inc()
         hp_scale = self._jitter(self._bw_noise)
         total_scale = self._jitter(self._bw_noise)
         hp_bw = clean.hp_mem_bytes_s * hp_scale

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.obs import get_registry
 from repro.rdt.interface import PeriodSample, RdtBackend
 from repro.sim.server import Server
 
@@ -70,11 +71,16 @@ class SimulatedRdt(RdtBackend):
             self._server.advance(target - self._server.time)
 
         now = self._snapshot()
+        registry = get_registry()
         dt = now["time_s"] - self._last["time_s"]
         if dt <= 0:
             # The workload completed exactly on the previous boundary; emit
             # a degenerate (but valid) sample over a tiny interval.
             dt = 1e-9
+            registry.counter("rdt.simulated.degenerate_samples").inc()
+        if registry.enabled:
+            registry.counter("rdt.simulated.samples").inc()
+            registry.histogram("rdt.sample_duration_s").observe(dt)
         d_instr = now["instructions"] - self._last["instructions"]
         d_bytes = now["mem_bytes"] - self._last["mem_bytes"]
         self._last = now

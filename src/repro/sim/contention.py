@@ -18,12 +18,14 @@ the entire catalog pair population.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.sim.llc import effective_ways, waterfill
 from repro.sim.membus import MemoryLink
 from repro.sim.partition import PartitionSpec
@@ -388,20 +390,37 @@ class SteadyStateCache:
     ) -> SteadyState:
         """Fetch (or solve and memoise) one operating point."""
         key = self.make_key(platform, phases, partition, mba_scale)
+        registry = get_registry()
         state = self._data.get(key)
         if state is not None:
             self.hits += 1
+            registry.counter("steady_cache.hits").inc()
             self._data.move_to_end(key)
             return state
         self.misses += 1
-        state = solve_steady_state(
-            platform, phases, partition,
-            mba_scale=mba_scale, warm_start=warm_start,
-        )
+        registry.counter("steady_cache.misses").inc()
+        if registry.enabled:
+            t0 = time.perf_counter()
+            state = solve_steady_state(
+                platform, phases, partition,
+                mba_scale=mba_scale, warm_start=warm_start,
+            )
+            registry.histogram("steady_cache.solve_seconds").observe(
+                time.perf_counter() - t0
+            )
+            registry.counter("steady_cache.solve_iterations").inc(
+                state.iterations
+            )
+        else:
+            state = solve_steady_state(
+                platform, phases, partition,
+                mba_scale=mba_scale, warm_start=warm_start,
+            )
         if warm_start is None:
             self._data[key] = state
             if len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
+            registry.gauge("steady_cache.size").set(len(self._data))
         return state
 
     def __len__(self) -> int:

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.sim.contention import (
     GLOBAL_STEADY_CACHE,
     SteadyState,
@@ -160,7 +161,12 @@ class Server:
         key = SteadyStateCache.make_key(
             self.platform, phases, self.partition, self.mba_scale
         )
+        registry = get_registry()
         state = self._memo.get(key)
+        if registry.enabled:
+            registry.counter("server.steady_requests").inc()
+            if state is not None:
+                registry.counter("server.memo_hits").inc()
         if state is None:
             warm = None
             if self._warm_start and self._last_state is not None:

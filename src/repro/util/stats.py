@@ -14,6 +14,7 @@ import numpy as np
 
 __all__ = [
     "geomean",
+    "geomean_with_zeros",
     "hmean",
     "cdf_points",
     "fraction_below",

@@ -6,6 +6,7 @@ of the listings is pinned down without simulator noise.
 
 import pytest
 
+from repro import obs
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig
 from repro.core.dicer import ControllerMode, DicerController
@@ -304,3 +305,105 @@ class TestEwmaPhaseDetector:
     def test_zero_weight_rejected(self):
         with pytest.raises(ValueError, match="ewma_weight"):
             DicerConfig(ewma_weight=0.0)
+
+
+class TestEmptySamplingGrid:
+    """Regression: every grid point >= total_ways used to IndexError.
+
+    ``_start_sampling`` filters the grid to ways that fit the cache; on a
+    small cache (total_ways=2) with a grid tuned for a 20-way LLC nothing
+    survives, and ``_advance_sampling`` popped from an empty list.
+    """
+
+    def _small_cache(self, **overrides):
+        config = DicerConfig(sample_hp_ways=(8, 4, 3), **overrides)
+        return DicerController(config, total_ways=2)
+
+    def test_saturation_with_empty_grid_does_not_crash(self):
+        c = self._small_cache()
+        c.update(sample())  # warmup
+        allocation = c.update(sample(total_bw=SATURATED))
+        assert c.mode is ControllerMode.OPTIMISE
+        assert allocation.hp_ways == 1  # unchanged
+        assert c.trace[-1].event == "sampling_empty"
+        assert c.trace[-1].note == "sampling: grid empty"
+
+    def test_classification_not_flipped(self):
+        # With nothing probed there is no ``optimal_allocation`` to reset
+        # to, so the workload must stay CT-Favoured.
+        c = self._small_cache()
+        c.update(sample())
+        c.update(sample(total_bw=SATURATED))
+        assert c.ct_favoured is True
+        assert c.ipc_opt is None
+
+    def test_cooldown_prevents_livelock(self):
+        c = self._small_cache(resample_cooldown_periods=3)
+        c.update(sample())
+        c.update(sample(total_bw=SATURATED))  # sampling_empty, cooldown=3
+        for _ in range(3):
+            c.update(sample(total_bw=SATURATED))
+            assert c.trace[-1].event != "sampling_empty"
+        # Cooldown expired: persistent saturation probes the dead end again
+        # (and re-arms the cooldown) instead of crashing.
+        c.update(sample(total_bw=SATURATED))
+        assert c.trace[-1].event == "sampling_empty"
+        assert c.mode is ControllerMode.OPTIMISE
+
+    def test_empty_grid_emits_telemetry(self):
+        registry, log = obs.enable()
+        try:
+            c = self._small_cache()
+            c.update(sample())
+            c.update(sample(total_bw=SATURATED))
+            assert registry.counter("dicer.sampling_empty").value == 1
+            events = [r for r in log.tail if r["kind"] == "dicer.decision"]
+            assert events[-1]["event"] == "sampling_empty"
+        finally:
+            obs.disable()
+
+
+class TestSamplingConcludeHistory:
+    """Regression: the period that concludes sampling polluted Equation 2.
+
+    ``_conclude_sampling`` clears the bandwidth history, but the shared
+    bookkeeping in ``update`` then appended that same period's bandwidth —
+    measured under the last probe allocation — as the first entry of the
+    "clean" history. A low-bandwidth final probe made every normal period
+    afterwards look like a >30 % jump, firing a spurious phase change as
+    soon as the history refilled.
+    """
+
+    def _through_sampling(self):
+        c = DicerController(
+            DicerConfig(sample_hp_ways=(2, 1), resample_cooldown_periods=0),
+            total_ways=4,
+        )
+        c.update(sample(ipc=0.5, hp_bw=2e9))  # warmup
+        c.update(sample(ipc=0.5, hp_bw=2e9, total_bw=SATURATED))  # probe 2
+        c.update(sample(ipc=0.5, hp_bw=2e9))  # scores 2, probes 1
+        # Concluding period: bandwidth collapsed under the 1-way probe.
+        c.update(sample(ipc=0.5, hp_bw=2e8))
+        assert c.trace[-1].event == "sampling_conclude"
+        return c
+
+    def test_history_excludes_concluding_period(self):
+        c = self._through_sampling()
+        assert len(c._hp_bw_history) == 0
+        assert c._hp_bw_ewma is None
+
+    def test_no_spurious_phase_change_after_sampling(self):
+        c = self._through_sampling()
+        # Steady state: bandwidth back at its normal 2e9, IPC flat. Without
+        # the fix the history reads [2e8, 2e9, 2e9] after two periods and
+        # the third 2e9 exceeds 1.3x its geometric mean -> false reset.
+        for _ in range(6):
+            c.update(sample(ipc=0.5, hp_bw=2e9))
+            assert c.trace[-1].phase_change is False
+            assert c.mode is ControllerMode.OPTIMISE
+
+    def test_last_ipc_still_tracked_on_concluding_period(self):
+        # Suppressing the bandwidth bookkeeping must not suppress the IPC
+        # baseline Equation 3 compares against next period.
+        c = self._through_sampling()
+        assert c._last_ipc == pytest.approx(0.5)

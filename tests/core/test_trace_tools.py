@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.allocation import Allocation
+from repro.core.dicer import ControllerMode, DecisionRecord
 from repro.core.policies import DicerPolicy
 from repro.core.trace_tools import allocation_strip, render_trace, summarise_trace
 from repro.experiments.runner import run_pair
@@ -56,3 +58,76 @@ class TestSummarise:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarise_trace([])
+
+
+class TestSummariseStructuredCounting:
+    """Resets must be counted from record structure, not note wording."""
+
+    @staticmethod
+    def _record(mode, event="", note="", phase_change=False):
+        return DecisionRecord(
+            period=1,
+            mode=mode,
+            hp_ipc=0.5,
+            total_bw_bytes_s=1e9,
+            saturated=False,
+            phase_change=phase_change,
+            allocation=Allocation(4, 16),
+            note=note,
+            event=event,
+        )
+
+    def test_reset_flavours_split(self):
+        trace = [
+            self._record(ControllerMode.OPTIMISE, event="hold"),
+            self._record(
+                ControllerMode.RESET_VALIDATE,
+                event="reset_ctf",
+                note="reset: to CT (CT-F)",
+            ),
+            self._record(ControllerMode.OPTIMISE, event="validate_ok"),
+            self._record(
+                ControllerMode.RESET_VALIDATE,
+                event="reset_ctt",
+                note="reset: to optimal hp=8 (CT-T)",
+            ),
+            self._record(
+                ControllerMode.RESET_VALIDATE,
+                event="reset_ctt",
+                note="reset: to optimal hp=8 (CT-T)",
+            ),
+        ]
+        summary = summarise_trace(trace)
+        assert summary["resets"] == 3
+        assert summary["resets_ctf"] == 1
+        assert summary["resets_ctt"] == 2
+
+    def test_note_wording_is_irrelevant(self):
+        # A non-reset decision whose note happens to contain "reset" (or a
+        # reset with a reworded note) must not skew any counter.
+        trace = [
+            self._record(
+                ControllerMode.OPTIMISE,
+                event="hold",
+                note="better: hold (no reset needed)",
+            ),
+            self._record(
+                ControllerMode.RESET_VALIDATE,
+                event="reset_ctf",
+                note="returning to cache takeover",
+            ),
+        ]
+        summary = summarise_trace(trace)
+        assert summary["resets"] == 1
+        assert summary["resets_ctf"] == 1
+        assert summary["resets_ctt"] == 0
+
+    def test_consistency_on_live_trace(self, trace):
+        summary = summarise_trace(trace)
+        assert (
+            summary["resets"]
+            == summary["resets_ctf"] + summary["resets_ctt"]
+        )
+        # The flagship pair saturates, reclassifies as CT-Thwarted, and
+        # never resets to CT afterwards.
+        assert summary["resets_ctf"] == 0

@@ -1,7 +1,10 @@
 """Tests for the dicer-repro CLI."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.experiments.cli import main
 
 
@@ -59,3 +62,94 @@ class TestCli:
 
         text = sweep_phase_detector(pairs=(("wrf1", "gcc_base5"),))
         assert "ewma" in text
+
+
+class TestRunExperiment:
+    def test_single_pair_renders_summary(self, capsys):
+        assert main(["run", "--hp", "milc1", "--be", "gcc_base6"]) == 0
+        out = capsys.readouterr().out
+        assert "milc1" in out and "DICER" in out
+        assert "hp_slowdown" in out
+        assert "resets (CT-F/CT-T)" in out  # DICER traces expose flavours
+
+    def test_policy_selectable(self, capsys):
+        assert main([
+            "run", "--hp", "namd1", "--be", "povray1", "--policy", "UM",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "UM" in out
+        assert "resets" not in out  # UM produces no trace
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--policy", "LRU"])
+
+
+class TestTelemetry:
+    """The ISSUE's acceptance loop: run with --metrics, then report it."""
+
+    def test_run_writes_decision_events_and_metrics(self, tmp_path, capsys):
+        # Earlier tests already solved this pair's operating points into
+        # the process-wide memo; drop them so the run below exercises (and
+        # therefore counts) cold solves.
+        from repro.sim.contention import GLOBAL_STEADY_CACHE
+
+        GLOBAL_STEADY_CACHE.clear()
+        path = tmp_path / "tel.jsonl"
+        assert main([
+            "run", "--hp", "milc1", "--be", "gcc_base6",
+            "--metrics", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()  # finalised even though main printed
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert {"campaign.start", "dicer.decision", "campaign.end",
+                "metric", "telemetry.finalise"} <= kinds
+        assert all(r.get("campaign") == "run" for r in records)
+
+        decisions = [r for r in records if r["kind"] == "dicer.decision"]
+        assert {"period", "mode", "event", "hp_ipc", "hp_ways"} <= set(
+            decisions[0]
+        )
+        assert any(d["event"] == "sampling_start" for d in decisions)
+
+        metrics = {
+            r["name"]: r for r in records if r["kind"] == "metric"
+        }
+        assert metrics["dicer.decisions"]["value"] == len(decisions)
+        assert metrics["steady_cache.misses"]["value"] > 0
+        assert metrics["steady_cache.solve_seconds"]["type"] == "histogram"
+        assert metrics["steady_cache.solve_seconds"]["count"] > 0
+
+    def test_report_round_trip(self, tmp_path, capsys):
+        from repro.sim.contention import GLOBAL_STEADY_CACHE
+
+        GLOBAL_STEADY_CACHE.clear()
+        path = tmp_path / "tel.jsonl"
+        main(["run", "--hp", "milc1", "--be", "gcc_base6",
+              "--metrics", str(path)])
+        capsys.readouterr()
+        assert main(["report", "--metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report:" in out
+        assert "dicer.decision" in out
+        assert "steady_cache.solve_seconds" in out
+
+    def test_report_requires_metrics_path(self):
+        with pytest.raises(SystemExit, match="requires --metrics"):
+            main(["report"])
+
+    def test_telemetry_disabled_after_failure(self, tmp_path):
+        # The finally block must tear telemetry down even when the
+        # experiment raises (here: an unknown application name).
+        path = tmp_path / "tel.jsonl"
+        with pytest.raises(Exception):
+            main(["run", "--hp", "no-such-app", "--metrics", str(path)])
+        assert not obs.enabled()
+
+    def test_no_metrics_flag_no_telemetry(self, capsys):
+        assert main(["run", "--hp", "namd1", "--be", "povray1"]) == 0
+        assert not obs.enabled()

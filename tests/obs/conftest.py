@@ -1,0 +1,11 @@
+"""Telemetry tests must never leak an enabled registry across tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.disable()

@@ -1,0 +1,131 @@
+"""Tests for the event-log half of repro.obs."""
+
+import json
+
+from repro import obs
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    get_event_log,
+    set_event_log,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestEventLog:
+    def test_emit_stamps_ts_run_kind(self):
+        log = EventLog(run_id="abc")
+        record = log.emit("unit.test", answer=42)
+        assert record["run"] == "abc"
+        assert record["kind"] == "unit.test"
+        assert record["answer"] == 42
+        assert record["ts"] > 0
+        assert log.n_emitted == 1
+        assert list(log.tail) == [record]
+
+    def test_campaign_id_optional(self):
+        assert "campaign" not in EventLog().emit("k")
+        tagged = EventLog(campaign_id="fig6").emit("k")
+        assert tagged["campaign"] == "fig6"
+
+    def test_jsonl_file_one_object_per_line(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        with EventLog(path, run_id="r1") as log:
+            log.emit("a", x=1)
+            log.emit("b", y="two")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "a" and parsed[0]["x"] == 1
+        assert parsed[1]["kind"] == "b" and parsed[1]["y"] == "two"
+        assert all(r["run"] == "r1" for r in parsed)
+
+    def test_append_mode_across_logs(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        with EventLog(path) as log:
+            log.emit("first")
+        with EventLog(path) as log:
+            log.emit("second")
+        kinds = [
+            json.loads(line)["kind"]
+            for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["first", "second"]
+
+    def test_non_serialisable_fields_stringified(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        with EventLog(path) as log:
+            log.emit("k", where=tmp_path)
+        assert json.loads(path.read_text())["where"] == str(tmp_path)
+
+    def test_tail_bounded(self):
+        log = EventLog(tail=4)
+        for i in range(10):
+            log.emit("k", i=i)
+        assert log.n_emitted == 10
+        assert [r["i"] for r in log.tail] == [6, 7, 8, 9]
+
+    def test_write_metrics_appends_metric_lines(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(1.5)
+        with EventLog(path) as log:
+            n = log.write_metrics(registry)
+        assert n == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(r["kind"] == "metric" for r in rows)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["c"]["value"] == 3.0
+        assert by_name["h"]["count"] == 1
+
+    def test_close_idempotent(self, tmp_path):
+        log = EventLog(tmp_path / "tel.jsonl")
+        log.close()
+        log.close()
+
+
+class TestNullEventLog:
+    def test_default_is_null_and_silent(self):
+        assert isinstance(get_event_log(), NullEventLog)
+        assert get_event_log().emit("anything", x=1) == {}
+        assert NULL_EVENT_LOG.n_emitted == 0
+
+    def test_set_roundtrip(self):
+        live = EventLog()
+        previous = set_event_log(live)
+        try:
+            assert get_event_log() is live
+        finally:
+            set_event_log(previous)
+
+
+class TestLifecycle:
+    def test_enable_finalise_produces_one_artifact(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        registry, log = obs.enable(path, run_id="r", campaign_id="c")
+        assert obs.get_registry() is registry
+        assert obs.get_event_log() is log
+        obs.emit("work.step", n=1)
+        obs.counter("work.total").inc()
+        obs.finalise()
+        assert not obs.enabled()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [r["kind"] for r in rows]
+        assert kinds[0] == "work.step"
+        assert "metric" in kinds
+        assert kinds[-1] == "telemetry.finalise"
+        assert all(r["campaign"] == "c" for r in rows)
+
+    def test_enable_twice_replaces_pair(self, tmp_path):
+        _, first = obs.enable(tmp_path / "a.jsonl")
+        registry, second = obs.enable(tmp_path / "b.jsonl")
+        assert obs.get_event_log() is second
+        assert first._fh is None  # closed by the second enable
+        obs.disable()
+
+    def test_finalise_when_disabled_is_noop(self):
+        obs.disable()
+        obs.finalise()  # must not raise
+        assert not obs.enabled()

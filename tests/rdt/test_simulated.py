@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core.allocation import Allocation
 from repro.rdt.simulated import SimulatedRdt
 from repro.sim.partition import PartitionSpec
@@ -60,6 +61,24 @@ class TestSampling:
             backend.sample(10.0)
         s = backend.sample(1.0)  # must not raise or divide by zero
         assert s.duration_s > 0
+        # The dt <= 0 clamp must still yield a fully valid sample.
+        assert s.duration_s == pytest.approx(1e-9)
+        assert s.hp_ipc >= 0.0
+        assert s.total_mem_bytes_s >= s.hp_mem_bytes_s >= 0.0
+
+    def test_degenerate_sample_counted_in_telemetry(self):
+        backend, _ = make_backend(hp="namd1", be="povray1", n_be=1)
+        while not backend.finished:
+            backend.sample(10.0)
+        registry, _ = obs.enable()
+        try:
+            backend.sample(1.0)
+            assert registry.counter(
+                "rdt.simulated.degenerate_samples"
+            ).value == 1
+            assert registry.counter("rdt.simulated.samples").value == 1
+        finally:
+            obs.disable()
 
 
 class TestApply:

@@ -1,0 +1,31 @@
+"""Guardrails for the repository's build/lint tooling.
+
+The lint gate must stay part of the default make flow, and must degrade
+to a skip (not a failure) on machines without ruff installed.
+"""
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestMakefile:
+    def _text(self):
+        return (REPO / "Makefile").read_text()
+
+    def test_default_goal_runs_lint_and_tests(self):
+        text = self._text()
+        assert ".DEFAULT_GOAL := all" in text
+        assert "all: lint test" in text
+
+    def test_lint_gated_on_ruff_presence(self):
+        text = self._text()
+        assert "command -v ruff" in text
+        assert "skipping" in text  # absent ruff is a skip, not an error
+
+
+class TestRuffConfig:
+    def test_config_present_and_plausible(self):
+        config = (REPO / ".ruff.toml").read_text()
+        assert 'target-version = "py310"' in config
+        assert '"F"' in config  # pyflakes rules are the core of the gate

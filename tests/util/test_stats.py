@@ -132,3 +132,27 @@ class TestPercentileClamp:
     def test_clamp_empty_interval(self):
         with pytest.raises(ValueError):
             clamp(0.0, 1.0, -1.0)
+
+
+class TestPublicSurface:
+    """Regression: geomean_with_zeros was missing from __all__."""
+
+    def test_star_import_exposes_every_helper(self):
+        namespace: dict = {}
+        exec("from repro.util.stats import *", namespace)
+        for name in (
+            "geomean",
+            "geomean_with_zeros",
+            "hmean",
+            "cdf_points",
+            "fraction_below",
+            "percentile",
+            "clamp",
+        ):
+            assert name in namespace, f"{name} not exported by star import"
+
+    def test_all_entries_resolve(self):
+        import repro.util.stats as stats
+
+        for name in stats.__all__:
+            assert callable(getattr(stats, name))
