@@ -1,6 +1,6 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test bench bench-quick bench-full examples clean
+.PHONY: all install lint test bench bench-quick bench-json bench-full examples clean
 
 .DEFAULT_GOAL := all
 
@@ -22,9 +22,15 @@ test:
 bench:            ## quick-mode campaign (truncated populations)
 	pytest benchmarks/ --benchmark-only
 
-bench-quick:      ## quick-mode campaign + autosave + >25% regression gate
+bench-quick:      ## quick-mode campaign + autosave + >25% regression gate + perf artefact
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only --benchmark-autosave
-	python benchmarks/compare_saves.py --threshold 0.25
+	python benchmarks/compare_saves.py --threshold 0.25 \
+		--bench-json benchmarks/results/BENCH_headline.json
+
+bench-json:       ## refresh + report benchmarks/results/BENCH_headline.json only
+	PYTHONPATH=src pytest benchmarks/bench_headline.py --benchmark-only
+	python benchmarks/compare_saves.py \
+		--bench-json benchmarks/results/BENCH_headline.json
 
 bench-full:       ## paper-scale campaign (3481 pairs, 120-workload grid)
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

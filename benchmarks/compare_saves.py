@@ -8,9 +8,17 @@ and then invokes this script, which compares the two most recent saves
 the threshold (default 25 %). With fewer than two saves there is nothing
 to compare and the gate passes trivially.
 
+With ``--bench-json PATH`` it additionally renders the machine-readable
+perf artefact the benchmark harness writes (``BENCH_headline.json``:
+wall-clock, scalar-vs-batched solver calls, batch sizes, memo hit rate),
+compares it against the previous run recorded in ``BENCH_history.jsonl``
+next to it, and appends the current run to that history. The JSON report
+is informational — only the autosave medians gate.
+
 Usage::
 
     python benchmarks/compare_saves.py [--threshold 0.25] [--storage DIR]
+        [--bench-json benchmarks/results/BENCH_headline.json]
 """
 
 from __future__ import annotations
@@ -60,6 +68,61 @@ def compare(
     return lines, offenders
 
 
+def report_bench_json(path: Path, history: Path | None = None) -> list[str]:
+    """Render one BENCH_headline.json, diffed against the tracked history.
+
+    Returns the report lines (also useful for tests); appends the current
+    payload to ``history`` (default: ``BENCH_history.jsonl`` next to the
+    artefact) so successive runs can be compared. Never gates.
+    """
+    payload = json.loads(path.read_text())
+    history = history or path.with_name("BENCH_history.jsonl")
+    previous = None
+    if history.exists():
+        lines = [ln for ln in history.read_text().splitlines() if ln.strip()]
+        if lines:
+            previous = json.loads(lines[-1])
+
+    solver = payload.get("solver", {})
+    cache = payload.get("steady_cache", {})
+    report = [f"perf artefact: {path}"]
+
+    def fmt(label: str, value, prev_value, unit: str = "") -> str:
+        line = f"{label}: {value}{unit}"
+        if isinstance(value, (int, float)) and isinstance(
+            prev_value, (int, float)
+        ) and prev_value:
+            change = value / prev_value - 1.0
+            line += f" (prev {prev_value}{unit}, {change:+.1%})"
+        return line
+
+    prev_solver = (previous or {}).get("solver", {})
+    prev_cache = (previous or {}).get("steady_cache", {})
+    report.append(
+        fmt("  wall_clock", payload.get("wall_clock_s"),
+            (previous or {}).get("wall_clock_s"), "s")
+    )
+    for key in (
+        "total_points",
+        "scalar_solves",
+        "batch_solves",
+        "mean_batch_size",
+        "points_per_python_call",
+        "scalar_call_reduction",
+        "scalar_iterations",
+        "batch_iterations",
+    ):
+        report.append(fmt(f"  solver.{key}", solver.get(key), prev_solver.get(key)))
+    report.append(
+        fmt("  steady_cache.hit_rate", cache.get("hit_rate"),
+            prev_cache.get("hit_rate"))
+    )
+
+    with history.open("a") as fh:
+        fh.write(json.dumps(payload) + "\n")
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -74,7 +137,22 @@ def main(argv: list[str] | None = None) -> int:
         default=Path(".benchmarks"),
         help="pytest-benchmark storage directory (default ./.benchmarks)",
     )
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="render + track a BENCH_headline.json perf artefact "
+        "(informational, never gates)",
+    )
     args = parser.parse_args(argv)
+
+    if args.bench_json is not None:
+        if args.bench_json.exists():
+            for line in report_bench_json(args.bench_json):
+                print(line)
+        else:
+            print(f"perf artefact: {args.bench_json} missing — skipping")
 
     saves = find_saves(args.storage)
     if len(saves) < 2:

@@ -28,6 +28,7 @@ import enum
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig
@@ -107,6 +108,14 @@ class DicerController:
         self._cooldown = 0
         self._period = 0
         self._suppress_bw_bookkeeping = False
+        #: Optional batch-solve hook: called with the full list of candidate
+        #: allocations whenever a sampling sweep starts, BEFORE the first
+        #: probe is enforced. The simulated-RDT runner points this at
+        #: :meth:`SimulatedRdt.prefetch_allocations` so the whole grid is
+        #: solved in one vectorised batch; on real hardware (or when unset)
+        #: it stays ``None`` and sampling behaves exactly as before. Purely
+        #: an execution-speed hint — it must never change decisions.
+        self.prefetch_hook: Callable[[list[Allocation]], object] | None = None
         #: Compatibility surface: the decision history as a plain list of
         #: :class:`DecisionRecord` (what ``trace_tools`` renders). The same
         #: decisions stream through :mod:`repro.obs` as ``dicer.*`` events
@@ -232,6 +241,9 @@ class DicerController:
             self._cooldown = self.config.resample_cooldown_periods
             return "sampling_empty", "sampling: grid empty"
         self.ct_favoured = False
+        if self.prefetch_hook is not None:
+            base = self.current
+            self.prefetch_hook([base.with_hp_ways(w) for w in grid])
         self._sampling = _SamplingState(
             pending=grid,
             results={},

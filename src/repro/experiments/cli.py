@@ -151,6 +151,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "with any other experiment, enable collection and write events + "
         "a final metrics snapshot there (see DESIGN.md §6)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the experiment under cProfile and print the top "
+        "cumulative-time hotspots afterwards",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="hotspot rows to print with --profile (default 20)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="with --profile, also dump raw pstats data there "
+        "(inspect with 'python -m pstats PATH')",
+    )
     return parser
 
 
@@ -210,7 +231,10 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     try:
-        _dispatch(exp, args)
+        if args.profile:
+            _dispatch_profiled(exp, args)
+        else:
+            _dispatch(exp, args)
     finally:
         if telemetry:
             registry = obs.get_registry()
@@ -219,6 +243,31 @@ def main(argv: list[str] | None = None) -> int:
             obs.emit("campaign.end", experiment=exp)
             obs.finalise()
     return 0
+
+
+def _dispatch_profiled(exp: str, args: argparse.Namespace) -> None:
+    """Run :func:`_dispatch` under cProfile; report hotspots afterwards.
+
+    The hotspot table (top ``--profile-top`` functions by cumulative time)
+    prints even when the experiment raises, so a profile of a run that
+    died of slowness is still usable. ``--profile-out`` additionally dumps
+    the raw pstats data for interactive digging.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        profiler.runcall(_dispatch, exp, args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative")
+        print(f"\n--- cProfile: top {args.profile_top} by cumulative time ---")
+        stats.print_stats(args.profile_top)
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"pstats dump written to {args.profile_out}")
 
 
 def _dispatch(exp: str, args: argparse.Namespace) -> None:

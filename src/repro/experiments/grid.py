@@ -115,7 +115,11 @@ def run_grid(
     All cells go to the store as one bulk request, so a parallel store fans
     the whole campaign out over its workers; cell order (workload-major,
     then cores, then policies) matches the serial loop the bulk API
-    replaced, keeping grids bit-identical across worker counts.
+    replaced, keeping grids bit-identical across worker counts. On the
+    serial path the executor additionally prewarms the campaign's solo
+    profiles and each cell batch-solves its phase product / sampling grid
+    through ``solve_steady_state_batch`` (see DESIGN.md §7) — same bits,
+    far fewer scalar solver calls.
     """
     if policies is None:
         policies = default_policies()

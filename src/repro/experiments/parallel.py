@@ -57,6 +57,33 @@ def _pool_worker(payload: tuple) -> PairResult:
     return run_cell(platform, cell, run_kwargs)
 
 
+def _prewarm_solo_profiles(
+    platform: PlatformConfig, cells: list[Cell]
+) -> None:
+    """Batch-solve the solo baselines every cell will normalise against.
+
+    Serial path only: one :func:`~repro.sim.solo.prewarm_profiles` call
+    feeds the distinct apps of the whole campaign into the vectorised
+    solver, instead of each cell cold-solving its own pair of profiles.
+    Apps missing from the catalog (tests with synthetic names) are simply
+    skipped — the cell itself will raise the right error.
+    """
+    from repro.sim.solo import prewarm_profiles
+    from repro.workloads.catalog import catalog
+
+    apps = catalog()
+    names: list[str] = []
+    seen: set[str] = set()
+    for hp_name, be_name, _n_be, _policy in cells:
+        for name in (hp_name, be_name):
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    prewarm_profiles(
+        [apps[name] for name in names if name in apps], platform
+    )
+
+
 class ParallelExecutor:
     """Fan campaign cells out over worker processes, in deterministic order.
 
@@ -109,6 +136,7 @@ class ParallelExecutor:
         t0 = time.perf_counter() if registry.enabled else 0.0
         if self.n_workers == 1 or len(cells) <= 1:
             workers_used = 1
+            _prewarm_solo_profiles(platform, cells)
             for index, cell in enumerate(cells):
                 if registry.enabled:
                     with registry.histogram("parallel.cell_seconds").time():

@@ -23,6 +23,19 @@ from repro.workloads.mix import WorkloadMix
 __all__ = ["PairResult", "run_pair", "CustomResult", "run_custom"]
 
 
+def _wire_prefetch(policy: Policy, rdt: SimulatedRdt) -> None:
+    """Point a DICER-style controller's prefetch hook at the simulator.
+
+    Controllers that expose ``prefetch_hook`` (see
+    :class:`~repro.core.dicer.DicerController`) get their sampling grids
+    batch-solved by :meth:`SimulatedRdt.prefetch_allocations`. The hook is
+    a pure execution-speed hint; policies without one are untouched.
+    """
+    controller = getattr(policy, "controller", None)
+    if controller is not None and hasattr(controller, "prefetch_hook"):
+        controller.prefetch_hook = rdt.prefetch_allocations
+
+
 @dataclass(frozen=True)
 class PairResult:
     """Metrics of one consolidated execution."""
@@ -70,6 +83,11 @@ def run_pair(
     trace: tuple[DecisionRecord, ...] = ()
     if policy.dynamic:
         rdt = SimulatedRdt(server)
+        _wire_prefetch(policy, rdt)
+        # Batch-solve the phase product of the policy's *initial* partition
+        # (a dynamic controller dwells there between decisions); later
+        # partitions are prefetched through the controller hook.
+        server.prefetch_phase_product()
         while not rdt.finished and server.time < max_time_s:
             sample = rdt.sample(policy.period_s)
             new_allocation = policy.update(sample)
@@ -82,6 +100,10 @@ def run_pair(
         if controller is not None:
             trace = tuple(controller.trace)
     else:
+        # Static partition: batch-solve the phase cross product up front
+        # (identical results — the solves the event loop would do one at a
+        # time all become memo hits).
+        server.prefetch_phase_product()
         server.run_until_all_complete(max_time_s=max_time_s)
 
     solo_hp = solo_profile(mix.hp, platform)
@@ -157,6 +179,8 @@ def run_custom(
     trace: tuple[DecisionRecord, ...] = ()
     if policy.dynamic:
         rdt = SimulatedRdt(server)
+        _wire_prefetch(policy, rdt)
+        server.prefetch_phase_product()
         while not rdt.finished and server.time < max_time_s:
             sample = rdt.sample(policy.period_s)
             new_allocation = policy.update(sample)
@@ -169,6 +193,7 @@ def run_custom(
         if controller is not None:
             trace = tuple(controller.trace)
     else:
+        server.prefetch_phase_product()
         server.run_until_all_complete(max_time_s=max_time_s)
 
     duration = server.time

@@ -53,6 +53,20 @@ class SimulatedRdt(RdtBackend):
             allocation.to_partition(self._server.n_active)
         )
 
+    def prefetch_allocations(self, allocations: list[Allocation]) -> int:
+        """Pre-solve the current phases under many candidate allocations.
+
+        The DICER controller hands its whole sampling grid here before
+        stepping through it, so the underlying server batch-solves every
+        candidate partition in one vectorised call (byte-identical to the
+        on-demand scalar solves it replaces). Returns the number of
+        operating points actually solved.
+        """
+        n = self._server.n_active
+        return self._server.prefetch_partitions(
+            [allocation.to_partition(n) for allocation in allocations]
+        )
+
     def apply_be_throttle(self, scale: float) -> None:
         """MBA support: throttle every BE core to ``scale`` of full speed."""
         if not 0.0 < scale <= 1.0:

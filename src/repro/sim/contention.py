@@ -14,6 +14,12 @@ over (ways, latency). The map is a contraction for the model's parameter
 ranges (latency rises when IPC rises, which pushes IPC back down); damping
 makes it robust near the saturation knee. Tests assert convergence across
 the entire catalog pair population.
+
+:func:`solve_steady_state_batch` advances B operating points through the
+same iteration simultaneously with masked NumPy lanes (see DESIGN.md §7):
+converged lanes freeze, stragglers keep iterating, and every elementwise
+operation reproduces the scalar solver's op sequence so each lane's result
+is byte-identical to a scalar cold solve of the same point.
 """
 
 from __future__ import annotations
@@ -36,9 +42,36 @@ __all__ = [
     "SteadyState",
     "ConvergenceError",
     "solve_steady_state",
+    "solve_steady_state_batch",
     "SteadyStateCache",
     "GLOBAL_STEADY_CACHE",
+    "solver_counters",
+    "reset_solver_counters",
 ]
+
+#: Process-wide solver instrumentation, always on (plain dict increments are
+#: ~free next to a solve). ``scalar_solves`` counts calls into the Python
+#: solver, ``batch_points`` counts operating points that went through the
+#: vectorised kernel instead; their ratio is the headline "fewer per-point
+#: Python solver calls" metric in BENCH_headline.json.
+SOLVER_COUNTERS: dict[str, int] = {
+    "scalar_solves": 0,
+    "scalar_iterations": 0,
+    "batch_solves": 0,
+    "batch_points": 0,
+    "batch_iterations": 0,
+}
+
+
+def solver_counters() -> dict[str, int]:
+    """A snapshot of the process-wide solver call/iteration counters."""
+    return dict(SOLVER_COUNTERS)
+
+
+def reset_solver_counters() -> None:
+    """Zero the solver counters (benchmark harnesses call this at start)."""
+    for key in SOLVER_COUNTERS:
+        SOLVER_COUNTERS[key] = 0
 
 
 class ConvergenceError(RuntimeError):
@@ -66,6 +99,114 @@ class SteadyState:
     def total_bw_bytes(self) -> float:
         """Aggregate achieved memory traffic (bytes/second)."""
         return float(self.bw_bytes.sum())
+
+
+def _point_params(
+    platform: PlatformConfig,
+    phases: Sequence[Phase],
+    partition: PartitionSpec,
+    mba_scale: Sequence[float] | None,
+) -> tuple[np.ndarray, ...]:
+    """Per-core parameter arrays for one operating point.
+
+    Shared by the scalar and batched solvers so both see bit-identical
+    inputs (same construction, same op order).
+    """
+    n = partition.n_cores
+    if len(phases) != n:
+        raise ValueError(f"expected {n} phases, got {len(phases)}")
+    cpi_exe = np.array([p.cpi_exe for p in phases])
+    apki = np.array([p.apki for p in phases]) / 1000.0
+    blocking = np.array([p.blocking for p in phases])
+    bytes_per_miss = platform.line_bytes * (
+        1.0 + np.array([p.write_frac for p in phases])
+    )
+    caps = np.array(
+        [
+            p.occupancy_ways if p.occupancy_ways is not None else np.inf
+            for p in phases
+        ]
+    )
+    if mba_scale is None:
+        throttle = np.ones(n)
+    else:
+        throttle = np.asarray(mba_scale, dtype=float)
+        if throttle.shape != (n,):
+            raise ValueError(f"mba_scale must have length {n}")
+        if np.any((throttle <= 0) | (throttle > 1.0)):
+            raise ValueError("mba_scale entries must be in (0, 1]")
+    return cpi_exe, apki, blocking, bytes_per_miss, caps, throttle
+
+
+def _initial_ways(partition: PartitionSpec, caps: np.ndarray) -> np.ndarray:
+    """Cold-start iterate: equal split per group plus the shared zone.
+
+    The shared zone is distributed once across ALL cores, not once per
+    group, or the guess double-counts it and the damped path can carry the
+    surplus into the converged allocation.
+    """
+    ways = np.zeros(partition.n_cores)
+    for group in partition.groups:
+        idx = list(group.cores)
+        ways[idx] = group.ways / len(idx)
+    ways += partition.shared_ways / partition.n_cores
+    return np.minimum(ways, caps)
+
+
+def _illinois_root(excess, guess: float, lat_floor: float, lat_ceil: float) -> float:
+    """Root of a strictly decreasing ``excess`` on ``[lat_floor, lat_ceil]``.
+
+    Brackets the root around ``guess`` by geometric expansion, then closes
+    in with the Illinois variant of regula falsi: guaranteed convergence,
+    superlinear in practice (~6-10 evaluations vs ~50 for plain bisection).
+    The expansion loops carry the previously evaluated endpoint forward, so
+    no point is ever evaluated twice (the pre-refactor code re-evaluated
+    ``excess`` at the step before the sign flip).
+    """
+    if excess(lat_floor) <= 0.0:
+        return lat_floor
+    if excess(lat_ceil) >= 0.0:
+        return lat_ceil
+
+    # Bracket around the warm start: expand geometrically until signs
+    # differ. The boundary checks above guarantee a sign change inside
+    # (floor, ceil), so each loop flips within its 60-step budget.
+    lo = max(lat_floor, min(guess, lat_ceil))
+    f_lo = excess(lo)
+    if f_lo > 0.0:
+        hi, f_hi = lo, f_lo
+        for _ in range(60):
+            lo, f_lo = hi, f_hi
+            hi = min(hi * 1.5, lat_ceil)
+            f_hi = excess(hi)
+            if f_hi <= 0.0:
+                break
+    else:
+        hi, f_hi = lo, f_lo
+        for _ in range(60):
+            hi, f_hi = lo, f_lo
+            lo = max(lo / 1.5, lat_floor)
+            f_lo = excess(lo)
+            if f_lo >= 0.0:
+                break
+
+    # Illinois regula falsi on the strictly decreasing excess().
+    for _ in range(60):
+        if hi - lo < 1e-7 * hi:
+            break
+        mid = (lo * f_hi - hi * f_lo) / (f_hi - f_lo)
+        if not lo < mid < hi:
+            mid = 0.5 * (lo + hi)
+        f_mid = excess(mid)
+        if f_mid > 0.0:
+            lo, f_lo = mid, f_mid
+            f_hi *= 0.5  # Illinois: damp the stale endpoint.
+        elif f_mid < 0.0:
+            hi, f_hi = mid, f_mid
+            f_lo *= 0.5
+        else:
+            return mid
+    return 0.5 * (lo + hi)
 
 
 def solve_steady_state(
@@ -102,29 +243,9 @@ def solve_steady_state(
         results must be byte-identical across runs.
     """
     n = partition.n_cores
-    if len(phases) != n:
-        raise ValueError(f"expected {n} phases, got {len(phases)}")
-
-    cpi_exe = np.array([p.cpi_exe for p in phases])
-    apki = np.array([p.apki for p in phases]) / 1000.0
-    blocking = np.array([p.blocking for p in phases])
-    bytes_per_miss = platform.line_bytes * (
-        1.0 + np.array([p.write_frac for p in phases])
+    cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = _point_params(
+        platform, phases, partition, mba_scale
     )
-    caps = np.array(
-        [
-            p.occupancy_ways if p.occupancy_ways is not None else np.inf
-            for p in phases
-        ]
-    )
-    if mba_scale is None:
-        throttle = np.ones(n)
-    else:
-        throttle = np.asarray(mba_scale, dtype=float)
-        if throttle.shape != (n,):
-            raise ValueError(f"mba_scale must have length {n}")
-        if np.any((throttle <= 0) | (throttle > 1.0)):
-            raise ValueError("mba_scale entries must be in (0, 1]")
 
     link = MemoryLink.from_platform(platform)
     freq = platform.freq_hz
@@ -156,11 +277,9 @@ def solve_steady_state(
         For fixed per-core miss rates, the map
         ``L -> link.latency(total_bw(L))`` is monotone *decreasing* in L
         (higher latency -> lower IPC -> less traffic -> lower latency), so
-        ``excess(L) = g(L) - L`` is strictly decreasing with a unique root.
-        We bracket the root (warm-started near ``guess`` — across outer
-        iterations the latency barely moves) and close in with the Illinois
-        variant of regula falsi: guaranteed convergence, superlinear in
-        practice (~6-10 evaluations vs ~50 for plain bisection).
+        ``excess(L) = g(L) - L`` is strictly decreasing with a unique root,
+        found by :func:`_illinois_root` warm-started near ``guess`` (across
+        outer iterations the latency barely moves).
         """
         # Pure-Python accumulation with the link curve inlined: for ~10
         # cores, float loops beat NumPy's per-call dispatch overhead by ~5x,
@@ -185,63 +304,12 @@ def solve_steady_state(
                 u = u_cap
             return lat_floor * (1.0 + gain * (u / (1.0 - u)) ** q_exp) - lat
 
-        if excess(lat_floor) <= 0.0:
-            return lat_floor
-        if excess(lat_ceil) >= 0.0:
-            return lat_ceil
+        return _illinois_root(excess, guess, lat_floor, lat_ceil)
 
-        # Bracket around the warm start: expand geometrically until signs
-        # differ (falls back to the full [floor, ceil] interval).
-        lo = max(lat_floor, min(guess, lat_ceil))
-        f_lo = excess(lo)
-        if f_lo > 0.0:
-            hi, f_hi = lo, f_lo
-            for _ in range(60):
-                hi = min(hi * 1.5, lat_ceil)
-                f_hi = excess(hi)
-                if f_hi <= 0.0:
-                    break
-            lo, f_lo = max(lat_floor, hi / 1.5), excess(max(lat_floor, hi / 1.5))
-        else:
-            hi, f_hi = lo, f_lo
-            for _ in range(60):
-                lo = max(lo / 1.5, lat_floor)
-                f_lo = excess(lo)
-                if f_lo >= 0.0:
-                    break
-            hi, f_hi = min(lat_ceil, lo * 1.5), excess(min(lat_ceil, lo * 1.5))
-
-        # Illinois regula falsi on the strictly decreasing excess().
-        for _ in range(60):
-            if hi - lo < 1e-7 * hi:
-                break
-            mid = (lo * f_hi - hi * f_lo) / (f_hi - f_lo)
-            if not lo < mid < hi:
-                mid = 0.5 * (lo + hi)
-            f_mid = excess(mid)
-            if f_mid > 0.0:
-                lo, f_lo = mid, f_mid
-                f_hi *= 0.5  # Illinois: damp the stale endpoint.
-            elif f_mid < 0.0:
-                hi, f_hi = mid, f_mid
-                f_lo *= 0.5
-            else:
-                return mid
-        return 0.5 * (lo + hi)
-
-    # Initial guess: equal split of each group's exclusive ways plus an
-    # equal share of the (single) shared zone, respecting caps. The zone
-    # must be distributed once across ALL cores, not once per group, or the
-    # guess double-counts it and the damped path can carry the surplus into
-    # the converged allocation. A warm start replaces the guess with the
+    # Initial iterate; a warm start replaces the cold guess with the
     # caller's previous iterate (clamped into the feasible region).
     if warm_start is None:
-        ways = np.zeros(n)
-        for group in partition.groups:
-            idx = list(group.cores)
-            ways[idx] = group.ways / len(idx)
-        ways += partition.shared_ways / n
-        ways = np.minimum(ways, caps)
+        ways = _initial_ways(partition, caps)
         latency = link.base_latency_cycles
     else:
         warm_ways, warm_latency = warm_start
@@ -293,6 +361,8 @@ def solve_steady_state(
             f"no convergence after {iterations} iterations "
             f"(latency={latency:.1f} cy)"
         )
+    SOLVER_COUNTERS["scalar_solves"] += 1
+    SOLVER_COUNTERS["scalar_iterations"] += iterations
 
     # Final consistent evaluation at the converged operating point. The
     # damped iterate can sit an epsilon above an occupancy cap (it converges
@@ -333,6 +403,344 @@ def solve_steady_state(
         utilisation=float(bw.sum()) / link.capacity_bytes,
         iterations=iterations,
     )
+
+
+def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil):
+    """Vectorised :func:`_illinois_root`: one root per lane.
+
+    ``excess_b(lat, lanes)`` evaluates the per-lane excess at ``lat[k]``
+    for lane ``lanes[k]``. Every lane walks exactly the decision sequence
+    of the scalar root finder — the same boundary checks, the same
+    expansion steps, the same Illinois updates — via shrinking index sets,
+    so each lane's root is bit-identical to a scalar solve of that lane.
+    Lanes that finish (boundary hit, bracket gap closed, exact root) are
+    dropped from the index sets and their state freezes.
+    """
+    n_lanes = guess.size
+    out = np.empty(n_lanes)
+    lanes = np.arange(n_lanes)
+
+    f_floor = excess_b(np.full(n_lanes, lat_floor), lanes)
+    at_floor = f_floor <= 0.0
+    out[at_floor] = lat_floor
+    rem = lanes[~at_floor]
+    if rem.size:
+        f_ceil = excess_b(np.full(rem.size, lat_ceil), rem)
+        at_ceil = f_ceil >= 0.0
+        out[rem[at_ceil]] = lat_ceil
+        rem = rem[~at_ceil]
+    if rem.size == 0:
+        return out
+
+    # Bracket around each lane's warm start by geometric expansion. The
+    # boundary checks above guarantee a sign change strictly inside
+    # (floor, ceil), so every lane flips within the 60-step budget.
+    lo = np.maximum(lat_floor, np.minimum(guess[rem], lat_ceil))
+    f_lo = excess_b(lo, rem)
+    hi = lo.copy()
+    f_hi = f_lo.copy()
+    up_mask = f_lo > 0.0
+    expanding = np.nonzero(up_mask)[0]
+    for _ in range(60):
+        if expanding.size == 0:
+            break
+        lo[expanding] = hi[expanding]
+        f_lo[expanding] = f_hi[expanding]
+        hi[expanding] = np.minimum(hi[expanding] * 1.5, lat_ceil)
+        f_hi[expanding] = excess_b(hi[expanding], rem[expanding])
+        expanding = expanding[f_hi[expanding] > 0.0]
+    shrinking = np.nonzero(~up_mask)[0]
+    for _ in range(60):
+        if shrinking.size == 0:
+            break
+        hi[shrinking] = lo[shrinking]
+        f_hi[shrinking] = f_lo[shrinking]
+        lo[shrinking] = np.maximum(lo[shrinking] / 1.5, lat_floor)
+        f_lo[shrinking] = excess_b(lo[shrinking], rem[shrinking])
+        shrinking = shrinking[f_lo[shrinking] < 0.0]
+
+    # Masked Illinois regula falsi on the strictly decreasing excess().
+    exact = np.zeros(rem.size, dtype=bool)
+    exact_val = np.empty(rem.size)
+    running = np.arange(rem.size)
+    for _ in range(60):
+        running = running[hi[running] - lo[running] >= 1e-7 * hi[running]]
+        if running.size == 0:
+            break
+        br_lo = lo[running]
+        br_hi = hi[running]
+        fl = f_lo[running]
+        fh = f_hi[running]
+        mid = (br_lo * fh - br_hi * fl) / (fh - fl)
+        off = ~((br_lo < mid) & (mid < br_hi))
+        mid[off] = 0.5 * (br_lo[off] + br_hi[off])
+        f_mid = excess_b(mid, rem[running])
+        pos = f_mid > 0.0
+        neg = f_mid < 0.0
+        zero = ~(pos | neg)
+        zi = running[zero]
+        exact[zi] = True
+        exact_val[zi] = mid[zero]
+        pi = running[pos]
+        lo[pi] = mid[pos]
+        f_lo[pi] = f_mid[pos]
+        f_hi[pi] *= 0.5  # Illinois: damp the stale endpoint.
+        ni = running[neg]
+        hi[ni] = mid[neg]
+        f_hi[ni] = f_mid[neg]
+        f_lo[ni] *= 0.5
+        running = running[~zero]
+    res = 0.5 * (lo + hi)
+    res[exact] = exact_val[exact]
+    out[rem] = res
+    return out
+
+
+def solve_steady_state_batch(
+    platform: PlatformConfig,
+    points: Sequence[tuple],
+    *,
+    tol: float = 1e-6,
+    max_iter: int = 800,
+    damping: float = 0.5,
+) -> list[SteadyState]:
+    """Solve B operating points simultaneously with masked NumPy lanes.
+
+    ``points`` is a sequence of ``(phases, partition)`` or ``(phases,
+    partition, mba_scale)`` tuples sharing one ``platform``; one
+    :class:`SteadyState` is returned per point, in order. Points may have
+    different core counts — lanes are padded to the widest point with
+    neutral parameters (zero access rate, zero bytes per miss) that
+    contribute exactly ``0.0`` to shared-link demand.
+
+    Parity guarantee (DESIGN.md §7): each lane reproduces the scalar
+    solver's floating-point op sequence — per-core demand accumulated in
+    core order, the queue-curve power tail computed with Python floats,
+    MRC lookups deduplicated but evaluated with ``__call__``-identical
+    arithmetic — so lane ``i`` is byte-identical to
+    ``solve_steady_state(platform, *points[i])``, including the iteration
+    count. Converged lanes freeze (their rows stop updating) while
+    stragglers keep iterating under per-lane adaptive damping and budget
+    escalation, exactly as the scalar loop would.
+    """
+    n_points = len(points)
+    if n_points == 0:
+        return []
+
+    parsed = []
+    for point in points:
+        if len(point) == 2:
+            (phases, partition), mba = point, None
+        elif len(point) == 3:
+            phases, partition, mba = point
+        else:
+            raise ValueError(
+                "points must be (phases, partition[, mba_scale]) tuples"
+            )
+        params = _point_params(platform, phases, partition, mba)
+        parsed.append((tuple(phases), partition, params))
+
+    n_cores = np.array([partition.n_cores for _, partition, _ in parsed])
+    width = int(n_cores.max())
+
+    # Pad ragged points to (B, width) with neutral parameters.
+    cpi2 = np.ones((n_points, width))
+    apki2 = np.zeros((n_points, width))
+    blk2 = np.zeros((n_points, width))
+    bpm2 = np.zeros((n_points, width))
+    caps2 = np.full((n_points, width), np.inf)
+    thr2 = np.ones((n_points, width))
+    ways2 = np.zeros((n_points, width))
+    for i, (phases, partition, params) in enumerate(parsed):
+        cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = params
+        k = partition.n_cores
+        cpi2[i, :k] = cpi_exe
+        apki2[i, :k] = apki
+        blk2[i, :k] = blocking
+        bpm2[i, :k] = bytes_per_miss
+        caps2[i, :k] = caps
+        thr2[i, :k] = throttle
+        ways2[i, :k] = _initial_ways(partition, caps)
+
+    link = MemoryLink.from_platform(platform)
+    freq = platform.freq_hz
+    lat_floor = link.base_latency_cycles
+    lat_ceil = link.max_latency_cycles
+    inv_capacity = 1.0 / link.capacity_bytes
+    u_cap = link.utilisation_cap
+    gain = link.queue_gain
+    q_exp = link.queue_exponent
+    theta = platform.pressure_theta
+    delta_tol = tol * platform.llc_ways
+
+    # Group identical MRC objects across all lanes so each distinct
+    # (curve, ways) pair is evaluated once per sweep: BE clones share
+    # curve objects and sweep lanes share whole apps, so a 10-core lane
+    # batch typically needs a handful of curve evaluations per pass.
+    curve_slots: dict[int, tuple] = {}
+    for i, (phases, _partition, _params) in enumerate(parsed):
+        for j, phase in enumerate(phases):
+            entry = curve_slots.setdefault(id(phase.mrc), (phase.mrc, [], []))
+            entry[1].append(i)
+            entry[2].append(j)
+    curve_groups = [
+        (curve, np.array(rows), np.array(cols))
+        for curve, rows, cols in curve_slots.values()
+    ]
+
+    mr2 = np.zeros((n_points, width))
+
+    def eval_mrc(lane_mask: np.ndarray) -> None:
+        """mr2[i, j] = mrc_ij(ways2[i, j]) for every lane with lane_mask[i]."""
+        for curve, rows, cols in curve_groups:
+            take = lane_mask[rows]
+            r = rows[take]
+            if r.size == 0:
+                continue
+            c = cols[take]
+            uniq, inverse = np.unique(ways2[r, c], return_inverse=True)
+            mr2[r, c] = curve.eval_many(uniq)[inverse]
+
+    def make_excess(c2, e2, s2):
+        """Batched excess() over rows of the given parameter matrices."""
+
+        def excess_b(lat: np.ndarray, sub: np.ndarray) -> np.ndarray:
+            cs, es, ss = c2[sub], e2[sub], s2[sub]
+            demand = np.zeros(lat.size)
+            # Column loop: accumulate per-core demand in core order so the
+            # float additions match the scalar excess() loop bit-for-bit
+            # (a sum() reduction would reassociate them).
+            for j in range(width):
+                demand = demand + cs[:, j] / (es[:, j] + ss[:, j] * lat)
+            u = demand * inv_capacity
+            u = np.minimum(u, u_cap)
+            ratio = u / (1.0 - u)
+            # Array ** is not guaranteed bit-identical to Python float **;
+            # route the power tail through Python floats to match the
+            # scalar path exactly. O(active lanes) per evaluation.
+            powed = np.array([r**q_exp for r in ratio.tolist()])
+            return lat_floor * (1.0 + gain * powed) - lat
+
+        return excess_b
+
+    latency = np.full(n_points, lat_floor)
+    step = np.full(n_points, damping)
+    budget = np.full(n_points, max_iter, dtype=np.int64)
+    prev_delta = np.full(n_points, np.inf)
+    iterations = np.zeros(n_points, dtype=np.int64)
+    active = np.ones(n_points, dtype=bool)
+
+    while True:
+        act = np.nonzero(active)[0]
+        if act.size == 0:
+            break
+        iterations[act] += 1
+        eval_mrc(active)
+        mpi_a = apki2[act] * mr2[act]
+        blk_a = blk2[act]
+        thr_a = thr2[act]
+        cpi_a = cpi2[act]
+        excess_b = make_excess(
+            (freq * mpi_a) * bpm2[act], cpi_a, (mpi_a * blk_a) / thr_a
+        )
+        lat_a = _illinois_root_batch(
+            excess_b, latency[act], lat_floor, lat_ceil
+        )
+        latency[act] = lat_a
+        ipc_a = 1.0 / (cpi_a + mpi_a * blk_a * (lat_a[:, None] / thr_a))
+
+        # Insertion pressure (see the scalar loop): steady-state occupancy
+        # tracks each competitor's miss rate. The pressure-sharing step is
+        # per-lane (partitions differ across lanes); pad slots carry their
+        # current ways so the damped update leaves them at exactly 0.0.
+        pressure_a = freq * ipc_a * mpi_a
+        ways_a = ways2[act]
+        target_a = np.empty_like(ways_a)
+        for row, i in enumerate(act):
+            nc = int(n_cores[i])
+            target_a[row, :nc] = effective_ways(
+                parsed[i][1], pressure_a[row, :nc], caps2[i, :nc], theta
+            )
+            target_a[row, nc:] = ways_a[row, nc:]
+        step_a = step[act]
+        ways_next = (1 - step_a[:, None]) * ways_a + step_a[:, None] * target_a
+        delta_a = np.max(np.abs(ways_next - ways_a), axis=1)
+        ways2[act] = ways_next
+
+        conv = delta_a < delta_tol
+        ncv = ~conv
+        # Per-lane adaptive damping, mirroring the scalar rules: a
+        # non-shrinking delta tightens the step; at the floor step the
+        # lane gets the 10x budget instead.
+        worse = ncv & (delta_a >= prev_delta[act])
+        shrink = worse & (step_a > 0.021)
+        floored = worse & ~shrink
+        new_step = step_a.copy()
+        new_step[shrink] = np.maximum(step_a[shrink] * 0.7, 0.02)
+        step[act] = new_step
+        if floored.any():
+            budget[act[floored]] = max_iter * 10
+        pd = prev_delta[act]
+        pd[ncv] = delta_a[ncv]
+        prev_delta[act] = pd
+        active[act[conv]] = False
+        # Deliberately NOT masked with ncv: the scalar solver raises
+        # whenever the loop exits with iterations >= budget, even for a
+        # lane that converged on exactly the last allowed iteration.
+        blown = iterations[act] >= budget[act]
+        if blown.any():
+            i = int(act[np.nonzero(blown)[0][0]])
+            raise ConvergenceError(
+                f"lane {i}: no convergence after {int(iterations[i])} "
+                f"iterations (latency={latency[i]:.1f} cy)"
+            )
+
+    # Final consistent evaluation at each converged operating point,
+    # vectorised across all lanes (identical elementwise op sequence).
+    ways2 = np.minimum(ways2, caps2)
+    eval_mrc(np.ones(n_points, dtype=bool))
+    mpi2 = apki2 * mr2
+    excess_b = make_excess(
+        (freq * mpi2) * bpm2, cpi2, (mpi2 * blk2) / thr2
+    )
+    latency = _illinois_root_batch(excess_b, latency, lat_floor, lat_ceil)
+    cpi_tot = cpi2 + mpi2 * blk2 * (latency[:, None] / thr2)
+    ipc2 = 1.0 / cpi_tot
+    bw2 = freq * ipc2 * mpi2 * bpm2
+
+    SOLVER_COUNTERS["batch_solves"] += 1
+    SOLVER_COUNTERS["batch_points"] += n_points
+    SOLVER_COUNTERS["batch_iterations"] += int(iterations.sum())
+
+    out = []
+    for i, (_phases, partition, _params) in enumerate(parsed):
+        nc = partition.n_cores
+        ways = ways2[i, :nc].copy()
+        mr = mr2[i, :nc].copy()
+        ipc = ipc2[i, :nc].copy()
+        bw = bw2[i, :nc].copy()
+        # Bandwidth rationing under extreme overload — per lane, exactly
+        # as the scalar epilogue (see solve_steady_state).
+        demand = float(bw.sum())
+        if demand > link.capacity_bytes:
+            granted = waterfill(
+                link.capacity_bytes, np.ones(nc), np.asarray(bw, dtype=float)
+            )
+            scale = np.where(bw > 0.0, granted / np.maximum(bw, 1e-30), 1.0)
+            ipc = ipc * scale
+            bw = granted
+        out.append(
+            SteadyState(
+                ipc=ipc,
+                ways=ways,
+                miss_ratio=mr,
+                bw_bytes=bw,
+                latency_cycles=float(latency[i]),
+                utilisation=float(bw.sum()) / link.capacity_bytes,
+                iterations=int(iterations[i]),
+            )
+        )
+    return out
 
 
 class SteadyStateCache:
@@ -422,6 +830,98 @@ class SteadyStateCache:
                 self._data.popitem(last=False)
             registry.gauge("steady_cache.size").set(len(self._data))
         return state
+
+    def solve_many(
+        self,
+        platform: PlatformConfig,
+        points: Sequence[tuple],
+        *,
+        min_batch: int = 2,
+    ) -> list[SteadyState]:
+        """Fetch (or batch-solve and memoise) many operating points.
+
+        ``points`` entries are ``(phases, partition)`` or ``(phases,
+        partition, mba_scale)`` tuples. Memo hits are served directly; the
+        distinct misses are solved in ONE
+        :func:`solve_steady_state_batch` call (below ``min_batch`` the
+        scalar solver is used instead — NumPy dispatch overhead beats lane
+        sharing for tiny batches). Because batch lanes are byte-identical
+        to scalar cold solves, the memo invariant — every inserted entry
+        equals a cold scalar solve of its key — is preserved.
+
+        Duplicate points are solved once; the duplicates (and any point
+        already memoised) count as hits, the distinct cold points as
+        misses.
+        """
+        registry = get_registry()
+        normalised = []
+        for point in points:
+            if len(point) == 2:
+                (phases, partition), mba = point, None
+            else:
+                phases, partition, mba = point
+            normalised.append((tuple(phases), partition, mba))
+        keys = [
+            self.make_key(platform, phases, partition, mba)
+            for phases, partition, mba in normalised
+        ]
+
+        results: dict[tuple, SteadyState] = {}
+        pending: dict[tuple, tuple] = {}
+        for key, point in zip(keys, normalised):
+            if key in results or key in pending:
+                continue
+            state = self._data.get(key)
+            if state is not None:
+                results[key] = state
+                self._data.move_to_end(key)
+            else:
+                pending[key] = point
+
+        hits = len(keys) - len(pending)
+        self.hits += hits
+        self.misses += len(pending)
+        if hits:
+            registry.counter("steady_cache.hits").inc(hits)
+        if pending:
+            registry.counter("steady_cache.misses").inc(len(pending))
+            cold = list(pending.items())
+            t0 = time.perf_counter()
+            if len(cold) >= min_batch:
+                states = solve_steady_state_batch(
+                    platform, [point for _key, point in cold]
+                )
+            else:
+                states = [
+                    solve_steady_state(
+                        platform, phases, partition, mba_scale=mba
+                    )
+                    for _key, (phases, partition, mba) in cold
+                ]
+            if registry.enabled:
+                elapsed = time.perf_counter() - t0
+                registry.histogram("steady_cache.batch_seconds").observe(
+                    elapsed
+                )
+                registry.histogram("steady_cache.batch_size").observe(
+                    len(cold)
+                )
+                # Keep the per-point timing surface (DESIGN.md §6) alive
+                # for batch-solved points: one observation per point at
+                # the batch's amortised cost.
+                per_point = registry.histogram("steady_cache.solve_seconds")
+                for _ in cold:
+                    per_point.observe(elapsed / len(cold))
+                registry.counter("steady_cache.solve_iterations").inc(
+                    sum(s.iterations for s in states)
+                )
+            for (key, _point), state in zip(cold, states):
+                results[key] = state
+                self._data[key] = state
+                if len(self._data) > self.max_entries:
+                    self._data.popitem(last=False)
+            registry.gauge("steady_cache.size").set(len(self._data))
+        return [results[key] for key in keys]
 
     def __len__(self) -> int:
         return len(self._data)

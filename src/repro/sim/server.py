@@ -14,6 +14,7 @@ under full contention.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -192,6 +193,97 @@ class Server:
         snapshot); memoised, so repeated calls between events are free.
         """
         return self._steady()
+
+    # -- batched prefetch ------------------------------------------------
+
+    def prefetch_partitions(self, partitions: Sequence[PartitionSpec]) -> int:
+        """Pre-solve the current phases under many candidate partitions.
+
+        Feeds every not-yet-memoised (phases, partition) point into one
+        :meth:`SteadyStateCache.solve_many` batch, so a controller about
+        to sweep candidate allocations (DICER's sampling grid) pays one
+        vectorised solve instead of a scalar solve per candidate. Batch
+        lanes are byte-identical to cold scalar solves, so later lookups
+        see exactly the values they would have computed on demand.
+
+        No-op under warm-start semantics (warm-started solves depend on
+        the caller's history and must not be pre-computed). Returns the
+        number of points actually solved.
+        """
+        if self._warm_start:
+            return 0
+        phases = tuple(app.current_phase()[0] for app in self.apps)
+        points: list[tuple] = []
+        keys: list[tuple] = []
+        for partition in partitions:
+            if partition.n_cores != self.n_active:
+                raise ValueError(
+                    f"partition covers {partition.n_cores} cores but "
+                    f"{self.n_active} apps are running"
+                )
+            key = SteadyStateCache.make_key(
+                self.platform, phases, partition, self.mba_scale
+            )
+            if key in self._memo:
+                continue
+            points.append((phases, partition, self.mba_scale))
+            keys.append(key)
+        if not points:
+            return 0
+        states = GLOBAL_STEADY_CACHE.solve_many(self.platform, points)
+        for key, state in zip(keys, states):
+            self._memo[key] = state
+        return len(points)
+
+    def prefetch_phase_product(self, max_points: int = 64) -> int:
+        """Pre-solve the cross product of per-app phases in one batch.
+
+        A static-partition run visits exactly the phase combinations in
+        the product of each app's phase list (clones share their model's
+        phases, so the product is over *distinct* models — typically
+        |HP phases| x |BE phases| points). Solving them all up front turns
+        the event loop's per-interval solves into memo hits. Skipped when
+        the product exceeds ``max_points`` (multi-phase zoos) or under
+        warm-start semantics. Returns the number of points solved.
+        """
+        if self._warm_start:
+            return 0
+        distinct: list[tuple[tuple[Phase, ...], list[int]]] = []
+        index_of: dict[tuple[Phase, ...], int] = {}
+        for core, app in enumerate(self.apps):
+            model_phases = app.model.phases
+            if model_phases not in index_of:
+                index_of[model_phases] = len(distinct)
+                distinct.append((model_phases, []))
+            distinct[index_of[model_phases]][1].append(core)
+        total = 1
+        for model_phases, _cores in distinct:
+            total *= len(model_phases)
+            if total > max_points:
+                return 0
+        points = []
+        keys = []
+        for combo in itertools.product(
+            *(model_phases for model_phases, _cores in distinct)
+        ):
+            per_core: list[Phase | None] = [None] * self.n_active
+            for (_model_phases, cores), chosen in zip(distinct, combo):
+                for core in cores:
+                    per_core[core] = chosen
+            phases = tuple(per_core)
+            key = SteadyStateCache.make_key(
+                self.platform, phases, self.partition, self.mba_scale
+            )
+            if key in self._memo:
+                continue
+            points.append((phases, self.partition, self.mba_scale))
+            keys.append(key)
+        if not points:
+            return 0
+        states = GLOBAL_STEADY_CACHE.solve_many(self.platform, points)
+        for key, state in zip(keys, states):
+            self._memo[key] = state
+        return len(points)
 
     @property
     def all_completed(self) -> bool:

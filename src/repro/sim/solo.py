@@ -10,13 +10,20 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.sim.contention import solve_steady_state
+from repro.sim.contention import GLOBAL_STEADY_CACHE
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
 from repro.workloads.app import AppModel
 
-__all__ = ["SoloProfile", "solo_profile", "solo_ipc_at_ways", "clear_caches"]
+__all__ = [
+    "SoloProfile",
+    "solo_profile",
+    "solo_ipc_at_ways",
+    "prewarm_profiles",
+    "clear_caches",
+]
 
 #: Bounds on the module caches below. Generous (the full catalog needs ~60
 #: profile entries and ~60 x llc_ways way entries) but finite, so campaigns
@@ -56,12 +63,17 @@ def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
         return cached
 
     partition = PartitionSpec.unmanaged(1, platform.llc_ways)
+    # One batched (and globally memoised) solve across the app's phases:
+    # batch lanes are byte-identical to scalar cold solves, so the profile
+    # carries the same bits it always did.
+    states = GLOBAL_STEADY_CACHE.solve_many(
+        platform, [((phase,), partition) for phase in app.phases]
+    )
     total_time = 0.0
     total_instr = 0.0
     phase_ipcs: list[float] = []
     peak_bw = 0.0
-    for phase in app.phases:
-        state = solve_steady_state(platform, [phase], partition)
+    for phase, state in zip(app.phases, states):
         ipc = float(state.ipc[0])
         phase_ipcs.append(ipc)
         total_time += phase.instructions / (platform.freq_hz * ipc)
@@ -108,10 +120,12 @@ def solo_ipc_at_ways(
         return cached
 
     partition = PartitionSpec.unmanaged(1, ways)
+    states = GLOBAL_STEADY_CACHE.solve_many(
+        platform, [((phase,), partition) for phase in app.phases]
+    )
     total_time = 0.0
     total_instr = 0.0
-    for phase in app.phases:
-        state = solve_steady_state(platform, [phase], partition)
+    for phase, state in zip(app.phases, states):
         ipc = float(state.ipc[0])
         total_time += phase.instructions / (platform.freq_hz * ipc)
         total_instr += phase.instructions
@@ -120,6 +134,45 @@ def solo_ipc_at_ways(
     if len(_WAYS_CACHE) > _MAX_WAYS_ENTRIES:
         _WAYS_CACHE.popitem(last=False)
     return result
+
+
+def prewarm_profiles(
+    apps: Iterable[AppModel], platform: PlatformConfig
+) -> int:
+    """Batch-solve the solo baselines of many applications in one sweep.
+
+    Campaign runners call this before a serial cell loop: all cold
+    (phase, full-LLC) operating points across ``apps`` go through ONE
+    :meth:`SteadyStateCache.solve_many` call, so the per-phase solves that
+    :func:`solo_profile` would otherwise do one at a time land as a single
+    wide batch. Returns the number of profiles actually built (apps whose
+    profile was already cached are skipped; clones sharing phase tuples
+    count once).
+    """
+    pending: list[AppModel] = []
+    seen: set[tuple] = set()
+    for app in apps:
+        key = (app.phases, platform)
+        if key in _CACHE or key in seen:
+            continue
+        seen.add(key)
+        pending.append(app)
+    if not pending:
+        return 0
+    partition = PartitionSpec.unmanaged(1, platform.llc_ways)
+    GLOBAL_STEADY_CACHE.solve_many(
+        platform,
+        [
+            ((phase,), partition)
+            for app in pending
+            for phase in app.phases
+        ],
+    )
+    # The per-phase states are now memo hits; building the profiles is
+    # pure arithmetic on top of them.
+    for app in pending:
+        solo_profile(app, platform)
+    return len(pending)
 
 
 def clear_caches() -> None:

@@ -72,6 +72,22 @@ class MissRatioCurve(ABC):
         # Numerical guard: parametric forms can under/overshoot by epsilon.
         return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value
 
+    def eval_many(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`__call__` over an array of way counts.
+
+        The batched steady-state solver funnels every MRC lookup through
+        this method. The contract is *bitwise* agreement with
+        ``__call__``: for every element ``w``, ``eval_many([w])[0]`` must
+        carry the exact bits of ``self(w)`` — the batch solver's parity
+        guarantee rests on it. The base implementation simply loops;
+        subclasses may override with a vectorised fast path **only** when
+        the vector arithmetic is guaranteed bit-identical to the scalar
+        path (affine/interpolation forms — not transcendental ones, where
+        ``np.exp`` may differ from ``math.exp`` in the last ulp).
+        """
+        ways = np.asarray(ways, dtype=float)
+        return np.array([self(w) for w in ways], dtype=float)
+
     def min_ways_for_miss_ratio(self, target: float, max_ways: int) -> float:
         """Smallest integral way count whose miss ratio is <= ``target``.
 
@@ -109,6 +125,20 @@ class ConstantMRC(MissRatioCurve):
     def footprint_ways(self) -> float:
         """See :meth:`MissRatioCurve.footprint_ways`."""
         return 1.0  # Extra ways are useless; claim the minimum.
+
+    def eval_many(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised fast path; bit-identical to ``__call__`` per element.
+
+        Safe to vectorise: the sub-way ramp is a single multiply-add and
+        the plateau is a constant, both IEEE-identical elementwise.
+        """
+        ways = np.asarray(ways, dtype=float)
+        if ways.size and float(ways.min()) < 0:
+            raise ValueError(f"ways must be >= 0, got {float(ways.min())}")
+        value = np.where(
+            ways < 1.0, 1.0 + (self._ratio - 1.0) * ways, self._ratio
+        )
+        return np.clip(value, 0.0, 1.0)
 
     def __repr__(self) -> str:
         return f"ConstantMRC(ratio={self._ratio:g})"
@@ -316,6 +346,23 @@ class TabulatedMRC(MissRatioCurve):
         # First tabulated point within 2% (absolute) of the final ratio.
         close = np.nonzero(self._ratios <= final + 0.02)[0]
         return float(self._ways[close[0]])
+
+    def eval_many(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised fast path; bit-identical to ``__call__`` per element.
+
+        Safe to vectorise: ``np.interp`` runs the same compiled
+        interpolation per element whether called with a scalar or an
+        array, and the sub-way ramp is a multiply-add.
+        """
+        ways = np.asarray(ways, dtype=float)
+        if ways.size and float(ways.min()) < 0:
+            raise ValueError(f"ways must be >= 0, got {float(ways.min())}")
+        value = np.interp(ways, self._ways, self._ratios)
+        sub = ways < 1.0
+        if sub.any():
+            at_one = self.miss_ratio(1.0)
+            value = np.where(sub, 1.0 + (at_one - 1.0) * ways, value)
+        return np.clip(value, 0.0, 1.0)
 
     def __repr__(self) -> str:
         return f"TabulatedMRC({self._ways.size} points)"

@@ -153,3 +153,34 @@ class TestTelemetry:
     def test_no_metrics_flag_no_telemetry(self, capsys):
         assert main(["run", "--hp", "namd1", "--be", "povray1"]) == 0
         assert not obs.enabled()
+
+
+class TestProfile:
+    def test_profile_prints_hotspots(self, capsys):
+        assert main(["table1", "--profile", "--profile-top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out  # the experiment itself still renders
+        assert "cProfile: top 5 by cumulative time" in out
+        assert "cumtime" in out  # pstats table header
+
+    def test_profile_out_dumps_pstats(self, tmp_path, capsys):
+        import pstats
+
+        dump = tmp_path / "profile.pstats"
+        assert main(
+            ["table1", "--profile", "--profile-out", str(dump)]
+        ) == 0
+        assert "pstats dump written to" in capsys.readouterr().out
+        assert dump.exists()
+        pstats.Stats(str(dump))  # loadable by the standard tooling
+
+    def test_profile_survives_experiment_failure(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(Exception):
+            main(["run", "--hp", "no-such-app", "--profile"])
+        assert "cProfile" in capsys.readouterr().out
+
+    def test_no_profile_flag_no_hotspots(self, capsys):
+        assert main(["table1"]) == 0
+        assert "cProfile" not in capsys.readouterr().out

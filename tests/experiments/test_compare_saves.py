@@ -53,3 +53,67 @@ class TestMain:
         _write_save(tmp_path, 1, {"bench_a": 1.0})
         _write_save(tmp_path, 2, {"bench_a": 1.1})
         assert compare_saves.main(["--storage", str(tmp_path)]) == 0
+
+
+def _headline_payload(wall=10.0, scalar=100, reduction=3.0):
+    return {
+        "schema": 1,
+        "wall_clock_s": wall,
+        "solver": {
+            "total_points": 300,
+            "scalar_solves": scalar,
+            "batch_solves": 20,
+            "mean_batch_size": 10.0,
+            "points_per_python_call": 2.5,
+            "scalar_call_reduction": reduction,
+            "scalar_iterations": 900,
+            "batch_iterations": 1800,
+        },
+        "steady_cache": {"hit_rate": 0.4},
+    }
+
+
+class TestBenchJson:
+    def test_report_renders_and_tracks_history(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        artefact.write_text(json.dumps(_headline_payload()))
+        report = compare_saves.report_bench_json(artefact)
+        text = "\n".join(report)
+        assert "wall_clock: 10.0s" in text
+        assert "solver.scalar_call_reduction: 3.0" in text
+        assert "steady_cache.hit_rate: 0.4" in text
+        history = artefact.with_name("BENCH_history.jsonl")
+        assert history.exists()
+        assert json.loads(history.read_text()) == _headline_payload()
+
+    def test_second_run_diffs_against_previous(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        artefact.write_text(json.dumps(_headline_payload(wall=10.0)))
+        compare_saves.report_bench_json(artefact)
+        artefact.write_text(
+            json.dumps(_headline_payload(wall=8.0, scalar=50))
+        )
+        report = compare_saves.report_bench_json(artefact)
+        text = "\n".join(report)
+        assert "prev 10.0s, -20.0%" in text
+        assert "prev 100, -50.0%" in text
+        history = artefact.with_name("BENCH_history.jsonl")
+        assert len(history.read_text().strip().splitlines()) == 2
+
+    def test_main_reports_but_never_gates_on_json(self, tmp_path, capsys):
+        artefact = tmp_path / "BENCH_headline.json"
+        artefact.write_text(json.dumps(_headline_payload()))
+        # A hard benchmark regression still fails, JSON or not ...
+        _write_save(tmp_path, 1, {"bench_a": 1.0})
+        _write_save(tmp_path, 2, {"bench_a": 2.0})
+        assert compare_saves.main(
+            ["--storage", str(tmp_path), "--bench-json", str(artefact)]
+        ) == 1
+        assert "perf artefact" in capsys.readouterr().out
+
+    def test_main_skips_missing_artefact(self, tmp_path, capsys):
+        assert compare_saves.main(
+            ["--storage", str(tmp_path),
+             "--bench-json", str(tmp_path / "absent.json")]
+        ) == 0
+        assert "missing — skipping" in capsys.readouterr().out

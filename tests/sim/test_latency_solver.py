@@ -1,0 +1,156 @@
+"""The latency root finders: ``_illinois_root`` and its batched twin.
+
+Three contracts under test:
+
+* **No duplicate evaluations** — the bracket-expansion loops carry the
+  previously evaluated endpoint forward instead of re-evaluating it (the
+  pre-refactor scalar code called ``excess`` twice at the step before the
+  sign flip). Locked in with instrumented closures that record every
+  evaluation point.
+* **Monotone bracketing** — for a strictly decreasing excess the returned
+  root is the clamped true root to the solver's 1e-7 relative gap.
+* **Lane independence** — every lane of ``_illinois_root_batch`` is
+  bit-identical to a scalar solve of that lane alone, for arbitrary lane
+  mixes (floor-outs, ceil-outs, upward and downward expansion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.contention import _illinois_root, _illinois_root_batch
+
+FLOOR = 1.0
+CEIL = 1.0e6
+
+
+def affine_excess(a, b):
+    """Strictly decreasing Python-float excess with root at ``a / b``."""
+
+    def excess(lat):
+        return a - b * lat
+
+    return excess
+
+
+def affine_excess_batch(a_arr, b_arr):
+    """Vectorised twin of :func:`affine_excess` (same elementwise ops)."""
+
+    def excess_b(lat, lanes):
+        return a_arr[lanes] - b_arr[lanes] * lat
+
+    return excess_b
+
+
+lane_params = st.tuples(
+    st.floats(min_value=0.5, max_value=5.0e6),   # a
+    st.floats(min_value=0.1, max_value=50.0),    # b
+    st.floats(min_value=FLOOR, max_value=CEIL),  # guess
+)
+
+
+class TestScalarRoot:
+    @settings(max_examples=200, deadline=None)
+    @given(lane_params)
+    def test_root_matches_analytic_root(self, params):
+        a, b, guess = params
+        root = _illinois_root(affine_excess(a, b), guess, FLOOR, CEIL)
+        true = a / b
+        if true <= FLOOR:
+            assert root == FLOOR
+        elif true >= CEIL:
+            assert root == CEIL
+        else:
+            assert FLOOR <= root <= CEIL
+            assert abs(root - true) <= 1e-6 * true
+
+    @settings(max_examples=200, deadline=None)
+    @given(lane_params)
+    def test_no_point_evaluated_twice_after_warm_start(self, params):
+        a, b, guess = params
+        inner = affine_excess(a, b)
+        seen: list[float] = []
+
+        def excess(lat):
+            seen.append(lat)
+            return inner(lat)
+
+        _illinois_root(excess, guess, FLOOR, CEIL)
+        # The two boundary probes and the clamped warm start may legally
+        # coincide (guess at/beyond a boundary); every point after them
+        # must be fresh.
+        tail = seen[3:]
+        assert len(tail) == len(set(tail)), f"re-evaluated points in {seen}"
+
+    def test_expansion_carries_endpoint_forward(self):
+        # Crafted so the upward expansion flips at hi = 225: the
+        # pre-refactor code then re-evaluated excess(225 / 1.5) == 150.0,
+        # a point it had already paid for. excess(l) = 200 - l, guess 100:
+        # probes floor, ceil, 100, 150, 225, then the Illinois secant
+        # lands exactly on the root 200. Six evaluations, all distinct.
+        seen: list[float] = []
+
+        def excess(lat):
+            seen.append(lat)
+            return 200.0 - lat
+
+        root = _illinois_root(excess, 100.0, FLOOR, 1.0e4)
+        assert root == 200.0
+        assert seen == [FLOOR, 1.0e4, 100.0, 150.0, 225.0, 200.0]
+
+
+class TestBatchRoot:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(lane_params, min_size=1, max_size=12))
+    def test_every_lane_bitwise_equals_scalar(self, lanes):
+        a = np.array([p[0] for p in lanes])
+        b = np.array([p[1] for p in lanes])
+        guess = np.array([p[2] for p in lanes])
+        out = _illinois_root_batch(
+            affine_excess_batch(a, b), guess, FLOOR, CEIL
+        )
+        for i, (ai, bi, gi) in enumerate(lanes):
+            scalar = _illinois_root(affine_excess(ai, bi), gi, FLOOR, CEIL)
+            assert out[i] == scalar, f"lane {i}: {out[i]} != {scalar}"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(lane_params, min_size=2, max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_lane_order_does_not_matter(self, lanes, rng):
+        perm = list(range(len(lanes)))
+        rng.shuffle(perm)
+        a = np.array([p[0] for p in lanes])
+        b = np.array([p[1] for p in lanes])
+        guess = np.array([p[2] for p in lanes])
+        out = _illinois_root_batch(
+            affine_excess_batch(a, b), guess, FLOOR, CEIL
+        )
+        shuffled = _illinois_root_batch(
+            affine_excess_batch(a[perm], b[perm]), guess[perm], FLOOR, CEIL
+        )
+        assert np.array_equal(out[perm], shuffled)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(lane_params, min_size=1, max_size=8))
+    def test_no_lane_point_evaluated_twice_after_warm_start(self, lanes):
+        a = np.array([p[0] for p in lanes])
+        b = np.array([p[1] for p in lanes])
+        guess = np.array([p[2] for p in lanes])
+        calls: dict[int, list[float]] = {i: [] for i in range(len(lanes))}
+        inner = affine_excess_batch(a, b)
+
+        def excess_b(lat, idx):
+            for point, lane in zip(lat, idx):
+                calls[int(lane)].append(float(point))
+            return inner(lat, idx)
+
+        _illinois_root_batch(excess_b, guess, FLOOR, CEIL)
+        for lane, seen in calls.items():
+            tail = seen[3:]
+            assert len(tail) == len(set(tail)), (
+                f"lane {lane} re-evaluated points in {seen}"
+            )

@@ -1,0 +1,188 @@
+"""Batched prefetch wiring: Server, SimulatedRdt, DICER hook, solo prewarm.
+
+Prefetching is a pure execution-speed hint — every test here pins the
+invariant that matters: prefetched runs produce *bit-identical* results to
+unprefetched ones, because batch lanes carry the exact bytes of the cold
+scalar solves they replace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.core.allocation import Allocation
+from repro.core.policies import DicerPolicy, StaticPolicy
+from repro.experiments.runner import run_pair
+from repro.sim.contention import solve_steady_state
+from repro.sim.partition import PartitionSpec
+from repro.sim.platform import TABLE1_PLATFORM
+from repro.sim.server import Server
+from repro.rdt.simulated import SimulatedRdt
+from repro.sim.solo import prewarm_profiles, solo_profile
+from repro.workloads.catalog import app_names, catalog
+from repro.workloads.mix import make_mix
+
+PLAT = TABLE1_PLATFORM
+
+
+def multi_phase_apps(n=2):
+    apps = catalog()
+    return [apps[name] for name in app_names() if len(apps[name].phases) > 1][
+        :n
+    ]
+
+
+class TestPrefetchPartitions:
+    def test_fills_memo_and_counts(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:4]]
+        server = Server(PLAT, models)
+        partitions = [
+            PartitionSpec.hp_be(w, 4, PLAT.llc_ways) for w in (2, 5, 9, 19)
+        ]
+        assert server.prefetch_partitions(partitions) == 4
+        # Already memoised: a second prefetch has nothing to do.
+        assert server.prefetch_partitions(partitions) == 0
+
+    def test_memo_entries_match_cold_scalar(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:3]]
+        server = Server(PLAT, models)
+        partitions = [
+            PartitionSpec.hp_be(w, 3, PLAT.llc_ways) for w in (4, 12)
+        ]
+        server.prefetch_partitions(partitions)
+        phases = tuple(a.phases[0] for a in models)
+        for part in partitions:
+            server.set_partition(part)
+            state = server.steady_state()
+            cold = solve_steady_state(PLAT, phases, part)
+            assert np.array_equal(state.ipc, cold.ipc)
+            assert np.array_equal(state.ways, cold.ways)
+            assert state.latency_cycles == cold.latency_cycles
+            assert state.iterations == cold.iterations
+
+    def test_noop_under_warm_start(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:2]]
+        server = Server(PLAT, models, warm_start=True)
+        parts = [PartitionSpec.hp_be(10, 2, PLAT.llc_ways)]
+        assert server.prefetch_partitions(parts) == 0
+        assert server.prefetch_phase_product() == 0
+
+    def test_rejects_mismatched_partition(self, clean_caches):
+        apps = catalog()
+        server = Server(PLAT, [apps[app_names()[0]]])
+        with pytest.raises(ValueError):
+            server.prefetch_partitions(
+                [PartitionSpec.hp_be(10, 2, PLAT.llc_ways)]
+            )
+
+
+class TestPrefetchPhaseProduct:
+    def test_covers_phase_product(self, clean_caches):
+        models = multi_phase_apps(2)
+        assert len(models) == 2  # the catalog has multi-phase apps
+        expected = len(models[0].phases) * len(models[1].phases)
+        server = Server(PLAT, models)
+        assert server.prefetch_phase_product() == expected
+        assert server.prefetch_phase_product() == 0  # all memoised now
+
+    def test_clones_count_once(self, clean_caches):
+        [model] = multi_phase_apps(1)
+        clones = [model.with_name(f"{model.name}#{k}") for k in (1, 2)]
+        server = Server(PLAT, [model] + clones)
+        # Three cores but one distinct model: |phases| points, not
+        # |phases|**3.
+        assert server.prefetch_phase_product() == len(model.phases)
+
+    def test_bails_beyond_max_points(self, clean_caches):
+        models = multi_phase_apps(2)
+        server = Server(PLAT, models)
+        assert server.prefetch_phase_product(max_points=1) == 0
+
+    def test_static_run_identical_with_and_without(self, clean_caches):
+        apps = catalog()
+        be = apps["bzip22"]
+        models = [apps["omnetpp1"]] + [
+            be.with_name(f"{be.name}#{k}") for k in range(1, 4)
+        ]
+        part = PartitionSpec.hp_be(12, 4, PLAT.llc_ways)
+
+        plain = Server(PLAT, models, part)
+        plain.run_until_all_complete(max_time_s=500.0)
+        warmed = Server(PLAT, models, part)
+        warmed.prefetch_phase_product()
+        warmed.run_until_all_complete(max_time_s=500.0)
+
+        assert plain.time == warmed.time
+        for a, b in zip(plain.apps, warmed.apps):
+            assert a.total_instructions == b.total_instructions
+            assert a.completions == b.completions
+            assert a.run_times == b.run_times
+
+
+class TestRdtAndControllerHook:
+    def test_prefetch_allocations_delegates(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:4]]
+        rdt = SimulatedRdt(Server(PLAT, models))
+        allocations = [
+            Allocation(hp_ways=w, total_ways=PLAT.llc_ways)
+            for w in (3, 7, 11, 15, 19)
+        ]
+        assert rdt.prefetch_allocations(allocations) == 5
+        assert rdt.prefetch_allocations(allocations) == 0
+
+    def test_dicer_run_identical_with_hook_disabled(
+        self, clean_caches, monkeypatch
+    ):
+        mix = make_mix("milc1", "gcc_base6", 9)
+        with_hook = run_pair(mix, DicerPolicy())
+        monkeypatch.setattr(
+            runner_mod, "_wire_prefetch", lambda policy, rdt: None
+        )
+        without_hook = run_pair(mix, DicerPolicy())
+        assert with_hook == without_hook
+
+    def test_static_policy_run_identical_without_prefetch(
+        self, clean_caches, monkeypatch
+    ):
+        mix = make_mix("omnetpp1", "bzip22", 9)
+        prefetched = run_pair(mix, StaticPolicy(4))
+        monkeypatch.setattr(
+            Server, "prefetch_phase_product", lambda self, max_points=64: 0
+        )
+        plain = run_pair(mix, StaticPolicy(4))
+        assert prefetched == plain
+
+
+class TestPrewarmProfiles:
+    def test_counts_and_skips_cached(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:5]]
+        assert prewarm_profiles(models, PLAT) == 5
+        assert prewarm_profiles(models, PLAT) == 0  # all cached now
+
+    def test_clones_share_one_profile(self, clean_caches):
+        apps = catalog()
+        model = apps[app_names()[0]]
+        clone = model.with_name(f"{model.name}#1")
+        assert prewarm_profiles([model, clone], PLAT) == 1
+
+    def test_profiles_match_cold_computation(self, clean_caches):
+        apps = catalog()
+        models = [apps[name] for name in app_names()[:3]]
+        cold = [solo_profile(m, PLAT) for m in models]
+
+        from repro.sim.solo import clear_caches
+        from repro.sim.contention import GLOBAL_STEADY_CACHE
+
+        clear_caches()
+        GLOBAL_STEADY_CACHE.clear()
+        prewarm_profiles(models, PLAT)
+        warm = [solo_profile(m, PLAT) for m in models]
+        for c, w in zip(cold, warm):
+            assert c == w  # frozen dataclass: bitwise float equality

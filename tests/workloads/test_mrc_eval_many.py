@@ -1,0 +1,78 @@
+"""``MissRatioCurve.eval_many`` must be bitwise ``__call__`` per element.
+
+The batched steady-state solver funnels every MRC lookup through
+``eval_many``; its parity guarantee (DESIGN.md §7) rests on each curve's
+vectorised path returning exactly the scalar value for every way count —
+including the sub-way ramp, clamping, and boundary points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.mrc import (
+    BlendedMRC,
+    ConstantMRC,
+    ExponentialMRC,
+    KneeMRC,
+    TabulatedMRC,
+)
+
+CURVES = {
+    "constant": ConstantMRC(0.37),
+    "exponential": ExponentialMRC(peak=0.9, floor=0.05, scale=4.0),
+    "knee": KneeMRC(peak=0.85, floor=0.1, knee_ways=6.0, sharpness=3.0),
+    "blended": BlendedMRC(
+        peak=0.8, floor=0.04, knee_ways=8.0,
+        scale=2.5, sharpness=2.0, blend=0.6,
+    ),
+    "tabulated": TabulatedMRC(
+        ways=[1.0, 2.0, 4.0, 8.0, 16.0, 20.0],
+        ratios=[0.9, 0.7, 0.45, 0.2, 0.1, 0.08],
+    ),
+}
+
+# Boundary-heavy fixed grid: zero, sub-way ramp, table knots, knot
+# midpoints, beyond-table extrapolation.
+FIXED_WAYS = np.array(
+    [0.0, 1e-9, 0.25, 0.5, 0.999, 1.0, 1.5, 2.0, 3.7, 4.0,
+     7.999, 8.0, 15.0, 16.0, 19.5, 20.0, 25.0, 1e6]
+)
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_eval_many_bitwise_on_fixed_grid(name):
+    curve = CURVES[name]
+    batch = curve.eval_many(FIXED_WAYS)
+    scalar = np.array([curve(w) for w in FIXED_WAYS])
+    assert np.array_equal(batch, scalar)
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+@settings(max_examples=100, deadline=None)
+@given(
+    ways=st.lists(
+        st.floats(min_value=0.0, max_value=64.0), min_size=1, max_size=32
+    )
+)
+def test_eval_many_bitwise_on_random_ways(name, ways):
+    curve = CURVES[name]
+    arr = np.array(ways)
+    assert np.array_equal(
+        curve.eval_many(arr), np.array([curve(w) for w in arr])
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_eval_many_empty(name):
+    out = CURVES[name].eval_many(np.array([]))
+    assert out.shape == (0,)
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_eval_many_rejects_negative_ways(name):
+    with pytest.raises(ValueError):
+        CURVES[name].eval_many(np.array([1.0, -0.5]))
