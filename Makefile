@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test bench bench-quick bench-json bench-full examples clean
+.PHONY: all install lint test conformance coverage golden bench bench-quick bench-json bench-full examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test
+all: lint test conformance
 
 install:
 	pip install -e .
@@ -18,6 +18,21 @@ lint:             ## ruff, if installed (config in .ruff.toml); skipped otherwis
 
 test:
 	pytest tests/
+
+conformance:      ## controller conformance: differential fuzz + golden replay + fault injection
+	pytest tests/valid/ -q
+	python -m repro.valid.record --check
+
+golden:           ## regenerate tests/golden/ after an intentional behaviour change
+	python -m repro.valid.record
+
+coverage:         ## pytest-cov with a line floor on the controller core; skipped if not installed
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		pytest tests/ --cov=repro.core --cov-report=term-missing \
+			--cov-fail-under=90; \
+	else \
+		echo "coverage: pytest-cov not installed, skipping (pip install pytest-cov)"; \
+	fi
 
 bench:            ## quick-mode campaign (truncated populations)
 	pytest benchmarks/ --benchmark-only

@@ -35,7 +35,67 @@ from repro.core.config import DicerConfig
 from repro.obs import get_event_log, get_registry
 from repro.rdt.sample import PeriodSample
 
-__all__ = ["DicerController", "ControllerMode", "DecisionRecord"]
+__all__ = [
+    "DicerController",
+    "ControllerMode",
+    "DecisionRecord",
+    "sample_fault",
+    "MIN_SAMPLE_DURATION_S",
+    "STALE_MIN_DURATION_S",
+    "MAX_PLAUSIBLE_IPC",
+    "BW_FAULT_FACTOR",
+]
+
+# -- measurement plausibility (graceful degradation, DESIGN.md §8) ----------
+#
+# Real RDT counters fail in well-known ways: MBM/CMT reads can be dropped,
+# repeated (stale), or wrap around between two samples, and a zero-length
+# read window turns counter diffs into garbage rates. The controller must
+# never let such a sample crash the loop or leak into the Equation-2
+# bandwidth history, so `sample_fault` classifies implausible samples and
+# `update` holds the last decision for the period instead of acting.
+
+#: Periods shorter than this carry no meaningful counter deltas (a zero-dt
+#: read). The simulator's own end-of-workload degenerate samples use 1e-9 s
+#: and stay *valid* — the floor only rejects genuinely broken reads.
+MIN_SAMPLE_DURATION_S = 1e-10
+#: A zero IPC over at least this long a window means the instruction
+#: counter did not advance — a stale/repeated read, not a running core.
+#: (Sub-microsecond windows may legitimately retire nothing.)
+STALE_MIN_DURATION_S = 1e-6
+#: No core retires this many instructions per cycle; values above it are
+#: wrapped/corrupt counters.
+MAX_PLAUSIBLE_IPC = 1e6
+#: Bandwidth beyond this multiple of the saturation threshold cannot come
+#: from the memory link — it is a counter wraparound artefact.
+BW_FAULT_FACTOR = 1e3
+
+
+def sample_fault(sample: PeriodSample, config: DicerConfig) -> str | None:
+    """Classify an implausible sample; ``None`` means the sample is usable.
+
+    Returns one of ``"nonfinite"``, ``"zero_dt"``, ``"wrap"`` or
+    ``"stale"`` — the fault taxonomy of DESIGN.md §8.
+    """
+    if not (
+        math.isfinite(sample.duration_s)
+        and math.isfinite(sample.hp_ipc)
+        and math.isfinite(sample.hp_mem_bytes_s)
+        and math.isfinite(sample.total_mem_bytes_s)
+    ):
+        return "nonfinite"
+    if sample.duration_s < MIN_SAMPLE_DURATION_S:
+        return "zero_dt"
+    bw_limit = BW_FAULT_FACTOR * config.bw_threshold_bytes
+    if (
+        sample.hp_ipc > MAX_PLAUSIBLE_IPC
+        or sample.hp_mem_bytes_s > bw_limit
+        or sample.total_mem_bytes_s > bw_limit
+    ):
+        return "wrap"
+    if sample.hp_ipc == 0.0 and sample.duration_s >= STALE_MIN_DURATION_S:
+        return "stale"
+    return None
 
 
 class ControllerMode(enum.Enum):
@@ -129,8 +189,18 @@ class DicerController:
         return self.current
 
     def update(self, sample: PeriodSample) -> Allocation:
-        """Consume one period's measurements; return the next allocation."""
+        """Consume one period's measurements; return the next allocation.
+
+        Implausible samples (see :func:`sample_fault`) are inert: the
+        period is recorded with ``event="fault"``, the last decision is
+        held, and *no* internal state — mode, cooldown, the Equation-2
+        bandwidth history, the previous-period IPC — is touched.
+        """
         self._period += 1
+        fault = sample_fault(sample, self.config)
+        if fault is not None:
+            self._record_fault(sample, fault)
+            return self.current
         raw_saturated = (
             self.config.saturation_detection
             and sample.total_mem_bytes_s > self.config.bw_threshold_bytes
@@ -187,6 +257,36 @@ class DicerController:
         )
         self._report(sample, event, note, raw_saturated, phase_change)
         return self.current
+
+    def _record_fault(self, sample: PeriodSample, fault: str) -> None:
+        """Log a held (faulty-sample) period into the trace and telemetry."""
+        self.trace.append(
+            DecisionRecord(
+                period=self._period,
+                mode=self.mode,
+                hp_ipc=sample.hp_ipc,
+                total_bw_bytes_s=sample.total_mem_bytes_s,
+                saturated=False,
+                phase_change=False,
+                allocation=self.current,
+                note=f"fault: {fault} sample, holding hp={self.current.hp_ways}",
+                event="fault",
+            )
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("dicer.faults").inc()
+            registry.counter(f"dicer.fault.{fault}").inc()
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "dicer.fault",
+                period=self._period,
+                fault=fault,
+                mode=self.mode.value,
+                duration_s=sample.duration_s,
+                hp_ways=self.current.hp_ways,
+            )
 
     def _report(
         self,

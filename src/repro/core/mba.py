@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
-from repro.core.dicer import ControllerMode, DicerController
+from repro.core.dicer import ControllerMode, DicerController, sample_fault
 from repro.core.policies import DicerPolicy
 from repro.rdt.sample import PeriodSample
 
@@ -53,6 +53,10 @@ class MbaDicerController(DicerController):
     def update(self, sample: PeriodSample) -> Allocation:
         """Listing 1-3 update plus the MBA throttle step."""
         allocation = super().update(sample)
+        if sample_fault(sample, self.config) is not None:
+            # The base controller held this period (implausible sample);
+            # the throttle must not act on the same garbage reading.
+            return allocation
         saturated = sample.total_mem_bytes_s > self.config.bw_threshold_bytes
         if saturated and self.mode is not ControllerMode.SAMPLING:
             # Sampling already searches the cache axis; throttle only when

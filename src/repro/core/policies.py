@@ -11,6 +11,7 @@ Figure 3; :class:`DicerPolicy` adapts every period via
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
@@ -96,12 +97,26 @@ class StaticPolicy(Policy):
 
 
 class DicerPolicy(Policy):
-    """DICER: dynamic adaptation via the Listings 1-3 state machine."""
+    """DICER: dynamic adaptation via the Listings 1-3 state machine.
+
+    ``controller_factory`` swaps the controller implementation while
+    keeping the policy/runner plumbing identical — the conformance suite
+    uses it to drive whole simulated consolidations with the
+    paper-literal oracle (:class:`repro.valid.reference.
+    ReferenceController`) and diff the two traces end to end.
+    """
 
     name = "DICER"
 
-    def __init__(self, config: DicerConfig = TABLE1_DICER_CONFIG) -> None:
+    def __init__(
+        self,
+        config: DicerConfig = TABLE1_DICER_CONFIG,
+        controller_factory: Callable[
+            [DicerConfig, int], DicerController
+        ] = DicerController,
+    ) -> None:
         self.config = config
+        self._factory = controller_factory
         self._controller: DicerController | None = None
 
     @property
@@ -123,7 +138,7 @@ class DicerPolicy(Policy):
 
     def setup(self, total_ways: int) -> Allocation | None:
         """See :meth:`Policy.setup`."""
-        self._controller = DicerController(self.config, total_ways)
+        self._controller = self._factory(self.config, total_ways)
         return self._controller.initial_allocation()
 
     def update(self, sample: PeriodSample) -> Allocation | None:
@@ -131,5 +146,5 @@ class DicerPolicy(Policy):
         return self.controller.update(sample)
 
     def fresh(self) -> "DicerPolicy":
-        """New policy with a fresh controller, same config."""
-        return DicerPolicy(self.config)
+        """New policy with a fresh controller, same config and factory."""
+        return DicerPolicy(self.config, self._factory)

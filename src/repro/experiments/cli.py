@@ -178,7 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_single(store: ResultStore, args: argparse.Namespace) -> str:
     """The ``run`` experiment: one consolidation pair, rendered."""
     policy = RUN_POLICIES[args.policy]()
-    result = store.get(args.hp, args.be, policy, n_be=args.n_be)
+    try:
+        result = store.get(args.hp, args.be, policy, n_be=args.n_be)
+    except KeyError as exc:
+        # get_app raises KeyError with a suggestion list; surface it as a
+        # clean CLI error instead of a traceback.
+        raise SystemExit(f"run: {exc.args[0]}") from None
     rows = [
         ["policy", result.policy],
         ["workload", f"{result.hp_name} + {result.n_be}x{result.be_name}"],
@@ -213,6 +218,13 @@ def main(argv: list[str] | None = None) -> int:
     if exp == "report":
         if not args.metrics:
             raise SystemExit("report requires --metrics PATH")
+        from pathlib import Path
+
+        if not Path(args.metrics).exists():
+            raise SystemExit(
+                f"report: no telemetry file at {args.metrics} (run an "
+                "experiment with --metrics PATH first)"
+            )
         print(
             obs.render_metrics_summary(
                 obs.summarise_metrics(obs.load_jsonl(args.metrics))

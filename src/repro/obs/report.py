@@ -66,10 +66,13 @@ def _merge_histogram(into: dict, row: dict) -> None:
 def summarise_metrics(records: Iterable[dict]) -> dict[str, object]:
     """Aggregate telemetry records into one report-ready dictionary.
 
-    Returns keys: ``n_records``, ``n_events``, ``n_corrupt``, ``runs``
-    (sorted run ids), ``span_s`` (first-to-last timestamp), ``events_by_
-    kind``, ``counters``, ``gauges`` and ``histograms`` (each histogram a
-    dict with count/sum/min/max/mean/p50/p90/p99).
+    Returns keys: ``n_records``, ``n_events``, ``n_corrupt``, ``n_faults``
+    (events whose kind is ``*.fault`` — injected RDT faults and held
+    controller periods, surfaced so fault-injection campaigns read at a
+    glance), ``runs`` (sorted run ids), ``span_s`` (first-to-last
+    timestamp), ``events_by_kind``, ``counters``, ``gauges`` and
+    ``histograms`` (each histogram a dict with
+    count/sum/min/max/mean/p50/p90/p99).
     """
     events_by_kind: TallyCounter[str] = TallyCounter()
     counters: dict[str, float] = {}
@@ -123,6 +126,11 @@ def summarise_metrics(records: Iterable[dict]) -> dict[str, object]:
         "n_records": n_records,
         "n_events": n_events,
         "n_corrupt": n_corrupt,
+        "n_faults": sum(
+            count
+            for kind, count in events_by_kind.items()
+            if kind.endswith(".fault")
+        ),
         "runs": sorted(runs),
         "span_s": max(timestamps) - min(timestamps) if timestamps else 0.0,
         "events_by_kind": dict(
@@ -148,6 +156,8 @@ def render_metrics_summary(summary: dict[str, object]) -> str:
     )
     if summary["n_corrupt"]:
         header += f"  [{summary['n_corrupt']} corrupt line(s) skipped]"
+    if summary.get("n_faults"):
+        header += f"  [{summary['n_faults']} fault event(s)]"
     sections = [header]
 
     events = summary["events_by_kind"]

@@ -7,6 +7,7 @@ a simulator-bound backend, and a real Linux resctrl sysfs driver with a
 ``perf stat`` IPC reader for RDT hardware.
 """
 
+from repro.rdt.faulty import FaultKind, FaultyRdt
 from repro.rdt.harness import drive
 from repro.rdt.interface import PeriodSample, RdtBackend
 from repro.rdt.noisy import NoisyRdt
@@ -24,6 +25,8 @@ from repro.rdt.simulated import SimulatedRdt
 
 __all__ = [
     "drive",
+    "FaultKind",
+    "FaultyRdt",
     "NoisyRdt",
     "PeriodSample",
     "RdtBackend",

@@ -1,0 +1,194 @@
+"""RDT fault injection: dropped, stale, wrapped and zero-dt counter reads.
+
+Hardware RDT monitoring fails in ways the simulator never shows: an MBM
+read can be dropped (the sampling thread missed its slot), return stale
+counters (the MSR did not latch a new value), wrap around between two
+samples (the counters are narrow), or be taken over a zero-length window
+(two reads at the same timestamp turn counter diffs into garbage rates).
+:class:`FaultyRdt` wraps any backend — including :class:`~repro.rdt.
+noisy.NoisyRdt`, so noise and faults compose — and injects exactly those
+four fault modes, either on a deterministic per-period schedule or at a
+seeded random rate.
+
+Every injection is logged through :mod:`repro.obs` (``rdt.fault`` events,
+``rdt.faulty.*`` counters), and the controller-side contract is that none
+of them crashes the loop or corrupts the Equation-2 bandwidth history
+(see :func:`repro.core.dicer.sample_fault` and DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping
+
+from repro.core.allocation import Allocation
+from repro.obs import get_event_log, get_registry
+from repro.rdt.interface import RdtBackend
+from repro.rdt.sample import PeriodSample
+from repro.util.rng import make_rng
+
+__all__ = ["FaultKind", "FaultyRdt"]
+
+#: Duration used for zero-dt reads: below the controller's plausibility
+#: floor (1e-10 s) and well below the simulator's own 1e-9 s degenerate
+#: samples, which must stay valid.
+_ZERO_DT_S = 1e-12
+
+#: Wraparound scale: the diff picked up a wrapped 32-bit high word.
+_WRAP_SCALE = float(2**32)
+
+
+class FaultKind(enum.Enum):
+    """The four injectable counter-read fault modes (DESIGN.md §8)."""
+
+    #: Sample lost; the backend repeats the last good reading.
+    DROP = "drop"
+    #: Counters did not latch: all deltas are zero over a normal window.
+    STALE = "stale"
+    #: Counter wraparound: rates inflated by a wrapped high word.
+    WRAP = "wrap"
+    #: Zero-length read window: rates over a degenerate interval.
+    ZERO_DT = "zero_dt"
+
+
+class FaultyRdt(RdtBackend):
+    """Decorator backend injecting counter-read faults into samples.
+
+    Parameters
+    ----------
+    inner:
+        The backend to corrupt (actuation always passes through clean).
+    schedule:
+        Deterministic injection: maps 1-based sample indices to a
+        :class:`FaultKind` (or its string value). Takes precedence over
+        ``rate`` on the scheduled periods.
+    rate:
+        Probability of injecting a fault into each unscheduled sample.
+    kinds:
+        Fault population for random injection (default: all four).
+    seed:
+        RNG seed for reproducible random injection.
+    """
+
+    def __init__(
+        self,
+        inner: RdtBackend,
+        *,
+        schedule: Mapping[int, FaultKind | str] | None = None,
+        rate: float = 0.0,
+        kinds: Iterable[FaultKind] = tuple(FaultKind),
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self._inner = inner
+        self._schedule = {
+            int(k): FaultKind(v) for k, v in (schedule or {}).items()
+        }
+        self._rate = rate
+        self._kinds = tuple(FaultKind(k) for k in kinds)
+        if rate > 0.0 and not self._kinds:
+            raise ValueError("rate > 0 with an empty fault population")
+        self._rng = make_rng(seed)
+        self._n_sampled = 0
+        self._last_good: PeriodSample | None = None
+        #: Injection log: (1-based sample index, kind) per injected fault.
+        self.injected: list[tuple[int, FaultKind]] = []
+
+    # -- RdtBackend ---------------------------------------------------------
+
+    @property
+    def total_ways(self) -> int:
+        """Way count of the wrapped backend."""
+        return self._inner.total_ways
+
+    @property
+    def finished(self) -> bool:
+        """Delegates to the wrapped backend."""
+        return self._inner.finished
+
+    def apply(self, allocation: Allocation) -> None:
+        """Actuation is never faulted; forward as-is."""
+        self._inner.apply(allocation)
+
+    def apply_be_throttle(self, scale: float) -> None:
+        """Forward the MBA throttle when the inner backend supports it."""
+        inner_throttle = getattr(self._inner, "apply_be_throttle", None)
+        if inner_throttle is not None:
+            inner_throttle(scale)
+
+    def sample(self, period_s: float) -> PeriodSample:
+        """Sample the inner backend, then maybe corrupt the reading."""
+        clean = self._inner.sample(period_s)
+        self._n_sampled += 1
+        kind = self._schedule.get(self._n_sampled)
+        if kind is None and self._rate > 0.0:
+            if float(self._rng.random()) < self._rate:
+                kind = self._kinds[
+                    int(self._rng.integers(len(self._kinds)))
+                ]
+        if kind is None:
+            self._last_good = clean
+            return clean
+
+        corrupted = self._corrupt(clean, kind)
+        self.injected.append((self._n_sampled, kind))
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("rdt.faulty.injected").inc()
+            registry.counter(f"rdt.faulty.{kind.value}").inc()
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "rdt.fault",
+                sample_index=self._n_sampled,
+                fault=kind.value,
+                scheduled=self._n_sampled in self._schedule,
+            )
+        return corrupted
+
+    # -- fault modes --------------------------------------------------------
+
+    def _corrupt(self, clean: PeriodSample, kind: FaultKind) -> PeriodSample:
+        if kind is FaultKind.DROP:
+            # The read was lost; the monitoring layer re-serves the last
+            # good sample (hold-last at the measurement layer). Before any
+            # good sample exists the drop degenerates to a clean read.
+            return self._last_good if self._last_good is not None else clean
+        if kind is FaultKind.STALE:
+            # Counters did not advance: zero deltas over the full window.
+            # The occupancy snapshot also stays at its previous value.
+            occupancy = (
+                self._last_good.hp_llc_occupancy_bytes
+                if self._last_good is not None
+                else clean.hp_llc_occupancy_bytes
+            )
+            return PeriodSample(
+                duration_s=clean.duration_s,
+                hp_ipc=0.0,
+                hp_mem_bytes_s=0.0,
+                total_mem_bytes_s=0.0,
+                hp_llc_occupancy_bytes=occupancy,
+            )
+        if kind is FaultKind.WRAP:
+            # The diff spans a counter wrap: every rate picks up a wrapped
+            # high word and explodes by ~2^32 (still finite, so only a
+            # plausibility check can catch it).
+            return PeriodSample(
+                duration_s=clean.duration_s,
+                hp_ipc=(clean.hp_ipc + 1.0) * _WRAP_SCALE,
+                hp_mem_bytes_s=(clean.hp_mem_bytes_s + 1.0) * _WRAP_SCALE,
+                total_mem_bytes_s=(
+                    (clean.total_mem_bytes_s + 1.0) * _WRAP_SCALE
+                ),
+                hp_llc_occupancy_bytes=clean.hp_llc_occupancy_bytes,
+            )
+        # FaultKind.ZERO_DT: two reads at the same timestamp — a
+        # degenerate window far below any legitimate period.
+        return PeriodSample(
+            duration_s=_ZERO_DT_S,
+            hp_ipc=clean.hp_ipc,
+            hp_mem_bytes_s=clean.hp_mem_bytes_s,
+            total_mem_bytes_s=clean.total_mem_bytes_s,
+            hp_llc_occupancy_bytes=clean.hp_llc_occupancy_bytes,
+        )

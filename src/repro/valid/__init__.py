@@ -1,0 +1,51 @@
+"""``repro.valid`` — controller conformance tooling.
+
+The whole reproduction hangs on :class:`~repro.core.dicer.DicerController`
+faithfully implementing paper Listings 1-3, and hand-written unit tests
+have already missed state-machine bugs twice. This package is the
+correctness harness that survives refactors:
+
+* :mod:`repro.valid.reference` — a deliberately naive, line-by-line
+  transcription of the paper's listings (no telemetry, no prefetch, no
+  clever state machine) used as an executable oracle;
+* :mod:`repro.valid.differential` — feeds identical synthetic RDT counter
+  streams to both implementations and reports any per-period divergence,
+  dumping replayable JSONL traces for shrunk counterexamples;
+* :mod:`repro.valid.record` — records the golden-trace corpus under
+  ``tests/golden/`` (``python -m repro.valid.record`` regenerates it);
+* :class:`~repro.rdt.faulty.FaultyRdt` (re-exported here) — RDT fault
+  injection: dropped, stale, wrapped and zero-dt counter reads.
+
+``make conformance`` runs the whole suite (see DESIGN.md §8).
+"""
+
+from repro.rdt.faulty import FaultKind, FaultyRdt
+from repro.valid.differential import (
+    Divergence,
+    DifferentialResult,
+    ScriptedRdt,
+    dump_trace,
+    load_trace,
+    replay_trace,
+    run_differential,
+)
+from repro.valid.reference import (
+    ReferenceController,
+    ReferenceDecision,
+    ReferenceDicer,
+)
+
+__all__ = [
+    "Divergence",
+    "DifferentialResult",
+    "FaultKind",
+    "FaultyRdt",
+    "ReferenceController",
+    "ReferenceDecision",
+    "ReferenceDicer",
+    "ScriptedRdt",
+    "dump_trace",
+    "load_trace",
+    "replay_trace",
+    "run_differential",
+]

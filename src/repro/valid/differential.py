@@ -1,0 +1,326 @@
+"""Differential conformance driver: controller vs. paper-literal oracle.
+
+Feeds one synthetic RDT telemetry stream — a list of
+:class:`~repro.rdt.sample.PeriodSample` — to both
+:class:`~repro.core.dicer.DicerController` and
+:class:`~repro.valid.reference.ReferenceDicer` and compares every period:
+the chosen allocation (HP way count), the structured ``event``, the
+controller mode, the CT-F/CT-T classification, and the saturation /
+phase-change flags. Any mismatch is a conformance bug in one of the two
+implementations.
+
+Divergent streams are dumped as **replayable JSONL traces**: a ``meta``
+line carrying the full :class:`~repro.core.config.DicerConfig` and the
+way count, one ``sample`` line per period, and one ``divergence`` line
+per mismatch. ``replay_trace(path)`` re-runs the exact stream — the
+debugging loop for a shrunk hypothesis counterexample is::
+
+    result = replay_trace("divergences/abc123.jsonl")
+    print(result.report())
+
+:class:`ScriptedRdt` additionally exposes any recorded stream through the
+:class:`~repro.rdt.interface.RdtBackend` surface, so traces can also be
+replayed through the full control-loop harness (``repro.rdt.harness``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
+from repro.core.dicer import DecisionRecord, DicerController
+from repro.rdt.interface import RdtBackend
+from repro.rdt.sample import PeriodSample
+from repro.valid.reference import ReferenceDecision, ReferenceDicer
+
+__all__ = [
+    "Divergence",
+    "DifferentialResult",
+    "ScriptedRdt",
+    "run_differential",
+    "dump_trace",
+    "load_trace",
+    "replay_trace",
+]
+
+#: Trace file schema version (bump on incompatible format changes).
+TRACE_VERSION = 1
+
+#: Sample fields serialised into trace lines, in order.
+_SAMPLE_FIELDS = (
+    "duration_s",
+    "hp_ipc",
+    "hp_mem_bytes_s",
+    "total_mem_bytes_s",
+    "hp_llc_occupancy_bytes",
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One per-period disagreement between controller and oracle."""
+
+    period: int
+    facet: str
+    controller: object
+    reference: object
+
+    def __str__(self) -> str:
+        return (
+            f"period {self.period}: {self.facet} diverged — "
+            f"controller={self.controller!r} reference={self.reference!r}"
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """Outcome of one differential run."""
+
+    n_periods: int
+    divergences: tuple[Divergence, ...]
+    #: JSONL trace written for a divergent stream (``None`` otherwise).
+    trace_path: Path | None = None
+    controller_trace: tuple[DecisionRecord, ...] = ()
+    reference_trace: tuple[ReferenceDecision, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every period matched."""
+        return not self.divergences
+
+    def report(self) -> str:
+        """Human-readable summary (used in assertion messages)."""
+        if self.ok:
+            return f"conformant over {self.n_periods} periods"
+        lines = [
+            f"{len(self.divergences)} divergence(s) over "
+            f"{self.n_periods} periods"
+        ]
+        lines += [str(d) for d in self.divergences[:10]]
+        if self.trace_path is not None:
+            lines.append(f"replayable trace: {self.trace_path}")
+        return "\n".join(lines)
+
+
+class ScriptedRdt(RdtBackend):
+    """An :class:`RdtBackend` that replays a pre-recorded sample stream.
+
+    The measurement half returns the scripted samples verbatim (one per
+    ``sample`` call); the allocation half records every ``apply`` so tests
+    can assert on the actuation sequence. ``finished`` turns true when the
+    script runs out.
+    """
+
+    def __init__(self, samples: Iterable[PeriodSample], total_ways: int = 20):
+        self._samples = list(samples)
+        self._next = 0
+        self._total_ways = total_ways
+        self.applied: list[Allocation] = []
+
+    @property
+    def total_ways(self) -> int:
+        """Way count the scripted stream was recorded against."""
+        return self._total_ways
+
+    @property
+    def finished(self) -> bool:
+        """True once every scripted sample has been consumed."""
+        return self._next >= len(self._samples)
+
+    def apply(self, allocation: Allocation) -> None:
+        """Record the actuation (scripted streams have no real cache)."""
+        self.applied.append(allocation)
+
+    def sample(self, period_s: float) -> PeriodSample:
+        """Return the next scripted sample."""
+        if self.finished:
+            raise RuntimeError("scripted stream exhausted")
+        sample = self._samples[self._next]
+        self._next += 1
+        return sample
+
+
+def _compare_period(
+    record: DecisionRecord, decision: ReferenceDecision
+) -> list[Divergence]:
+    facets = (
+        ("hp_ways", record.allocation.hp_ways, decision.hp_ways),
+        ("event", record.event, decision.event),
+        ("mode", record.mode.value, decision.mode),
+        ("saturated", record.saturated, decision.saturated),
+        ("phase_change", record.phase_change, decision.phase_change),
+    )
+    return [
+        Divergence(record.period, facet, ours, theirs)
+        for facet, ours, theirs in facets
+        if ours != theirs
+    ]
+
+
+def run_differential(
+    samples: Sequence[PeriodSample],
+    *,
+    config: DicerConfig = TABLE1_DICER_CONFIG,
+    total_ways: int = 20,
+    dump_dir: Path | str | None = None,
+) -> DifferentialResult:
+    """Drive both implementations over ``samples`` and compare per period.
+
+    Also cross-checks the final classification (``ct_favoured``) after the
+    stream. When ``dump_dir`` is given and the stream diverges, a
+    replayable JSONL trace is written there (content-addressed filename)
+    and referenced from the result.
+    """
+    controller = DicerController(config, total_ways)
+    oracle = ReferenceDicer(config, total_ways)
+    if controller.initial_allocation().hp_ways != oracle.initial_hp_ways():
+        raise AssertionError("initial allocations differ before any sample")
+
+    divergences: list[Divergence] = []
+    for sample in samples:
+        controller.update(sample)
+        decision = oracle.update(sample)
+        divergences.extend(
+            _compare_period(controller.trace[-1], decision)
+        )
+        if controller.ct_favoured != oracle.ct_favoured:
+            divergences.append(
+                Divergence(
+                    decision.period,
+                    "ct_favoured",
+                    controller.ct_favoured,
+                    oracle.ct_favoured,
+                )
+            )
+
+    trace_path = None
+    if divergences and dump_dir is not None:
+        trace_path = dump_trace(
+            Path(dump_dir),
+            samples,
+            config=config,
+            total_ways=total_ways,
+            divergences=divergences,
+        )
+    return DifferentialResult(
+        n_periods=len(samples),
+        divergences=tuple(divergences),
+        trace_path=trace_path,
+        controller_trace=tuple(controller.trace),
+        reference_trace=tuple(oracle.trace),
+    )
+
+
+# -- replayable JSONL traces ------------------------------------------------
+
+
+def sample_to_dict(sample: PeriodSample) -> dict:
+    """Serialise one sample (field order fixed for byte-stable dumps)."""
+    return {name: getattr(sample, name) for name in _SAMPLE_FIELDS}
+
+
+def dump_trace(
+    dump_dir: Path | str,
+    samples: Sequence[PeriodSample],
+    *,
+    config: DicerConfig,
+    total_ways: int,
+    divergences: Sequence[Divergence] = (),
+) -> Path:
+    """Write a replayable JSONL trace; returns the file path.
+
+    The filename is the first 12 hex chars of the SHA-256 of the meta +
+    sample lines, so identical counterexamples dedupe naturally.
+    """
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "version": TRACE_VERSION,
+                "total_ways": total_ways,
+                "config": asdict(config),
+            },
+            sort_keys=True,
+        )
+    ]
+    for period, sample in enumerate(samples, start=1):
+        lines.append(
+            json.dumps(
+                {"kind": "sample", "period": period, **sample_to_dict(sample)},
+                sort_keys=True,
+            )
+        )
+    digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()[:12]
+    for divergence in divergences:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "divergence",
+                    "period": divergence.period,
+                    "facet": divergence.facet,
+                    "controller": divergence.controller,
+                    "reference": divergence.reference,
+                },
+                sort_keys=True,
+                default=str,
+            )
+        )
+    dump_dir = Path(dump_dir)
+    dump_dir.mkdir(parents=True, exist_ok=True)
+    path = dump_dir / f"divergence-{digest}.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_trace(
+    path: Path | str,
+) -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """Parse a trace file back into (config, total_ways, samples)."""
+    config: DicerConfig | None = None
+    total_ways: int | None = None
+    samples: list[PeriodSample] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "meta":
+            if record.get("version") != TRACE_VERSION:
+                raise ValueError(
+                    f"trace version {record.get('version')!r} unsupported "
+                    f"(expected {TRACE_VERSION})"
+                )
+            raw = dict(record["config"])
+            raw["sample_hp_ways"] = tuple(raw["sample_hp_ways"])
+            config = DicerConfig(**raw)
+            total_ways = int(record["total_ways"])
+        elif kind == "sample":
+            if config is None:
+                raise ValueError(
+                    f"{path}: no meta line — not a differential trace"
+                )
+            missing = [n for n in _SAMPLE_FIELDS if n not in record]
+            if missing:
+                raise ValueError(
+                    f"{path}: sample line missing {missing}"
+                )
+            samples.append(
+                PeriodSample(
+                    **{name: record[name] for name in _SAMPLE_FIELDS}
+                )
+            )
+    if config is None or total_ways is None:
+        raise ValueError(f"{path}: no meta line — not a differential trace")
+    return config, total_ways, samples
+
+
+def replay_trace(path: Path | str) -> DifferentialResult:
+    """Re-run the differential comparison recorded in a trace file."""
+    config, total_ways, samples = load_trace(path)
+    return run_differential(samples, config=config, total_ways=total_ways)

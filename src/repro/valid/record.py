@@ -1,0 +1,290 @@
+"""Golden-trace corpus recorder (``python -m repro.valid.record``).
+
+Each *scenario* is a deterministic, hand-built telemetry stream driving
+the controller through one regime the paper describes — CT-Favoured
+steady shrinking, an Equation-2 phase change, a bandwidth-saturation
+sampling sweep (CT-Thwarted), a failed revalidation that re-samples, and
+a fault storm. Recording runs :class:`~repro.core.dicer.DicerController`
+over the stream and writes one JSONL file per scenario under
+``tests/golden/``:
+
+* line 1 — ``meta``: scenario name, schema version, config, way count;
+* then one line per period: the ``sample`` fed in and the ``expect``
+  decision (hp_ways / mode / event / flags / classification) observed.
+
+The replay test (``tests/valid/test_golden.py``) feeds the recorded
+samples to *both* the controller and the paper-literal oracle and asserts
+every expectation still holds — so a behaviour change that slips past the
+unit suite still trips conformance. Regenerate after an *intentional*
+behaviour change with::
+
+    python -m repro.valid.record            # rewrites tests/golden/
+    python -m repro.valid.record --check    # verify without writing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.config import DicerConfig
+from repro.core.dicer import DicerController
+from repro.rdt.sample import PeriodSample
+from repro.valid.differential import TRACE_VERSION, sample_to_dict
+
+__all__ = ["SCENARIOS", "render_scenario", "record_corpus", "main"]
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_OUT = Path("tests") / "golden"
+
+#: 2 GB/s — comfortably under the Table-1 50 Gbps (6.25 GB/s) threshold.
+_CALM_BW = 2e9
+#: 8 GB/s — above the threshold: the memory link reads as saturated.
+_SATURATED_BW = 8e9
+
+
+def _calm(ipc: float, *, bw: float = _CALM_BW) -> PeriodSample:
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=bw,
+        total_mem_bytes_s=bw + 1e9,
+        hp_llc_occupancy_bytes=4e6,
+    )
+
+
+def _saturated(ipc: float) -> PeriodSample:
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=3e9,
+        total_mem_bytes_s=_SATURATED_BW,
+        hp_llc_occupancy_bytes=4e6,
+    )
+
+
+def _scenario_ctf_steady_shrink() -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """Stable IPC, calm link: DICER donates a way per period to the floor."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1))
+    return config, 6, [_calm(1.0) for _ in range(9)]
+
+
+def _scenario_ctf_phase_reset() -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """A >30 % HP bandwidth jump: Equation-2 reset, then validation."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1))
+    stream = [_calm(1.0) for _ in range(4)]
+    # Bandwidth jumps 2x against the 3-period geomean -> phase change.
+    stream.append(_calm(0.8, bw=2 * _CALM_BW))
+    # Validation period: IPC does not beat the trigger -> rollback.
+    stream.append(_calm(0.8, bw=2 * _CALM_BW))
+    stream += [_calm(0.8, bw=2 * _CALM_BW) for _ in range(3)]
+    return config, 6, stream
+
+
+def _scenario_ctt_sampling_sweep() -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """Link saturation: CT-Thwarted reclassification and a full sweep."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1), sample_periods=2)
+    # Probe scores peak at the middle of the grid (hp=3).
+    ipc_by_period = [1.0, 0.6, 0.6, 0.9, 0.9, 0.7, 0.7, 0.9, 0.9, 0.9]
+    return config, 6, [_saturated(ipc) for ipc in ipc_by_period]
+
+
+def _scenario_ctt_revalidate_resample() -> (
+    tuple[DicerConfig, int, list[PeriodSample]]
+):
+    """A CT-T reset whose validation fails, forcing a second sweep."""
+    config = DicerConfig(
+        sample_hp_ways=(5, 3, 1), resample_cooldown_periods=2
+    )
+    stream = [_saturated(ipc) for ipc in (1.0, 0.6, 0.9, 0.7)]  # sweep
+    stream += [_calm(0.9), _calm(0.9)]  # settle at the optimum
+    stream += [_calm(0.5)]  # degraded -> reset to optimal (CT-T)
+    stream += [_calm(0.4)]  # validation fails ipc_opt band -> resample
+    stream += [_calm(0.6), _calm(0.7), _calm(0.9)]  # second sweep
+    stream += [_calm(0.9), _calm(0.9)]
+    return config, 6, stream
+
+
+def _scenario_ctf_validate_ok() -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """A degraded-IPC CT-F reset that validation confirms (validate_ok)."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1))
+    stream = [_calm(1.0), _calm(1.0), _calm(1.0)]  # warmup + shrinks
+    stream += [_calm(0.5)]  # degraded -> reset to CT
+    stream += [_calm(0.7)]  # 0.7 > 1.05 * 0.5: the reset helped
+    stream += [_calm(0.7), _calm(0.7)]
+    return config, 6, stream
+
+
+def _scenario_ctt_validate_optimal() -> (
+    tuple[DicerConfig, int, list[PeriodSample]]
+):
+    """A CT-T reset whose validation lands back at the optimum."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1))
+    stream = [_saturated(ipc) for ipc in (1.0, 0.6, 0.9, 0.7)]  # sweep
+    stream += [_calm(0.9), _calm(0.9)]  # settle at the optimum
+    stream += [_calm(0.5)]  # degraded -> reset to optimal (CT-T)
+    stream += [_calm(0.9)]  # 0.9 >= 0.95 * ipc_opt: validated
+    stream += [_calm(0.9), _calm(0.9)]
+    return config, 6, stream
+
+
+def _scenario_sampling_empty_guard() -> (
+    tuple[DicerConfig, int, list[PeriodSample]]
+):
+    """Saturation with a grid no probe of which fits the small cache."""
+    config = DicerConfig(
+        sample_hp_ways=(19,), resample_cooldown_periods=3
+    )
+    return config, 6, [_saturated(1.0) for _ in range(9)]
+
+
+def _scenario_fault_storm() -> tuple[DicerConfig, int, list[PeriodSample]]:
+    """Wrap / zero-dt / stale / nonfinite reads interleaved with calm ones."""
+    config = DicerConfig(sample_hp_ways=(5, 3, 1))
+    wrap = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0 * 2**32,
+        hp_mem_bytes_s=_CALM_BW * 2**32,
+        total_mem_bytes_s=_CALM_BW * 2**32,
+    )
+    zero_dt = PeriodSample(
+        duration_s=1e-12,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=_CALM_BW,
+    )
+    stale = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=0.0,
+        hp_mem_bytes_s=0.0,
+        total_mem_bytes_s=0.0,
+    )
+    nonfinite = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=float("inf"),
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=_CALM_BW,
+    )
+    return config, 6, [
+        _calm(1.0),
+        wrap,
+        _calm(1.0),
+        zero_dt,
+        _calm(1.0),
+        stale,
+        nonfinite,
+        _calm(1.0),
+        _calm(1.0),
+    ]
+
+
+SCENARIOS: dict[str, Callable[[], tuple[DicerConfig, int, list[PeriodSample]]]]
+SCENARIOS = {
+    "ctf_steady_shrink": _scenario_ctf_steady_shrink,
+    "ctf_phase_reset": _scenario_ctf_phase_reset,
+    "ctf_validate_ok": _scenario_ctf_validate_ok,
+    "ctt_sampling_sweep": _scenario_ctt_sampling_sweep,
+    "ctt_revalidate_resample": _scenario_ctt_revalidate_resample,
+    "ctt_validate_optimal": _scenario_ctt_validate_optimal,
+    "sampling_empty_guard": _scenario_sampling_empty_guard,
+    "fault_storm": _scenario_fault_storm,
+}
+
+
+def render_scenario(name: str) -> str:
+    """The golden JSONL content for one scenario (byte-stable)."""
+    config, total_ways, samples = SCENARIOS[name]()
+    controller = DicerController(config, total_ways)
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "scenario": name,
+                "version": TRACE_VERSION,
+                "total_ways": total_ways,
+                "config": asdict(config),
+            },
+            sort_keys=True,
+        )
+    ]
+    for sample in samples:
+        controller.update(sample)
+        record = controller.trace[-1]
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "period",
+                    "period": record.period,
+                    "sample": sample_to_dict(sample),
+                    "expect": {
+                        "hp_ways": record.allocation.hp_ways,
+                        "mode": record.mode.value,
+                        "event": record.event,
+                        "saturated": record.saturated,
+                        "phase_change": record.phase_change,
+                        "ct_favoured": controller.ct_favoured,
+                    },
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def record_corpus(out_dir: Path, *, check: bool = False) -> list[str]:
+    """Write (or, with ``check``, verify) every scenario's golden file.
+
+    Returns the names of scenarios whose files changed (or would change).
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    changed = []
+    for name in sorted(SCENARIOS):
+        path = out_dir / f"{name}.jsonl"
+        content = render_scenario(name)
+        if path.exists() and path.read_text() == content:
+            continue
+        changed.append(name)
+        if not check:
+            path.write_text(content)
+    return changed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: regenerate or verify the golden corpus."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.valid.record",
+        description="Record/verify the controller golden-trace corpus.",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"corpus directory (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the corpus is current instead of rewriting it "
+        "(exit 1 when stale)",
+    )
+    args = parser.parse_args(argv)
+    changed = record_corpus(args.out, check=args.check)
+    if args.check:
+        if changed:
+            print(f"stale golden traces: {', '.join(changed)}")
+            return 1
+        print(f"golden corpus current ({len(SCENARIOS)} scenarios)")
+        return 0
+    if changed:
+        print(f"recorded: {', '.join(changed)}")
+    else:
+        print(f"golden corpus already current ({len(SCENARIOS)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

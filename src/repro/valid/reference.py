@@ -1,0 +1,390 @@
+"""Paper-literal reference oracle for DICER Listings 1-3.
+
+This module is *deliberately naive*. It transcribes the paper's three
+listings (plus the documented implementation knobs of
+:class:`~repro.core.config.DicerConfig` and the fault contract of
+DESIGN.md §8) into straight-line Python with plain attributes and
+explicit ``if``/``else`` — no state-machine dispatch, no deque, no
+telemetry, no prefetch hook, no performance shortcuts. It exists so the
+production controller has an executable specification to diverge *from*:
+:mod:`repro.valid.differential` feeds both the same telemetry streams
+and any per-period difference in allocation, classification or event is
+a conformance bug in one of the two.
+
+Do not "improve" this file for speed or elegance; its only quality bar
+is being an obviously-correct reading of the paper.
+
+Listing 1 (main loop)::
+
+    allocation = CT                        # assume CT-Favoured
+    every period T:
+        measure IPC_HP, MemBW_HP, MemBW_total
+        if MemBW_total > BW_threshold:     # link saturated
+            allocation_sampling()          # -> workload is CT-Thwarted
+        else:
+            allocation_optimisation()      # Listing 2
+
+Listing 2 (allocation optimisation)::
+
+    if phase_change():                     # Equation 2
+        allocation_reset()
+    elif |IPC - IPC_prev| <= alpha * IPC_prev:   # Equation 3: stable
+        give one HP way to the BEs
+    elif IPC > IPC_prev:                   # improved: new phase, hold
+        pass
+    else:                                  # degraded: allocation hurt HP
+        allocation_reset()
+
+Listing 3 (allocation reset)::
+
+    if CT-Favoured:  allocation = CT,      then validate next period
+    else:            allocation = optimal, then validate next period
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.config import DicerConfig
+from repro.rdt.sample import PeriodSample
+
+__all__ = ["ReferenceDecision", "ReferenceDicer", "ReferenceController"]
+
+
+@dataclass(frozen=True)
+class ReferenceDecision:
+    """One period's outcome from the oracle (mirrors ``DecisionRecord``)."""
+
+    period: int
+    hp_ways: int
+    mode: str
+    event: str
+    saturated: bool
+    phase_change: bool
+    ct_favoured: bool
+
+
+class ReferenceDicer:
+    """Naive line-by-line transcription of paper Listings 1-3."""
+
+    def __init__(self, config: DicerConfig, total_ways: int) -> None:
+        if total_ways < 2:
+            raise ValueError(f"total_ways must be >= 2, got {total_ways}")
+        self.config = config
+        self.total_ways = total_ways
+
+        # Listing 1 initial state: assume CT-Favoured, start like CT
+        # (HP owns all ways but one; every BE shares the last way).
+        self.hp_ways = total_ways - 1
+        self.optimal_hp_ways = self.hp_ways
+        self.ipc_opt: float | None = None
+        self.ct_favoured = True
+
+        # "warmup" -> "optimise" / "sampling" / "reset_validate";
+        # the strings match ControllerMode values one for one.
+        self.mode = "warmup"
+        self.previous_ipc: float | None = None
+        self.bandwidth_history: list[float] = []  # last three HP bandwidths
+        self.bandwidth_ewma: float | None = None
+        self.sampling_pending: list[int] = []
+        self.sampling_results: list[tuple[int, float]] = []
+        self.sampling_dwell_left = 0
+        self.sampling_active_ways: int | None = None
+        self.reset_trigger_ipc = 0.0
+        self.rollback_hp_ways = self.hp_ways
+        self.cooldown = 0
+        self.period = 0
+        self.skip_bandwidth_bookkeeping = False
+        self.trace: list[ReferenceDecision] = []
+
+    # -- main loop (Listing 1) ---------------------------------------------
+
+    def initial_hp_ways(self) -> int:
+        """The allocation enforced before the first monitoring period."""
+        return self.hp_ways
+
+    def update(self, sample: PeriodSample) -> ReferenceDecision:
+        """One monitoring period: measure, decide, return the decision."""
+        self.period = self.period + 1
+
+        # Graceful degradation (DESIGN.md §8): an implausible sample is
+        # recorded and otherwise completely inert — hold the last
+        # decision, touch no history, no mode, no cooldown.
+        fault = self.sample_fault(sample)
+        if fault is not None:
+            return self.finish_period(
+                event="fault", saturated=False, phase_change=False
+            )
+
+        link_saturated = (
+            self.config.saturation_detection
+            and sample.total_mem_bytes_s > self.config.bw_threshold_bytes
+        )
+        # Cooldown guard: right after a sampling pass, persistent
+        # saturation does not re-trigger sampling.
+        act_on_saturation = link_saturated and self.cooldown == 0
+        if self.cooldown > 0:
+            self.cooldown = self.cooldown - 1
+
+        phase_change = False
+        if self.mode == "sampling":
+            event = self.allocation_sampling_step(sample)
+        elif act_on_saturation:
+            event = self.allocation_sampling_start()
+        elif self.mode == "warmup":
+            # First period: measurements exist but there is no previous
+            # IPC to compare against yet.
+            self.mode = "optimise"
+            event = "warmup"
+        elif self.mode == "reset_validate":
+            event = self.validate_reset(sample)
+        else:
+            event, phase_change = self.allocation_optimisation(sample)
+
+        # Bookkeeping AFTER the decision: Equation 2 compares this
+        # period's bandwidth against the *previous* periods' baseline.
+        # The period that concluded a sampling pass is excluded — its
+        # bandwidth was measured under the final probe allocation.
+        if self.skip_bandwidth_bookkeeping:
+            self.skip_bandwidth_bookkeeping = False
+        else:
+            self.bandwidth_history = (
+                self.bandwidth_history + [sample.hp_mem_bytes_s]
+            )[-3:]
+            w = self.config.ewma_weight
+            if self.bandwidth_ewma is None:
+                self.bandwidth_ewma = sample.hp_mem_bytes_s
+            else:
+                self.bandwidth_ewma = (
+                    (1.0 - w) * self.bandwidth_ewma
+                    + w * sample.hp_mem_bytes_s
+                )
+        self.previous_ipc = sample.hp_ipc
+
+        return self.finish_period(
+            event=event,
+            saturated=link_saturated,
+            phase_change=phase_change,
+        )
+
+    def finish_period(
+        self, *, event: str, saturated: bool, phase_change: bool
+    ) -> ReferenceDecision:
+        decision = ReferenceDecision(
+            period=self.period,
+            hp_ways=self.hp_ways,
+            mode=self.mode,
+            event=event,
+            saturated=saturated,
+            phase_change=phase_change,
+            ct_favoured=self.ct_favoured,
+        )
+        self.trace.append(decision)
+        return decision
+
+    # -- measurement plausibility (DESIGN.md §8 fault taxonomy) -------------
+
+    def sample_fault(self, sample: PeriodSample) -> str | None:
+        """The graceful-degradation contract, transcribed independently.
+
+        Same taxonomy as :func:`repro.core.dicer.sample_fault`, restated
+        here on purpose so the production guard is checked against a
+        second reading of the contract, not against itself.
+        """
+        values = (
+            sample.duration_s,
+            sample.hp_ipc,
+            sample.hp_mem_bytes_s,
+            sample.total_mem_bytes_s,
+        )
+        for value in values:
+            if math.isnan(value) or math.isinf(value):
+                return "nonfinite"
+        if sample.duration_s < 1e-10:
+            return "zero_dt"
+        if sample.hp_ipc > 1e6:
+            return "wrap"
+        if sample.hp_mem_bytes_s > 1e3 * self.config.bw_threshold_bytes:
+            return "wrap"
+        if sample.total_mem_bytes_s > 1e3 * self.config.bw_threshold_bytes:
+            return "wrap"
+        if sample.hp_ipc == 0.0 and sample.duration_s >= 1e-6:
+            return "stale"
+        return None
+
+    # -- allocation sampling (Section 3.2.1) --------------------------------
+
+    def allocation_sampling_start(self) -> str:
+        """Saturation: reclassify as CT-Thwarted and probe the grid."""
+        grid = []
+        for ways in self.config.sample_hp_ways:
+            if ways < self.total_ways:
+                grid.append(ways)
+        if len(grid) == 0:
+            # Nothing to probe on a degenerate cache; keep optimising,
+            # and let the cooldown stop an immediate re-trigger.
+            self.mode = "optimise"
+            self.cooldown = self.config.resample_cooldown_periods
+            return "sampling_empty"
+        self.ct_favoured = False
+        self.sampling_pending = list(grid)
+        self.sampling_results = []
+        self.mode = "sampling"
+        self.next_probe()
+        return "sampling_start"
+
+    def next_probe(self) -> None:
+        self.sampling_active_ways = self.sampling_pending[0]
+        self.sampling_pending = self.sampling_pending[1:]
+        self.sampling_dwell_left = self.config.sample_periods
+        self.hp_ways = self.sampling_active_ways
+
+    def allocation_sampling_step(self, sample: PeriodSample) -> str:
+        self.sampling_dwell_left = self.sampling_dwell_left - 1
+        if self.sampling_dwell_left > 0:
+            return "sampling_dwell"
+        # The last dwell period's IPC scores this probe ("long enough to
+        # make the effects of the partitioning visible").
+        assert self.sampling_active_ways is not None
+        self.sampling_results.append(
+            (self.sampling_active_ways, sample.hp_ipc)
+        )
+        if len(self.sampling_pending) > 0:
+            self.next_probe()
+            return "sampling_probe"
+        return self.allocation_sampling_conclude()
+
+    def allocation_sampling_conclude(self) -> str:
+        # Keep the probe with the highest HP IPC; on ties the first
+        # (largest, since the grid descends) probe wins.
+        best_ways, best_ipc = self.sampling_results[0]
+        for ways, ipc in self.sampling_results[1:]:
+            if ipc > best_ipc:
+                best_ways, best_ipc = ways, ipc
+        self.ipc_opt = best_ipc
+        self.optimal_hp_ways = best_ways
+        self.hp_ways = best_ways
+        self.mode = "optimise"
+        self.cooldown = self.config.resample_cooldown_periods
+        # Sampling distorted HP's bandwidth trajectory; restart the
+        # Equation-2 history, and keep this period's own bandwidth
+        # (measured under the final probe) out of it too.
+        self.bandwidth_history = []
+        self.bandwidth_ewma = None
+        self.skip_bandwidth_bookkeeping = True
+        return "sampling_conclude"
+
+    # -- allocation optimisation (Listing 2) --------------------------------
+
+    def phase_change_detected(self, sample: PeriodSample) -> bool:
+        """Equation 2: HP bandwidth jump against its recent baseline."""
+        threshold = 1.0 + self.config.phase_threshold
+        if self.config.phase_detector == "ewma":
+            if self.bandwidth_ewma is None:
+                return False
+            baseline = self.bandwidth_ewma
+            if baseline < 1.0:
+                baseline = 1.0
+            return sample.hp_mem_bytes_s > threshold * baseline
+        if len(self.bandwidth_history) < 3:
+            return False
+        log_sum = 0.0
+        for bandwidth in self.bandwidth_history:
+            if bandwidth < 1.0:
+                bandwidth = 1.0
+            log_sum = log_sum + math.log(bandwidth)
+        geometric_mean = math.exp(log_sum / 3.0)
+        return sample.hp_mem_bytes_s > threshold * geometric_mean
+
+    def allocation_optimisation(
+        self, sample: PeriodSample
+    ) -> tuple[str, bool]:
+        if self.phase_change_detected(sample):
+            return self.allocation_reset(sample), True
+        assert self.previous_ipc is not None
+        low = (1.0 - self.config.alpha) * self.previous_ipc
+        high = (1.0 + self.config.alpha) * self.previous_ipc
+        if low <= sample.hp_ipc <= high:
+            # Equation 3 stable: the allocation exceeds HP's needs —
+            # donate one way to the BEs (never below one HP way).
+            if self.hp_ways > 1:
+                self.hp_ways = self.hp_ways - 1
+                return "shrink", False
+            return "floor", False
+        if sample.hp_ipc > high:
+            # Improved: a new phase with the same cache needs; hold.
+            return "hold", False
+        # Degraded: the last donation hurt HP.
+        return self.allocation_reset(sample), False
+
+    # -- allocation reset (Listing 3) ---------------------------------------
+
+    def allocation_reset(self, sample: PeriodSample) -> str:
+        self.reset_trigger_ipc = sample.hp_ipc
+        if self.ct_favoured:
+            self.rollback_hp_ways = self.hp_ways
+            self.hp_ways = self.total_ways - 1  # back to CT
+            self.mode = "reset_validate"
+            return "reset_ctf"
+        self.hp_ways = self.optimal_hp_ways
+        self.mode = "reset_validate"
+        return "reset_ctt"
+
+    def validate_reset(self, sample: PeriodSample) -> str:
+        alpha = self.config.alpha
+        self.mode = "optimise"
+        if self.ct_favoured:
+            if sample.hp_ipc > (1.0 + alpha) * self.reset_trigger_ipc:
+                return "validate_ok"
+            # The IPC drop was a phase effect, not an allocation effect.
+            self.hp_ways = self.rollback_hp_ways
+            return "validate_rollback"
+        assert self.ipc_opt is not None
+        if sample.hp_ipc >= (1.0 - alpha) * self.ipc_opt:
+            return "validate_optimal"
+        # The old optimum no longer performs; probe the grid again.
+        return self.allocation_sampling_start()
+
+
+class ReferenceController:
+    """:class:`DicerController`-shaped facade over the oracle.
+
+    Exposes exactly the surface :func:`repro.experiments.runner.run_pair`
+    and :class:`~repro.core.policies.DicerPolicy` need (``config``,
+    ``initial_allocation``, ``update`` returning an
+    :class:`~repro.core.allocation.Allocation`, ``trace``), so the oracle
+    can drive a full simulated consolidation for end-to-end differential
+    runs. Deliberately *no* ``prefetch_hook``: the oracle takes no
+    execution-speed hints.
+    """
+
+    def __init__(self, config: DicerConfig, total_ways: int) -> None:
+        self.config = config
+        self.total_ways = total_ways
+        self._oracle = ReferenceDicer(config, total_ways)
+
+    @property
+    def oracle(self) -> ReferenceDicer:
+        """The underlying naive transcription."""
+        return self._oracle
+
+    @property
+    def trace(self) -> list[ReferenceDecision]:
+        """Per-period decisions (``ReferenceDecision``, not records)."""
+        return self._oracle.trace
+
+    def initial_allocation(self) -> Allocation:
+        """See :meth:`DicerController.initial_allocation`."""
+        return Allocation(
+            hp_ways=self._oracle.initial_hp_ways(),
+            total_ways=self.total_ways,
+        )
+
+    def update(self, sample: PeriodSample) -> Allocation:
+        """See :meth:`DicerController.update`."""
+        decision = self._oracle.update(sample)
+        return Allocation(
+            hp_ways=decision.hp_ways, total_ways=self.total_ways
+        )

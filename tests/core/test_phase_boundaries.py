@@ -1,0 +1,149 @@
+"""Equation-2 phase detection at its exact boundaries.
+
+The detector compares this period's HP bandwidth against ``(1 + p) *``
+baseline with a strict ``>``; these tests pin the edges the differential
+fuzz relies on — an all-zero history (the ``max(b, 1.0)`` floor makes the
+geomean exactly 1.0, so the comparison point is exactly ``1 + p``), a
+too-short history, and the exact-threshold sample — on both the
+production controller and the paper-literal oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import DicerConfig
+from repro.core.dicer import DicerController
+from repro.rdt.sample import PeriodSample
+from repro.valid.reference import ReferenceDicer
+
+CONFIG = DicerConfig(sample_hp_ways=(5, 3, 1))  # phase_threshold = 0.3
+
+
+def sample(bw: float, ipc: float = 1.0) -> PeriodSample:
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=bw,
+        total_mem_bytes_s=bw + 1e9,
+    )
+
+
+def phase_flag_after(history_bws, probe_bw, *, config=CONFIG):
+    """Run warmup + history periods, then the probe; return both flags.
+
+    Returns the (controller, reference) ``phase_change`` flags for the
+    probe period, asserting along the way that the two implementations
+    never disagree.
+    """
+    controller = DicerController(config, total_ways=6)
+    oracle = ReferenceDicer(config, total_ways=6)
+    for bw in history_bws:
+        controller.update(sample(bw))
+        oracle.update(sample(bw))
+    controller.update(sample(probe_bw))
+    decision = oracle.update(sample(probe_bw))
+    ours = controller.trace[-1].phase_change
+    assert ours == decision.phase_change
+    return ours
+
+
+class TestGeomeanDetectorBoundaries:
+    def test_all_zero_history_floors_the_baseline_to_one(self):
+        # gmean(max(0,1), ...) == 1.0 exactly -> trigger point is 1.3.
+        assert phase_flag_after([0.0] * 4, 1.3) is False
+        assert phase_flag_after([0.0] * 4, math.nextafter(1.3, 2.0)) is True
+
+    def test_short_history_never_detects(self):
+        # Two bandwidth observations (warmup + one optimise period) are
+        # fewer than the three Equation 2 needs: even a 1000x jump holds.
+        assert phase_flag_after([1e9], 5e9) is False
+
+    def test_exact_threshold_is_not_a_phase_change(self):
+        # Sub-floor bandwidths make the geomean *exactly* 1.0, so the
+        # strict inequality is testable without FP slop: 1.3 is calm,
+        # the very next float is a phase change.
+        history = [0.5, 0.25, 1.0, 0.75]
+        assert phase_flag_after(history, 1.3) is False
+        assert phase_flag_after(history, math.nextafter(1.3, 2.0)) is True
+
+    def test_threshold_scales_with_the_baseline(self):
+        bw = 2e9
+        history = [bw] * 4
+        assert phase_flag_after(history, bw) is False
+        # 1.31x a flat history is over the 1.3 threshold even with the
+        # FP error of exp(mean(log)) on a non-unit baseline.
+        assert phase_flag_after(history, 1.31 * bw) is True
+
+
+class TestEwmaDetectorBoundaries:
+    CONFIG_EWMA = DicerConfig(
+        sample_hp_ways=(5, 3, 1), phase_detector="ewma"
+    )
+
+    def test_no_baseline_never_detects(self):
+        # The very first period has no EWMA yet; a huge first reading
+        # must not read as a phase change.
+        controller = DicerController(self.CONFIG_EWMA, total_ways=6)
+        oracle = ReferenceDicer(self.CONFIG_EWMA, total_ways=6)
+        assert controller._phase_change(sample(1e12)) is False
+        assert oracle.phase_change_detected(sample(1e12)) is False
+
+    def test_exact_threshold_with_floored_baseline(self):
+        # Zero-bandwidth history: the EWMA is 0.0, floored to 1.0 at
+        # comparison time -> the strict-> edge sits exactly at 1.3.
+        flags = [
+            phase_flag_after([0.0] * 3, bw, config=self.CONFIG_EWMA)
+            for bw in (1.3, math.nextafter(1.3, 2.0))
+        ]
+        assert flags == [False, True]
+
+
+class TestSingleCallDetectors:
+    """Directly poke the oracle's detector (state set by hand)."""
+
+    def test_reference_single_period_history(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        oracle.bandwidth_history = [5e9]
+        assert oracle.phase_change_detected(sample(1e12)) is False
+        oracle.bandwidth_history = [5e9, 5e9, 5e9]
+        assert oracle.phase_change_detected(sample(1e12)) is True
+
+    def test_controller_and_reference_agree_on_random_histories(self):
+        for history in (
+            [1.0, 1e3, 1e6],
+            [0.0, 2e9, 7e9],
+            [3.3e9, 3.3e9, 3.3e9],
+        ):
+            controller = DicerController(CONFIG, total_ways=6)
+            controller._hp_bw_history.extend(history)
+            oracle = ReferenceDicer(CONFIG, total_ways=6)
+            oracle.bandwidth_history = list(history)
+            for probe in (1.0, 1.3, 4e9, 4.29e9, 4.3e9, 1e12):
+                probe_sample = sample(probe)
+                assert controller._phase_change(
+                    probe_sample
+                ) == oracle.phase_change_detected(probe_sample)
+
+
+class TestSamplingEdge:
+    def test_probe_period_skips_phase_detection(self):
+        """While sampling, bandwidth swings are probe artefacts, not
+        phases: the detector must not fire mid-sweep."""
+        controller = DicerController(CONFIG, total_ways=6)
+        controller.update(
+            PeriodSample(1.0, 1.0, 3e9, 8e9)  # saturated -> sweep
+        )
+        controller.update(PeriodSample(1.0, 0.8, 6e9, 6.1e9))
+        assert controller.trace[-1].phase_change is False
+
+
+@pytest.mark.parametrize("bad", [-1.0, 0.0])
+def test_history_floor_handles_degenerate_bandwidths(bad):
+    """max(b, 1.0) keeps log() defined for zero readings; negatives
+    cannot occur (PeriodSample validation) but the floor would absorb
+    them identically."""
+    gmean = math.exp(sum(math.log(max(b, 1.0)) for b in [bad, 1.0, 1.0]) / 3.0)
+    assert gmean == 1.0

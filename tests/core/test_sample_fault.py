@@ -1,0 +1,155 @@
+"""The sample-plausibility guard and the controller's fault-hold contract.
+
+``sample_fault`` is the controller's front door for hardware-counter
+pathologies (DESIGN.md §8): these tests pin the taxonomy's exact
+boundaries and that a flagged sample is a fully inert period — no state
+machine transition, no cooldown tick, no Equation-2 bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import DicerConfig
+from repro.core.dicer import (
+    BW_FAULT_FACTOR,
+    MAX_PLAUSIBLE_IPC,
+    MIN_SAMPLE_DURATION_S,
+    STALE_MIN_DURATION_S,
+    ControllerMode,
+    DicerController,
+    sample_fault,
+)
+from repro.rdt.sample import PeriodSample
+
+CONFIG = DicerConfig(sample_hp_ways=(5, 3, 1))
+BW_LIMIT = BW_FAULT_FACTOR * CONFIG.bw_threshold_bytes
+
+
+def make(duration=1.0, ipc=1.0, hp_bw=2e9, total_bw=3e9):
+    return PeriodSample(
+        duration_s=duration,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=hp_bw,
+        total_mem_bytes_s=total_bw,
+    )
+
+
+class TestTaxonomy:
+    def test_clean_sample_passes(self):
+        assert sample_fault(make(), CONFIG) is None
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    @pytest.mark.parametrize(
+        "field", ["ipc", "hp_bw", "total_bw"]
+    )
+    def test_nonfinite_anywhere(self, bad, field):
+        assert sample_fault(make(**{field: bad}), CONFIG) == "nonfinite"
+
+    def test_nonfinite_takes_precedence(self):
+        # A NaN IPC in an otherwise zero-dt sample reports nonfinite:
+        # the finiteness check guards every later comparison.
+        sample = make(duration=1e-12, ipc=float("nan"))
+        assert sample_fault(sample, CONFIG) == "nonfinite"
+
+    def test_zero_dt_boundary(self):
+        at_floor = make(duration=MIN_SAMPLE_DURATION_S)
+        assert sample_fault(at_floor, CONFIG) is None
+        below = make(duration=MIN_SAMPLE_DURATION_S / 2)
+        assert sample_fault(below, CONFIG) == "zero_dt"
+
+    def test_simulator_degenerate_tail_is_valid(self):
+        # The simulator's end-of-workload samples (documented 1e-9 s)
+        # must pass — even with nothing retired in the sliver.
+        assert sample_fault(make(duration=1e-9, ipc=0.0), CONFIG) is None
+
+    def test_wrap_ipc_boundary(self):
+        assert sample_fault(make(ipc=MAX_PLAUSIBLE_IPC), CONFIG) is None
+        over = make(ipc=math.nextafter(MAX_PLAUSIBLE_IPC, math.inf))
+        assert sample_fault(over, CONFIG) == "wrap"
+
+    @pytest.mark.parametrize("field", ["hp_bw", "total_bw"])
+    def test_wrap_bandwidth_boundary(self, field):
+        assert sample_fault(make(**{field: BW_LIMIT}), CONFIG) is None
+        over = make(**{field: math.nextafter(BW_LIMIT, math.inf)})
+        assert sample_fault(over, CONFIG) == "wrap"
+
+    def test_stale_needs_a_real_window(self):
+        assert sample_fault(make(ipc=0.0), CONFIG) == "stale"
+        at_floor = make(duration=STALE_MIN_DURATION_S, ipc=0.0)
+        assert sample_fault(at_floor, CONFIG) == "stale"
+        shorter = make(duration=STALE_MIN_DURATION_S / 2, ipc=0.0)
+        assert sample_fault(shorter, CONFIG) is None
+
+    def test_limit_scales_with_configured_threshold(self):
+        tight = DicerConfig(bw_threshold_bytes=1e9)
+        assert sample_fault(make(total_bw=2e12), tight) == "wrap"
+        assert sample_fault(make(total_bw=2e12), CONFIG) is None
+
+
+class TestFaultHold:
+    WRAPPED = PeriodSample(1.0, 2.0**32, 2e9, 3e9)
+
+    def drive_to_optimise(self):
+        controller = DicerController(CONFIG, total_ways=6)
+        controller.update(make())  # warmup
+        controller.update(make())  # shrink
+        return controller
+
+    def test_holds_every_piece_of_state(self):
+        controller = self.drive_to_optimise()
+        before = (
+            controller.current,
+            controller.mode,
+            controller.ct_favoured,
+            list(controller._hp_bw_history),
+            controller._hp_bw_ewma,
+            controller._last_ipc,
+            controller._cooldown,
+        )
+        allocation = controller.update(self.WRAPPED)
+        after = (
+            controller.current,
+            controller.mode,
+            controller.ct_favoured,
+            list(controller._hp_bw_history),
+            controller._hp_bw_ewma,
+            controller._last_ipc,
+            controller._cooldown,
+        )
+        assert after == before
+        assert allocation == before[0]
+        record = controller.trace[-1]
+        assert record.event == "fault"
+        assert record.saturated is False
+        assert record.phase_change is False
+        assert "wrap" in record.note
+
+    def test_fault_does_not_tick_the_sampling_dwell(self):
+        config = DicerConfig(sample_hp_ways=(5, 3, 1), sample_periods=2)
+        controller = DicerController(config, total_ways=6)
+        controller.update(PeriodSample(1.0, 1.0, 3e9, 8e9))  # start
+        assert controller.mode is ControllerMode.SAMPLING
+        dwell_before = controller._sampling.dwell_left
+        controller.update(self.WRAPPED)
+        assert controller.mode is ControllerMode.SAMPLING
+        assert controller._sampling.dwell_left == dwell_before
+
+    def test_fault_does_not_tick_the_cooldown(self):
+        config = DicerConfig(
+            sample_hp_ways=(19,), resample_cooldown_periods=4
+        )
+        controller = DicerController(config, total_ways=6)
+        controller.update(PeriodSample(1.0, 1.0, 3e9, 8e9))
+        assert controller._cooldown == 4  # sampling_empty set it
+        controller.update(self.WRAPPED)
+        assert controller._cooldown == 4
+
+    def test_period_numbering_still_advances(self):
+        controller = self.drive_to_optimise()
+        controller.update(self.WRAPPED)
+        controller.update(make())
+        periods = [r.period for r in controller.trace]
+        assert periods == [1, 2, 3, 4]

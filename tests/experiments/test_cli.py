@@ -80,9 +80,20 @@ class TestRunExperiment:
         assert "UM" in out
         assert "resets" not in out  # UM produces no trace
 
-    def test_unknown_policy_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_policy_rejected(self, capsys):
+        # argparse rejects unlisted choices with usage + exit code 2.
+        with pytest.raises(SystemExit) as exc:
             main(["run", "--policy", "LRU"])
+        assert exc.value.code == 2
+        assert "--policy" in capsys.readouterr().err
+
+    def test_unknown_hp_app_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="run: unknown application"):
+            main(["run", "--hp", "milc99"])
+
+    def test_unknown_be_app_suggests_alternatives(self):
+        with pytest.raises(SystemExit, match="similar entries"):
+            main(["run", "--hp", "milc1", "--be", "gcc_base99"])
 
 
 class TestTelemetry:
@@ -142,11 +153,29 @@ class TestTelemetry:
         with pytest.raises(SystemExit, match="requires --metrics"):
             main(["report"])
 
+    def test_report_missing_file_is_a_clean_error(self, tmp_path):
+        absent = tmp_path / "never-written.jsonl"
+        with pytest.raises(SystemExit, match="no telemetry file"):
+            main(["report", "--metrics", str(absent)])
+
+    def test_report_on_empty_store_renders_zero_summary(
+        self, tmp_path, capsys
+    ):
+        # An existing-but-empty telemetry file (e.g. a campaign that died
+        # before its first event) reports cleanly rather than crashing.
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", "--metrics", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report: 0 records" in out
+        assert "0 run(s)" in out
+
     def test_telemetry_disabled_after_failure(self, tmp_path):
         # The finally block must tear telemetry down even when the
-        # experiment raises (here: an unknown application name).
+        # experiment aborts (here: an unknown application name, which
+        # surfaces as a clean SystemExit rather than a traceback).
         path = tmp_path / "tel.jsonl"
-        with pytest.raises(Exception):
+        with pytest.raises(SystemExit, match="run: unknown application"):
             main(["run", "--hp", "no-such-app", "--metrics", str(path)])
         assert not obs.enabled()
 
@@ -177,7 +206,7 @@ class TestProfile:
     def test_profile_survives_experiment_failure(self, capsys):
         import pytest as _pytest
 
-        with _pytest.raises(Exception):
+        with _pytest.raises(SystemExit, match="run: unknown application"):
             main(["run", "--hp", "no-such-app", "--profile"])
         assert "cProfile" in capsys.readouterr().out
 

@@ -1,0 +1,38 @@
+"""Determinism audit: a campaign's persisted artefact is worker-invariant.
+
+``tests/experiments/test_parallel.py`` already proves the in-memory
+results are bit-identical across worker counts; this audit closes the
+remaining gap to the *artefact*: run the same quick-grid campaign twice
+in-process — once serial, once with two workers — save both stores, and
+compare the raw file bytes. Any nondeterminism anywhere in the pipeline
+(classification, sampling, cell ordering, float round-trips, JSON
+encoding) shows up as a byte diff.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.grid import build_sample, run_grid
+from repro.experiments.store import ResultStore
+
+
+def run_campaign(tmp_path, label, n_workers):
+    cache_path = tmp_path / f"{label}.json"
+    store = ResultStore(cache_path=cache_path, n_workers=n_workers)
+    sample = build_sample(store, limit=4, seed=0)
+    grid = run_grid(store, sample, cores=(2, 3))
+    store.save()
+    return cache_path.read_bytes(), grid
+
+
+def test_campaign_artifact_is_byte_identical_across_worker_counts(tmp_path):
+    serial_bytes, serial_grid = run_campaign(tmp_path, "serial", 1)
+    parallel_bytes, parallel_grid = run_campaign(tmp_path, "parallel", 2)
+    assert serial_grid.points == parallel_grid.points
+    assert serial_bytes == parallel_bytes
+
+
+def test_campaign_artifact_is_rerun_stable(tmp_path):
+    """Two fresh serial runs of the same campaign save the same bytes."""
+    first, _ = run_campaign(tmp_path, "first", 1)
+    second, _ = run_campaign(tmp_path, "second", 1)
+    assert first == second

@@ -1,0 +1,78 @@
+"""Property tests for ``geomean_with_zeros`` (SUCI's Figure-8 aggregate).
+
+The unit tests in ``test_stats.py`` pin specific values; these pin the
+algebraic contract over the whole non-negative domain, including the
+boundary the helper exists for: inputs that are exactly zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import geomean, geomean_with_zeros
+
+FLOOR = 1e-4
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestGeomeanWithZeros:
+    @given(n=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_all_zeros_collapse_to_the_floor(self, n):
+        assert geomean_with_zeros([0.0] * n) == pytest.approx(FLOOR)
+
+    @given(vals=values, seed=st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariant(self, vals, seed):
+        shuffled = list(vals)
+        seed.shuffle(shuffled)
+        assert geomean_with_zeros(shuffled) == pytest.approx(
+            geomean_with_zeros(vals), rel=1e-12
+        )
+
+    @given(vals=values)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_floored_extremes(self, vals):
+        floored = [max(v, FLOOR) for v in vals]
+        result = geomean_with_zeros(vals)
+        assert min(floored) * (1 - 1e-9) <= result
+        assert result <= max(floored) * (1 + 1e-9)
+
+    @given(
+        vals=st.lists(
+            st.floats(min_value=FLOOR, max_value=1e6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_strict_geomean_above_the_floor(self, vals):
+        assert geomean_with_zeros(vals) == pytest.approx(
+            geomean(vals), rel=1e-12
+        )
+
+    @given(vals=values)
+    @settings(max_examples=100, deadline=None)
+    def test_single_zero_does_not_collapse_the_mean(self, vals):
+        """The reason the helper exists: one SLO miss must not zero the
+        Figure-8 aggregate."""
+        result = geomean_with_zeros(vals + [0.0])
+        assert result >= FLOOR
+        assert math.isfinite(result)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            geomean_with_zeros([1.0, -0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            geomean_with_zeros([])

@@ -1,0 +1,1 @@
+"""Conformance suite for the DICER controller (see DESIGN.md §8)."""

@@ -1,0 +1,181 @@
+"""Golden-trace conformance: replay the recorded corpus, twice.
+
+Each file under ``tests/golden/`` pins one regime's full per-period
+behaviour (allocation, mode, event, flags, classification). The replay
+feeds the recorded samples to *both* the production controller and the
+paper-literal oracle and asserts every recorded expectation against
+both — so a behaviour drift trips regardless of which implementation it
+lands in, and the corpus doubles as a third, human-reviewable reading of
+the contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DicerConfig
+from repro.core.dicer import DicerController
+from repro.rdt.sample import PeriodSample
+from repro.valid.record import (
+    DEFAULT_OUT,
+    SCENARIOS,
+    main,
+    record_corpus,
+    render_scenario,
+)
+from repro.valid.reference import ReferenceDicer
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: Every structured decision kind the controller can emit; the corpus
+#: must exercise all of them or a regression in an unexercised path
+#: would slip through replay.
+ALL_EVENTS = {
+    "warmup",
+    "shrink",
+    "floor",
+    "hold",
+    "reset_ctf",
+    "reset_ctt",
+    "validate_ok",
+    "validate_rollback",
+    "validate_optimal",
+    "sampling_start",
+    "sampling_dwell",
+    "sampling_probe",
+    "sampling_conclude",
+    "sampling_empty",
+    "fault",
+}
+
+
+def load_golden(path: Path):
+    lines = [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+    meta = lines[0]
+    assert meta["kind"] == "meta"
+    raw = dict(meta["config"])
+    raw["sample_hp_ways"] = tuple(raw["sample_hp_ways"])
+    config = DicerConfig(**raw)
+    periods = [record for record in lines[1:] if record["kind"] == "period"]
+    return config, int(meta["total_ways"]), periods
+
+
+def to_sample(record: dict) -> PeriodSample:
+    return PeriodSample(**record["sample"])
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_controller_matches_golden(self, name):
+        config, total_ways, periods = load_golden(
+            GOLDEN_DIR / f"{name}.jsonl"
+        )
+        controller = DicerController(config, total_ways)
+        for entry in periods:
+            controller.update(to_sample(entry))
+            record = controller.trace[-1]
+            expect = entry["expect"]
+            got = {
+                "hp_ways": record.allocation.hp_ways,
+                "mode": record.mode.value,
+                "event": record.event,
+                "saturated": record.saturated,
+                "phase_change": record.phase_change,
+                "ct_favoured": controller.ct_favoured,
+            }
+            assert got == expect, (
+                f"{name} period {entry['period']}: {got} != {expect}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_reference_matches_golden(self, name):
+        config, total_ways, periods = load_golden(
+            GOLDEN_DIR / f"{name}.jsonl"
+        )
+        oracle = ReferenceDicer(config, total_ways)
+        for entry in periods:
+            decision = oracle.update(to_sample(entry))
+            expect = entry["expect"]
+            got = {
+                "hp_ways": decision.hp_ways,
+                "mode": decision.mode,
+                "event": decision.event,
+                "saturated": decision.saturated,
+                "phase_change": decision.phase_change,
+                "ct_favoured": decision.ct_favoured,
+            }
+            assert got == expect, (
+                f"{name} period {entry['period']}: {got} != {expect}"
+            )
+
+    def test_corpus_exercises_every_event_kind(self):
+        seen = set()
+        for name in SCENARIOS:
+            _, _, periods = load_golden(GOLDEN_DIR / f"{name}.jsonl")
+            seen |= {entry["expect"]["event"] for entry in periods}
+        assert seen == ALL_EVENTS
+
+    def test_fault_storm_holds_allocation_and_history(self):
+        """The fault scenario's held periods repeat the last allocation."""
+        config, total_ways, periods = load_golden(
+            GOLDEN_DIR / "fault_storm.jsonl"
+        )
+        controller = DicerController(config, total_ways)
+        last_ways = controller.initial_allocation().hp_ways
+        for entry in periods:
+            allocation = controller.update(to_sample(entry))
+            if entry["expect"]["event"] == "fault":
+                assert allocation.hp_ways == last_ways
+            last_ways = allocation.hp_ways
+            assert math.isfinite(allocation.hp_ways)
+        assert all(
+            math.isfinite(b) for b in controller._hp_bw_history
+        )
+
+
+class TestRecorder:
+    def test_checked_in_corpus_is_current(self):
+        """`python -m repro.valid.record --check` semantics, in-process.
+
+        A red test here means a behaviour change touched the recorded
+        regimes: re-run the recorder if the change is intentional.
+        """
+        assert record_corpus(GOLDEN_DIR, check=True) == []
+
+    def test_default_out_is_the_checked_in_corpus(self):
+        assert DEFAULT_OUT == Path("tests") / "golden"
+
+    def test_render_is_byte_stable(self):
+        name = sorted(SCENARIOS)[0]
+        assert render_scenario(name) == render_scenario(name)
+
+    def test_recorder_cli_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "golden"
+        assert main(["--out", str(out)]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert sorted(p.stem for p in out.glob("*.jsonl")) == sorted(
+            SCENARIOS
+        )
+        # Freshly recorded -> check passes, recording again is a no-op.
+        assert main(["--out", str(out), "--check"]) == 0
+        assert main(["--out", str(out)]) == 0
+        assert "already current" in capsys.readouterr().out
+
+    def test_recorder_check_flags_stale_corpus(self, tmp_path, capsys):
+        out = tmp_path / "golden"
+        main(["--out", str(out)])
+        stale = out / "ctf_steady_shrink.jsonl"
+        stale.write_text(stale.read_text().replace('"hp_ways": 5', '"hp_ways": 4'))
+        capsys.readouterr()
+        assert main(["--out", str(out), "--check"]) == 1
+        assert "stale" in capsys.readouterr().out
+        # --check must not rewrite anything.
+        assert '"hp_ways": 4' in stale.read_text()

@@ -1,0 +1,137 @@
+"""Unit tests for the paper-literal reference oracle itself.
+
+The oracle is the specification, so it gets its own behavioural tests —
+scripted streams asserting the Listing 1-3 semantics directly, plus an
+end-to-end run where the oracle drives a full simulated consolidation
+through the ordinary policy/runner plumbing and must reproduce the
+production controller's results bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DicerConfig
+from repro.core.policies import DicerPolicy
+from repro.experiments.runner import run_pair
+from repro.rdt.sample import PeriodSample
+from repro.valid.reference import ReferenceController, ReferenceDicer
+from repro.workloads.mix import make_mix
+
+
+def calm(ipc, bw=2e9, total=3e9):
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=bw,
+        total_mem_bytes_s=total,
+    )
+
+
+def saturated(ipc):
+    return calm(ipc, bw=3e9, total=8e9)
+
+
+CONFIG = DicerConfig(sample_hp_ways=(5, 3, 1))
+
+
+class TestListingSemantics:
+    def test_starts_like_ct(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        assert oracle.initial_hp_ways() == 5
+        assert oracle.ct_favoured
+        assert oracle.mode == "warmup"
+
+    def test_rejects_degenerate_cache(self):
+        with pytest.raises(ValueError, match="total_ways"):
+            ReferenceDicer(CONFIG, total_ways=1)
+
+    def test_stable_ipc_donates_one_way_per_period(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        oracle.update(calm(1.0))  # warmup
+        ways = [oracle.update(calm(1.0)).hp_ways for _ in range(4)]
+        assert ways == [4, 3, 2, 1]
+        assert oracle.update(calm(1.0)).event == "floor"
+
+    def test_improved_ipc_holds_position(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        oracle.update(calm(1.0))
+        decision = oracle.update(calm(2.0))  # way above the 5% band
+        assert decision.event == "hold"
+        assert decision.hp_ways == 5
+
+    def test_degraded_ipc_resets_to_ct_when_ct_favoured(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        oracle.update(calm(1.0))
+        oracle.update(calm(1.0))  # shrink to 4
+        decision = oracle.update(calm(0.5))
+        assert decision.event == "reset_ctf"
+        assert decision.hp_ways == 5  # back to CT
+        assert decision.mode == "reset_validate"
+
+    def test_saturation_reclassifies_and_samples_the_grid(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        first = oracle.update(saturated(1.0))
+        assert first.event == "sampling_start"
+        assert not oracle.ct_favoured
+        assert first.hp_ways == 5  # first probe
+        assert oracle.update(saturated(0.6)).hp_ways == 3
+        assert oracle.update(saturated(0.9)).hp_ways == 1
+        concluded = oracle.update(saturated(0.9))
+        assert concluded.event == "sampling_conclude"
+        # Scores: hp=5 -> 0.6, hp=3 -> 0.9, hp=1 -> 0.9; the tie goes to
+        # the first (largest) probe, so the optimum is hp=3.
+        assert oracle.optimal_hp_ways == 3
+        assert concluded.hp_ways == 3
+        assert oracle.ipc_opt == 0.9
+
+    def test_phase_change_resets_after_three_period_history(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        for _ in range(4):
+            oracle.update(calm(1.0))
+        spike = oracle.update(calm(1.0, bw=2e9 * 1.4))
+        assert spike.phase_change
+        assert spike.event == "reset_ctf"
+
+    def test_faulty_sample_is_inert(self):
+        oracle = ReferenceDicer(CONFIG, total_ways=6)
+        oracle.update(calm(1.0))
+        history_before = list(oracle.bandwidth_history)
+        ipc_before = oracle.previous_ipc
+        decision = oracle.update(
+            PeriodSample(1.0, float("nan"), 2e9, 3e9)
+        )
+        assert decision.event == "fault"
+        assert oracle.bandwidth_history == history_before
+        assert oracle.previous_ipc == ipc_before
+        # And the stream continues as if the fault never happened.
+        assert oracle.update(calm(1.0)).event == "shrink"
+
+
+class TestEndToEndParity:
+    """The oracle drives a real simulated consolidation via the policy
+    seam and must match the production controller decision for decision.
+    """
+
+    @pytest.mark.parametrize(
+        ("hp", "be"), [("milc1", "gcc_base6"), ("namd1", "povray1")]
+    )
+    def test_run_pair_traces_identical(self, hp, be):
+        mix = make_mix(hp, be, n_be=5)
+        production = run_pair(mix, DicerPolicy())
+        reference = run_pair(
+            mix, DicerPolicy(controller_factory=ReferenceController)
+        )
+        prod_trace = [
+            (r.period, r.allocation.hp_ways, r.event, r.mode.value)
+            for r in production.trace
+        ]
+        ref_trace = [
+            (r.period, r.hp_ways, r.event, r.mode)
+            for r in reference.trace
+        ]
+        assert prod_trace == ref_trace
+        # Identical decisions must yield identical simulated outcomes.
+        assert production.hp_norm_ipc == reference.hp_norm_ipc
+        assert production.be_norm_ipc == reference.be_norm_ipc
+        assert production.duration_s == reference.duration_s
