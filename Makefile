@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test conformance coverage golden bench bench-quick bench-json bench-full examples clean
+.PHONY: all install lint test chaos conformance coverage golden bench bench-quick bench-json bench-full examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test conformance
+all: lint test chaos conformance
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ lint:             ## ruff, if installed (config in .ruff.toml); skipped otherwis
 
 test:
 	pytest tests/
+
+chaos:            ## chaos-marked fault-injection suites (worker crash/hang fuzz; fixed seeds)
+	pytest tests/ -m chaos
 
 conformance:      ## controller conformance: differential fuzz + golden replay + fault injection
 	pytest tests/valid/ -q

@@ -10,6 +10,13 @@ from repro.experiments.classify import (
 )
 from repro.experiments.grid import GridData, GridPoint, build_sample, run_grid
 from repro.experiments.parallel import Cell, ParallelExecutor
+from repro.experiments.supervise import (
+    CampaignError,
+    CampaignOutcome,
+    FailedCell,
+    SupervisedExecutor,
+    SuperviseConfig,
+)
 from repro.experiments.recommend import Recommendation, recommend, render_recommendation
 from repro.experiments.reporting import fig1_to_csv, fig2_to_csv, grid_to_csv, write_csv
 from repro.experiments.runner import CustomResult, PairResult, run_custom, run_pair
@@ -27,6 +34,11 @@ __all__ = [
     "run_grid",
     "Cell",
     "ParallelExecutor",
+    "CampaignError",
+    "CampaignOutcome",
+    "FailedCell",
+    "SupervisedExecutor",
+    "SuperviseConfig",
     "Recommendation",
     "recommend",
     "render_recommendation",

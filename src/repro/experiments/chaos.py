@@ -1,0 +1,266 @@
+"""Chaos injection for campaign workers (the executor's ``FaultyRdt``).
+
+Worker processes fail in ways the clean simulator never exercises: a
+worker segfaults/OOMs (the process dies and takes the pool down with
+it), wedges forever (a hang the supervisor must time out), raises a
+transient Python exception, or returns garbage that is not a
+:class:`~repro.experiments.runner.PairResult` at all. :class:`ChaosConfig`
+injects exactly those four failure modes into :func:`~repro.experiments.
+supervise.SupervisedExecutor` workers, either on a deterministic
+per-cell schedule or at a seeded random per-attempt rate — mirroring
+:class:`~repro.rdt.faulty.FaultyRdt`'s schedule/rate/seed design.
+
+Because pool workers are separate processes, the configuration crosses
+the process boundary through one environment variable
+(:data:`CHAOS_ENV_VAR`); :func:`chaos_env` builds the value and
+:meth:`ChaosConfig.from_env` parses it. The decision function is a pure
+function of ``(seed, cell index, attempt)``, so a chaos schedule is
+bit-reproducible across runs, worker counts and pool rebuilds.
+
+Scheduled injections fire on a cell's *first* attempt only (a crash the
+retry then clears), unless marked persistent with a ``*`` suffix — a
+persistent cell is a *poison cell* that fails every attempt and must be
+quarantined. Random-rate injections re-roll on every attempt.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosInjected",
+    "ChaosKind",
+    "ChaosConfig",
+    "GARBAGE_RESULT",
+    "active_config",
+    "chaos_env",
+    "maybe_inject",
+]
+
+#: Environment variable carrying the chaos spec into worker processes.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Exit status of an injected worker crash (mirrors a SIGKILL'd process).
+_CRASH_EXIT_CODE = 137
+
+#: The deliberately-wrong object a ``garbage`` injection returns in place
+#: of a ``PairResult`` (the supervisor must detect and retry it).
+GARBAGE_RESULT = "<chaos: garbage output>"
+
+
+class ChaosInjected(RuntimeError):
+    """The exception an injected ``raise`` fault throws inside a worker."""
+
+
+class ChaosKind(enum.Enum):
+    """The four injectable worker failure modes (DESIGN.md §9)."""
+
+    #: Hard process death: ``os._exit`` — breaks the whole pool.
+    CRASH = "crash"
+    #: Wedge: sleep far past any plausible cell time (needs a timeout).
+    HANG = "hang"
+    #: Transient Python exception propagated through the future.
+    RAISE = "raise"
+    #: Structurally-wrong return value (not a ``PairResult``).
+    GARBAGE = "garbage"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded, deterministic worker-fault injection plan.
+
+    Parameters
+    ----------
+    schedule:
+        Maps 1-based cell indices (position in the submitted batch) to a
+        :class:`ChaosKind`. Scheduled faults fire on attempt 1 only,
+        unless the index is also in ``persistent``.
+    persistent:
+        Cell indices whose scheduled fault fires on *every* attempt
+        (poison cells).
+    rate:
+        Probability of injecting a fault into each unscheduled attempt.
+    kinds:
+        Fault population for random injection (default: crash / raise /
+        garbage — ``hang`` only ever fires when scheduled, because a
+        random hang without a configured timeout would wedge a campaign).
+    seed:
+        Root seed for random injection; the per-attempt decision is a
+        pure function of ``(seed, cell index, attempt)``.
+    hang_s:
+        Sleep duration of an injected hang.
+    """
+
+    schedule: Mapping[int, ChaosKind] = field(default_factory=dict)
+    persistent: frozenset[int] = frozenset()
+    rate: float = 0.0
+    kinds: tuple[ChaosKind, ...] = (
+        ChaosKind.CRASH,
+        ChaosKind.RAISE,
+        ChaosKind.GARBAGE,
+    )
+    seed: int = 0
+    hang_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.rate > 0.0 and not self.kinds:
+            raise ValueError("rate > 0 with an empty fault population")
+        if self.hang_s <= 0.0:
+            raise ValueError(f"hang_s must be > 0, got {self.hang_s}")
+
+    def decide(self, index: int, attempt: int) -> ChaosKind | None:
+        """The fault (if any) for attempt ``attempt`` of 1-based cell
+        ``index`` — pure, so identical across processes and rebuilds."""
+        kind = self.schedule.get(index)
+        if kind is not None:
+            if attempt == 1 or index in self.persistent:
+                return kind
+            return None
+        if self.rate > 0.0:
+            rng = np.random.default_rng((self.seed, index, attempt))
+            if float(rng.random()) < self.rate:
+                return self.kinds[int(rng.integers(len(self.kinds)))]
+        return None
+
+    # -- env round trip ------------------------------------------------------
+
+    def to_env(self) -> str:
+        """Serialise to the :data:`CHAOS_ENV_VAR` wire format."""
+        parts = [f"seed={self.seed}", f"rate={self.rate!r}",
+                 f"hang_s={self.hang_s!r}"]
+        if self.kinds:
+            parts.append("kinds=" + ",".join(k.value for k in self.kinds))
+        if self.schedule:
+            entries = []
+            for index in sorted(self.schedule):
+                star = "*" if index in self.persistent else ""
+                entries.append(f"{index}:{self.schedule[index].value}{star}")
+            parts.append("schedule=" + ",".join(entries))
+        return ";".join(parts)
+
+    @classmethod
+    def from_env(cls, value: str) -> "ChaosConfig":
+        """Parse the ``key=value;...`` spec built by :meth:`to_env`.
+
+        Example: ``seed=7;rate=0.1;kinds=crash,raise;schedule=3:crash,5:hang*``
+        (``*`` marks a persistent / poison entry).
+        """
+        schedule: dict[int, ChaosKind] = {}
+        persistent: set[int] = set()
+        kwargs: dict = {}
+        for part in value.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, spec = part.partition("=")
+            key = key.strip()
+            spec = spec.strip()
+            if key == "seed":
+                kwargs["seed"] = int(spec)
+            elif key == "rate":
+                kwargs["rate"] = float(spec)
+            elif key == "hang_s":
+                kwargs["hang_s"] = float(spec)
+            elif key == "kinds":
+                kwargs["kinds"] = tuple(
+                    ChaosKind(k.strip()) for k in spec.split(",") if k.strip()
+                )
+            elif key == "schedule":
+                for entry in spec.split(","):
+                    entry = entry.strip()
+                    if not entry:
+                        continue
+                    index_s, _, kind_s = entry.partition(":")
+                    if kind_s.endswith("*"):
+                        kind_s = kind_s[:-1]
+                        persistent.add(int(index_s))
+                    schedule[int(index_s)] = ChaosKind(kind_s)
+            else:
+                raise ValueError(f"unknown chaos spec key {key!r}")
+        return cls(
+            schedule=schedule, persistent=frozenset(persistent), **kwargs
+        )
+
+
+def chaos_env(
+    *,
+    schedule: Mapping[int, ChaosKind | str] | None = None,
+    persistent: Iterable[int] = (),
+    rate: float = 0.0,
+    kinds: Iterable[ChaosKind | str] | None = None,
+    seed: int = 0,
+    hang_s: float = 300.0,
+) -> str:
+    """Build a :data:`CHAOS_ENV_VAR` value (test/CI convenience)."""
+    config = ChaosConfig(
+        schedule={int(k): ChaosKind(v) for k, v in (schedule or {}).items()},
+        persistent=frozenset(int(i) for i in persistent),
+        rate=rate,
+        kinds=(
+            tuple(ChaosKind(k) for k in kinds)
+            if kinds is not None
+            else ChaosConfig.kinds
+        ),
+        seed=seed,
+        hang_s=hang_s,
+    )
+    return config.to_env()
+
+
+#: Per-process parse cache: (raw env value, parsed config).
+_ACTIVE: tuple[str, ChaosConfig] | None = None
+
+
+def active_config() -> ChaosConfig | None:
+    """The process's chaos config, or ``None`` when chaos is off.
+
+    Reads :data:`CHAOS_ENV_VAR` and caches the parse keyed on the raw
+    value, so workers pay the parse once but tests that monkeypatch the
+    environment always see the current spec.
+    """
+    global _ACTIVE
+    value = os.environ.get(CHAOS_ENV_VAR)
+    if not value:
+        _ACTIVE = None
+        return None
+    if _ACTIVE is not None and _ACTIVE[0] == value:
+        return _ACTIVE[1]
+    config = ChaosConfig.from_env(value)
+    _ACTIVE = (value, config)
+    return config
+
+
+def maybe_inject(index: int, attempt: int):
+    """Fire the configured fault for ``(cell index, attempt)``, if any.
+
+    Called by the worker immediately before executing a cell. ``crash``
+    hard-exits the process, ``hang`` sleeps, ``raise`` throws
+    :class:`ChaosInjected`; ``garbage`` returns :data:`GARBAGE_RESULT`,
+    which the caller must return *instead of* the real result. Returns
+    ``None`` when the attempt should run clean.
+    """
+    config = active_config()
+    if config is None:
+        return None
+    kind = config.decide(index, attempt)
+    if kind is None:
+        return None
+    if kind is ChaosKind.CRASH:
+        os._exit(_CRASH_EXIT_CODE)
+    if kind is ChaosKind.HANG:
+        time.sleep(config.hang_s)
+        return None
+    if kind is ChaosKind.RAISE:
+        raise ChaosInjected(
+            f"injected failure (cell {index}, attempt {attempt})"
+        )
+    return GARBAGE_RESULT

@@ -89,6 +89,8 @@ def classify_all(
             cells.append((hp, be, n_be, um))
             cells.append((hp, be, n_be, ct))
     results = store.get_many(cells)
+    # A quarantined cell (supervised store, on_failure="skip") yields None;
+    # the pair is dropped rather than mis-classified on partial data.
     return [
         PairClass(
             hp_name=um_result.hp_name,
@@ -97,6 +99,7 @@ def classify_all(
             ct_slowdown=ct_result.hp_slowdown,
         )
         for um_result, ct_result in zip(results[::2], results[1::2])
+        if um_result is not None and ct_result is not None
     ]
 
 

@@ -53,6 +53,7 @@ from repro.core.policies import (
 from repro.core.trace_tools import summarise_trace
 from repro.experiments.grid import build_sample, run_grid
 from repro.experiments.store import ResultStore
+from repro.experiments.supervise import CampaignError, SuperviseConfig
 from repro.experiments.table1 import render_table1
 from repro.sim.contention import GLOBAL_STEADY_CACHE
 from repro.util.tables import format_table
@@ -141,6 +142,33 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(RUN_POLICIES),
         default="DICER",
         help="co-location policy for the 'run' experiment",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per campaign cell before it is quarantined "
+        "(default 2); transient worker crashes, hangs and exceptions "
+        "cost one attempt each, with deterministic exponential backoff",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per campaign cell; a cell past its budget "
+        "has its worker killed and is retried (needs --workers > 1 — a "
+        "serial in-process cell cannot be preempted)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        choices=("abort", "skip"),
+        default="abort",
+        help="what a cell that exhausts its retries does to the campaign: "
+        "'abort' (default) stops with a checkpoint flushed, 'skip' "
+        "quarantines the cell into the failure manifest and carries on "
+        "with partial results",
     )
     parser.add_argument(
         "--metrics",
@@ -247,6 +275,17 @@ def main(argv: list[str] | None = None) -> int:
             _dispatch_profiled(exp, args)
         else:
             _dispatch(exp, args)
+    except CampaignError as exc:
+        hint = (
+            " (completed cells were checkpointed; rerun with the same "
+            "--cache to resume)"
+            if args.cache
+            else " (rerun with --cache PATH to make campaigns resumable)"
+        )
+        raise SystemExit(
+            f"{exc}{hint}; use --on-failure=skip to quarantine failing "
+            "cells and keep going"
+        ) from None
     finally:
         if telemetry:
             registry = obs.get_registry()
@@ -282,9 +321,36 @@ def _dispatch_profiled(exp: str, args: argparse.Namespace) -> None:
             print(f"pstats dump written to {args.profile_out}")
 
 
+def _render_failures(store: ResultStore) -> str:
+    """The failure manifest as a table (only called when non-empty)."""
+    rows = [
+        [
+            f"{f['hp_name']}+{f['n_be']}x{f['be_name']}",
+            f["policy"],
+            f["attempts"],
+            f["outcome"],
+            f["error"] or "-",
+        ]
+        for f in store.failure_manifest()
+    ]
+    return format_table(
+        ["cell", "policy", "attempts", "outcome", "error"],
+        rows,
+        title=f"Failure manifest: {len(rows)} quarantined cell(s)",
+    )
+
+
 def _dispatch(exp: str, args: argparse.Namespace) -> None:
     """Run one experiment and print its rendering."""
-    store = ResultStore(cache_path=args.cache, n_workers=args.workers)
+    store = ResultStore(
+        cache_path=args.cache,
+        n_workers=args.workers,
+        supervise=SuperviseConfig(
+            max_retries=args.max_retries,
+            cell_timeout_s=args.cell_timeout,
+            on_failure=args.on_failure,
+        ),
+    )
 
     if exp == "table1":
         print(render_table1())
@@ -338,6 +404,9 @@ def _dispatch(exp: str, args: argparse.Namespace) -> None:
     else:  # pragma: no cover - argparse already rejects
         raise SystemExit(f"unknown experiment {exp}")
 
+    if store.failures:
+        print()
+        print(_render_failures(store))
     registry = obs.get_registry()
     if registry.enabled:
         for key, value in store.stats().items():

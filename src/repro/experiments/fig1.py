@@ -60,9 +60,16 @@ def run_fig1(
             cells.append((hp, be, n_be, um_policy))
             cells.append((hp, be, n_be, ct_policy))
     results = store.get_many(cells)
+    # Quarantined cells (supervised store, on_failure="skip") yield None;
+    # drop the whole pair so the UM and CT populations stay aligned.
+    pairs = [
+        (um, ct)
+        for um, ct in zip(results[::2], results[1::2])
+        if um is not None and ct is not None
+    ]
     return Fig1Data(
-        um_slowdowns=tuple(r.hp_slowdown for r in results[::2]),
-        ct_slowdowns=tuple(r.hp_slowdown for r in results[1::2]),
+        um_slowdowns=tuple(um.hp_slowdown for um, _ct in pairs),
+        ct_slowdowns=tuple(ct.hp_slowdown for _um, ct in pairs),
     )
 
 

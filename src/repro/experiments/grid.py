@@ -135,6 +135,9 @@ def run_grid(
             for workload, n_cores, policy in combos
         ]
     )
+    # A quarantined cell (supervised store, on_failure="skip") yields None
+    # and simply leaves a hole in the grid; every extractor aggregates over
+    # whatever points exist.
     points = [
         GridPoint(
             workload=workload,
@@ -143,6 +146,7 @@ def run_grid(
             result=result,
         )
         for (workload, n_cores, policy), result in zip(combos, results)
+        if result is not None
     ]
     return GridData(
         sample=tuple(sample),

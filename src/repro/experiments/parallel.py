@@ -5,27 +5,36 @@ classification sweeps and the 120-workload × cores × policies grid behind
 Figures 4-8 — is a batch of *independent* ``run_pair`` executions. One cell
 is one ``(hp_name, be_name, n_be, policy)`` tuple; cells share nothing at
 runtime (each builds its mix from the catalog and solves its own fixed
-points), so fanning them out over a :class:`~concurrent.futures.
-ProcessPoolExecutor` is embarrassingly parallel.
+points), so fanning them out over worker processes is embarrassingly
+parallel.
+
+Since the supervision rework the actual dispatch lives in
+:class:`~repro.experiments.supervise.SupervisedExecutor`: individually
+submitted futures under a supervisor loop that survives worker crashes,
+hangs and poison cells. :class:`ParallelExecutor` is the strict facade —
+no retries, no timeout, first failure aborts with the original exception
+— preserving the pre-supervision contract for callers that want a plain
+``list[PairResult]``.
 
 Determinism is the load-bearing property: ``run_pair`` is a pure function
-of its cell, results are returned in submission order (``Executor.map``
-preserves ordering), and chunking only affects scheduling — so a parallel
-campaign is bit-identical to a serial one regardless of worker count
-(enforced by tests). ``n_workers=1`` bypasses the pool entirely and runs
-the exact in-process serial path.
+of its cell, and results are emitted in submission order regardless of
+completion order — so a parallel campaign is bit-identical to a serial
+one at any worker count (enforced by tests). ``n_workers=1`` bypasses the
+pool entirely and runs the exact in-process serial path.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable
 
 from repro.core.policies import Policy
 from repro.experiments.runner import PairResult, run_pair
-from repro.obs import get_event_log, get_registry
+from repro.experiments.supervise import (
+    CampaignError,
+    SupervisedExecutor,
+    SuperviseConfig,
+)
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.workloads.mix import make_mix
 
@@ -48,13 +57,6 @@ def run_cell(
         platform,
         **(run_kwargs or {}),
     )
-
-
-def _pool_worker(payload: tuple) -> PairResult:
-    # Module-level so it pickles by reference; the payload carries the
-    # (small, frozen) platform and policy along with the cell names.
-    platform, cell, run_kwargs = payload
-    return run_cell(platform, cell, run_kwargs)
 
 
 def _prewarm_solo_profiles(
@@ -87,6 +89,13 @@ def _prewarm_solo_profiles(
 class ParallelExecutor:
     """Fan campaign cells out over worker processes, in deterministic order.
 
+    A strict facade over :class:`~repro.experiments.supervise.
+    SupervisedExecutor`: no retries, no per-cell timeout, and the first
+    cell failure aborts the batch by re-raising the original exception —
+    the historical all-or-nothing contract. Campaigns that want retry /
+    timeout / quarantine semantics use ``SupervisedExecutor`` directly
+    (:class:`~repro.experiments.store.ResultStore` does, when configured).
+
     Parameters
     ----------
     n_workers:
@@ -94,9 +103,9 @@ class ParallelExecutor:
         count; ``1`` runs everything serially in-process (no pool, no
         pickling — the exact pre-parallel execution path).
     chunk_size:
-        Cells handed to a worker per dispatch. ``None`` auto-sizes to about
-        four chunks per worker: large enough to amortise IPC overhead on
-        sub-millisecond cells, small enough to keep the tail balanced.
+        Retained for API compatibility; the supervised engine submits
+        cells individually (per-cell futures are what make timeouts and
+        crash attribution possible), so this is accepted and ignored.
     """
 
     def __init__(
@@ -111,9 +120,6 @@ class ParallelExecutor:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
-
-    def _auto_chunk(self, n_cells: int) -> int:
-        return max(1, n_cells // (self.n_workers * 4))
 
     def run(
         self,
@@ -130,51 +136,18 @@ class ParallelExecutor:
         ResultStore` uses to merge worker results back into the parent
         cache and checkpoint long campaigns for mid-grid resume.
         """
-        cells = list(cells)
-        results: list[PairResult] = []
-        registry = get_registry()
-        t0 = time.perf_counter() if registry.enabled else 0.0
-        if self.n_workers == 1 or len(cells) <= 1:
-            workers_used = 1
-            _prewarm_solo_profiles(platform, cells)
-            for index, cell in enumerate(cells):
-                if registry.enabled:
-                    with registry.histogram("parallel.cell_seconds").time():
-                        result = run_cell(platform, cell, run_kwargs)
-                else:
-                    result = run_cell(platform, cell, run_kwargs)
-                registry.counter("parallel.cells").inc()
-                results.append(result)
-                if on_result is not None:
-                    on_result(index, cell, result)
-        else:
-            workers_used = min(self.n_workers, len(cells))
-            payloads = [(platform, cell, run_kwargs) for cell in cells]
-            chunk = self.chunk_size or self._auto_chunk(len(cells))
-            with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                for index, result in enumerate(
-                    pool.map(_pool_worker, payloads, chunksize=chunk)
-                ):
-                    registry.counter("parallel.cells").inc()
-                    results.append(result)
-                    if on_result is not None:
-                        on_result(index, cells[index], result)
-        if registry.enabled and cells:
-            elapsed = time.perf_counter() - t0
-            registry.histogram("parallel.batch_seconds").observe(elapsed)
-            registry.gauge("parallel.n_workers").set(workers_used)
-            throughput = len(cells) / elapsed if elapsed > 0 else 0.0
-            registry.gauge("parallel.cells_per_second").set(throughput)
-            registry.gauge("parallel.cells_per_worker_second").set(
-                throughput / workers_used
+        executor = SupervisedExecutor(
+            self.n_workers, config=SuperviseConfig()
+        )
+        try:
+            outcome = executor.run(
+                cells,
+                platform,
+                run_kwargs=run_kwargs,
+                on_result=on_result,
             )
-            log = get_event_log()
-            if log.enabled:
-                log.emit(
-                    "campaign.batch",
-                    cells=len(cells),
-                    workers=workers_used,
-                    seconds=round(elapsed, 6),
-                    cells_per_second=round(throughput, 3),
-                )
-        return results
+        except CampaignError as err:
+            if err.cause is not None:
+                raise err.cause from None
+            raise
+        return outcome.results

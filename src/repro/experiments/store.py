@@ -9,24 +9,44 @@ persistence so a long campaign survives process restarts.
 
 Bulk requests (:meth:`ResultStore.get_many` / :meth:`ResultStore.prefetch`)
 partition the requested cells into cached vs. pending and fan the pending
-ones out over a :class:`~repro.experiments.parallel.ParallelExecutor`.
+ones out over a :class:`~repro.experiments.supervise.SupervisedExecutor`.
 Worker results merge back into the parent cache as they arrive, and — when
 a ``cache_path`` is configured — are checkpointed to disk every
 ``checkpoint_every`` results, so an interrupted paper-scale campaign
 resumes mid-grid instead of restarting.
+
+Persistence is crash-safe (DESIGN.md §9): the cache is written to a
+temporary file, fsynced, atomically renamed over the target, and the
+parent directory fsynced; the on-disk payload carries a row count and a
+SHA-256 checksum so a torn or bit-rotted file is *detected*, quarantined
+to ``<path>.corrupt-<digest>``, and salvaged row-by-row instead of being
+trusted or silently dropped. During a bulk request, SIGINT/SIGTERM flush
+a checkpoint before the process dies, and a mid-campaign exception
+flushes one before propagating — interrupted grids always resume from
+the last completed cell.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
+import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable
 
 from repro.core.policies import Policy
-from repro.experiments.parallel import Cell, ParallelExecutor
+from repro.experiments.parallel import Cell
+from repro.experiments.supervise import (
+    FailedCell,
+    SupervisedExecutor,
+    SuperviseConfig,
+)
 from repro.obs import get_event_log, get_registry
 from repro.experiments.runner import PairResult, run_pair
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
@@ -51,6 +71,44 @@ _PERSISTED_FIELDS = (
     "hp_completions",
 )
 
+#: On-disk format version of the integrity-checked payload.
+_CACHE_VERSION = 2
+
+
+def _rows_digest(rows: list[dict]) -> str:
+    """Canonical SHA-256 of the row list (stable across JSON round trips)."""
+    canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _salvage_rows(text: str) -> list[dict]:
+    """Best-effort row recovery from corrupt/truncated JSON.
+
+    Scans forward from the first ``[`` decoding one object at a time, so
+    every row that made it to disk intact before a crash truncated the
+    file is recovered. Works on both the v2 wrapper (``"rows": [...``)
+    and the legacy bare-list layout.
+    """
+    decoder = json.JSONDecoder()
+    rows: list[dict] = []
+    i = text.find("[")
+    if i < 0:
+        return rows
+    i += 1
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in ", \t\r\n":
+            i += 1
+        if i >= n or text[i] != "{":
+            break
+        try:
+            obj, i = decoder.raw_decode(text, i)
+        except ValueError:
+            break
+        if isinstance(obj, dict):
+            rows.append(obj)
+    return rows
+
 
 class ResultStore:
     """Memoising executor for (workload, policy, size) experiments.
@@ -71,8 +129,20 @@ class ResultStore:
         accumulate before the cache is rewritten mid-campaign. Each
         checkpoint rewrites the whole store, so mid-campaign checkpoints
         are additionally rate-limited to one per
-        ``_MIN_CHECKPOINT_INTERVAL_S`` seconds; campaigns fast enough to
+        ``min_checkpoint_interval_s`` seconds; campaigns fast enough to
         finish inside that window just save once at the end.
+    supervise:
+        A :class:`~repro.experiments.supervise.SuperviseConfig` giving
+        bulk requests retry / per-cell timeout / quarantine semantics.
+        ``None`` (default) is strict: no retries, the first failure
+        aborts with a :class:`~repro.experiments.supervise.CampaignError`
+        wrapping the original exception (a checkpoint is still flushed
+        first). With ``on_failure="skip"``, quarantined cells
+        return ``None`` placeholders from :meth:`get_many` and accumulate
+        in :attr:`failures`.
+    min_checkpoint_interval_s:
+        Override of the mid-campaign checkpoint rate limit (mostly for
+        tests; campaigns keep the default).
     """
 
     #: Minimum seconds between mid-campaign checkpoint rewrites.
@@ -85,22 +155,34 @@ class ResultStore:
         *,
         n_workers: int | None = 1,
         checkpoint_every: int = 256,
+        supervise: SuperviseConfig | None = None,
+        min_checkpoint_interval_s: float | None = None,
     ) -> None:
         self.platform = platform
-        self._executor = ParallelExecutor(n_workers)
+        self._supervise = supervise if supervise is not None else SuperviseConfig()
+        self._executor = SupervisedExecutor(n_workers, config=self._supervise)
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         self._checkpoint_every = checkpoint_every
+        self._min_checkpoint_interval_s = (
+            self._MIN_CHECKPOINT_INTERVAL_S
+            if min_checkpoint_interval_s is None
+            else min_checkpoint_interval_s
+        )
         self._results: dict[tuple[str, str, int, str], PairResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         self._n_loaded = 0
         self._n_dropped = 0
+        self._n_salvaged = 0
+        self._n_corrupt_files = 0
         self._n_computed = 0
         self._n_served = 0
         self._pending_checkpoint = 0
         self._last_checkpoint = float("-inf")
+        #: Quarantined cells from bulk requests (``on_failure="skip"``).
+        self.failures: list[FailedCell] = []
         if self._cache_path and self._cache_path.exists():
             self._load()
 
@@ -108,6 +190,11 @@ class ResultStore:
     def n_workers(self) -> int:
         """Worker process count used for bulk requests."""
         return self._executor.n_workers
+
+    @property
+    def supervise_config(self) -> SuperviseConfig:
+        """The retry/timeout/failure policy bulk requests run under."""
+        return self._supervise
 
     @staticmethod
     def _key(cell: Cell) -> tuple[str, str, int, str]:
@@ -156,15 +243,25 @@ class ResultStore:
         self,
         cells: Iterable[Cell],
         **run_kwargs,
-    ) -> list[PairResult]:
+    ) -> list[PairResult | None]:
         """Fetch a batch of cells, fanning pending ones out over workers.
 
         Cells are ``(hp_name, be_name, n_be, policy)`` tuples. The request
         is partitioned into cached vs. pending; pending cells (deduplicated,
-        in first-appearance order) run on the store's executor, merge back
-        into the cache as they complete, and are checkpointed to
+        in first-appearance order) run on the store's supervised executor,
+        merge back into the cache as they complete, and are checkpointed to
         ``cache_path`` along the way. Returns results aligned
         index-for-index with ``cells``.
+
+        Failure semantics follow the store's ``supervise`` config: by
+        default the first failure aborts (after a checkpoint flush) with
+        a :class:`~repro.experiments.supervise.CampaignError` whose
+        ``cause`` is the original exception; with ``on_failure="skip"`` a
+        quarantined
+        cell yields ``None`` at its positions and a
+        :class:`~repro.experiments.supervise.FailedCell` in
+        :attr:`failures`. A SIGINT/SIGTERM during the bulk request
+        flushes a checkpoint before the process dies.
         """
         cells = list(cells)
         keys = [self._key(cell) for cell in cells]
@@ -188,20 +285,30 @@ class ResultStore:
                     self._cache_path
                     and self._pending_checkpoint >= self._checkpoint_every
                     and time.monotonic() - self._last_checkpoint
-                    >= self._MIN_CHECKPOINT_INTERVAL_S
+                    >= self._min_checkpoint_interval_s
                 ):
                     self.save()
 
-            self._executor.run(
-                list(pending.values()),
-                self.platform,
-                run_kwargs=run_kwargs or None,
-                on_result=merge,
-            )
-            if self._cache_path and self._pending_checkpoint:
-                self.save()
+            try:
+                with self._checkpoint_on_signal():
+                    outcome = self._executor.run(
+                        list(pending.values()),
+                        self.platform,
+                        run_kwargs=run_kwargs or None,
+                        on_result=merge,
+                    )
+            finally:
+                # A checkpoint survives whatever interrupted the campaign:
+                # quarantine-abort, a worker exception, KeyboardInterrupt.
+                if self._cache_path and self._pending_checkpoint:
+                    self.save()
+            if outcome.failures:
+                self.failures.extend(outcome.failures)
+                registry.counter("store.failed_cells").inc(
+                    len(outcome.failures)
+                )
 
-        return [self._results[key] for key in keys]
+        return [self._results.get(key) for key in keys]
 
     def prefetch(
         self,
@@ -210,21 +317,44 @@ class ResultStore:
     ) -> dict[str, int]:
         """Ensure every cell is computed; report the cached/run partition.
 
-        Returns ``{"requested": ..., "cached": ..., "computed": ...}`` for
-        the batch (duplicates within the batch count as cached).
+        Returns ``{"requested": ..., "cached": ..., "computed": ...,
+        "failed": ...}`` for the batch (duplicates within the batch count
+        as cached).
         """
         cells = list(cells)
         computed_before = self._n_computed
+        failed_before = len(self.failures)
         self.get_many(cells, **run_kwargs)
         computed = self._n_computed - computed_before
+        failed = len(self.failures) - failed_before
         return {
             "requested": len(cells),
-            "cached": len(cells) - computed,
+            "cached": len(cells) - computed - failed,
             "computed": computed,
+            "failed": failed,
         }
 
     def __len__(self) -> int:
         return len(self._results)
+
+    def failure_manifest(self) -> list[dict]:
+        """Quarantined cells as plain dicts (for reports / JSON)."""
+        return [
+            {
+                "hp_name": f.hp_name,
+                "be_name": f.be_name,
+                "n_be": f.n_be,
+                "policy": f.policy,
+                "attempts": len(f.attempts),
+                "outcome": f.last_error.outcome if f.last_error else "?",
+                "error": (
+                    f"{f.last_error.error_type}: {f.last_error.message}"
+                    if f.last_error and f.last_error.error_type
+                    else ""
+                ),
+            }
+            for f in self.failures
+        ]
 
     def stats(self) -> dict[str, int]:
         """Bookkeeping counters for campaign reports.
@@ -232,7 +362,11 @@ class ResultStore:
         ``cached``: results currently held; ``loaded``: rows restored from
         the JSON cache; ``recomputed``: executions this store ran;
         ``served``: requests answered from memory; ``dropped``: persisted
-        rows ignored on load (schema drift / corruption).
+        *rows* ignored on load (schema drift); ``corrupt_files``: cache
+        files that failed integrity/parse checks (quarantined, counted
+        separately from row drops); ``salvaged``: rows recovered out of a
+        corrupt file; ``failed_cells``: cells quarantined by the
+        supervisor.
         """
         return {
             "cached": len(self._results),
@@ -240,23 +374,104 @@ class ResultStore:
             "recomputed": self._n_computed,
             "served": self._n_served,
             "dropped": self._n_dropped,
+            "corrupt_files": self._n_corrupt_files,
+            "salvaged": self._n_salvaged,
+            "failed_cells": len(self.failures),
         }
 
     # -- persistence ---------------------------------------------------------
 
+    @contextmanager
+    def _checkpoint_on_signal(self):
+        """Flush a checkpoint when SIGINT/SIGTERM lands mid-campaign.
+
+        Installs chaining handlers for the duration of a bulk request:
+        the checkpoint is written first, then the previous handler (or
+        default action) runs, so ``kill -TERM`` of a mid-grid campaign
+        leaves a valid, checksum-verified cache behind. Signal handlers
+        only exist on the main thread; elsewhere this is a no-op.
+        """
+        if (
+            not self._cache_path
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        previous: dict[int, object] = {}
+
+        def flush_and_chain(signum, frame):
+            try:
+                self.save()
+                log = get_event_log()
+                if log.enabled:
+                    log.emit(
+                        "store.signal_flush",
+                        signal=signal.Signals(signum).name,
+                        results=len(self._results),
+                    )
+            finally:
+                prev = previous.get(signum, signal.SIG_DFL)
+                signal.signal(signum, prev)
+                if callable(prev):
+                    prev(signum, frame)
+                else:
+                    # SIG_DFL (or SIG_IGN, where re-raising is harmless):
+                    # re-deliver so the default action runs.
+                    os.kill(os.getpid(), signum)
+
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(signum, flush_and_chain)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            yield
+            return
+        try:
+            yield
+        finally:
+            for signum, prev in previous.items():
+                try:
+                    signal.signal(signum, prev)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
     def save(self) -> None:
-        """Write all results to the JSON cache (no-op without a path)."""
+        """Atomically write all results to the JSON cache (no-op without a
+        path).
+
+        The write is torn-write-proof: payload → temp file → ``fsync`` →
+        ``rename`` over the target → ``fsync`` of the parent directory.
+        The payload embeds a row count and SHA-256 checksum that
+        :meth:`_load` verifies.
+        """
         if not self._cache_path:
             return
         t0 = time.perf_counter()
-        payload = [
+        rows = [
             {k: v for k, v in asdict(r).items() if k in _PERSISTED_FIELDS}
             for r in self._results.values()
         ]
+        payload = {
+            "version": _CACHE_VERSION,
+            "n_rows": len(rows),
+            "sha256": _rows_digest(rows),
+            "rows": rows,
+        }
         self._cache_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self._cache_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(self._cache_path)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._cache_path)
+        try:
+            dir_fd = os.open(self._cache_path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
         self._pending_checkpoint = 0
         self._last_checkpoint = time.monotonic()
         registry = get_registry()
@@ -273,19 +488,87 @@ class ResultStore:
                     seconds=round(elapsed, 6),
                 )
 
+    def _quarantine_corrupt(self, raw: str, reason: str) -> list[dict]:
+        """Set a corrupt cache aside and salvage what rows survive.
+
+        The file moves to ``<path>.corrupt-<digest>`` (content-addressed,
+        so repeated crashes keep distinct evidence) and every complete
+        row found in the damaged text is returned for reloading.
+        """
+        assert self._cache_path is not None
+        self._n_corrupt_files += 1
+        registry = get_registry()
+        registry.counter("store.corrupt_files").inc()
+        digest = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+        quarantine = self._cache_path.with_name(
+            self._cache_path.name + f".corrupt-{digest}"
+        )
+        try:
+            os.replace(self._cache_path, quarantine)
+            moved = str(quarantine)
+        except OSError:  # pragma: no cover - unlinked/permission races
+            moved = "<unmovable>"
+        salvaged = _salvage_rows(raw)
+        _log.warning(
+            "result cache %s is unreadable (%s); quarantined to %s, "
+            "salvaged %d row(s)",
+            self._cache_path,
+            reason,
+            moved,
+            len(salvaged),
+        )
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "store.cache_corrupt",
+                path=str(self._cache_path),
+                quarantined=moved,
+                reason=reason,
+                salvaged=len(salvaged),
+            )
+        return salvaged
+
     def _load(self) -> None:
         assert self._cache_path is not None
         try:
-            payload = json.loads(self._cache_path.read_text())
-        except (OSError, json.JSONDecodeError):
+            raw = self._cache_path.read_text()
+        except OSError:
+            self._n_corrupt_files += 1
             _log.warning(
-                "result cache %s is unreadable; all results will be "
-                "recomputed",
+                "result cache %s is unreadable (I/O error); all results "
+                "will be recomputed",
                 self._cache_path,
             )
-            self._n_dropped += 1
             return
-        for row in payload:
+        salvaged = False
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            rows = self._quarantine_corrupt(raw, "invalid JSON")
+            salvaged = True
+        else:
+            if isinstance(payload, list):
+                # Legacy v1 layout: a bare row list, no integrity data.
+                rows = payload
+            elif isinstance(payload, dict):
+                rows = payload.get("rows")
+                if not isinstance(rows, list):
+                    rows = self._quarantine_corrupt(raw, "no row array")
+                    salvaged = True
+                elif payload.get("n_rows") != len(rows):
+                    rows = self._quarantine_corrupt(
+                        raw,
+                        f"row count mismatch ({payload.get('n_rows')} "
+                        f"recorded, {len(rows)} present)",
+                    )
+                    salvaged = True
+                elif payload.get("sha256") != _rows_digest(rows):
+                    rows = self._quarantine_corrupt(raw, "checksum mismatch")
+                    salvaged = True
+            else:
+                rows = self._quarantine_corrupt(raw, "unexpected payload type")
+                salvaged = True
+        for row in rows:
             try:
                 result = PairResult(**row)
             except TypeError:
@@ -294,11 +577,13 @@ class ResultStore:
             key = (result.hp_name, result.be_name, result.n_be, result.policy)
             self._results[key] = result
             self._n_loaded += 1
+            if salvaged:
+                self._n_salvaged += 1
         if self._n_dropped:
             _log.warning(
                 "result cache %s: ignored %d of %d rows (schema drift); "
                 "they will be recomputed",
                 self._cache_path,
                 self._n_dropped,
-                len(payload),
+                len(rows),
             )

@@ -69,7 +69,9 @@ def summarise_metrics(records: Iterable[dict]) -> dict[str, object]:
     Returns keys: ``n_records``, ``n_events``, ``n_corrupt``, ``n_faults``
     (events whose kind is ``*.fault`` — injected RDT faults and held
     controller periods, surfaced so fault-injection campaigns read at a
-    glance), ``runs`` (sorted run ids), ``span_s`` (first-to-last
+    glance), ``n_failed_cells`` (``supervise.quarantine`` events —
+    campaign cells that exhausted their retries), ``runs`` (sorted run
+    ids), ``span_s`` (first-to-last
     timestamp), ``events_by_kind``, ``counters``, ``gauges`` and
     ``histograms`` (each histogram a dict with
     count/sum/min/max/mean/p50/p90/p99).
@@ -131,6 +133,7 @@ def summarise_metrics(records: Iterable[dict]) -> dict[str, object]:
             for kind, count in events_by_kind.items()
             if kind.endswith(".fault")
         ),
+        "n_failed_cells": events_by_kind.get("supervise.quarantine", 0),
         "runs": sorted(runs),
         "span_s": max(timestamps) - min(timestamps) if timestamps else 0.0,
         "events_by_kind": dict(
@@ -159,6 +162,7 @@ def render_metrics_summary(summary: dict[str, object]) -> str:
     if summary.get("n_faults"):
         header += f"  [{summary['n_faults']} fault event(s)]"
     sections = [header]
+    sections.append(f"n_failed_cells: {summary.get('n_failed_cells', 0)}")
 
     events = summary["events_by_kind"]
     if events:

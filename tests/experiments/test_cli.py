@@ -213,3 +213,55 @@ class TestProfile:
     def test_no_profile_flag_no_hotspots(self, capsys):
         assert main(["table1"]) == 0
         assert "cProfile" not in capsys.readouterr().out
+
+
+class TestSupervisionFlags:
+    """--max-retries / --cell-timeout / --on-failure wiring."""
+
+    def _poison(self, monkeypatch, index):
+        from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
+
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR,
+            chaos_env(schedule={index: "raise"}, persistent=[index]),
+        )
+
+    def test_skip_mode_renders_failure_manifest(self, monkeypatch, capsys):
+        self._poison(monkeypatch, 3)
+        assert main([
+            "fig1", "--limit", "2", "--max-retries", "0",
+            "--on-failure", "skip",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out  # partial results still render
+        assert "Failure manifest:" in out
+        assert "ChaosInjected" in out
+
+    def test_abort_mode_exits_with_resume_hint(self, monkeypatch, tmp_path):
+        self._poison(monkeypatch, 2)
+        cache = tmp_path / "cache.json"
+        with pytest.raises(SystemExit) as err:
+            main([
+                "fig1", "--limit", "2", "--max-retries", "0",
+                "--cache", str(cache),
+            ])
+        message = str(err.value)
+        assert "campaign aborted" in message
+        assert "--on-failure=skip" in message
+
+    def test_transient_fault_retried_to_clean_output(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
+
+        assert main(["fig1", "--limit", "2"]) == 0
+        clean = capsys.readouterr().out
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, chaos_env(schedule={2: "raise"})
+        )
+        assert main(["fig1", "--limit", "2", "--max-retries", "2"]) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_bad_on_failure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--limit", "2", "--on-failure", "explode"])

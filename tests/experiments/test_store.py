@@ -1,10 +1,15 @@
 """Tests for the memoising result store."""
 
+import hashlib
 import json
 import logging
 
+import pytest
+
 from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
 from repro.experiments.store import ResultStore
+from repro.experiments.supervise import CampaignError, SuperviseConfig
 
 
 class TestMemoisation:
@@ -113,9 +118,13 @@ class TestBulkAndResume:
     def test_prefetch_partitions_cached_vs_pending(self):
         store = ResultStore()
         first = store.prefetch(self.CELLS[:2])
-        assert first == {"requested": 2, "cached": 0, "computed": 2}
+        assert first == {
+            "requested": 2, "cached": 0, "computed": 2, "failed": 0,
+        }
         second = store.prefetch(self.CELLS)
-        assert second == {"requested": 4, "cached": 2, "computed": 2}
+        assert second == {
+            "requested": 4, "cached": 2, "computed": 2, "failed": 0,
+        }
 
     def test_get_many_then_get_is_cached(self):
         store = ResultStore()
@@ -147,3 +156,153 @@ class TestBulkAndResume:
         for a, b in zip(fresh, resumed):
             assert a.hp_slowdown == b.hp_slowdown
             assert a.efu == b.efu
+
+
+def _populated_cache(tmp_path, cells):
+    """Save ``cells`` through a store and return the cache path."""
+    path = tmp_path / "cache.json"
+    store = ResultStore(cache_path=path)
+    store.get_many(cells)
+    store.save()
+    return path
+
+
+class TestCrashSafety:
+    """The integrity-checked on-disk format (DESIGN.md §9)."""
+
+    CELLS = TestBulkAndResume.CELLS
+
+    def test_payload_carries_verifiable_integrity_footer(self, tmp_path):
+        path = _populated_cache(tmp_path, self.CELLS[:3])
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        assert payload["n_rows"] == len(payload["rows"]) == 3
+        canonical = json.dumps(
+            payload["rows"], sort_keys=True, separators=(",", ":")
+        )
+        assert payload["sha256"] == hashlib.sha256(
+            canonical.encode()
+        ).hexdigest()
+
+    def test_legacy_bare_list_cache_still_loads(self, tmp_path):
+        path = _populated_cache(tmp_path, self.CELLS[:2])
+        rows = json.loads(path.read_text())["rows"]
+        path.write_text(json.dumps(rows))  # rewrite as the v1 layout
+        store = ResultStore(cache_path=path)
+        assert store.stats()["loaded"] == 2
+        assert store.stats()["corrupt_files"] == 0
+
+    def test_truncated_cache_quarantined_and_salvaged(self, tmp_path):
+        path = _populated_cache(tmp_path, self.CELLS)
+        raw = path.read_text()
+        # Tear the write mid-way through the last row.
+        path.write_text(raw[: int(len(raw) * 0.8)])
+        store = ResultStore(cache_path=path)
+        stats = store.stats()
+        assert stats["corrupt_files"] == 1
+        assert 1 <= stats["salvaged"] < len(self.CELLS)
+        assert stats["salvaged"] == stats["loaded"]
+        assert stats["dropped"] == 0
+        # The damaged file was set aside as evidence, not deleted.
+        quarantined = list(tmp_path.glob("cache.json.corrupt-*"))
+        assert len(quarantined) == 1
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        path = _populated_cache(tmp_path, self.CELLS[:2])
+        payload = json.loads(path.read_text())
+        payload["rows"][0]["efu"] = 0.123456  # silent bit-rot
+        path.write_text(json.dumps(payload))
+        store = ResultStore(cache_path=path)
+        assert store.stats()["corrupt_files"] == 1
+        assert list(tmp_path.glob("cache.json.corrupt-*"))
+        # Salvage still recovers structurally-intact rows.
+        assert store.stats()["salvaged"] == 2
+
+    def test_row_count_mismatch_detected(self, tmp_path):
+        path = _populated_cache(tmp_path, self.CELLS[:2])
+        payload = json.loads(path.read_text())
+        payload["n_rows"] = 99
+        path.write_text(json.dumps(payload))
+        assert ResultStore(cache_path=path).stats()["corrupt_files"] == 1
+
+    def test_unparseable_cache_counts_as_file_corruption_not_rows(
+        self, tmp_path
+    ):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        stats = ResultStore(cache_path=path).stats()
+        assert stats["corrupt_files"] == 1
+        assert stats["dropped"] == 0  # row drops are schema drift only
+
+    def test_schema_drift_still_counts_rows_not_files(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps([{"unknown_field": 1}]))
+        stats = ResultStore(cache_path=path).stats()
+        assert stats["dropped"] == 1
+        assert stats["corrupt_files"] == 0
+
+    def test_unreadable_cache_file_counts_as_corrupt(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.mkdir()  # read_text() raises an OSError
+        stats = ResultStore(cache_path=path).stats()
+        assert stats["corrupt_files"] == 1
+        assert stats["loaded"] == 0
+
+
+class TestSupervisedFailures:
+    CELLS = TestBulkAndResume.CELLS
+
+    def test_exception_mid_campaign_flushes_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill cell 3 of 4: cells 1-2 must survive on disk."""
+        path = tmp_path / "cache.json"
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, chaos_env(schedule={3: "raise"}, persistent=[3])
+        )
+        # checkpoint_every is deliberately larger than the batch: only
+        # the flush-on-failure path may write the cache.
+        store = ResultStore(cache_path=path, checkpoint_every=99)
+        with pytest.raises(CampaignError):
+            store.get_many(self.CELLS)
+        assert path.exists()
+        resumed = ResultStore(cache_path=path)
+        assert resumed.stats()["loaded"] == 2
+        monkeypatch.delenv(CHAOS_ENV_VAR)
+        resumed.get_many(self.CELLS)
+        assert resumed.stats()["recomputed"] == 2  # only cells 3 and 4
+
+    def test_skip_mode_leaves_none_holes_and_a_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, chaos_env(schedule={2: "raise"}, persistent=[2])
+        )
+        store = ResultStore(
+            supervise=SuperviseConfig(
+                max_retries=1, backoff_base_s=0.0, on_failure="skip"
+            )
+        )
+        results = store.get_many(self.CELLS)
+        assert results[1] is None
+        assert all(r is not None for i, r in enumerate(results) if i != 1)
+        assert store.stats()["failed_cells"] == 1
+        [entry] = store.failure_manifest()
+        assert entry["outcome"] == "error"
+        assert entry["attempts"] == 2
+        assert "ChaosInjected" in entry["error"]
+        assert entry["policy"] == self.CELLS[1][3].name
+
+    def test_prefetch_reports_failed_cells(self, monkeypatch):
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, chaos_env(schedule={1: "raise"}, persistent=[1])
+        )
+        store = ResultStore(
+            supervise=SuperviseConfig(
+                max_retries=0, backoff_base_s=0.0, on_failure="skip"
+            )
+        )
+        report = store.prefetch(self.CELLS)
+        assert report == {
+            "requested": 4, "cached": 0, "computed": 3, "failed": 1,
+        }

@@ -11,8 +11,10 @@ encoding) shows up as a byte diff.
 
 from __future__ import annotations
 
+from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
 from repro.experiments.grid import build_sample, run_grid
 from repro.experiments.store import ResultStore
+from repro.experiments.supervise import SuperviseConfig
 
 
 def run_campaign(tmp_path, label, n_workers):
@@ -36,3 +38,35 @@ def test_campaign_artifact_is_rerun_stable(tmp_path):
     first, _ = run_campaign(tmp_path, "first", 1)
     second, _ = run_campaign(tmp_path, "second", 1)
     assert first == second
+
+
+def test_chaos_campaign_artifact_matches_clean_serial(tmp_path, monkeypatch):
+    """Worker faults plus recovery must not perturb the artefact.
+
+    A supervised campaign that loses a worker to a crash, sees an
+    injected exception, and catches a garbage return — but ultimately
+    retries every cell to success — has to save the exact same bytes as
+    an untouched serial run. Retries, pool rebuilds and completion
+    reordering are all invisible in the artefact.
+    """
+    clean_bytes, clean_grid = run_campaign(tmp_path, "clean", 1)
+
+    monkeypatch.setenv(
+        CHAOS_ENV_VAR,
+        chaos_env(schedule={2: "raise", 5: "garbage", 9: "crash"}),
+    )
+    cache_path = tmp_path / "chaos.json"
+    store = ResultStore(
+        cache_path=cache_path,
+        n_workers=2,
+        supervise=SuperviseConfig(
+            max_retries=2, backoff_base_s=0.0, on_failure="skip"
+        ),
+    )
+    sample = build_sample(store, limit=4, seed=0)
+    grid = run_grid(store, sample, cores=(2, 3))
+    store.save()
+
+    assert not store.failures  # every fault was transient and recovered
+    assert grid.points == clean_grid.points
+    assert cache_path.read_bytes() == clean_bytes

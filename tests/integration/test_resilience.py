@@ -1,0 +1,114 @@
+"""Integration: a campaign killed mid-grid leaves a resumable cache.
+
+The acceptance scenario for the supervised executor's crash-safe
+persistence: ``kill -TERM`` a real campaign process while it is wedged
+mid-cell and verify that (a) the cache on disk is a complete,
+checksum-verified v2 payload holding every finished cell, and (b) a
+fresh process resumes from it recomputing only the unfinished cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
+from repro.experiments.store import ResultStore
+
+CELLS = [
+    ("milc1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("milc1", "gcc_base6", 3, CacheTakeoverPolicy()),
+    ("omnetpp1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("omnetpp1", "gcc_base6", 3, CacheTakeoverPolicy()),
+]
+
+# The child runs the same four cells serially, checkpointing after every
+# result; the scheduled persistent hang wedges it inside cell 4 forever.
+_CHILD = """
+import sys
+from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.experiments.store import ResultStore
+
+cells = [
+    ("milc1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("milc1", "gcc_base6", 3, CacheTakeoverPolicy()),
+    ("omnetpp1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("omnetpp1", "gcc_base6", 3, CacheTakeoverPolicy()),
+]
+store = ResultStore(
+    cache_path=sys.argv[1],
+    checkpoint_every=1,
+    min_checkpoint_interval_s=0.0,
+)
+store.get_many(cells)
+"""
+
+
+def _read_payload(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def test_sigterm_mid_grid_leaves_verified_resumable_cache(tmp_path):
+    cache = tmp_path / "cache.json"
+    src = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env[CHAOS_ENV_VAR] = chaos_env(
+        schedule={4: "hang"}, persistent=[4], hang_s=600.0
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, str(cache)],
+        env=env,
+        cwd=tmp_path,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            payload = _read_payload(cache)
+            if payload and payload.get("n_rows", 0) >= 3:
+                break
+            if child.poll() is not None:
+                raise AssertionError(
+                    f"campaign exited early (rc={child.returncode})"
+                )
+            time.sleep(0.1)
+        else:
+            raise AssertionError("campaign never checkpointed 3 cells")
+
+        # The child is now wedged inside cell 4 (injected hang).
+        child.send_signal(signal.SIGTERM)
+        child.wait(timeout=30.0)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=10.0)
+
+    # The chained handler flushed a checkpoint, then let SIGTERM kill.
+    assert child.returncode == -signal.SIGTERM
+
+    payload = _read_payload(cache)
+    assert payload is not None
+    rows = payload["rows"]
+    assert payload["version"] == 2
+    assert payload["n_rows"] == len(rows) == 3
+    canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+    assert payload["sha256"] == hashlib.sha256(canonical.encode()).hexdigest()
+
+    # Resume without chaos: only the wedged cell is recomputed.
+    resumed = ResultStore(cache_path=cache)
+    assert resumed.stats()["loaded"] == 3
+    results = resumed.get_many(CELLS)
+    assert all(r is not None for r in results)
+    assert resumed.stats()["recomputed"] == 1

@@ -118,5 +118,19 @@ class TestRender:
             summarise_metrics([{"kind": "_corrupt"}])
         )
         assert "[1 corrupt line(s) skipped]" in text
+
+    def test_failed_cells_counted_and_rendered(self):
+        records = [
+            {"kind": "supervise.quarantine", "run": "r1", "ts": 1.0},
+            {"kind": "supervise.quarantine", "run": "r1", "ts": 2.0},
+            {"kind": "supervise.retry", "run": "r1", "ts": 1.5},
+        ]
+        summary = summarise_metrics(records)
+        assert summary["n_failed_cells"] == 2
+        assert "n_failed_cells: 2" in render_metrics_summary(summary)
+
+    def test_no_quarantines_renders_zero(self):
+        text = render_metrics_summary(summarise_metrics([]))
+        assert "n_failed_cells: 0" in text
         assert "Counters" not in text
         assert "Histograms" not in text
