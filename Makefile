@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test chaos conformance coverage golden bench bench-quick bench-json bench-full examples clean
+.PHONY: all install lint test fastmath chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test chaos conformance
+all: lint test chaos conformance bench-fast-quick
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ lint:             ## ruff, if installed (config in .ruff.toml); skipped otherwis
 
 test:
 	pytest tests/
+
+fastmath:         ## fast_math-marked suites (catalog-wide fast-vs-exact sweeps; slow)
+	pytest tests/ -m fast_math
 
 chaos:            ## chaos-marked fault-injection suites (worker crash/hang fuzz; fixed seeds)
 	pytest tests/ -m chaos
@@ -52,6 +55,12 @@ bench-json:       ## refresh + report benchmarks/results/BENCH_headline.json onl
 
 bench-full:       ## paper-scale campaign (3481 pairs, 120-workload grid)
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+bench-fast:       ## fast-math speedup gate: full 3481-pair grid, exact vs fast, floor 5x
+	PYTHONPATH=src python benchmarks/bench_fast.py
+
+bench-fast-quick: ## fast-math speedup gate on the truncated population (floor 3x)
+	PYTHONPATH=src python benchmarks/bench_fast.py --quick
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

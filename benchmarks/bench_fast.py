@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Fast-math solver speedup gate (``make bench-fast``).
+
+Times the steady-state solver kernel over the paper-scale operating-point
+population — every pair of the 59-app catalog (the Figure 1 / CT
+classification sweep's 3481 mixes) under the unmanaged partition and four
+HP/BE splits — once with the bitwise-exact kernel and once with the
+tolerance-contracted fast kernel (DESIGN.md §10), both as one fused batch
+per mode, exactly how fast-mode campaigns submit work.
+
+Reports ``fast_speedup = exact_wall / fast_wall`` (best-of-N per mode),
+verifies the fast results against the exact ones with the runtime accuracy
+contract, merges the numbers into ``BENCH_headline.json`` (top-level
+``fast_speedup`` plus a ``fast`` detail block), and exits non-zero when the
+speedup lands below ``--min-speedup`` (default 5.0; quick mode relaxes the
+floor because narrow populations amortise the batch setup worse).
+
+Usage::
+
+    python benchmarks/bench_fast.py                  # full 3481-pair gate
+    python benchmarks/bench_fast.py --quick          # truncated, floor 3.0
+    python benchmarks/bench_fast.py --min-speedup 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Default artefact the speedup is merged into.
+DEFAULT_BENCH_JSON = Path(__file__).parent / "results" / "BENCH_headline.json"
+
+#: HP way splits sampled per pair (plus the unmanaged partition) — the
+#: corners of DICER's sampling grid on the Table-1 platform.
+HP_WAY_SPLITS = (5, 9, 13, 17)
+
+#: Acceptance floors. Quick mode shrinks the population ~8x, so per-batch
+#: setup overhead weighs heavier and the floor relaxes accordingly.
+MIN_SPEEDUP_FULL = 5.0
+MIN_SPEEDUP_QUICK = 3.0
+
+
+def build_population(limit: int | None = None) -> list[tuple]:
+    """Operating points of the full pair grid (phases, partition, mba)."""
+    from repro.sim.partition import PartitionSpec
+    from repro.sim.platform import TABLE1_PLATFORM
+    from repro.workloads.catalog import app_names
+    from repro.workloads.mix import make_mix
+
+    names = app_names()[:limit]
+    points: list[tuple] = []
+    for hp, be in itertools.product(names, names):
+        mix = make_mix(hp, be, n_be=9)
+        phases = tuple(app.phases[0] for app in mix.apps())
+        n = len(phases)
+        partitions = [
+            PartitionSpec.unmanaged(n, TABLE1_PLATFORM.llc_ways)
+        ] + [
+            PartitionSpec.hp_be(
+                w, n_cores=n, total_ways=TABLE1_PLATFORM.llc_ways
+            )
+            for w in HP_WAY_SPLITS
+        ]
+        for partition in partitions:
+            points.append((phases, partition, None))
+    return points
+
+
+def time_mode(points: list[tuple], precision: str, rounds: int) -> tuple:
+    """(best wall seconds, results) for one fused batch in ``precision``."""
+    from repro.sim.contention import solve_steady_state_batch
+    from repro.sim.platform import TABLE1_PLATFORM
+
+    best = None
+    results = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        results = solve_steady_state_batch(
+            TABLE1_PLATFORM, points, precision=precision
+        )
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    return best, results
+
+
+def check_contract(fast, exact) -> tuple[int, float]:
+    """(violation count, worst relative IPC error) across the population."""
+    import numpy as np
+
+    from repro.sim.contention import _fast_contract_violations
+
+    violations = 0
+    worst = 0.0
+    for f, e in zip(fast, exact):
+        if _fast_contract_violations(f, e):
+            violations += 1
+        worst = max(
+            worst,
+            float(np.max(np.abs(f.ipc - e.ipc) / np.abs(e.ipc))),
+        )
+    return violations, worst
+
+
+def merge_artefact(path: Path, fast_block: dict) -> None:
+    """Fold the speedup into BENCH_headline.json (create it if absent)."""
+    payload: dict = {"schema": 1}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass  # keep the artefact usable even over a torn previous write
+    payload["fast_speedup"] = fast_block["speedup"]
+    payload["fast"] = fast_block
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="truncate the catalog to 16 apps (~1280 points) and relax "
+        f"the floor to {MIN_SPEEDUP_QUICK}x",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="acceptance floor for exact/fast wall-clock ratio "
+        f"(default {MIN_SPEEDUP_FULL}, quick {MIN_SPEEDUP_QUICK})",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="timing rounds per mode; the best round counts (default 3)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=DEFAULT_BENCH_JSON,
+        metavar="PATH",
+        help="BENCH_headline.json to merge fast_speedup into",
+    )
+    args = parser.parse_args(argv)
+    floor = args.min_speedup
+    if floor is None:
+        floor = MIN_SPEEDUP_QUICK if args.quick else MIN_SPEEDUP_FULL
+
+    points = build_population(limit=16 if args.quick else None)
+    pairs = len(points) // (1 + len(HP_WAY_SPLITS))
+    print(
+        f"fast-math gate: {len(points)} operating points "
+        f"({pairs} pairs x {1 + len(HP_WAY_SPLITS)} partitions, "
+        f"{'quick' if args.quick else 'full'} population)"
+    )
+
+    t_exact, exact = time_mode(points, "exact", args.rounds)
+    t_fast, fast = time_mode(points, "fast", args.rounds)
+    speedup = t_exact / t_fast
+    violations, worst = check_contract(fast, exact)
+
+    print(
+        f"  exact: {t_exact:.3f}s   fast: {t_fast:.3f}s   "
+        f"speedup: {speedup:.2f}x (floor {floor}x)"
+    )
+    print(
+        f"  accuracy contract: {violations} violation(s), "
+        f"worst |ipc rel err| {worst:.3e}"
+    )
+
+    merge_artefact(
+        args.bench_json,
+        {
+            "speedup": round(speedup, 3),
+            "exact_wall_s": round(t_exact, 4),
+            "fast_wall_s": round(t_fast, 4),
+            "n_points": len(points),
+            "quick": args.quick,
+            "rounds": args.rounds,
+            "contract_violations": violations,
+            "worst_ipc_rel_err": float(f"{worst:.6e}"),
+        },
+    )
+    print(f"  merged into {args.bench_json}")
+
+    if violations:
+        print(f"FAIL: {violations} point(s) broke the accuracy contract")
+        return 1
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.2f}x below the {floor}x floor")
+        return 1
+    print("OK: fast kernel clears the speedup floor with the contract held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.exit(main())

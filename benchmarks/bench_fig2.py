@@ -4,7 +4,7 @@ Paper: 50 % of applications reach 99 % of peak with 6 ways; 90 % reach
 90 % of peak with 5 ways.
 """
 
-from conftest import FULL, LIMIT, RESULTS_DIR, publish
+from conftest import FULL, LIMIT, PRECISION, RESULTS_DIR, publish
 
 from repro.experiments.fig2 import render_fig2, run_fig2
 from repro.experiments.reporting import fig2_to_csv
@@ -12,7 +12,7 @@ from repro.experiments.reporting import fig2_to_csv
 
 def bench_fig2(benchmark):
     data = benchmark.pedantic(
-        lambda: run_fig2(limit=LIMIT), rounds=1, iterations=1
+        lambda: run_fig2(limit=LIMIT, precision=PRECISION), rounds=1, iterations=1
     )
     publish("fig2", render_fig2(data))
     out = RESULTS_DIR.parent / ("results_full" if FULL else "results")

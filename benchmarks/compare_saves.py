@@ -74,17 +74,35 @@ def report_bench_json(path: Path, history: Path | None = None) -> list[str]:
     Returns the report lines (also useful for tests); appends the current
     payload to ``history`` (default: ``BENCH_history.jsonl`` next to the
     artefact) so successive runs can be compared. Never gates.
+
+    Schema drift is tolerated in both directions: rows written before a
+    field existed (older histories have no ``precision``, no fast-kernel
+    counters, no ``fast`` block) read as absent and render without a
+    previous value, and fields this version does not know about are
+    simply carried along in the history. Every row appended here records
+    the solver ``precision`` it ran under (absent = the pre-fast-math
+    era, i.e. "exact").
     """
     payload = json.loads(path.read_text())
+    payload.setdefault("precision", "exact")
     history = history or path.with_name("BENCH_history.jsonl")
     previous = None
     if history.exists():
         lines = [ln for ln in history.read_text().splitlines() if ln.strip()]
         if lines:
-            previous = json.loads(lines[-1])
+            try:
+                previous = json.loads(lines[-1])
+            except json.JSONDecodeError:
+                previous = None  # torn last line: diff against nothing
+    if not isinstance(previous, dict):
+        previous = None
 
     solver = payload.get("solver", {})
+    if not isinstance(solver, dict):
+        solver = {}
     cache = payload.get("steady_cache", {})
+    if not isinstance(cache, dict):
+        cache = {}
     report = [f"perf artefact: {path}"]
 
     def fmt(label: str, value, prev_value, unit: str = "") -> str:
@@ -97,7 +115,18 @@ def report_bench_json(path: Path, history: Path | None = None) -> list[str]:
         return line
 
     prev_solver = (previous or {}).get("solver", {})
+    if not isinstance(prev_solver, dict):
+        prev_solver = {}
     prev_cache = (previous or {}).get("steady_cache", {})
+    if not isinstance(prev_cache, dict):
+        prev_cache = {}
+    prev_precision = (previous or {}).get("precision", "exact")
+    report.append(f"  precision: {payload['precision']}")
+    if previous is not None and prev_precision != payload["precision"]:
+        report.append(
+            f"  (previous run used precision={prev_precision} — "
+            "wall-clock deltas compare different solver modes)"
+        )
     report.append(
         fmt("  wall_clock", payload.get("wall_clock_s"),
             (previous or {}).get("wall_clock_s"), "s")
@@ -106,19 +135,36 @@ def report_bench_json(path: Path, history: Path | None = None) -> list[str]:
         "total_points",
         "scalar_solves",
         "batch_solves",
+        "fast_solves",
+        "fast_points",
         "mean_batch_size",
         "points_per_python_call",
         "scalar_call_reduction",
         "scalar_iterations",
         "batch_iterations",
+        "fast_iterations",
     ):
-        report.append(fmt(f"  solver.{key}", solver.get(key), prev_solver.get(key)))
+        value = solver.get(key)
+        if value is None and prev_solver.get(key) is None:
+            continue  # field absent on both sides (older schema)
+        report.append(fmt(f"  solver.{key}", value, prev_solver.get(key)))
     report.append(
         fmt("  steady_cache.hit_rate", cache.get("hit_rate"),
             prev_cache.get("hit_rate"))
     )
+    if payload.get("fast_speedup") is not None or (
+        previous or {}
+    ).get("fast_speedup") is not None:
+        report.append(
+            fmt("  fast_speedup", payload.get("fast_speedup"),
+                (previous or {}).get("fast_speedup"), "x")
+        )
 
     with history.open("a") as fh:
+        # A torn previous write may have left the file without a trailing
+        # newline; never glue the new row onto it.
+        if history.stat().st_size and not history.read_text().endswith("\n"):
+            fh.write("\n")
         fh.write(json.dumps(payload) + "\n")
     return report
 

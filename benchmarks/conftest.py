@@ -38,12 +38,18 @@ CORES = (2, 3, 4, 5, 6, 7, 8, 9, 10) if FULL else (2, 4, 6, 8, 10)
 #: Campaign worker processes (REPRO_WORKERS: 1 = serial, 0 = auto-detect).
 WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
 
+#: Solver precision the campaign runs under (DESIGN.md §10). Benchmarks
+#: default to the fast tolerance-contracted kernel — that is the mode
+#: campaigns ship with; set REPRO_PRECISION=exact to time the
+#: bitwise-reproducible path instead.
+PRECISION = os.environ.get("REPRO_PRECISION", "fast")
+
 
 @pytest.fixture(scope="session")
 def store() -> ResultStore:
     """One memoising store for the whole harness — Figures 1 and 4-8 share
     most of their underlying executions."""
-    return ResultStore(n_workers=WORKERS)
+    return ResultStore(n_workers=WORKERS, precision=PRECISION)
 
 
 @pytest.fixture(scope="session")
@@ -107,12 +113,14 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     batch_solves = counters["batch_solves"]
     total_points = scalar + batch_points
     cache = GLOBAL_STEADY_CACHE.stats()
+    lifetime = cache.pop("lifetime")
     lookups = cache["hits"] + cache["misses"]
     payload = {
         "schema": 1,
         "full": FULL,
         "limit": LIMIT,
         "workers": WORKERS,
+        "precision": PRECISION,
         "wall_clock_s": round(time.perf_counter() - SESSION_PERF["t0"], 3),
         "headline_wall_s": (
             None
@@ -138,6 +146,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
         "steady_cache": {
             **cache,
             "hit_rate": round(cache["hits"] / lookups, 4) if lookups else None,
+            "lifetime": lifetime,
         },
     }
     out_dir = RESULTS_DIR.parent / ("results_full" if FULL else "results")

@@ -128,6 +128,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default), 0 = auto-detect from CPU count, N = that many "
         "processes; results are identical at any worker count",
     )
+    parser.add_argument(
+        "--precision",
+        choices=("exact", "fast"),
+        default="fast",
+        help="steady-state solver mode (DESIGN.md §10): 'fast' (default) "
+        "uses the tolerance-contracted vectorised kernel (<=1e-3 relative "
+        "error vs exact), 'exact' keeps bitwise-reproducible scalar "
+        "parity — golden/conformance tooling pins exact",
+    )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--hp", type=str, default="omnetpp1",
                         help="HP application (run / recommend)")
@@ -268,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
             experiment=exp,
             limit=args.limit,
             workers=args.workers,
+            precision=args.precision,
         )
 
     try:
@@ -289,8 +299,19 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if telemetry:
             registry = obs.get_registry()
-            for key, value in GLOBAL_STEADY_CACHE.stats().items():
+            stats = GLOBAL_STEADY_CACHE.stats()
+            lifetime = stats.pop("lifetime")
+            for key, value in stats.items():
                 registry.gauge(f"steady_cache.{key}").set(value)
+            for key in ("hits", "misses", "hit_rate"):
+                registry.gauge(f"steady_cache.lifetime.{key}").set(
+                    lifetime[key]
+                )
+            for mode, counts in lifetime["by_precision"].items():
+                for key, value in counts.items():
+                    registry.gauge(
+                        f"steady_cache.lifetime.{mode}.{key}"
+                    ).set(value)
             obs.emit("campaign.end", experiment=exp)
             obs.finalise()
     return 0
@@ -327,6 +348,7 @@ def _render_failures(store: ResultStore) -> str:
         [
             f"{f['hp_name']}+{f['n_be']}x{f['be_name']}",
             f["policy"],
+            f["precision"],
             f["attempts"],
             f["outcome"],
             f["error"] or "-",
@@ -334,7 +356,7 @@ def _render_failures(store: ResultStore) -> str:
         for f in store.failure_manifest()
     ]
     return format_table(
-        ["cell", "policy", "attempts", "outcome", "error"],
+        ["cell", "policy", "precision", "attempts", "outcome", "error"],
         rows,
         title=f"Failure manifest: {len(rows)} quarantined cell(s)",
     )
@@ -342,15 +364,20 @@ def _render_failures(store: ResultStore) -> str:
 
 def _dispatch(exp: str, args: argparse.Namespace) -> None:
     """Run one experiment and print its rendering."""
-    store = ResultStore(
-        cache_path=args.cache,
-        n_workers=args.workers,
-        supervise=SuperviseConfig(
-            max_retries=args.max_retries,
-            cell_timeout_s=args.cell_timeout,
-            on_failure=args.on_failure,
-        ),
-    )
+    try:
+        store = ResultStore(
+            cache_path=args.cache,
+            n_workers=args.workers,
+            supervise=SuperviseConfig(
+                max_retries=args.max_retries,
+                cell_timeout_s=args.cell_timeout,
+                on_failure=args.on_failure,
+            ),
+            precision=args.precision,
+        )
+    except ValueError as exc:
+        # e.g. --cache written under the other --precision mode
+        raise SystemExit(f"{exp}: {exc}") from None
 
     if exp == "table1":
         print(render_table1())
@@ -361,7 +388,7 @@ def _dispatch(exp: str, args: argparse.Namespace) -> None:
             )
         )
     elif exp == "fig2":
-        print(render_fig2(run_fig2(limit=args.limit)))
+        print(render_fig2(run_fig2(limit=args.limit, precision=args.precision)))
     elif exp == "fig3":
         print(render_fig3(run_fig3()))
     elif exp in GRID_FIGURES:

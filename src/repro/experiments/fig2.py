@@ -42,17 +42,23 @@ def run_fig2(
     *,
     limit: int | None = None,
     targets: tuple[float, ...] = PAPER_TARGETS,
+    precision: str = "exact",
 ) -> Fig2Data:
     """Sweep each catalog application's solo IPC over 1..20 ways."""
     names = app_names()[:limit]
     min_ways: dict[float, dict[str, float]] = {t: {} for t in targets}
     for name in names:
         app = get_app(name)
-        peak = solo_ipc_at_ways(app, platform, platform.llc_ways)
+        peak = solo_ipc_at_ways(
+            app, platform, platform.llc_ways, precision=precision
+        )
         for target in targets:
             needed = math.inf
             for ways in range(1, platform.llc_ways + 1):
-                if solo_ipc_at_ways(app, platform, ways) >= target * peak:
+                ipc = solo_ipc_at_ways(
+                    app, platform, ways, precision=precision
+                )
+                if ipc >= target * peak:
                     needed = float(ways)
                     break
             min_ways[target][name] = needed

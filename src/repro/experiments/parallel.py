@@ -60,7 +60,9 @@ def run_cell(
 
 
 def _prewarm_solo_profiles(
-    platform: PlatformConfig, cells: list[Cell]
+    platform: PlatformConfig,
+    cells: list[Cell],
+    run_kwargs: dict | None = None,
 ) -> None:
     """Batch-solve the solo baselines every cell will normalise against.
 
@@ -68,11 +70,14 @@ def _prewarm_solo_profiles(
     feeds the distinct apps of the whole campaign into the vectorised
     solver, instead of each cell cold-solving its own pair of profiles.
     Apps missing from the catalog (tests with synthetic names) are simply
-    skipped — the cell itself will raise the right error.
+    skipped — the cell itself will raise the right error. Honours the
+    campaign's solver ``precision`` (from ``run_kwargs``) so the prewarmed
+    profiles are the ones the cells will actually look up.
     """
     from repro.sim.solo import prewarm_profiles
     from repro.workloads.catalog import catalog
 
+    precision = (run_kwargs or {}).get("precision", "exact")
     apps = catalog()
     names: list[str] = []
     seen: set[str] = set()
@@ -82,8 +87,64 @@ def _prewarm_solo_profiles(
                 seen.add(name)
                 names.append(name)
     prewarm_profiles(
-        [apps[name] for name in names if name in apps], platform
+        [apps[name] for name in names if name in apps],
+        platform,
+        precision=precision,
     )
+
+
+def _prewarm_phase_products(
+    platform: PlatformConfig,
+    cells: list[Cell],
+    run_kwargs: dict | None = None,
+    max_points_per_cell: int = 64,
+) -> int:
+    """Fuse the phase-product operating points of many cells into one batch.
+
+    Fast-mode serial campaigns only. Each cell's execution starts from its
+    policy's *initial* partition and (absent MBA throttling) visits exactly
+    the phase cross product — the same points
+    :meth:`~repro.sim.server.Server.prefetch_phase_product` would solve one
+    cell at a time. Aggregating them across the whole campaign hands the
+    vectorised fast kernel one wide fused batch instead of hundreds of
+    narrow ones, which is where its throughput comes from (DESIGN.md §10).
+
+    A no-op for ``precision="exact"`` (the scalar-parity path keeps its
+    historical per-cell solve pattern) and for cells whose mix or policy
+    setup fails — those cells surface their own errors when they run.
+    Returns the number of operating points submitted.
+    """
+    from repro.sim.contention import GLOBAL_STEADY_CACHE
+    from repro.sim.partition import PartitionSpec
+    from repro.sim.server import phase_product_points
+
+    precision = (run_kwargs or {}).get("precision", "exact")
+    if precision != "fast":
+        return 0
+    points: list[tuple] = []
+    seen: set[tuple] = set()
+    for hp_name, be_name, n_be, policy in cells:
+        cell_key = (hp_name, be_name, n_be, policy.name)
+        if cell_key in seen:
+            continue
+        seen.add(cell_key)
+        try:
+            mix = make_mix(hp_name, be_name, n_be=n_be)
+            models = mix.apps()
+            allocation = policy.fresh().setup(platform.llc_ways)
+            partition = (
+                allocation.to_partition(len(models))
+                if allocation is not None
+                else PartitionSpec.unmanaged(len(models), platform.llc_ways)
+            )
+        except Exception:
+            continue
+        points.extend(
+            phase_product_points(models, partition, None, max_points_per_cell)
+        )
+    if points:
+        GLOBAL_STEADY_CACHE.solve_many(platform, points, precision="fast")
+    return len(points)
 
 
 class ParallelExecutor:

@@ -66,8 +66,15 @@ def run_pair(
     *,
     max_time_s: float = 4000.0,
     record_timeline: bool = False,
+    precision: str = "exact",
 ) -> PairResult:
-    """Execute ``mix`` under ``policy`` and compute the paper's metrics."""
+    """Execute ``mix`` under ``policy`` and compute the paper's metrics.
+
+    ``precision`` selects the steady-state solver mode for every solve in
+    the run — event loop, prefetches, and solo baselines alike ("exact" =
+    bitwise-reproducible scalar parity, "fast" = tolerance-contracted
+    vectorised kernel; DESIGN.md §10).
+    """
     apps = mix.apps()
     n_cores = len(apps)
     policy = policy.fresh()
@@ -78,7 +85,13 @@ def run_pair(
         if allocation is not None
         else PartitionSpec.unmanaged(n_cores, platform.llc_ways)
     )
-    server = Server(platform, apps, partition, record_timeline=record_timeline)
+    server = Server(
+        platform,
+        apps,
+        partition,
+        record_timeline=record_timeline,
+        precision=precision,
+    )
 
     trace: tuple[DecisionRecord, ...] = ()
     if policy.dynamic:
@@ -106,8 +119,8 @@ def run_pair(
         server.prefetch_phase_product()
         server.run_until_all_complete(max_time_s=max_time_s)
 
-    solo_hp = solo_profile(mix.hp, platform)
-    solo_be = solo_profile(mix.be, platform)
+    solo_hp = solo_profile(mix.hp, platform, precision=precision)
+    solo_be = solo_profile(mix.be, platform, precision=precision)
     duration = server.time
     freq = platform.freq_hz
 
@@ -158,6 +171,7 @@ def run_custom(
     platform: PlatformConfig = TABLE1_PLATFORM,
     *,
     max_time_s: float = 4000.0,
+    precision: str = "exact",
 ) -> CustomResult:
     """Execute a :class:`~repro.workloads.mix.HeterogeneousMix`.
 
@@ -174,7 +188,7 @@ def run_custom(
         if allocation is not None
         else PartitionSpec.unmanaged(n_cores, platform.llc_ways)
     )
-    server = Server(platform, apps, partition)
+    server = Server(platform, apps, partition, precision=precision)
 
     trace: tuple[DecisionRecord, ...] = ()
     if policy.dynamic:
@@ -200,7 +214,7 @@ def run_custom(
     freq = platform.freq_hz
     norms = []
     for running, model in zip(server.apps, apps):
-        solo = solo_profile(model, platform)
+        solo = solo_profile(model, platform, precision=precision)
         norms.append(
             running.total_instructions / (freq * duration) / solo.avg_ipc
         )

@@ -49,6 +49,7 @@ from repro.experiments.supervise import (
 )
 from repro.obs import get_event_log, get_registry
 from repro.experiments.runner import PairResult, run_pair
+from repro.sim.contention import _check_precision
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.workloads.mix import make_mix
 
@@ -143,6 +144,14 @@ class ResultStore:
     min_checkpoint_interval_s:
         Override of the mid-campaign checkpoint rate limit (mostly for
         tests; campaigns keep the default).
+    precision:
+        Solver precision every execution in this store runs under
+        ("exact" = bitwise-reproducible, "fast" = tolerance-contracted
+        vectorised kernel; DESIGN.md §10). A store is single-mode: the
+        mode is stamped into the persisted cache, a cache written under
+        the other mode refuses to load, and per-request ``precision``
+        overrides that disagree with the store are rejected — fast and
+        exact results never merge into one save.
     """
 
     #: Minimum seconds between mid-campaign checkpoint rewrites.
@@ -157,8 +166,10 @@ class ResultStore:
         checkpoint_every: int = 256,
         supervise: SuperviseConfig | None = None,
         min_checkpoint_interval_s: float | None = None,
+        precision: str = "exact",
     ) -> None:
         self.platform = platform
+        self.precision = _check_precision(precision)
         self._supervise = supervise if supervise is not None else SuperviseConfig()
         self._executor = SupervisedExecutor(n_workers, config=self._supervise)
         if checkpoint_every < 1:
@@ -201,6 +212,22 @@ class ResultStore:
         hp_name, be_name, n_be, policy = cell
         return (hp_name, be_name, n_be, policy.name)
 
+    def _run_kwargs(self, run_kwargs: dict) -> dict:
+        """Stamp the store's precision into per-request run kwargs.
+
+        An explicit ``precision`` that matches the store is redundant but
+        allowed; one that disagrees would mix solver modes inside a single
+        cache file and is refused.
+        """
+        requested = run_kwargs.get("precision")
+        if requested is not None and requested != self.precision:
+            raise ValueError(
+                f"store runs precision={self.precision!r}; refusing "
+                f"per-request precision={requested!r} (mixed-mode results "
+                "must not merge into one cache)"
+            )
+        return {**run_kwargs, "precision": self.precision}
+
     # -- execution ---------------------------------------------------------
 
     def get(
@@ -212,6 +239,7 @@ class ResultStore:
         **run_kwargs,
     ) -> PairResult:
         """Fetch (or run and memoise) one experiment."""
+        run_kwargs = self._run_kwargs(run_kwargs)
         key = (hp_name, be_name, n_be, policy.name)
         registry = get_registry()
         result = self._results.get(key)
@@ -264,6 +292,7 @@ class ResultStore:
         flushes a checkpoint before the process dies.
         """
         cells = list(cells)
+        run_kwargs = self._run_kwargs(run_kwargs)
         keys = [self._key(cell) for cell in cells]
         pending: dict[tuple[str, str, int, str], Cell] = {}
         for key, cell in zip(keys, cells):
@@ -294,7 +323,7 @@ class ResultStore:
                     outcome = self._executor.run(
                         list(pending.values()),
                         self.platform,
-                        run_kwargs=run_kwargs or None,
+                        run_kwargs=run_kwargs,
                         on_result=merge,
                     )
             finally:
@@ -345,6 +374,7 @@ class ResultStore:
                 "be_name": f.be_name,
                 "n_be": f.n_be,
                 "policy": f.policy,
+                "precision": f.precision,
                 "attempts": len(f.attempts),
                 "outcome": f.last_error.outcome if f.last_error else "?",
                 "error": (
@@ -453,6 +483,7 @@ class ResultStore:
         ]
         payload = {
             "version": _CACHE_VERSION,
+            "precision": self.precision,
             "n_rows": len(rows),
             "sha256": _rows_digest(rows),
             "rows": rows,
@@ -541,6 +572,9 @@ class ResultStore:
             )
             return
         salvaged = False
+        # Caches that predate the precision stamp were all written by the
+        # bitwise-exact solver.
+        file_precision = "exact"
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError:
@@ -551,6 +585,7 @@ class ResultStore:
                 # Legacy v1 layout: a bare row list, no integrity data.
                 rows = payload
             elif isinstance(payload, dict):
+                file_precision = payload.get("precision", "exact")
                 rows = payload.get("rows")
                 if not isinstance(rows, list):
                     rows = self._quarantine_corrupt(raw, "no row array")
@@ -568,6 +603,19 @@ class ResultStore:
             else:
                 rows = self._quarantine_corrupt(raw, "unexpected payload type")
                 salvaged = True
+        if not salvaged and file_precision != self.precision:
+            raise ValueError(
+                f"result cache {self._cache_path} was written under "
+                f"precision={file_precision!r} but this store runs "
+                f"precision={self.precision!r}; refusing to merge "
+                "mixed-mode results (use a separate cache path per mode)"
+            )
+        if salvaged and self.precision != file_precision:
+            # A corrupt cache carries no trustworthy precision stamp;
+            # salvaged rows are assumed exact and must not leak into a
+            # fast-mode store.
+            self._n_dropped += len(rows)
+            rows = []
         for row in rows:
             try:
                 result = PairResult(**row)

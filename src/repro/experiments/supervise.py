@@ -169,6 +169,9 @@ class FailedCell:
     n_be: int
     policy: str
     attempts: tuple[AttemptRecord, ...] = ()
+    #: Solver precision the cell was running under when it was condemned
+    #: ("exact" or "fast") — fast-math failures must be re-triageable.
+    precision: str = "exact"
 
     @property
     def last_error(self) -> AttemptRecord | None:
@@ -361,7 +364,9 @@ class SupervisedExecutor:
     # -- shared plumbing -----------------------------------------------------
 
     @staticmethod
-    def _failed_cell(state: _CellState) -> FailedCell:
+    def _failed_cell(
+        state: _CellState, run_kwargs: dict | None = None
+    ) -> FailedCell:
         hp_name, be_name, n_be, policy = state.cell
         return FailedCell(
             index=state.index,
@@ -370,6 +375,7 @@ class SupervisedExecutor:
             n_be=n_be,
             policy=getattr(policy, "name", str(policy)),
             attempts=tuple(state.attempts),
+            precision=(run_kwargs or {}).get("precision", "exact"),
         )
 
     def _record_attempt(
@@ -420,7 +426,11 @@ class SupervisedExecutor:
         run_kwargs: dict | None,
         on_result,
     ) -> CampaignOutcome:
-        from repro.experiments.parallel import _prewarm_solo_profiles, run_cell
+        from repro.experiments.parallel import (
+            _prewarm_phase_products,
+            _prewarm_solo_profiles,
+            run_cell,
+        )
 
         config = self.config
         registry = get_registry()
@@ -432,7 +442,10 @@ class SupervisedExecutor:
                     timeout_s=config.cell_timeout_s,
                     reason="serial in-process execution cannot be preempted",
                 )
-        _prewarm_solo_profiles(platform, cells)
+        _prewarm_solo_profiles(platform, cells, run_kwargs)
+        # Fast-mode campaigns additionally fuse every cell's phase-product
+        # operating points into one wide batch up front (no-op for exact).
+        _prewarm_phase_products(platform, cells, run_kwargs)
         outcome = CampaignOutcome(results=[None] * len(cells))
         for index, cell in enumerate(cells):
             state = _CellState(index, cell)
@@ -477,7 +490,7 @@ class SupervisedExecutor:
                         time.sleep(delay)
                     continue
 
-                failure = self._failed_cell(state)
+                failure = self._failed_cell(state, run_kwargs)
                 self._emit_recovery("quarantine", state, outcome=kind)
                 if config.on_failure == "abort":
                     raise CampaignError(
@@ -559,7 +572,7 @@ class SupervisedExecutor:
 
         def quarantine(state: _CellState, exc: BaseException | None) -> None:
             nonlocal unresolved, abort
-            failure = self._failed_cell(state)
+            failure = self._failed_cell(state, run_kwargs)
             self._emit_recovery(
                 "quarantine",
                 state,

@@ -20,19 +20,38 @@ same iteration simultaneously with masked NumPy lanes (see DESIGN.md §7):
 converged lanes freeze, stragglers keep iterating, and every elementwise
 operation reproduces the scalar solver's op sequence so each lane's result
 is byte-identical to a scalar cold solve of the same point.
+
+Both solvers take ``precision`` (DESIGN.md §10). ``"exact"`` (the library
+default) is the bitwise contract above. ``"fast"`` trades it for a
+*tolerance* contract — results agree with the exact kernel to within
+:data:`FAST_REL_TOL` / :data:`FAST_WAYS_ATOL` — in exchange for a fully
+vectorised kernel: ``np.power`` queue tails, vectorised transcendental MRC
+evaluation, and lane-batched pressure sharing, with no masked-scalar tail.
+Fast results are still *pure per lane*: a lane's bits depend only on its
+own operating point, never on batch composition, so fused cross-cell
+batches, memoisation and the serial-vs-parallel determinism audit all keep
+working. Set ``REPRO_FAST_CHECK=1`` to shadow every fast solve with an
+exact solve and assert the contract at runtime.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.obs import get_registry
-from repro.sim.llc import effective_ways, waterfill
+from repro.sim.llc import (
+    effective_ways,
+    effective_ways_batch,
+    waterfill,
+    waterfill_batch,
+)
 from repro.sim.membus import MemoryLink
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
@@ -41,26 +60,99 @@ from repro.workloads.app import Phase
 __all__ = [
     "SteadyState",
     "ConvergenceError",
+    "FastContractError",
+    "PRECISIONS",
+    "FAST_REL_TOL",
+    "FAST_WAYS_ATOL",
     "solve_steady_state",
     "solve_steady_state_batch",
     "SteadyStateCache",
     "GLOBAL_STEADY_CACHE",
     "solver_counters",
     "reset_solver_counters",
+    "record_solver_points",
 ]
+
+#: The solver's precision modes (DESIGN.md §10).
+PRECISIONS = ("exact", "fast")
+
+#: Accuracy contract of ``precision="fast"`` against ``"exact"``, per lane:
+#: relative bound on ipc / bandwidth / latency / utilisation, and an
+#: absolute bound (in ways) on allocations and miss ratios. Derived
+#: empirically — the full-catalog sweep in tests/sim/test_fastmath.py
+#: measures the worst observed divergence (different damping trajectories
+#: may stop at different points within the fixed-point tolerance ball, plus
+#: ulp-level ``np.exp``/``np.power`` vs ``math``/Python differences) and
+#: these bounds sit an order of magnitude above it. Enforced by the
+#: property tests and, when ``REPRO_FAST_CHECK=1``, at runtime.
+FAST_REL_TOL = 1e-3
+FAST_WAYS_ATOL = 0.05
 
 #: Process-wide solver instrumentation, always on (plain dict increments are
 #: ~free next to a solve). ``scalar_solves`` counts calls into the Python
 #: solver, ``batch_points`` counts operating points that went through the
-#: vectorised kernel instead; their ratio is the headline "fewer per-point
-#: Python solver calls" metric in BENCH_headline.json.
+#: bitwise-exact vectorised kernel, ``fast_points`` the points solved by
+#: the tolerance-contracted fast kernel; ``scalar + batch + fast`` points
+#: over Python-level calls is the headline "fewer per-point Python solver
+#: calls" metric in BENCH_headline.json.
 SOLVER_COUNTERS: dict[str, int] = {
     "scalar_solves": 0,
     "scalar_iterations": 0,
     "batch_solves": 0,
     "batch_points": 0,
     "batch_iterations": 0,
+    "fast_solves": 0,
+    "fast_points": 0,
+    "fast_iterations": 0,
 }
+
+
+def _check_precision(precision: str) -> str:
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+#: Active point recorder (see :func:`record_solver_points`); ``None`` when
+#: recording is off.
+_POINT_RECORDER: list | None = None
+
+
+@contextmanager
+def record_solver_points():
+    """Capture every cold operating point the solvers see while active.
+
+    Yields a list that accumulates ``(phases, partition, mba_scale)``
+    tuples — one per point entering :func:`solve_steady_state` or a batch
+    kernel (memo hits are not recorded; they never reach the kernels).
+    Benchmarks use this to harvest a campaign's exact solve population and
+    re-solve it under both precision modes for an apples-to-apples kernel
+    speedup (``make bench-fast``).
+    """
+    global _POINT_RECORDER
+    previous = _POINT_RECORDER
+    _POINT_RECORDER = [] if previous is None else previous
+    try:
+        yield _POINT_RECORDER
+    finally:
+        _POINT_RECORDER = previous
+
+
+def _record_point(
+    phases: tuple,
+    partition: PartitionSpec,
+    mba_scale,
+) -> None:
+    if _POINT_RECORDER is not None:
+        _POINT_RECORDER.append(
+            (
+                phases,
+                partition,
+                None if mba_scale is None else tuple(mba_scale),
+            )
+        )
 
 
 def solver_counters() -> dict[str, int]:
@@ -219,6 +311,7 @@ def solve_steady_state(
     max_iter: int = 800,
     damping: float = 0.5,
     warm_start: tuple[Sequence[float], float] | None = None,
+    precision: str = "exact",
 ) -> SteadyState:
     """Solve the contention fixed point for one phase combination.
 
@@ -240,12 +333,25 @@ def solve_steady_state(
         at the price of bit-reproducibility: the converged result can differ
         from a cold solve in the last few floating-point digits (both sit
         within ``tol`` of the true fixed point). Leave ``None`` wherever
-        results must be byte-identical across runs.
+        results must be byte-identical across runs. Ignored under
+        ``precision="fast"``.
+    precision:
+        ``"exact"`` (default) runs the bitwise-reproducible scalar solver;
+        ``"fast"`` routes the point through the tolerance-contracted
+        vectorised kernel (DESIGN.md §10). Fast results are a pure
+        function of the operating point (``warm_start`` is ignored), so
+        they stay safe to memoise.
     """
+    if _check_precision(precision) == "fast":
+        parsed = _parse_points(platform, [(phases, partition, mba_scale)])
+        return _solve_batch_fast(
+            platform, parsed, tol=tol, max_iter=max_iter, damping=damping
+        )[0]
     n = partition.n_cores
     cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = _point_params(
         platform, phases, partition, mba_scale
     )
+    _record_point(tuple(phases), partition, mba_scale)
 
     link = MemoryLink.from_platform(platform)
     freq = platform.freq_hz
@@ -405,7 +511,7 @@ def solve_steady_state(
     )
 
 
-def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil):
+def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil, gap_rtol=1e-7):
     """Vectorised :func:`_illinois_root`: one root per lane.
 
     ``excess_b(lat, lanes)`` evaluates the per-lane excess at ``lat[k]``
@@ -415,6 +521,11 @@ def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil):
     so each lane's root is bit-identical to a scalar solve of that lane.
     Lanes that finish (boundary hit, bracket gap closed, exact root) are
     dropped from the index sets and their state freezes.
+
+    ``gap_rtol`` is the relative bracket-gap stop; the default matches the
+    scalar root finder (callers on the exact path must not override it).
+    The fast kernel loosens it for *intermediate* fixed-point iterations
+    only — the final consistency root always runs at full precision.
     """
     n_lanes = guess.size
     out = np.empty(n_lanes)
@@ -464,7 +575,7 @@ def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil):
     exact_val = np.empty(rem.size)
     running = np.arange(rem.size)
     for _ in range(60):
-        running = running[hi[running] - lo[running] >= 1e-7 * hi[running]]
+        running = running[hi[running] - lo[running] >= gap_rtol * hi[running]]
         if running.size == 0:
             break
         br_lo = lo[running]
@@ -496,6 +607,79 @@ def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil):
     return out
 
 
+#: Module-level memo of :func:`_point_params` arrays, keyed
+#: ``(platform, phases, mba)``. The arrays are construction-identical on
+#: every rebuild and never mutated downstream (both kernels already share
+#: them across lanes within a call), so cross-call reuse cannot change a
+#: single bit of any solve. Bounded by wholesale clearing at the cap —
+#: campaign working sets (one entry per distinct phase combination) sit
+#: orders of magnitude below it.
+_PARAMS_MEMO: dict[tuple, tuple] = {}
+_PARAMS_MEMO_MAX = 100_000
+
+
+def _parse_points(
+    platform: PlatformConfig, points: Sequence[tuple]
+) -> list[tuple]:
+    """Normalise batch points into ``(phases, partition, mba, params)``.
+
+    Shared by both batch kernels so each sees identically validated
+    inputs; also feeds the active :func:`record_solver_points` recorder.
+    Parameter arrays are memoised per ``(platform, phases, mba)`` in a
+    bounded module-level cache — campaign populations reuse one phase
+    tuple across many partitions and many solver calls, so most points
+    share already-built (never-mutated) arrays.
+    """
+    parsed = []
+    memo = _PARAMS_MEMO
+    # Identity-first memo: campaign populations overwhelmingly reuse the
+    # *same tuple object* for phases across partitions (tuple() of a tuple
+    # is the identity), and id-keyed hits skip hashing and comparing
+    # ten-Phase tuples. Values pin the phases object so ids stay valid for
+    # the duration of the call; the equality-keyed module memo remains the
+    # fallback for equal-but-distinct tuples.
+    id_memo: dict[tuple, tuple] = {}
+    id_memo_get = id_memo.get
+    recorder = _POINT_RECORDER
+    parsed_append = parsed.append
+    for point in points:
+        if len(point) == 2:
+            (phases, partition), mba = point, None
+        elif len(point) == 3:
+            phases, partition, mba = point
+        else:
+            raise ValueError(
+                "points must be (phases, partition[, mba_scale]) tuples"
+            )
+        phases = tuple(phases)
+        mba = None if mba is None else tuple(float(x) for x in mba)
+        hit = id_memo_get((id(phases), mba))
+        if hit is not None:
+            _ref, params = hit
+            if len(phases) != partition.n_cores:
+                raise ValueError(
+                    f"expected {partition.n_cores} phases, got {len(phases)}"
+                )
+        else:
+            key = (platform, phases, mba)
+            params = memo.get(key)
+            if params is None:
+                params = _point_params(platform, phases, partition, mba)
+                if len(memo) >= _PARAMS_MEMO_MAX:
+                    memo.clear()
+                memo[key] = params
+            elif len(phases) != partition.n_cores:
+                # The memo hit skipped _point_params' shape validation.
+                raise ValueError(
+                    f"expected {partition.n_cores} phases, got {len(phases)}"
+                )
+            id_memo[(id(phases), mba)] = (phases, params)
+        if recorder is not None:
+            recorder.append((phases, partition, mba))
+        parsed_append((phases, partition, mba, params))
+    return parsed
+
+
 def solve_steady_state_batch(
     platform: PlatformConfig,
     points: Sequence[tuple],
@@ -503,6 +687,7 @@ def solve_steady_state_batch(
     tol: float = 1e-6,
     max_iter: int = 800,
     damping: float = 0.5,
+    precision: str = "exact",
 ) -> list[SteadyState]:
     """Solve B operating points simultaneously with masked NumPy lanes.
 
@@ -513,34 +698,45 @@ def solve_steady_state_batch(
     neutral parameters (zero access rate, zero bytes per miss) that
     contribute exactly ``0.0`` to shared-link demand.
 
-    Parity guarantee (DESIGN.md §7): each lane reproduces the scalar
-    solver's floating-point op sequence — per-core demand accumulated in
-    core order, the queue-curve power tail computed with Python floats,
-    MRC lookups deduplicated but evaluated with ``__call__``-identical
-    arithmetic — so lane ``i`` is byte-identical to
+    Parity guarantee under ``precision="exact"`` (DESIGN.md §7): each lane
+    reproduces the scalar solver's floating-point op sequence — per-core
+    demand accumulated in core order, the queue-curve power tail computed
+    with Python floats, MRC lookups deduplicated but evaluated with
+    ``__call__``-identical arithmetic — so lane ``i`` is byte-identical to
     ``solve_steady_state(platform, *points[i])``, including the iteration
     count. Converged lanes freeze (their rows stop updating) while
     stragglers keep iterating under per-lane adaptive damping and budget
     escalation, exactly as the scalar loop would.
+
+    ``precision="fast"`` swaps in the tolerance-contracted kernel
+    (DESIGN.md §10): results agree with exact lanes to within
+    :data:`FAST_REL_TOL`/:data:`FAST_WAYS_ATOL` and remain pure per lane,
+    but are not bitwise-reproducible against the scalar solver.
     """
-    n_points = len(points)
-    if n_points == 0:
+    _check_precision(precision)
+    if len(points) == 0:
         return []
+    parsed = _parse_points(platform, points)
+    if precision == "fast":
+        return _solve_batch_fast(
+            platform, parsed, tol=tol, max_iter=max_iter, damping=damping
+        )
+    return _solve_batch_exact(
+        platform, parsed, tol=tol, max_iter=max_iter, damping=damping
+    )
 
-    parsed = []
-    for point in points:
-        if len(point) == 2:
-            (phases, partition), mba = point, None
-        elif len(point) == 3:
-            phases, partition, mba = point
-        else:
-            raise ValueError(
-                "points must be (phases, partition[, mba_scale]) tuples"
-            )
-        params = _point_params(platform, phases, partition, mba)
-        parsed.append((tuple(phases), partition, params))
 
-    n_cores = np.array([partition.n_cores for _, partition, _ in parsed])
+def _solve_batch_exact(
+    platform: PlatformConfig,
+    parsed: list[tuple],
+    *,
+    tol: float,
+    max_iter: int,
+    damping: float,
+) -> list[SteadyState]:
+    """Bitwise-exact batch kernel (see :func:`solve_steady_state_batch`)."""
+    n_points = len(parsed)
+    n_cores = np.array([partition.n_cores for _, partition, _, _ in parsed])
     width = int(n_cores.max())
 
     # Pad ragged points to (B, width) with neutral parameters.
@@ -551,7 +747,7 @@ def solve_steady_state_batch(
     caps2 = np.full((n_points, width), np.inf)
     thr2 = np.ones((n_points, width))
     ways2 = np.zeros((n_points, width))
-    for i, (phases, partition, params) in enumerate(parsed):
+    for i, (phases, partition, _mba, params) in enumerate(parsed):
         cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = params
         k = partition.n_cores
         cpi2[i, :k] = cpi_exe
@@ -578,7 +774,7 @@ def solve_steady_state_batch(
     # curve objects and sweep lanes share whole apps, so a 10-core lane
     # batch typically needs a handful of curve evaluations per pass.
     curve_slots: dict[int, tuple] = {}
-    for i, (phases, _partition, _params) in enumerate(parsed):
+    for i, (phases, _partition, _mba, _params) in enumerate(parsed):
         for j, phase in enumerate(phases):
             entry = curve_slots.setdefault(id(phase.mrc), (phase.mrc, [], []))
             entry[1].append(i)
@@ -713,7 +909,7 @@ def solve_steady_state_batch(
     SOLVER_COUNTERS["batch_iterations"] += int(iterations.sum())
 
     out = []
-    for i, (_phases, partition, _params) in enumerate(parsed):
+    for i, (_phases, partition, _mba, _params) in enumerate(parsed):
         nc = partition.n_cores
         ways = ways2[i, :nc].copy()
         mr = mr2[i, :nc].copy()
@@ -743,6 +939,478 @@ def solve_steady_state_batch(
     return out
 
 
+class FastContractError(AssertionError):
+    """A ``precision="fast"`` result left the documented tolerance band.
+
+    Raised only in the ``REPRO_FAST_CHECK=1`` debug assertion mode, which
+    shadows every fast solve with an exact solve of the same points.
+    """
+
+
+def _fast_check_enabled() -> bool:
+    return os.environ.get("REPRO_FAST_CHECK", "") not in ("", "0")
+
+
+def _fast_contract_violations(
+    fast: SteadyState, exact: SteadyState
+) -> list[str]:
+    """Contract violations of one fast lane against its exact twin.
+
+    Empty list = within contract. Relative bounds use :data:`FAST_REL_TOL`;
+    quantities with a natural absolute scale (ways, miss ratios in [0, 1],
+    bandwidth in bytes) additionally get a small absolute allowance so
+    near-zero exact values do not demand impossible relative precision.
+    """
+    checks = [
+        ("ipc", fast.ipc, exact.ipc, FAST_REL_TOL, 0.0),
+        ("ways", fast.ways, exact.ways, FAST_REL_TOL, FAST_WAYS_ATOL),
+        (
+            "miss_ratio",
+            fast.miss_ratio,
+            exact.miss_ratio,
+            FAST_REL_TOL,
+            FAST_REL_TOL,
+        ),
+        ("bw_bytes", fast.bw_bytes, exact.bw_bytes, FAST_REL_TOL, 1.0),
+        (
+            "latency_cycles",
+            np.asarray(fast.latency_cycles),
+            np.asarray(exact.latency_cycles),
+            FAST_REL_TOL,
+            0.0,
+        ),
+        (
+            "utilisation",
+            np.asarray(fast.utilisation),
+            np.asarray(exact.utilisation),
+            FAST_REL_TOL,
+            1e-9,
+        ),
+    ]
+    problems = []
+    for name, a, b, rtol, atol in checks:
+        overshoot = np.abs(a - b) - (atol + rtol * np.abs(b))
+        worst = float(overshoot.max()) if overshoot.size else 0.0
+        if worst > 0.0:
+            problems.append(
+                f"{name} exceeds rtol={rtol:g}/atol={atol:g} by {worst:.2e}"
+            )
+    return problems
+
+
+def _assert_fast_contract(
+    platform: PlatformConfig,
+    parsed: list[tuple],
+    fast_states: list[SteadyState],
+    *,
+    tol: float,
+    max_iter: int,
+    damping: float,
+) -> None:
+    """REPRO_FAST_CHECK shadow: exact-solve the batch, assert the contract."""
+    exact_states = _solve_batch_exact(
+        platform, parsed, tol=tol, max_iter=max_iter, damping=damping
+    )
+    for i, (fast, exact) in enumerate(zip(fast_states, exact_states)):
+        problems = _fast_contract_violations(fast, exact)
+        if problems:
+            raise FastContractError(
+                f"fast solve of lane {i} left the tolerance contract: "
+                + "; ".join(problems)
+            )
+
+
+def _solve_batch_fast(
+    platform: PlatformConfig,
+    parsed: list[tuple],
+    *,
+    tol: float,
+    max_iter: int,
+    damping: float,
+) -> list[SteadyState]:
+    """Tolerance-contracted vectorised kernel behind ``precision="fast"``.
+
+    Same damped fixed point + Illinois structure as the exact batch, with
+    the parity shackles off: MRC curves evaluate through their vectorised
+    ``eval_many_fast`` paths, the queue-curve power tail is a single
+    ``np.power`` call instead of a Python-float loop, and the
+    pressure-sharing step runs lane-batched
+    (:func:`~repro.sim.llc.effective_ways_batch`, grouped by partition)
+    instead of one Python call per lane per iteration. No masked-scalar
+    tail remains on the hot path.
+
+    Lane purity (load-bearing for memoisation and the serial-vs-parallel
+    determinism audit): a lane's result depends only on its own operating
+    point, never on batch composition. Every cross-core reduction runs in
+    fixed core order (pad columns contribute exactly ``0.0``), batched
+    sharing walks the scalar decision sequence per lane, and NumPy's
+    elementwise transcendental kernels are value-deterministic regardless
+    of array position — guarded by a property test in
+    tests/sim/test_fastmath.py.
+    """
+    n_points = len(parsed)
+    n_cores = np.array([partition.n_cores for _, partition, _, _ in parsed])
+    width = int(n_cores.max())
+
+    # Build padded parameter planes by gather: parameters (and curve
+    # coefficients) depend only on (phases, mba), which campaign
+    # populations share across many partitions — compute one compact row
+    # per distinct tuple, then index. Pads are neutral: zero access rate
+    # and zero bytes per miss contribute exactly 0.0 to link demand, and
+    # unit-scale curve coefficients keep the fused evaluation finite.
+    # _parse_points memoises one params object per distinct (phases, mba),
+    # so object identity is the dedup key — no re-hashing of phase tuples.
+    # (parsed holds the references, so ids are stable for this call.)
+    slot_of: dict[int, int] = {}
+    uidx = np.empty(n_points, dtype=np.int64)
+    compact: list[tuple] = []
+    for i, (phases, _partition, _mba, params) in enumerate(parsed):
+        j = slot_of.get(id(params))
+        if j is None:
+            j = len(compact)
+            slot_of[id(params)] = j
+            compact.append((phases, params))
+        uidx[i] = j
+    n_u = len(compact)
+    # One stacked solver plane — zones [cpi | apki | blk | bpm | thr] —
+    # and one stacked curve plane — zones [knee | sharp | blend | scale |
+    # floor | span | at1] (see MissRatioCurve.fused_fast_params; slots
+    # whose curve cannot be fused fall back to per-curve eval_many_fast
+    # calls). Stacking means one gather per expansion / per masked
+    # evaluation instead of a dozen.
+    u_solver = np.zeros((n_u, 5 * width))
+    u_solver[:, :width] = 1.0  # pad cpi: neutral
+    u_solver[:, 4 * width :] = 1.0  # pad throttle: neutral
+    u_caps = np.full((n_u, width), np.inf)
+    u_curve = np.ones((n_u, 7 * width))
+    u_curve[:, 4 * width : 6 * width] = 0.0  # pad floor/span: flat zero
+    tab_slots: list[tuple[int, int, object]] = []
+    fused_rows: list[int] = []
+    fused_cols: list[int] = []
+    fused_vals: list[tuple] = []
+    # fused_fast_params is pure per curve object; the catalog reuses a
+    # handful of curve instances across thousands of slots.
+    fp_cache: dict[int, tuple | None] = {}
+    _unset = object()
+    for j, (phases, params) in enumerate(compact):
+        cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = params
+        k = len(phases)
+        u_solver[j, :k] = cpi_exe
+        u_solver[j, width : width + k] = apki
+        u_solver[j, 2 * width : 2 * width + k] = blocking
+        u_solver[j, 3 * width : 3 * width + k] = bytes_per_miss
+        u_solver[j, 4 * width : 4 * width + k] = throttle
+        u_caps[j, :k] = caps
+        for c, phase in enumerate(phases):
+            curve = phase.mrc
+            fp = fp_cache.get(id(curve), _unset)
+            if fp is _unset:
+                fp = curve.fused_fast_params()
+                fp_cache[id(curve)] = fp
+            if fp is None:
+                tab_slots.append((j, c, curve))
+            else:
+                fused_rows.append(j)
+                fused_cols.append(c)
+                fused_vals.append(fp)
+    if fused_vals:
+        # Scatter all fused coefficients at once; fp order is
+        # (floor, span, blend, scale, knee, sharpness, at_one).
+        fv = np.array(fused_vals)
+        jj = np.array(fused_rows)
+        cc = np.array(fused_cols)
+        u_curve[jj, cc] = fv[:, 4]  # knee
+        u_curve[jj, width + cc] = fv[:, 5]  # sharpness
+        u_curve[jj, 2 * width + cc] = fv[:, 2]  # blend
+        u_curve[jj, 3 * width + cc] = fv[:, 3]  # scale
+        u_curve[jj, 4 * width + cc] = fv[:, 0]  # floor
+        u_curve[jj, 5 * width + cc] = fv[:, 1]  # span
+        u_curve[jj, 6 * width + cc] = fv[:, 6]  # at_one
+    solver_plane = u_solver[uidx]
+    caps2 = u_caps[uidx]
+    curve_plane = u_curve[uidx]
+    cpi2 = solver_plane[:, :width]
+    apki2 = solver_plane[:, width : 2 * width]
+    blk2 = solver_plane[:, 2 * width : 3 * width]
+    bpm2 = solver_plane[:, 3 * width : 4 * width]
+    thr2 = solver_plane[:, 4 * width :]
+
+    # Expand non-fused slots to per-point (curve, rows, cols) groups.
+    tab_groups: list[tuple] = []
+    if tab_slots:
+        by_curve: dict[int, tuple] = {}
+        for j, c, curve in tab_slots:
+            rows = np.nonzero(uidx == j)[0]
+            entry = by_curve.setdefault(id(curve), (curve, [], []))
+            entry[1].append(rows)
+            entry[2].append(np.full(rows.size, c, dtype=np.int64))
+        tab_groups = [
+            (curve, np.concatenate(rs), np.concatenate(cs))
+            for curve, rs, cs in by_curve.values()
+        ]
+
+    link = MemoryLink.from_platform(platform)
+    freq = platform.freq_hz
+    lat_floor = link.base_latency_cycles
+    lat_ceil = link.max_latency_cycles
+    inv_capacity = 1.0 / link.capacity_bytes
+    u_cap = link.utilisation_cap
+    gain = link.queue_gain
+    q_exp = link.queue_exponent
+    theta = platform.pressure_theta
+    delta_tol = tol * platform.llc_ways
+
+    mr2 = np.zeros((n_points, width))
+
+    def eval_mrc(lane_mask: np.ndarray | None) -> None:
+        """Fused curve evaluation over every slot of the masked lanes.
+
+        One elementwise expression covers constant, exponential, knee and
+        blended curves (see MissRatioCurve.fused_fast_params); the rare
+        non-fused (tabulated) slots are overwritten afterwards through
+        their own vectorised paths. Elementwise-only, so each slot's
+        result is independent of batch composition. ``lane_mask=None``
+        means "all lanes" and skips the boolean gathers entirely.
+        """
+        if lane_mask is None:
+            w = ways2
+            cp = curve_plane
+        else:
+            w = ways2[lane_mask]
+            cp = curve_plane[lane_mask]
+        z = (w - cp[:, :width]) / cp[:, width : 2 * width]
+        kp = 1.0 - 1.0 / (1.0 + np.exp(-np.clip(z, -40.0, 40.0)))
+        kp = np.where(z > 40.0, 0.0, np.where(z < -40.0, 1.0, kp))
+        blend = cp[:, 2 * width : 3 * width]
+        exp_part = np.exp(-w / cp[:, 3 * width : 4 * width])
+        captured = blend * exp_part + (1.0 - blend) * kp
+        value = (
+            cp[:, 4 * width : 5 * width]
+            + cp[:, 5 * width : 6 * width] * captured
+        )
+        at1 = cp[:, 6 * width :]
+        value = np.where(w < 1.0, 1.0 + (at1 - 1.0) * w, value)
+        if lane_mask is None:
+            np.clip(value, 0.0, 1.0, out=mr2)
+        else:
+            mr2[lane_mask] = np.clip(value, 0.0, 1.0)
+        for curve, rows, cols in tab_groups:
+            if lane_mask is None:
+                r, c = rows, cols
+            else:
+                take = lane_mask[rows]
+                r = rows[take]
+                if r.size == 0:
+                    continue
+                c = cols[take]
+            mr2[r, c] = curve.eval_many_fast(ways2[r, c])
+
+    def make_excess(c2, e2, s2):
+        # Stack the three parameter matrices so each inner evaluation
+        # gathers its (shrinking) lane subset once and slices views,
+        # instead of paying three separate fancy-index copies.
+        w = c2.shape[1]
+        stacked = np.concatenate((c2, e2, s2), axis=1)
+
+        def excess_b(lat: np.ndarray, sub: np.ndarray) -> np.ndarray:
+            p = stacked[sub]
+            # One 2-D divide for all per-core contributions (elementwise,
+            # so per-lane values are batch-independent) ...
+            contrib = p[:, :w] / (p[:, w : 2 * w] + p[:, 2 * w :] * lat[:, None])
+            demand = np.zeros(lat.size)
+            # ... then fixed core-order accumulation: pad slots add
+            # exactly 0.0 and the order never depends on which lanes
+            # share the batch, so lane demand is composition-independent.
+            # (An einsum/pairwise reduction would be marginally faster
+            # but order-dependent.)
+            for j in range(width):
+                demand = demand + contrib[:, j]
+            u = np.minimum(demand * inv_capacity, u_cap)
+            ratio = u / (1.0 - u)
+            return lat_floor * (1.0 + gain * np.power(ratio, q_exp)) - lat
+
+        return excess_b
+
+    # Lanes sharing a PartitionSpec run their pressure-sharing step as one
+    # batched call; campaigns have few distinct partitions (UM, CT-k, the
+    # controller's step ladder) across thousands of lanes.
+    part_slots: dict[tuple, tuple[PartitionSpec, list[int]]] = {}
+    for i, (_phases, partition, _mba, _params) in enumerate(parsed):
+        entry = part_slots.setdefault(partition.key(), (partition, []))
+        entry[1].append(i)
+    part_groups = [
+        (partition, np.array(rows)) for partition, rows in part_slots.values()
+    ]
+
+    # Cold-start iterate, vectorised per partition group: equal split per
+    # group plus the shared zone, clamped by caps — elementwise-identical
+    # to _initial_ways per lane. Pad columns stay at exactly 0.0.
+    ways2 = np.zeros((n_points, width))
+    for partition, rows in part_groups:
+        nc = partition.n_cores
+        base = np.zeros(nc)
+        for group in partition.groups:
+            idx = list(group.cores)
+            base[idx] = group.ways / len(idx)
+        base += partition.shared_ways / nc
+        ways2[rows, :nc] = np.minimum(base[None, :], caps2[rows, :nc])
+
+    latency = np.full(n_points, lat_floor)
+    step = np.full(n_points, damping)
+    budget = np.full(n_points, max_iter, dtype=np.int64)
+    prev_delta = np.full(n_points, np.inf)
+    iterations = np.zeros(n_points, dtype=np.int64)
+    active = np.ones(n_points, dtype=bool)
+    row_of = np.empty(n_points, dtype=np.int64)
+
+    while True:
+        act = np.nonzero(active)[0]
+        if act.size == 0:
+            break
+        iterations[act] += 1
+        all_active = act.size == n_points
+        eval_mrc(None if all_active else active)
+        sp = solver_plane if all_active else solver_plane[act]
+        cpi_a = sp[:, :width]
+        blk_a = sp[:, 2 * width : 3 * width]
+        thr_a = sp[:, 4 * width :]
+        mpi_a = sp[:, width : 2 * width] * (mr2 if all_active else mr2[act])
+        excess_b = make_excess(
+            (freq * mpi_a) * sp[:, 3 * width : 4 * width],
+            cpi_a,
+            (mpi_a * blk_a) / thr_a,
+        )
+        # Intermediate latency roots run at a loosened bracket gap: the
+        # damped outer fixed point swamps the difference, and the final
+        # consistency root below runs at full precision (the tolerance
+        # contract is asserted on end-state outputs).
+        lat_a = _illinois_root_batch(
+            excess_b, latency[act], lat_floor, lat_ceil, gap_rtol=1e-4
+        )
+        latency[act] = lat_a
+        ipc_a = 1.0 / (cpi_a + mpi_a * blk_a * (lat_a[:, None] / thr_a))
+
+        # Insertion pressure (see the scalar loop), shared lane-batched per
+        # partition group. Pad slots keep their current ways so the damped
+        # update leaves them at exactly 0.0.
+        pressure_a = freq * ipc_a * mpi_a
+        ways_a = ways2[act]
+        target_a = ways_a.copy()
+        row_of[act] = np.arange(act.size)
+        for partition, rows in part_groups:
+            sel = rows[active[rows]]
+            if sel.size == 0:
+                continue
+            r = row_of[sel]
+            nc = partition.n_cores
+            target_a[r, :nc] = effective_ways_batch(
+                partition, pressure_a[r, :nc], caps2[sel, :nc], theta
+            )
+        step_a = step[act]
+        ways_next = (1 - step_a[:, None]) * ways_a + step_a[:, None] * target_a
+        delta_a = np.max(np.abs(ways_next - ways_a), axis=1)
+        ways2[act] = ways_next
+
+        conv = delta_a < delta_tol
+        ncv = ~conv
+        # Per-lane adaptive damping, same rules as the exact kernel.
+        worse = ncv & (delta_a >= prev_delta[act])
+        shrink = worse & (step_a > 0.021)
+        floored = worse & ~shrink
+        new_step = step_a.copy()
+        new_step[shrink] = np.maximum(step_a[shrink] * 0.7, 0.02)
+        step[act] = new_step
+        if floored.any():
+            budget[act[floored]] = max_iter * 10
+        pd = prev_delta[act]
+        pd[ncv] = delta_a[ncv]
+        prev_delta[act] = pd
+        active[act[conv]] = False
+        blown = iterations[act] >= budget[act]
+        if blown.any():
+            i = int(act[np.nonzero(blown)[0][0]])
+            raise ConvergenceError(
+                f"fast lane {i}: no convergence after {int(iterations[i])} "
+                f"iterations (latency={latency[i]:.1f} cy, precision=fast)"
+            )
+
+    # Final consistent evaluation at each converged operating point.
+    np.minimum(ways2, caps2, out=ways2)
+    eval_mrc(None)
+    mpi2 = apki2 * mr2
+    excess_b = make_excess(
+        (freq * mpi2) * bpm2, cpi2, (mpi2 * blk2) / thr2
+    )
+    latency = _illinois_root_batch(excess_b, latency, lat_floor, lat_ceil)
+    ipc2 = 1.0 / (cpi2 + mpi2 * blk2 * (latency[:, None] / thr2))
+    bw2 = freq * ipc2 * mpi2 * bpm2
+
+    # Bandwidth rationing under extreme overload (see the scalar
+    # epilogue), batched: per-lane aggregate demand in fixed core order
+    # (pad slots add exactly 0.0), then equal-share waterfilling grouped
+    # by core count so pad columns never enter the split.
+    demand = np.zeros(n_points)
+    for j in range(width):
+        demand = demand + bw2[:, j]
+    over = np.nonzero(demand > link.capacity_bytes)[0]
+    if over.size:
+        for nc in np.unique(n_cores[over]):
+            sel = over[n_cores[over] == nc]
+            bw_sel = bw2[sel, :nc]
+            granted = waterfill_batch(
+                link.capacity_bytes, np.ones((sel.size, nc)), bw_sel
+            )
+            scale = np.where(
+                bw_sel > 0.0, granted / np.maximum(bw_sel, 1e-30), 1.0
+            )
+            ipc2[sel, :nc] = ipc2[sel, :nc] * scale
+            bw2[sel, :nc] = granted
+            granted_sum = np.zeros(sel.size)
+            for j in range(nc):
+                granted_sum = granted_sum + granted[:, j]
+            demand[sel] = granted_sum
+
+    SOLVER_COUNTERS["fast_solves"] += 1
+    SOLVER_COUNTERS["fast_points"] += n_points
+    SOLVER_COUNTERS["fast_iterations"] += int(iterations.sum())
+
+    # Per-lane link utilisation from the fixed-order demand sums above
+    # (post-rationing): trailing pad columns add exactly 0.0, so the value
+    # depends only on the lane's own bandwidth vector.
+    util = demand / link.capacity_bytes
+    lat_list = latency.tolist()
+    util_list = util.tolist()
+    iter_list = iterations.tolist()
+
+    # One bulk copy per plane, row-sliced into per-point views: tens of
+    # thousands of tiny .copy() calls collapse into four memcpys. The
+    # views pin their (n_points, width) base arrays, which is at most a
+    # few MB per batch and dies with the returned states.
+    ipc_c = ipc2.copy()
+    ways_c = ways2.copy()
+    mr_c = mr2.copy()
+    bw_c = bw2.copy()
+    out = []
+    for i, (_phases, partition, _mba, _params) in enumerate(parsed):
+        nc = partition.n_cores
+        out.append(
+            SteadyState(
+                ipc=ipc_c[i, :nc],
+                ways=ways_c[i, :nc],
+                miss_ratio=mr_c[i, :nc],
+                bw_bytes=bw_c[i, :nc],
+                latency_cycles=lat_list[i],
+                utilisation=util_list[i],
+                iterations=iter_list[i],
+            )
+        )
+    if _fast_check_enabled():
+        _assert_fast_contract(
+            platform, parsed, out, tol=tol, max_iter=max_iter, damping=damping
+        )
+    return out
+
+
 class SteadyStateCache:
     """Bounded LRU memo over :func:`solve_steady_state`.
 
@@ -760,8 +1428,13 @@ class SteadyStateCache:
     started solves (whose low-order bits depend on the caller's history)
     are returned but never shared through the cache.
 
-    Hit/miss counters are public so benchmarks can report memo
-    effectiveness; :meth:`clear` resets both the entries and the counters.
+    Entries are keyed per ``precision`` (DESIGN.md §10): an exact memo hit
+    is always a bitwise cold scalar solve, a fast hit is always a fast-
+    kernel result within the fast tolerance contract — the two never
+    cross. Hit/miss counters are public so benchmarks can report memo
+    effectiveness; :meth:`clear` resets the entries and the per-generation
+    counters, while the ``lifetime`` per-precision counters survive so
+    post-``clear_caches()`` reports still see true process-wide rates.
     """
 
     def __init__(self, max_entries: int = 32768) -> None:
@@ -771,6 +1444,12 @@ class SteadyStateCache:
         self._data: OrderedDict[tuple, SteadyState] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Lifetime per-precision counters (never reset by clear()): BENCH
+        # hit rates must reflect every lookup the process made, not just
+        # the generation since the last clear_caches().
+        self.lifetime: dict[str, dict[str, int]] = {
+            p: {"hits": 0, "misses": 0} for p in PRECISIONS
+        }
 
     @staticmethod
     def make_key(
@@ -778,13 +1457,15 @@ class SteadyStateCache:
         phases: Sequence[Phase],
         partition: PartitionSpec,
         mba_scale: Sequence[float] | None,
+        precision: str = "exact",
     ) -> tuple:
-        """Hashable identity of one operating point."""
+        """Hashable identity of one operating point under one contract."""
         return (
             tuple(phases),
             partition.key(),
             None if mba_scale is None else tuple(mba_scale),
             platform,
+            _check_precision(precision),
         )
 
     def solve(
@@ -795,23 +1476,27 @@ class SteadyStateCache:
         *,
         mba_scale: Sequence[float] | None = None,
         warm_start: tuple[Sequence[float], float] | None = None,
+        precision: str = "exact",
     ) -> SteadyState:
         """Fetch (or solve and memoise) one operating point."""
-        key = self.make_key(platform, phases, partition, mba_scale)
+        key = self.make_key(platform, phases, partition, mba_scale, precision)
         registry = get_registry()
         state = self._data.get(key)
         if state is not None:
             self.hits += 1
+            self.lifetime[precision]["hits"] += 1
             registry.counter("steady_cache.hits").inc()
             self._data.move_to_end(key)
             return state
         self.misses += 1
+        self.lifetime[precision]["misses"] += 1
         registry.counter("steady_cache.misses").inc()
         if registry.enabled:
             t0 = time.perf_counter()
             state = solve_steady_state(
                 platform, phases, partition,
                 mba_scale=mba_scale, warm_start=warm_start,
+                precision=precision,
             )
             registry.histogram("steady_cache.solve_seconds").observe(
                 time.perf_counter() - t0
@@ -823,6 +1508,7 @@ class SteadyStateCache:
             state = solve_steady_state(
                 platform, phases, partition,
                 mba_scale=mba_scale, warm_start=warm_start,
+                precision=precision,
             )
         if warm_start is None:
             self._data[key] = state
@@ -837,6 +1523,7 @@ class SteadyStateCache:
         points: Sequence[tuple],
         *,
         min_batch: int = 2,
+        precision: str = "exact",
     ) -> list[SteadyState]:
         """Fetch (or batch-solve and memoise) many operating points.
 
@@ -849,10 +1536,16 @@ class SteadyStateCache:
         to scalar cold solves, the memo invariant — every inserted entry
         equals a cold scalar solve of its key — is preserved.
 
+        ``precision="fast"`` keys and solves through the fast contract;
+        fast points always take the fast kernel (even singleton batches),
+        so a fast memo entry is a pure function of its key no matter
+        which call path inserted it.
+
         Duplicate points are solved once; the duplicates (and any point
         already memoised) count as hits, the distinct cold points as
         misses.
         """
+        _check_precision(precision)
         registry = get_registry()
         normalised = []
         for point in points:
@@ -862,7 +1555,7 @@ class SteadyStateCache:
                 phases, partition, mba = point
             normalised.append((tuple(phases), partition, mba))
         keys = [
-            self.make_key(platform, phases, partition, mba)
+            self.make_key(platform, phases, partition, mba, precision)
             for phases, partition, mba in normalised
         ]
 
@@ -881,20 +1574,25 @@ class SteadyStateCache:
         hits = len(keys) - len(pending)
         self.hits += hits
         self.misses += len(pending)
+        self.lifetime[precision]["hits"] += hits
+        self.lifetime[precision]["misses"] += len(pending)
         if hits:
             registry.counter("steady_cache.hits").inc(hits)
         if pending:
             registry.counter("steady_cache.misses").inc(len(pending))
             cold = list(pending.items())
             t0 = time.perf_counter()
-            if len(cold) >= min_batch:
+            if len(cold) >= min_batch or precision == "fast":
                 states = solve_steady_state_batch(
-                    platform, [point for _key, point in cold]
+                    platform,
+                    [point for _key, point in cold],
+                    precision=precision,
                 )
             else:
                 states = [
                     solve_steady_state(
-                        platform, phases, partition, mba_scale=mba
+                        platform, phases, partition, mba_scale=mba,
+                        precision=precision,
                     )
                     for _key, (phases, partition, mba) in cold
                 ]
@@ -927,18 +1625,42 @@ class SteadyStateCache:
         return len(self._data)
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the per-generation counters.
+
+        The ``lifetime`` per-precision counters are deliberately NOT
+        reset: they feed BENCH hit-rate reporting, which must cover every
+        lookup the process made even when ``clear_caches()`` runs between
+        campaign stages.
+        """
         self._data.clear()
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> dict[str, int]:
-        """Counters for benchmark reports: hits, misses, size, capacity."""
+    def stats(self) -> dict:
+        """Counters for benchmark reports.
+
+        ``hits``/``misses`` describe the current cache generation (reset
+        by :meth:`clear`); the ``lifetime`` block covers the whole
+        process, broken down per precision, with a ready-made
+        ``hit_rate``.
+        """
+        life_hits = sum(c["hits"] for c in self.lifetime.values())
+        lookups = life_hits + sum(
+            c["misses"] for c in self.lifetime.values()
+        )
         return {
             "hits": self.hits,
             "misses": self.misses,
             "size": len(self._data),
             "max_entries": self.max_entries,
+            "lifetime": {
+                "hits": life_hits,
+                "misses": lookups - life_hits,
+                "hit_rate": (life_hits / lookups) if lookups else 0.0,
+                "by_precision": {
+                    p: dict(c) for p, c in self.lifetime.items()
+                },
+            },
         }
 
 

@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.sim.partition import PartitionSpec
 
-__all__ = ["waterfill", "effective_ways"]
+__all__ = [
+    "waterfill",
+    "effective_ways",
+    "waterfill_batch",
+    "effective_ways_batch",
+]
 
 _EPS = 1e-12
 
@@ -134,4 +139,128 @@ def effective_ways(
         capacity = group.ways + zone_share[group.name]
         group_caps = np.minimum(caps[idx], capacity)
         out[idx] = waterfill(capacity, weights[idx], group_caps)
+    return out
+
+
+def waterfill_batch(
+    total_ways: np.ndarray | float,
+    weights: np.ndarray,
+    caps: np.ndarray,
+) -> np.ndarray:
+    """Lane-batched :func:`waterfill`: row ``i`` splits ``total_ways[i]``.
+
+    ``weights`` and ``caps`` are ``(lanes, k)``; ``total_ways`` broadcasts
+    over lanes. Each lane walks exactly the scalar water-filling decision
+    sequence (proportional shares, overflow detection with the same
+    ``1e-9`` cap slack, pin-and-redistribute), with every reduction
+    accumulated in fixed competitor order — so a lane's result depends
+    only on that lane's inputs, never on which other lanes share the
+    batch. This is the ``precision="fast"`` solver's sharing step; the
+    scalar function stays the bitwise-exact path.
+    """
+    weights = np.asarray(weights, dtype=float)
+    caps = np.asarray(caps, dtype=float)
+    if weights.ndim != 2 or weights.shape != caps.shape:
+        raise ValueError("weights and caps must share a (lanes, k) shape")
+    if np.any(weights < 0) or np.any(caps < 0):
+        raise ValueError("weights and caps must be non-negative")
+    n_lanes, k = weights.shape
+    remaining = np.broadcast_to(
+        np.asarray(total_ways, dtype=float), (n_lanes,)
+    ).copy()
+    if np.any(remaining < 0):
+        raise ValueError("total_ways must be non-negative")
+
+    result = np.zeros((n_lanes, k))
+    active = (weights > _EPS) & (caps > _EPS)
+    # Each pass either finishes a lane or permanently retires >= 1 of its
+    # competitors, so at most k passes run (as in the scalar loop).
+    for _ in range(k):
+        live = np.nonzero((remaining > _EPS) & active.any(axis=1))[0]
+        if live.size == 0:
+            break
+        w_act = np.where(active[live], weights[live], 0.0)
+        # Fixed-order accumulation (competitor 0, 1, ...): inactive slots
+        # add exactly 0.0, matching the scalar sum over active entries.
+        weight_sum = np.zeros(live.size)
+        for j in range(k):
+            weight_sum = weight_sum + w_act[:, j]
+        share = remaining[live, None] * w_act / weight_sum[:, None]
+        would_cap = active[live] & (
+            result[live] + share >= caps[live] - 1e-9
+        )
+        overflow = would_cap.any(axis=1)
+
+        fin = live[~overflow]
+        if fin.size:
+            result[fin] += share[~overflow]
+            remaining[fin] = 0.0
+        ov = live[overflow]
+        if ov.size:
+            capped = would_cap[overflow]
+            granted = np.where(capped, caps[ov] - result[ov], 0.0)
+            granted_sum = np.zeros(ov.size)
+            for j in range(k):
+                granted_sum = granted_sum + granted[:, j]
+            result[ov] = np.where(capped, caps[ov], result[ov])
+            active[ov] &= ~capped
+            remaining[ov] -= granted_sum
+    return result
+
+
+def effective_ways_batch(
+    partition: PartitionSpec,
+    pressures: np.ndarray,
+    caps: np.ndarray,
+    theta: float,
+) -> np.ndarray:
+    """Lane-batched :func:`effective_ways` under ONE shared ``partition``.
+
+    ``pressures``/``caps`` are ``(lanes, n_cores)`` (``caps`` may also be
+    a single ``(n_cores,)`` row, broadcast over lanes). All lanes share
+    the partition — the fast solver groups its batch by partition key and
+    calls this once per group. Per-lane semantics mirror the scalar
+    function decision-for-decision with fixed-order reductions, so lane
+    results are independent of batch composition.
+    """
+    pressures = np.asarray(pressures, dtype=float)
+    n = partition.n_cores
+    if pressures.ndim != 2 or pressures.shape[1] != n:
+        raise ValueError(
+            f"expected (lanes, {n}) pressures, got {pressures.shape}"
+        )
+    n_lanes = pressures.shape[0]
+    caps = np.asarray(caps, dtype=float)
+    if caps.ndim == 1:
+        caps = np.broadcast_to(caps, (n_lanes, n))
+    weights = np.power(np.maximum(pressures, 0.0), theta)
+
+    # Split the shared zone between groups by aggregate pressure weight,
+    # per lane (fixed-order sums over each group's member cores).
+    zone_share = {g.name: np.zeros(n_lanes) for g in partition.groups}
+    if partition.shared_ways > _EPS:
+        group_weight = []
+        for g in partition.groups:
+            gw = np.zeros(n_lanes)
+            for core in g.cores:
+                gw = gw + weights[:, core]
+            group_weight.append(gw)
+        total_weight = np.zeros(n_lanes)
+        for gw in group_weight:
+            total_weight = total_weight + gw
+        live = total_weight > _EPS
+        safe = np.where(live, total_weight, 1.0)
+        for g, gw in zip(partition.groups, group_weight):
+            zone_share[g.name] = np.where(
+                live, partition.shared_ways * gw / safe, 0.0
+            )
+
+    out = np.zeros((n_lanes, n))
+    for group in partition.groups:
+        idx = np.fromiter(group.cores, dtype=int)
+        capacity = group.ways + zone_share[group.name]
+        group_caps = np.minimum(caps[:, idx], capacity[:, None])
+        out[:, idx] = waterfill_batch(
+            capacity, weights[:, idx], group_caps
+        )
     return out

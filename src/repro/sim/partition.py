@@ -74,6 +74,19 @@ class PartitionSpec:
                 f"group ways ({total}) must sum to total_ways "
                 f"({self.total_ways})"
             )
+        # Cache the memo key: solver paths call key() once per operating
+        # point, and rebuilding the nested tuple dominates grouping time
+        # in large fast-mode batches.
+        object.__setattr__(
+            self,
+            "_key",
+            (
+                self.n_cores,
+                self.total_ways,
+                self.shared_ways,
+                tuple((g.name, g.cores, g.ways) for g in self.groups),
+            ),
+        )
 
     # -- factories -------------------------------------------------------
 
@@ -139,10 +152,5 @@ class PartitionSpec:
         raise KeyError(f"core {core} not in any group")
 
     def key(self) -> tuple:
-        """Hashable identity for solver memoisation."""
-        return (
-            self.n_cores,
-            self.total_ways,
-            self.shared_ways,
-            tuple((g.name, g.cores, g.ways) for g in self.groups),
-        )
+        """Hashable identity for solver memoisation (precomputed)."""
+        return self._key

@@ -25,12 +25,19 @@ from repro.sim.contention import (
     GLOBAL_STEADY_CACHE,
     SteadyState,
     SteadyStateCache,
+    _check_precision,
 )
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
 from repro.workloads.app import AppModel, Phase
 
-__all__ = ["RunningApp", "Server", "TimelinePoint", "SimulationTimeout"]
+__all__ = [
+    "RunningApp",
+    "Server",
+    "TimelinePoint",
+    "SimulationTimeout",
+    "phase_product_points",
+]
 
 #: Relative tolerance for phase-boundary hit detection.
 _BOUNDARY_RTOL = 1e-9
@@ -38,6 +45,49 @@ _BOUNDARY_RTOL = 1e-9
 
 class SimulationTimeout(RuntimeError):
     """An experiment exceeded its simulated-time budget."""
+
+
+def phase_product_points(
+    models: Sequence[AppModel],
+    partition: PartitionSpec,
+    mba_scale: tuple[float, ...] | None = None,
+    max_points: int = 64,
+) -> list[tuple]:
+    """The cross product of per-app phases as solver batch points.
+
+    A static-partition execution over ``models`` visits exactly the phase
+    combinations in the product of each *distinct* model's phase list
+    (clones share their model's phases). Returns the corresponding
+    ``(phases, partition, mba_scale)`` points, or ``[]`` when the product
+    exceeds ``max_points`` (multi-phase zoos are cheaper to solve on
+    demand). Shared by :meth:`Server.prefetch_phase_product` and the
+    campaign-level fused prewarm in
+    :mod:`repro.experiments.parallel`.
+    """
+    distinct: list[tuple[tuple[Phase, ...], list[int]]] = []
+    index_of: dict[tuple[Phase, ...], int] = {}
+    for core, model in enumerate(models):
+        model_phases = model.phases
+        if model_phases not in index_of:
+            index_of[model_phases] = len(distinct)
+            distinct.append((model_phases, []))
+        distinct[index_of[model_phases]][1].append(core)
+    total = 1
+    for model_phases, _cores in distinct:
+        total *= len(model_phases)
+        if total > max_points:
+            return []
+    n_cores = len(models)
+    points = []
+    for combo in itertools.product(
+        *(model_phases for model_phases, _cores in distinct)
+    ):
+        per_core: list[Phase | None] = [None] * n_cores
+        for (_model_phases, cores), chosen in zip(distinct, combo):
+            for core in cores:
+                per_core[core] = chosen
+        points.append((tuple(per_core), partition, mba_scale))
+    return points
 
 
 @dataclass
@@ -107,6 +157,7 @@ class Server:
         *,
         record_timeline: bool = False,
         warm_start: bool = False,
+        precision: str = "exact",
     ) -> None:
         if len(apps) > platform.n_cores:
             raise ValueError(
@@ -134,6 +185,10 @@ class Server:
         self._memo: dict[tuple, SteadyState] = {}
         self._warm_start = warm_start
         self._last_state: SteadyState | None = None
+        #: Solver precision contract every steady-state request runs under
+        #: ("exact" = bitwise scalar parity, "fast" = tolerance-contracted
+        #: vectorised kernel; DESIGN.md §10).
+        self.precision = _check_precision(precision)
 
     # -- configuration --------------------------------------------------
 
@@ -160,7 +215,8 @@ class Server:
     def _steady(self) -> SteadyState:
         phases = tuple(app.current_phase()[0] for app in self.apps)
         key = SteadyStateCache.make_key(
-            self.platform, phases, self.partition, self.mba_scale
+            self.platform, phases, self.partition, self.mba_scale,
+            self.precision,
         )
         registry = get_registry()
         state = self._memo.get(key)
@@ -181,6 +237,7 @@ class Server:
                 self.partition,
                 mba_scale=self.mba_scale,
                 warm_start=warm,
+                precision=self.precision,
             )
             self._memo[key] = state
         self._last_state = state
@@ -222,7 +279,8 @@ class Server:
                     f"{self.n_active} apps are running"
                 )
             key = SteadyStateCache.make_key(
-                self.platform, phases, partition, self.mba_scale
+                self.platform, phases, partition, self.mba_scale,
+                self.precision,
             )
             if key in self._memo:
                 continue
@@ -230,7 +288,9 @@ class Server:
             keys.append(key)
         if not points:
             return 0
-        states = GLOBAL_STEADY_CACHE.solve_many(self.platform, points)
+        states = GLOBAL_STEADY_CACHE.solve_many(
+            self.platform, points, precision=self.precision
+        )
         for key, state in zip(keys, states):
             self._memo[key] = state
         return len(points)
@@ -248,39 +308,27 @@ class Server:
         """
         if self._warm_start:
             return 0
-        distinct: list[tuple[tuple[Phase, ...], list[int]]] = []
-        index_of: dict[tuple[Phase, ...], int] = {}
-        for core, app in enumerate(self.apps):
-            model_phases = app.model.phases
-            if model_phases not in index_of:
-                index_of[model_phases] = len(distinct)
-                distinct.append((model_phases, []))
-            distinct[index_of[model_phases]][1].append(core)
-        total = 1
-        for model_phases, _cores in distinct:
-            total *= len(model_phases)
-            if total > max_points:
-                return 0
+        candidates = phase_product_points(
+            [app.model for app in self.apps],
+            self.partition,
+            self.mba_scale,
+            max_points,
+        )
         points = []
         keys = []
-        for combo in itertools.product(
-            *(model_phases for model_phases, _cores in distinct)
-        ):
-            per_core: list[Phase | None] = [None] * self.n_active
-            for (_model_phases, cores), chosen in zip(distinct, combo):
-                for core in cores:
-                    per_core[core] = chosen
-            phases = tuple(per_core)
+        for phases, partition, mba_scale in candidates:
             key = SteadyStateCache.make_key(
-                self.platform, phases, self.partition, self.mba_scale
+                self.platform, phases, partition, mba_scale, self.precision
             )
             if key in self._memo:
                 continue
-            points.append((phases, self.partition, self.mba_scale))
+            points.append((phases, partition, mba_scale))
             keys.append(key)
         if not points:
             return 0
-        states = GLOBAL_STEADY_CACHE.solve_many(self.platform, points)
+        states = GLOBAL_STEADY_CACHE.solve_many(
+            self.platform, points, precision=self.precision
+        )
         for key, state in zip(keys, states):
             self._memo[key] = state
         return len(points)

@@ -12,7 +12,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.sim.contention import GLOBAL_STEADY_CACHE
+from repro.sim.contention import GLOBAL_STEADY_CACHE, _check_precision
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig
 from repro.workloads.app import AppModel
@@ -43,20 +43,28 @@ class SoloProfile:
     peak_bw_bytes: float
 
 
-# LRU cache keyed by (phases tuple, platform). BE clones share phase tuples
-# with their catalog original, so "gcc_base3#7" hits the same entry as
-# gcc_base3. Bounded by _MAX_PROFILE_ENTRIES.
+# LRU cache keyed by (phases tuple, platform, precision). BE clones share
+# phase tuples with their catalog original, so "gcc_base3#7" hits the same
+# entry as gcc_base3. Bounded by _MAX_PROFILE_ENTRIES.
 _CACHE: OrderedDict[tuple, SoloProfile] = OrderedDict()
 
 
-def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
+def solo_profile(
+    app: AppModel,
+    platform: PlatformConfig,
+    *,
+    precision: str = "exact",
+) -> SoloProfile:
     """Compute (or fetch) the solo execution profile of ``app``.
 
     The app runs alone with all LLC ways; the memory link still applies its
     load-latency curve to the app's *own* traffic, so a streaming code does
-    not get an unrealistically rosy solo baseline.
+    not get an unrealistically rosy solo baseline. Profiles are cached per
+    ``precision`` (DESIGN.md §10): "exact" baselines stay bitwise
+    reproducible, "fast" ones inherit the fast kernel's tolerance contract.
     """
-    key = (app.phases, platform)
+    precision = _check_precision(precision)
+    key = (app.phases, platform, precision)
     cached = _CACHE.get(key)
     if cached is not None:
         _CACHE.move_to_end(key)
@@ -64,10 +72,12 @@ def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
 
     partition = PartitionSpec.unmanaged(1, platform.llc_ways)
     # One batched (and globally memoised) solve across the app's phases:
-    # batch lanes are byte-identical to scalar cold solves, so the profile
-    # carries the same bits it always did.
+    # in "exact" mode batch lanes are byte-identical to scalar cold solves,
+    # so the profile carries the same bits it always did.
     states = GLOBAL_STEADY_CACHE.solve_many(
-        platform, [((phase,), partition) for phase in app.phases]
+        platform,
+        [((phase,), partition) for phase in app.phases],
+        precision=precision,
     )
     total_time = 0.0
     total_instr = 0.0
@@ -93,13 +103,17 @@ def solo_profile(app: AppModel, platform: PlatformConfig) -> SoloProfile:
     return profile
 
 
-# LRU cache keyed by (phases tuple, platform, ways); bounded by
+# LRU cache keyed by (phases tuple, platform, ways, precision); bounded by
 # _MAX_WAYS_ENTRIES.
 _WAYS_CACHE: OrderedDict[tuple, float] = OrderedDict()
 
 
 def solo_ipc_at_ways(
-    app: AppModel, platform: PlatformConfig, ways: int
+    app: AppModel,
+    platform: PlatformConfig,
+    ways: int,
+    *,
+    precision: str = "exact",
 ) -> float:
     """Average solo IPC when the application may use only ``ways`` LLC ways.
 
@@ -113,7 +127,8 @@ def solo_ipc_at_ways(
         raise ValueError(
             f"ways must be in [1, {platform.llc_ways}], got {ways}"
         )
-    key = (app.phases, platform, ways)
+    precision = _check_precision(precision)
+    key = (app.phases, platform, ways, precision)
     cached = _WAYS_CACHE.get(key)
     if cached is not None:
         _WAYS_CACHE.move_to_end(key)
@@ -121,7 +136,9 @@ def solo_ipc_at_ways(
 
     partition = PartitionSpec.unmanaged(1, ways)
     states = GLOBAL_STEADY_CACHE.solve_many(
-        platform, [((phase,), partition) for phase in app.phases]
+        platform,
+        [((phase,), partition) for phase in app.phases],
+        precision=precision,
     )
     total_time = 0.0
     total_instr = 0.0
@@ -137,7 +154,10 @@ def solo_ipc_at_ways(
 
 
 def prewarm_profiles(
-    apps: Iterable[AppModel], platform: PlatformConfig
+    apps: Iterable[AppModel],
+    platform: PlatformConfig,
+    *,
+    precision: str = "exact",
 ) -> int:
     """Batch-solve the solo baselines of many applications in one sweep.
 
@@ -149,10 +169,11 @@ def prewarm_profiles(
     profile was already cached are skipped; clones sharing phase tuples
     count once).
     """
+    precision = _check_precision(precision)
     pending: list[AppModel] = []
     seen: set[tuple] = set()
     for app in apps:
-        key = (app.phases, platform)
+        key = (app.phases, platform, precision)
         if key in _CACHE or key in seen:
             continue
         seen.add(key)
@@ -167,11 +188,12 @@ def prewarm_profiles(
             for app in pending
             for phase in app.phases
         ],
+        precision=precision,
     )
     # The per-phase states are now memo hits; building the profiles is
     # pure arithmetic on top of them.
     for app in pending:
-        solo_profile(app, platform)
+        solo_profile(app, platform, precision=precision)
     return len(pending)
 
 

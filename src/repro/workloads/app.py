@@ -75,6 +75,28 @@ class Phase:
         check_fraction("write_frac", self.write_frac)
         if self.occupancy_ways is not None:
             check_positive("occupancy_ways", self.occupancy_ways)
+        # Cache the (frozen) hash: solver memo keys hash phase tuples on
+        # every cache lookup, and rehashing all eight fields per lookup
+        # dominates large batched-solve profiles.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.name,
+                    self.instructions,
+                    self.cpi_exe,
+                    self.apki,
+                    self.mrc,
+                    self.blocking,
+                    self.write_frac,
+                    self.occupancy_ways,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def misses_per_instruction(self, ways: float) -> float:
         """LLC misses per instruction at ``ways`` effective ways."""

@@ -88,6 +88,45 @@ class MissRatioCurve(ABC):
         ways = np.asarray(ways, dtype=float)
         return np.array([self(w) for w in ways], dtype=float)
 
+    def eval_many_fast(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation under the *tolerance* contract.
+
+        The ``precision="fast"`` solver mode funnels MRC lookups through
+        this method instead of :meth:`eval_many`. The contract is relaxed
+        from bitwise to elementwise-tolerance: each element must agree
+        with ``self(w)`` to within a few ulp (``np.exp`` vs ``math.exp``
+        differences), but may use transcendental vector kernels that the
+        bitwise contract forbids. Two properties are still REQUIRED:
+
+        * element ``i`` of the result depends only on ``ways[i]`` — never
+          on the other array elements or the array length (fast-mode memo
+          entries must not depend on batch composition);
+        * the same clamping/sub-way-ramp semantics as ``__call__``.
+
+        The base implementation falls back to the bitwise :meth:`eval_many`
+        (always a valid fast path); transcendental curves override it.
+        """
+        return self.eval_many(ways)
+
+    def fused_fast_params(self) -> tuple | None:
+        """Parameters for the fast solver's fused curve kernel, or ``None``.
+
+        The ``precision="fast"`` batch solver evaluates every curve slot
+        of a lane batch in ONE fused elementwise expression::
+
+            value = floor + span * (blend * exp(-w / scale)
+                                    + (1 - blend) * knee_part(w))
+            knee_part = 1 - sigmoid((w - knee) / sharpness)  # saturated
+
+        followed by the shared sub-way ramp to ``at_one`` and the [0, 1]
+        clamp. Returns ``(floor, span, blend, scale, knee, sharpness,
+        at_one)`` when this curve is expressible in that form within the
+        fast tolerance contract, else ``None`` — the solver then falls
+        back to per-curve :meth:`eval_many_fast` calls for those slots
+        (e.g. tabulated curves).
+        """
+        return None
+
     def min_ways_for_miss_ratio(self, target: float, max_ways: int) -> float:
         """Smallest integral way count whose miss ratio is <= ``target``.
 
@@ -99,6 +138,14 @@ class MissRatioCurve(ABC):
             if self(w) <= target:
                 return float(w)
         return math.inf
+
+
+def _finish_fast(ways: np.ndarray, value: np.ndarray, at_one: float) -> np.ndarray:
+    """Shared tail of the fast paths: sub-way ramp plus [0, 1] clamp."""
+    if ways.size and float(ways.min()) < 0:
+        raise ValueError(f"ways must be >= 0, got {float(ways.min())}")
+    value = np.where(ways < 1.0, 1.0 + (at_one - 1.0) * ways, value)
+    return np.clip(value, 0.0, 1.0)
 
 
 class ConstantMRC(MissRatioCurve):
@@ -139,6 +186,10 @@ class ConstantMRC(MissRatioCurve):
             ways < 1.0, 1.0 + (self._ratio - 1.0) * ways, self._ratio
         )
         return np.clip(value, 0.0, 1.0)
+
+    def fused_fast_params(self) -> tuple:
+        """See :meth:`MissRatioCurve.fused_fast_params` (span = 0)."""
+        return (self._ratio, 0.0, 1.0, 1.0, 1.0, 1.0, self._ratio)
 
     def __repr__(self) -> str:
         return f"ConstantMRC(ratio={self._ratio:g})"
@@ -185,6 +236,26 @@ class ExponentialMRC(MissRatioCurve):
         # Within 2% of the floor counts as "fitted".
         """See :meth:`MissRatioCurve.footprint_ways`."""
         return 4.0 * self._scale
+
+    def eval_many_fast(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised ``np.exp`` path (tolerance contract, see base)."""
+        ways = np.asarray(ways, dtype=float)
+        value = self._floor + (self._peak - self._floor) * np.exp(
+            -ways / self._scale
+        )
+        return _finish_fast(ways, value, self.miss_ratio(1.0))
+
+    def fused_fast_params(self) -> tuple:
+        """See :meth:`MissRatioCurve.fused_fast_params` (blend = 1)."""
+        return (
+            self._floor,
+            self._peak - self._floor,
+            1.0,
+            self._scale,
+            1.0,
+            1.0,
+            self.miss_ratio(1.0),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -238,6 +309,29 @@ class KneeMRC(MissRatioCurve):
     def footprint_ways(self) -> float:
         """See :meth:`MissRatioCurve.footprint_ways`."""
         return self._knee + 2.0 * self._sharpness
+
+    def eval_many_fast(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised logistic path (tolerance contract, see base)."""
+        ways = np.asarray(ways, dtype=float)
+        z = (ways - self._knee) / self._sharpness
+        # Same saturation branches as miss_ratio (clip guards np.exp from
+        # overflow before np.where discards the saturated elements).
+        frac_hit = 1.0 / (1.0 + np.exp(-np.clip(z, -40.0, 40.0)))
+        frac_hit = np.where(z > 40.0, 1.0, np.where(z < -40.0, 0.0, frac_hit))
+        value = self._peak + (self._floor - self._peak) * frac_hit
+        return _finish_fast(ways, value, self.miss_ratio(1.0))
+
+    def fused_fast_params(self) -> tuple:
+        """See :meth:`MissRatioCurve.fused_fast_params` (blend = 0)."""
+        return (
+            self._floor,
+            self._peak - self._floor,
+            0.0,
+            1.0,
+            self._knee,
+            self._sharpness,
+            self.miss_ratio(1.0),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -299,6 +393,32 @@ class BlendedMRC(MissRatioCurve):
     def footprint_ways(self) -> float:
         """See :meth:`MissRatioCurve.footprint_ways`."""
         return self._knee + 2.0 * self._sharpness
+
+    def eval_many_fast(self, ways: np.ndarray) -> np.ndarray:
+        """Vectorised blend path (tolerance contract, see base)."""
+        ways = np.asarray(ways, dtype=float)
+        span = self._peak - self._floor
+        exp_part = np.exp(-ways / self._scale)
+        z = (ways - self._knee) / self._sharpness
+        knee_part = 1.0 - 1.0 / (1.0 + np.exp(-np.clip(z, -40.0, 40.0)))
+        knee_part = np.where(
+            z > 40.0, 0.0, np.where(z < -40.0, 1.0, knee_part)
+        )
+        captured = self._blend * exp_part + (1.0 - self._blend) * knee_part
+        value = self._floor + span * captured
+        return _finish_fast(ways, value, self.miss_ratio(1.0))
+
+    def fused_fast_params(self) -> tuple:
+        """See :meth:`MissRatioCurve.fused_fast_params` (exact match)."""
+        return (
+            self._floor,
+            self._peak - self._floor,
+            self._blend,
+            self._scale,
+            self._knee,
+            self._sharpness,
+            self.miss_ratio(1.0),
+        )
 
     def __repr__(self) -> str:
         return (

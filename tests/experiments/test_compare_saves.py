@@ -84,7 +84,12 @@ class TestBenchJson:
         assert "steady_cache.hit_rate: 0.4" in text
         history = artefact.with_name("BENCH_history.jsonl")
         assert history.exists()
-        assert json.loads(history.read_text()) == _headline_payload()
+        # Every appended row records its solver precision (absent in the
+        # artefact = pre-fast-math era = "exact").
+        assert json.loads(history.read_text()) == {
+            **_headline_payload(),
+            "precision": "exact",
+        }
 
     def test_second_run_diffs_against_previous(self, tmp_path):
         artefact = tmp_path / "BENCH_headline.json"
@@ -117,3 +122,62 @@ class TestBenchJson:
              "--bench-json", str(tmp_path / "absent.json")]
         ) == 0
         assert "missing — skipping" in capsys.readouterr().out
+
+
+class TestBenchJsonSchemaDrift:
+    """Old histories / new payloads with different field sets must diff."""
+
+    def test_old_history_without_new_fields(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        # Previous run: an old-schema row (no precision, no fast fields).
+        history = artefact.with_name("BENCH_history.jsonl")
+        old = {"schema": 1, "wall_clock_s": 12.0, "solver": {"scalar_solves": 5}}
+        history.write_text(json.dumps(old) + "\n")
+        payload = _headline_payload()
+        payload["precision"] = "fast"
+        payload["fast_speedup"] = 5.5
+        payload["solver"]["fast_solves"] = 3
+        payload["solver"]["fast_points"] = 900
+        artefact.write_text(json.dumps(payload))
+        report = compare_saves.report_bench_json(artefact)
+        text = "\n".join(report)
+        assert "precision: fast" in text
+        assert "previous run used precision=exact" in text
+        assert "fast_speedup: 5.5x" in text
+        assert "solver.fast_points: 900" in text
+        # Old row had wall_clock; the delta still renders.
+        assert "prev 12.0s" in text
+
+    def test_new_history_fields_tolerated_by_old_style_payload(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        history = artefact.with_name("BENCH_history.jsonl")
+        newer = _headline_payload()
+        newer["precision"] = "fast"
+        newer["fast_speedup"] = 6.0
+        newer["solver"]["fast_solves"] = 9
+        history.write_text(json.dumps(newer) + "\n")
+        artefact.write_text(json.dumps(_headline_payload()))
+        report = compare_saves.report_bench_json(artefact)
+        text = "\n".join(report)
+        assert "precision: exact" in text
+        # The previous fast_speedup still shows even though this payload
+        # has none.
+        assert "fast_speedup" in text
+
+    def test_absent_fields_on_both_sides_stay_silent(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        artefact.write_text(json.dumps(_headline_payload()))
+        report = compare_saves.report_bench_json(artefact)
+        text = "\n".join(report)
+        assert "fast_solves" not in text
+        assert "fast_speedup" not in text
+
+    def test_torn_history_line_diffs_against_nothing(self, tmp_path):
+        artefact = tmp_path / "BENCH_headline.json"
+        history = artefact.with_name("BENCH_history.jsonl")
+        history.write_text('{"schema": 1, "wall_cl')  # torn write
+        artefact.write_text(json.dumps(_headline_payload()))
+        report = compare_saves.report_bench_json(artefact)
+        assert any("wall_clock: 10.0s" in line for line in report)
+        # The torn line is left in place; the new row still appends.
+        assert len(history.read_text().splitlines()) == 2

@@ -78,7 +78,9 @@ class TestSteadyStateCache:
         cache.solve(TABLE1_PLATFORM, phases, partitions[0])
         assert cache.misses == misses_before + 1
 
-    def test_clear_resets_counters(self):
+    def test_clear_resets_counters_but_not_lifetime(self):
+        """clear() zeroes the generation counters; the lifetime block
+        (which feeds BENCH hit rates) must survive it."""
         phases = _phases()
         cache = SteadyStateCache()
         partition = PartitionSpec.unmanaged(len(phases), 20)
@@ -86,11 +88,21 @@ class TestSteadyStateCache:
         cache.solve(TABLE1_PLATFORM, phases, partition)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["size"] == 0
+        assert stats["max_entries"] == cache.max_entries
+        assert stats["lifetime"]["hits"] == 1
+        assert stats["lifetime"]["misses"] == 1
+        assert stats["lifetime"]["hit_rate"] == 0.5
+        assert stats["lifetime"]["by_precision"]["exact"] == {
+            "hits": 1,
+            "misses": 1,
+        }
+        assert stats["lifetime"]["by_precision"]["fast"] == {
             "hits": 0,
             "misses": 0,
-            "size": 0,
-            "max_entries": cache.max_entries,
         }
 
     def test_rejects_degenerate_bound(self):
