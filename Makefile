@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test fastmath chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick examples clean
+.PHONY: all install lint test fastmath chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick queue-smoke examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test chaos conformance bench-fast-quick
+all: lint test chaos conformance queue-smoke bench-fast-quick
 
 install:
 	pip install -e .
@@ -61,6 +61,9 @@ bench-fast:       ## fast-math speedup gate: full 3481-pair grid, exact vs fast,
 
 bench-fast-quick: ## fast-math speedup gate on the truncated population (floor 3x)
 	PYTHONPATH=src python benchmarks/bench_fast.py --quick
+
+queue-smoke:      ## two-worker shared-queue campaign, digest-checked against serial
+	PYTHONPATH=src python benchmarks/queue_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

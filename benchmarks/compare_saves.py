@@ -15,10 +15,18 @@ compares it against the previous run recorded in ``BENCH_history.jsonl``
 next to it, and appends the current run to that history. The JSON report
 is informational — only the autosave medians gate.
 
+With ``--store PATH`` it instead (or additionally) describes a persisted
+result-store artefact — either backend: the checksummed JSON file or the
+SQLite database — printing the engine, row count, precision stamp and
+the backend-independent canonical content digest, so two campaign
+artefacts can be compared for equality regardless of which engine or how
+many queue workers wrote them.
+
 Usage::
 
     python benchmarks/compare_saves.py [--threshold 0.25] [--storage DIR]
         [--bench-json benchmarks/results/BENCH_headline.json]
+        [--store results.db [--store other.json ...]]
 """
 
 from __future__ import annotations
@@ -169,6 +177,30 @@ def report_bench_json(path: Path, history: Path | None = None) -> list[str]:
     return report
 
 
+def describe_store(path: Path) -> list[str]:
+    """Describe one persisted result store, whichever backend wrote it."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.experiments.backends import open_backend
+
+    backend = open_backend(path)
+    if not backend.exists():
+        return [f"store artefact: {path} missing"]
+    loaded = backend.load()
+    lines = [
+        f"store artefact: {path}",
+        f"  backend: {backend.kind}",
+        f"  rows: {len(loaded.rows)}",
+        f"  precision: {loaded.precision or '-'}",
+        f"  digest: {backend.digest()}",
+    ]
+    if loaded.salvaged or loaded.corrupt_files:
+        lines.append(
+            f"  WARNING: artefact was corrupt "
+            f"(salvaged={loaded.salvaged}, files={loaded.corrupt_files})"
+        )
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -191,7 +223,24 @@ def main(argv: list[str] | None = None) -> int:
         help="render + track a BENCH_headline.json perf artefact "
         "(informational, never gates)",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="describe a persisted result store (file or sqlite backend): "
+        "engine, rows, precision, canonical digest; repeatable — equal "
+        "digests mean equal campaign contents (informational, never gates)",
+    )
     args = parser.parse_args(argv)
+
+    if args.store:
+        for store_path in args.store:
+            for line in describe_store(store_path):
+                print(line)
+        if args.bench_json is None:
+            return 0
 
     if args.bench_json is not None:
         if args.bench_json.exists():

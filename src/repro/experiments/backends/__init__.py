@@ -1,0 +1,88 @@
+"""Pluggable :class:`ResultStore` persistence backends (DESIGN.md §11).
+
+Two engines behind one :class:`~repro.experiments.backends.base.
+StoreBackend` contract:
+
+* :class:`~repro.experiments.backends.filejson.FileBackend` — the
+  historical checksummed atomic-rename JSON file. Byte-identical
+  artefacts, single writer, whole-file checkpoints.
+* :class:`~repro.experiments.backends.sqlite.SqliteBackend` — WAL-mode
+  SQLite with row-level upserts. Incremental checkpoints, safe
+  concurrent writers — the engine the shared campaign queue
+  (:mod:`repro.experiments.queue`) requires.
+
+:func:`open_backend` picks an engine for a path; ``"auto"`` resolves by
+suffix (``.db`` / ``.sqlite`` / ``.sqlite3`` → SQLite), falling back to
+sniffing the 16-byte SQLite magic on existing files so a ``--cache``
+pointed at an SQLite artefact under any name still opens correctly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.backends.base import (
+    CACHE_VERSION,
+    LoadedRows,
+    StoreBackend,
+    rows_digest,
+    salvage_rows,
+)
+from repro.experiments.backends.filejson import FileBackend
+from repro.experiments.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_VERSION",
+    "FileBackend",
+    "LoadedRows",
+    "SqliteBackend",
+    "StoreBackend",
+    "open_backend",
+    "rows_digest",
+    "salvage_rows",
+]
+
+#: Registry of engine name -> backend class.
+BACKENDS: dict[str, type[StoreBackend]] = {
+    FileBackend.kind: FileBackend,
+    SqliteBackend.kind: SqliteBackend,
+}
+
+#: Path suffixes that auto-resolve to the SQLite engine.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+#: The on-disk magic every SQLite database file starts with.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def open_backend(
+    path: Path | str, backend: str | StoreBackend = "auto"
+) -> StoreBackend:
+    """Resolve ``backend`` for ``path`` into a :class:`StoreBackend`.
+
+    ``backend`` may be a ready instance (returned as-is), an engine name
+    from :data:`BACKENDS`, or ``"auto"``: suffix first, then the SQLite
+    file magic for existing files, else the JSON file engine.
+    """
+    if isinstance(backend, StoreBackend):
+        return backend
+    path = Path(path)
+    if backend == "auto":
+        if path.suffix.lower() in _SQLITE_SUFFIXES:
+            return SqliteBackend(path)
+        if path.exists():
+            try:
+                with open(path, "rb") as fh:
+                    if fh.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
+                        return SqliteBackend(path)
+            except OSError:
+                pass
+        return FileBackend(path)
+    try:
+        return BACKENDS[backend](path)
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {backend!r}; expected 'auto' or one of "
+            f"{sorted(BACKENDS)}"
+        ) from None

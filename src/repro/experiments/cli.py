@@ -19,6 +19,22 @@ effectiveness and campaign throughput into one JSONL file; ``dicer-repro
 report --metrics out.jsonl`` renders it. ``dicer-repro run --hp A --be B
 [--policy DICER]`` executes a single consolidation pair, the smallest
 unit that produces a full decision trace.
+
+Result caches are pluggable (``--backend``, DESIGN.md §11): ``file`` is
+the checksummed atomic-rename JSON artefact, ``sqlite`` a WAL database
+with incremental checkpoints and concurrent-writer safety; ``auto``
+(default) resolves from the ``--cache`` path. Multi-process campaigns
+use the ``campaign`` subcommand::
+
+    dicer-repro campaign --queue q.db --store results.db --limit 10 &
+    dicer-repro campaign --queue q.db --store results.db --limit 10 &
+    dicer-repro campaign monitor q.db --interval 5
+
+Each worker idempotently enqueues the grid, then drains the shared
+queue (lease/heartbeat claims, work-stealing of dead workers' leases)
+through its own supervised store into the shared SQLite result store;
+``campaign monitor`` renders live progress from queue state and the
+shared telemetry stream.
 """
 
 from __future__ import annotations
@@ -117,8 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache",
         type=str,
         default=None,
-        help="JSON file to persist/reuse experiment results (also enables "
-        "mid-campaign checkpointing, so an interrupted run resumes)",
+        help="file to persist/reuse experiment results (also enables "
+        "mid-campaign checkpointing, so an interrupted run resumes); "
+        "engine chosen by --backend",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "file", "sqlite"),
+        default="auto",
+        help="persistence engine for --cache (DESIGN.md §11): 'file' = "
+        "checksummed atomic-rename JSON, 'sqlite' = WAL database with "
+        "incremental checkpoints, 'auto' (default) = by path suffix / "
+        "file magic",
     )
     parser.add_argument(
         "--workers",
@@ -249,6 +275,9 @@ def _run_single(store: ResultStore, args: argparse.Namespace) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run the experiment, print it."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["campaign"]:
+        return _campaign_main(argv[1:])
     args = _build_parser().parse_args(argv)
     exp = args.experiment
 
@@ -374,6 +403,7 @@ def _dispatch(exp: str, args: argparse.Namespace) -> None:
                 on_failure=args.on_failure,
             ),
             precision=args.precision,
+            backend=args.backend,
         )
     except ValueError as exc:
         # e.g. --cache written under the other --precision mode
@@ -439,6 +469,240 @@ def _dispatch(exp: str, args: argparse.Namespace) -> None:
         for key, value in store.stats().items():
             registry.gauge(f"store.{key}").set(value)
     store.save()
+
+
+def _campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dicer-repro campaign",
+        description="Drain a shared multi-process campaign queue "
+        "(or monitor one; see DESIGN.md §11).",
+    )
+    parser.add_argument(
+        "monitor",
+        nargs="?",
+        choices=["monitor"],
+        help="render queue progress instead of working",
+    )
+    parser.add_argument(
+        "queue_path",
+        nargs="?",
+        default=None,
+        help="queue database (monitor mode positional)",
+    )
+    parser.add_argument(
+        "--queue", type=str, default=None, metavar="DB",
+        help="shared queue database (worker mode)",
+    )
+    parser.add_argument(
+        "--store", type=str, default=None, metavar="DB",
+        help="shared SQLite result store all workers write to",
+    )
+    parser.add_argument("--limit", type=int, default=None,
+                        help="truncate the catalog (same as the main CLI)")
+    parser.add_argument("--cores", type=int, nargs="+", default=None,
+                        help="grid core counts (default: 2..10)")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes inside this drainer (default 1)",
+    )
+    parser.add_argument(
+        "--precision", choices=("exact", "fast"), default="fast",
+        help="solver mode; every cooperating worker must agree",
+    )
+    parser.add_argument(
+        "--worker-id", type=str, default=None,
+        help="identity for leases/telemetry (default: host-pid)",
+    )
+    parser.add_argument(
+        "--claim-batch", type=int, default=8, metavar="N",
+        help="cells claimed per lease (default 8)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=300.0, metavar="SECONDS",
+        help="lease duration before an unheartbeated claim is stealable "
+        "(default 300)",
+    )
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N")
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH",
+        help="telemetry JSONL (shared: every worker appends, batches are "
+        "tagged with the worker id; monitor mode reads it for per-worker "
+        "throughput)",
+    )
+    parser.add_argument(
+        "--enqueue-only", action="store_true",
+        help="enqueue the grid and exit without draining (producer mode)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="monitor mode: re-render every SECONDS until the queue drains",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="monitor mode: stop after N renders (default: until drained)",
+    )
+    return parser
+
+
+def _monitor_telemetry(path: str) -> str | None:
+    """Per-worker batch throughput from a shared telemetry JSONL."""
+    from pathlib import Path
+
+    if not Path(path).exists():
+        return None
+    per_worker: dict[str, dict[str, float]] = {}
+    for record in obs.load_jsonl(path):
+        if record.get("kind") != "campaign.batch":
+            continue
+        label = record.get("label") or record.get("campaign_id") or "?"
+        agg = per_worker.setdefault(
+            label, {"batches": 0, "cells": 0, "seconds": 0.0}
+        )
+        agg["batches"] += 1
+        agg["cells"] += record.get("cells", 0)
+        agg["seconds"] += record.get("seconds", 0.0)
+    if not per_worker:
+        return None
+    rows = [
+        [
+            label,
+            int(agg["batches"]),
+            int(agg["cells"]),
+            agg["cells"] / agg["seconds"] if agg["seconds"] > 0 else 0.0,
+        ]
+        for label, agg in sorted(per_worker.items())
+    ]
+    return format_table(
+        ["worker", "batches", "cells", "cells/s"],
+        rows,
+        title=f"Telemetry: {path}",
+    )
+
+
+def _campaign_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.experiments.queue import CampaignQueue, render_monitor
+
+    path = args.queue_path or args.queue
+    if not path:
+        raise SystemExit("campaign monitor requires a queue database path")
+    from pathlib import Path
+
+    if not Path(path).exists():
+        raise SystemExit(f"campaign monitor: no queue database at {path}")
+    queue = CampaignQueue(path)
+    renders = 0
+    while True:
+        snapshot = queue.snapshot()
+        print(render_monitor(snapshot, path=str(path)))
+        if args.metrics:
+            telemetry = _monitor_telemetry(args.metrics)
+            if telemetry:
+                print()
+                print(telemetry)
+        renders += 1
+        if args.interval is None or snapshot.terminal:
+            return 0
+        if args.iterations is not None and renders >= args.iterations:
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
+def _campaign_main(argv: list[str]) -> int:
+    """The ``campaign`` subcommand: queue worker / producer / monitor."""
+    args = _campaign_parser().parse_args(argv)
+    if args.monitor == "monitor":
+        return _campaign_monitor(args)
+    if not args.queue or not args.store:
+        raise SystemExit(
+            "campaign worker mode requires --queue DB and --store DB "
+            "(or: campaign monitor QUEUE_DB)"
+        )
+
+    import os
+    import socket
+
+    from repro.experiments.queue import (
+        CampaignQueue,
+        drain,
+        render_monitor,
+    )
+
+    worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    telemetry = args.metrics is not None
+    if telemetry:
+        obs.enable(args.metrics, campaign_id=worker_id)
+
+    try:
+        try:
+            store = ResultStore(
+                cache_path=args.store,
+                n_workers=args.workers,
+                supervise=SuperviseConfig(
+                    max_retries=args.max_retries,
+                    cell_timeout_s=args.cell_timeout,
+                    # Queue workers never abort the shared campaign over
+                    # one poison cell: it becomes a 'failed' queue row.
+                    on_failure="skip",
+                ),
+                precision=args.precision,
+                # The shared store must support concurrent writers.
+                backend="sqlite",
+                batch_label=worker_id,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"campaign: {exc}") from None
+        queue = CampaignQueue(args.queue, lease_s=args.lease)
+
+        # Every worker derives the same sample and enqueues the same grid
+        # in canonical order; content-addressed keys make this idempotent.
+        from repro.experiments.grid import PAPER_CORES, grid_cells
+
+        sample = build_sample(store, limit=args.limit, seed=args.seed)
+        cores = tuple(args.cores) if args.cores else PAPER_CORES
+        cells = grid_cells(sample, cores=cores)
+        added = queue.enqueue(cells)
+        print(
+            f"[{worker_id}] enqueued {added} new cell(s) "
+            f"({len(cells)} in grid)"
+        )
+        # Classification itself computed cells; persist them for peers.
+        store.save()
+        if args.enqueue_only:
+            print(render_monitor(queue.snapshot(), path=args.queue))
+            return 0
+
+        tally = drain(
+            store,
+            queue,
+            worker_id,
+            claim_batch=args.claim_batch,
+        )
+        print(
+            f"[{worker_id}] drained: {tally['done']} done, "
+            f"{tally['failed']} failed, {tally['batches']} batch(es), "
+            f"{tally['stolen']} stolen"
+        )
+        if store.failures:
+            print()
+            print(_render_failures(store))
+        print(render_monitor(queue.snapshot(), path=args.queue))
+        registry = obs.get_registry()
+        if registry.enabled:
+            for key, value in store.stats().items():
+                registry.gauge(f"store.{key}").set(value)
+        store.save()
+    finally:
+        if telemetry:
+            obs.emit("campaign.end", worker=worker_id)
+            obs.finalise()
+    return 0
 
 
 if __name__ == "__main__":

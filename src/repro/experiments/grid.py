@@ -26,7 +26,14 @@ from repro.experiments.runner import PairResult
 from repro.experiments.store import ResultStore
 from repro.workloads.catalog import app_names
 
-__all__ = ["GridPoint", "GridData", "default_policies", "run_grid", "build_sample"]
+__all__ = [
+    "GridPoint",
+    "GridData",
+    "default_policies",
+    "grid_cells",
+    "run_grid",
+    "build_sample",
+]
 
 #: Core counts evaluated by the paper (x axes of Figures 6-8).
 PAPER_CORES: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10)
@@ -103,6 +110,28 @@ def build_sample(
     return representative_sample(classes, n_ctf=n_ctf, n_ctt=n_ctt, seed=seed)
 
 
+def grid_cells(
+    sample: list[PairClass],
+    *,
+    cores: tuple[int, ...] = PAPER_CORES,
+    policies: list[Policy] | None = None,
+) -> list[tuple[str, str, int, Policy]]:
+    """The grid's store cells in canonical campaign order.
+
+    Workload-major, then cores, then policies — the order
+    :func:`run_grid` executes and the order campaign-queue producers
+    enqueue, so queue sequence numbers match serial execution order.
+    """
+    if policies is None:
+        policies = default_policies()
+    return [
+        (workload.hp_name, workload.be_name, n_cores - 1, policy)
+        for workload in sample
+        for n_cores in cores
+        for policy in policies
+    ]
+
+
 def run_grid(
     store: ResultStore,
     sample: list[PairClass],
@@ -130,10 +159,7 @@ def run_grid(
         for policy in policies
     ]
     results = store.get_many(
-        [
-            (workload.hp_name, workload.be_name, n_cores - 1, policy)
-            for workload, n_cores, policy in combos
-        ]
+        grid_cells(sample, cores=cores, policies=policies)
     )
     # A quarantined cell (supervised store, on_failure="skip") yields None
     # and simply leaves a hole in the grid; every extractor aggregates over

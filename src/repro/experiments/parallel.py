@@ -167,6 +167,9 @@ class ParallelExecutor:
         Retained for API compatibility; the supervised engine submits
         cells individually (per-cell futures are what make timeouts and
         crash attribution possible), so this is accepted and ignored.
+    label:
+        Optional tag for this executor's ``campaign.batch`` telemetry
+        events (see :class:`SupervisedExecutor`).
     """
 
     def __init__(
@@ -174,6 +177,7 @@ class ParallelExecutor:
         n_workers: int | None = None,
         *,
         chunk_size: int | None = None,
+        label: str | None = None,
     ) -> None:
         if n_workers is None or n_workers <= 0:
             n_workers = os.cpu_count() or 1
@@ -181,6 +185,7 @@ class ParallelExecutor:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        self.label = label
 
     def run(
         self,
@@ -198,7 +203,7 @@ class ParallelExecutor:
         cache and checkpoint long campaigns for mid-grid resume.
         """
         executor = SupervisedExecutor(
-            self.n_workers, config=SuperviseConfig()
+            self.n_workers, config=SuperviseConfig(), label=self.label
         )
         try:
             outcome = executor.run(

@@ -17,7 +17,13 @@ from repro.experiments.fig1 import Fig1Data, PAPER_X_GRID
 from repro.experiments.fig2 import Fig2Data
 from repro.experiments.grid import GridData
 
-__all__ = ["write_csv", "grid_to_csv", "fig1_to_csv", "fig2_to_csv"]
+__all__ = [
+    "write_csv",
+    "grid_to_csv",
+    "fig1_to_csv",
+    "fig2_to_csv",
+    "store_to_csv",
+]
 
 
 def write_csv(
@@ -72,6 +78,48 @@ def grid_to_csv(grid: GridData, path: Path | str) -> Path:
             "efu",
         ],
         rows,
+    )
+
+
+def store_to_csv(
+    store_path: Path | str,
+    path: Path | str,
+    *,
+    backend: str = "auto",
+) -> Path:
+    """Export a persisted result store — either engine — as CSV.
+
+    Reads the artefact directly through its
+    :class:`~repro.experiments.backends.StoreBackend` (no executions, no
+    precision gate), so a campaign written by queue workers into SQLite
+    and one checkpointed to JSON export identically. Rows are sorted by
+    the store key for stable diffs across backends and worker counts.
+    """
+    from repro.experiments.backends import open_backend
+
+    rows = open_backend(store_path, backend).load().rows
+    rows.sort(
+        key=lambda r: (
+            r.get("hp_name", ""),
+            r.get("be_name", ""),
+            r.get("n_be", 0),
+            r.get("policy", ""),
+        )
+    )
+    headers = [
+        "hp_name",
+        "be_name",
+        "n_be",
+        "policy",
+        "hp_norm_ipc",
+        "be_norm_ipc",
+        "hp_slowdown",
+        "efu",
+        "duration_s",
+        "hp_completions",
+    ]
+    return write_csv(
+        path, headers, [[r.get(h) for h in headers] for r in rows]
     )
 
 

@@ -4,7 +4,7 @@ The paper's figures reuse the same underlying executions: Figures 4-8 all
 draw on the 120-workload sample under UM/CT/DICER across core counts, and
 Figure 1 plus the CT-F/CT-T classification share the full 3481-pair UM/CT
 runs. :class:`ResultStore` memoises :class:`~repro.experiments.runner.
-PairResult` objects per (hp, be, n_be, policy) in memory, with optional JSON
+PairResult` objects per (hp, be, n_be, policy) in memory, with optional
 persistence so a long campaign survives process restarts.
 
 Bulk requests (:meth:`ResultStore.get_many` / :meth:`ResultStore.prefetch`)
@@ -15,21 +15,24 @@ a ``cache_path`` is configured — are checkpointed to disk every
 ``checkpoint_every`` results, so an interrupted paper-scale campaign
 resumes mid-grid instead of restarting.
 
-Persistence is crash-safe (DESIGN.md §9): the cache is written to a
-temporary file, fsynced, atomically renamed over the target, and the
-parent directory fsynced; the on-disk payload carries a row count and a
-SHA-256 checksum so a torn or bit-rotted file is *detected*, quarantined
-to ``<path>.corrupt-<digest>``, and salvaged row-by-row instead of being
-trusted or silently dropped. During a bulk request, SIGINT/SIGTERM flush
-a checkpoint before the process dies, and a mid-campaign exception
-flushes one before propagating — interrupted grids always resume from
-the last completed cell.
+Persistence is pluggable (DESIGN.md §11): the store holds results, the
+:class:`~repro.experiments.backends.StoreBackend` engine holds the disk.
+The ``file`` engine is the historical crash-safe JSON artefact
+(DESIGN.md §9): payload → temp file → fsync → atomic rename → parent
+fsync, with a row count and SHA-256 checksum verified on load. The
+``sqlite`` engine keeps one row per result in a WAL-mode database,
+checkpoints by upserting only what changed, and tolerates many
+cooperating writer processes — the engine the shared campaign queue
+(:mod:`repro.experiments.queue`) runs on. Either way a corrupt artefact
+is *detected*, quarantined to ``<path>.corrupt-<digest>``, and salvaged
+row-by-row instead of being trusted or silently dropped. During a bulk
+request, SIGINT/SIGTERM flush a checkpoint before the process dies, and
+a mid-campaign exception flushes one before propagating — interrupted
+grids always resume from the last completed cell.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import logging
 import os
 import signal
@@ -38,9 +41,10 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.policies import Policy
+from repro.experiments.backends import StoreBackend, open_backend
 from repro.experiments.parallel import Cell
 from repro.experiments.supervise import (
     FailedCell,
@@ -57,7 +61,7 @@ __all__ = ["ResultStore"]
 
 _log = logging.getLogger(__name__)
 
-#: Fields persisted to JSON (the decision trace is dropped — it is bulky and
+#: Fields persisted per row (the decision trace is dropped — it is bulky and
 #: only examples/tests inspect it).
 _PERSISTED_FIELDS = (
     "hp_name",
@@ -72,44 +76,6 @@ _PERSISTED_FIELDS = (
     "hp_completions",
 )
 
-#: On-disk format version of the integrity-checked payload.
-_CACHE_VERSION = 2
-
-
-def _rows_digest(rows: list[dict]) -> str:
-    """Canonical SHA-256 of the row list (stable across JSON round trips)."""
-    canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def _salvage_rows(text: str) -> list[dict]:
-    """Best-effort row recovery from corrupt/truncated JSON.
-
-    Scans forward from the first ``[`` decoding one object at a time, so
-    every row that made it to disk intact before a crash truncated the
-    file is recovered. Works on both the v2 wrapper (``"rows": [...``)
-    and the legacy bare-list layout.
-    """
-    decoder = json.JSONDecoder()
-    rows: list[dict] = []
-    i = text.find("[")
-    if i < 0:
-        return rows
-    i += 1
-    n = len(text)
-    while i < n:
-        while i < n and text[i] in ", \t\r\n":
-            i += 1
-        if i >= n or text[i] != "{":
-            break
-        try:
-            obj, i = decoder.raw_decode(text, i)
-        except ValueError:
-            break
-        if isinstance(obj, dict):
-            rows.append(obj)
-    return rows
-
 
 class ResultStore:
     """Memoising executor for (workload, policy, size) experiments.
@@ -119,7 +85,8 @@ class ResultStore:
     platform:
         Platform every execution runs on.
     cache_path:
-        Optional JSON file for persistence across processes.
+        Optional artefact for persistence across processes (JSON file or
+        SQLite database, see ``backend``).
     n_workers:
         Worker processes for bulk requests: ``1`` (default) keeps the exact
         serial execution path, ``0``/``None`` auto-detects from the CPU
@@ -127,9 +94,9 @@ class ResultStore:
         and parallel execution produce bit-identical results.
     checkpoint_every:
         With a ``cache_path``, how many freshly computed results may
-        accumulate before the cache is rewritten mid-campaign. Each
-        checkpoint rewrites the whole store, so mid-campaign checkpoints
-        are additionally rate-limited to one per
+        accumulate before the cache is checkpointed mid-campaign. The file
+        backend rewrites the whole artefact per checkpoint, so mid-campaign
+        checkpoints are additionally rate-limited to one per
         ``min_checkpoint_interval_s`` seconds; campaigns fast enough to
         finish inside that window just save once at the end.
     supervise:
@@ -152,6 +119,16 @@ class ResultStore:
         the other mode refuses to load, and per-request ``precision``
         overrides that disagree with the store are rejected — fast and
         exact results never merge into one save.
+    backend:
+        Persistence engine for ``cache_path``: ``"file"`` (checksummed
+        atomic-rename JSON), ``"sqlite"`` (WAL database, incremental
+        row upserts, concurrent-writer safe), ``"auto"`` (default —
+        resolve by path suffix / file magic), or a ready
+        :class:`~repro.experiments.backends.StoreBackend` instance.
+    batch_label:
+        Optional tag stamped on this store's ``campaign.batch`` telemetry
+        events — campaign-queue workers set it to their worker id so a
+        shared telemetry file attributes batches to workers.
     """
 
     #: Minimum seconds between mid-campaign checkpoint rewrites.
@@ -167,11 +144,15 @@ class ResultStore:
         supervise: SuperviseConfig | None = None,
         min_checkpoint_interval_s: float | None = None,
         precision: str = "exact",
+        backend: str | StoreBackend = "auto",
+        batch_label: str | None = None,
     ) -> None:
         self.platform = platform
         self.precision = _check_precision(precision)
         self._supervise = supervise if supervise is not None else SuperviseConfig()
-        self._executor = SupervisedExecutor(n_workers, config=self._supervise)
+        self._executor = SupervisedExecutor(
+            n_workers, config=self._supervise, label=batch_label
+        )
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -184,6 +165,14 @@ class ResultStore:
         )
         self._results: dict[tuple[str, str, int, str], PairResult] = {}
         self._cache_path = Path(cache_path) if cache_path else None
+        self._backend: StoreBackend | None = (
+            open_backend(self._cache_path, backend)
+            if self._cache_path
+            else None
+        )
+        #: Keys computed since the last save (the sqlite backend persists
+        #: only these per checkpoint instead of rewriting everything).
+        self._dirty: set[tuple[str, str, int, str]] = set()
         self._n_loaded = 0
         self._n_dropped = 0
         self._n_salvaged = 0
@@ -194,7 +183,7 @@ class ResultStore:
         self._last_checkpoint = float("-inf")
         #: Quarantined cells from bulk requests (``on_failure="skip"``).
         self.failures: list[FailedCell] = []
-        if self._cache_path and self._cache_path.exists():
+        if self._backend and self._backend.exists():
             self._load()
 
     @property
@@ -206,6 +195,11 @@ class ResultStore:
     def supervise_config(self) -> SuperviseConfig:
         """The retry/timeout/failure policy bulk requests run under."""
         return self._supervise
+
+    @property
+    def backend(self) -> StoreBackend | None:
+        """The persistence engine (``None`` for a memory-only store)."""
+        return self._backend
 
     @staticmethod
     def _key(cell: Cell) -> tuple[str, str, int, str]:
@@ -260,6 +254,7 @@ class ResultStore:
                     **run_kwargs,
                 )
             self._results[key] = result
+            self._dirty.add(key)
             self._n_computed += 1
             registry.counter("store.computed").inc()
         else:
@@ -270,6 +265,8 @@ class ResultStore:
     def get_many(
         self,
         cells: Iterable[Cell],
+        *,
+        on_result: Callable[[int, Cell, PairResult], None] | None = None,
         **run_kwargs,
     ) -> list[PairResult | None]:
         """Fetch a batch of cells, fanning pending ones out over workers.
@@ -279,7 +276,10 @@ class ResultStore:
         in first-appearance order) run on the store's supervised executor,
         merge back into the cache as they complete, and are checkpointed to
         ``cache_path`` along the way. Returns results aligned
-        index-for-index with ``cells``.
+        index-for-index with ``cells``. ``on_result(index, cell, result)``
+        fires per freshly computed cell (in submission order over the
+        deduplicated pending batch) after it has merged into the cache —
+        campaign-queue workers use it to heartbeat their leases.
 
         Failure semantics follow the store's ``supervise`` config: by
         default the first failure aborts (after a checkpoint flush) with
@@ -306,17 +306,21 @@ class ResultStore:
             pending_keys = list(pending)
 
             def merge(index: int, cell: Cell, result: PairResult) -> None:
-                self._results[pending_keys[index]] = result
+                key = pending_keys[index]
+                self._results[key] = result
+                self._dirty.add(key)
                 self._n_computed += 1
                 registry.counter("store.computed").inc()
                 self._pending_checkpoint += 1
                 if (
-                    self._cache_path
+                    self._backend
                     and self._pending_checkpoint >= self._checkpoint_every
                     and time.monotonic() - self._last_checkpoint
                     >= self._min_checkpoint_interval_s
                 ):
                     self.save()
+                if on_result is not None:
+                    on_result(index, cell, result)
 
             try:
                 with self._checkpoint_on_signal():
@@ -329,7 +333,7 @@ class ResultStore:
             finally:
                 # A checkpoint survives whatever interrupted the campaign:
                 # quarantine-abort, a worker exception, KeyboardInterrupt.
-                if self._cache_path and self._pending_checkpoint:
+                if self._backend and self._pending_checkpoint:
                     self.save()
             if outcome.failures:
                 self.failures.extend(outcome.failures)
@@ -347,18 +351,35 @@ class ResultStore:
         """Ensure every cell is computed; report the cached/run partition.
 
         Returns ``{"requested": ..., "cached": ..., "computed": ...,
-        "failed": ...}`` for the batch (duplicates within the batch count
-        as cached).
+        "failed": ...}``. All four counts are per *position* in the
+        batch: the first occurrence of each freshly executed cell counts
+        as ``computed``, duplicates of it (and anything already held)
+        count as ``cached``, and every position whose cell ended the
+        batch quarantined counts as ``failed`` — so the three always sum
+        to ``requested`` even when a failing cell appears several times.
         """
         cells = list(cells)
-        computed_before = self._n_computed
+        keys = [self._key(cell) for cell in cells]
+        pending_before = {key for key in keys if key not in self._results}
         failed_before = len(self.failures)
         self.get_many(cells, **run_kwargs)
-        computed = self._n_computed - computed_before
-        failed = len(self.failures) - failed_before
+        failed_keys = {
+            (f.hp_name, f.be_name, f.n_be, f.policy)
+            for f in self.failures[failed_before:]
+        }
+        computed = failed = cached = 0
+        counted_new: set[tuple[str, str, int, str]] = set()
+        for key in keys:
+            if key in failed_keys:
+                failed += 1
+            elif key in pending_before and key not in counted_new:
+                counted_new.add(key)
+                computed += 1
+            else:
+                cached += 1
         return {
             "requested": len(cells),
-            "cached": len(cells) - computed - failed,
+            "cached": cached,
             "computed": computed,
             "failed": failed,
         }
@@ -390,9 +411,10 @@ class ResultStore:
         """Bookkeeping counters for campaign reports.
 
         ``cached``: results currently held; ``loaded``: rows restored from
-        the JSON cache; ``recomputed``: executions this store ran;
+        the persisted cache; ``recomputed``: executions this store ran;
         ``served``: requests answered from memory; ``dropped``: persisted
-        *rows* ignored on load (schema drift); ``corrupt_files``: cache
+        *rows* ignored on load (schema drift, or salvaged rows whose
+        precision stamp cannot be trusted); ``corrupt_files``: cache
         files that failed integrity/parse checks (quarantined, counted
         separately from row drops); ``salvaged``: rows recovered out of a
         corrupt file; ``failed_cells``: cells quarantined by the
@@ -418,11 +440,11 @@ class ResultStore:
         Installs chaining handlers for the duration of a bulk request:
         the checkpoint is written first, then the previous handler (or
         default action) runs, so ``kill -TERM`` of a mid-grid campaign
-        leaves a valid, checksum-verified cache behind. Signal handlers
+        leaves a valid, integrity-checked cache behind. Signal handlers
         only exist on the main thread; elsewhere this is a no-op.
         """
         if (
-            not self._cache_path
+            not self._backend
             or threading.current_thread() is not threading.main_thread()
         ):
             yield
@@ -466,43 +488,24 @@ class ResultStore:
                     pass
 
     def save(self) -> None:
-        """Atomically write all results to the JSON cache (no-op without a
-        path).
+        """Checkpoint all results to the cache backend (no-op without one).
 
-        The write is torn-write-proof: payload → temp file → ``fsync`` →
-        ``rename`` over the target → ``fsync`` of the parent directory.
-        The payload embeds a row count and SHA-256 checksum that
-        :meth:`_load` verifies.
+        The file backend atomically rewrites the whole checksummed
+        artefact; the sqlite backend upserts only the rows computed since
+        the previous save. Either way the artefact afterwards holds every
+        result this store knows.
         """
-        if not self._cache_path:
+        if not self._backend:
             return
         t0 = time.perf_counter()
-        rows = [
-            {k: v for k, v in asdict(r).items() if k in _PERSISTED_FIELDS}
-            for r in self._results.values()
-        ]
-        payload = {
-            "version": _CACHE_VERSION,
-            "precision": self.precision,
-            "n_rows": len(rows),
-            "sha256": _rows_digest(rows),
-            "rows": rows,
+        rows_by_key = {
+            key: {k: v for k, v in asdict(r).items() if k in _PERSISTED_FIELDS}
+            for key, r in self._results.items()
         }
-        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self._cache_path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(payload))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._cache_path)
-        try:
-            dir_fd = os.open(self._cache_path.parent, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:  # pragma: no cover - fs without dir fsync
-            pass
+        rows = list(rows_by_key.values())
+        dirty = [rows_by_key[key] for key in rows_by_key if key in self._dirty]
+        self._backend.save(rows, self.precision, dirty=dirty)
+        self._dirty.clear()
         self._pending_checkpoint = 0
         self._last_checkpoint = time.monotonic()
         registry = get_registry()
@@ -515,123 +518,66 @@ class ResultStore:
                 log.emit(
                     "store.checkpoint",
                     path=str(self._cache_path),
+                    backend=self._backend.kind,
                     results=len(self._results),
+                    written=len(dirty),
                     seconds=round(elapsed, 6),
                 )
 
-    def _quarantine_corrupt(self, raw: str, reason: str) -> list[dict]:
-        """Set a corrupt cache aside and salvage what rows survive.
-
-        The file moves to ``<path>.corrupt-<digest>`` (content-addressed,
-        so repeated crashes keep distinct evidence) and every complete
-        row found in the damaged text is returned for reloading.
-        """
-        assert self._cache_path is not None
-        self._n_corrupt_files += 1
-        registry = get_registry()
-        registry.counter("store.corrupt_files").inc()
-        digest = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
-        quarantine = self._cache_path.with_name(
-            self._cache_path.name + f".corrupt-{digest}"
-        )
-        try:
-            os.replace(self._cache_path, quarantine)
-            moved = str(quarantine)
-        except OSError:  # pragma: no cover - unlinked/permission races
-            moved = "<unmovable>"
-        salvaged = _salvage_rows(raw)
-        _log.warning(
-            "result cache %s is unreadable (%s); quarantined to %s, "
-            "salvaged %d row(s)",
-            self._cache_path,
-            reason,
-            moved,
-            len(salvaged),
-        )
-        log = get_event_log()
-        if log.enabled:
-            log.emit(
-                "store.cache_corrupt",
-                path=str(self._cache_path),
-                quarantined=moved,
-                reason=reason,
-                salvaged=len(salvaged),
-            )
-        return salvaged
-
     def _load(self) -> None:
-        assert self._cache_path is not None
-        try:
-            raw = self._cache_path.read_text()
-        except OSError:
-            self._n_corrupt_files += 1
-            _log.warning(
-                "result cache %s is unreadable (I/O error); all results "
-                "will be recomputed",
-                self._cache_path,
-            )
-            return
-        salvaged = False
-        # Caches that predate the precision stamp were all written by the
-        # bitwise-exact solver.
-        file_precision = "exact"
-        try:
-            payload = json.loads(raw)
-        except json.JSONDecodeError:
-            rows = self._quarantine_corrupt(raw, "invalid JSON")
-            salvaged = True
-        else:
-            if isinstance(payload, list):
-                # Legacy v1 layout: a bare row list, no integrity data.
-                rows = payload
-            elif isinstance(payload, dict):
-                file_precision = payload.get("precision", "exact")
-                rows = payload.get("rows")
-                if not isinstance(rows, list):
-                    rows = self._quarantine_corrupt(raw, "no row array")
-                    salvaged = True
-                elif payload.get("n_rows") != len(rows):
-                    rows = self._quarantine_corrupt(
-                        raw,
-                        f"row count mismatch ({payload.get('n_rows')} "
-                        f"recorded, {len(rows)} present)",
-                    )
-                    salvaged = True
-                elif payload.get("sha256") != _rows_digest(rows):
-                    rows = self._quarantine_corrupt(raw, "checksum mismatch")
-                    salvaged = True
-            else:
-                rows = self._quarantine_corrupt(raw, "unexpected payload type")
-                salvaged = True
-        if not salvaged and file_precision != self.precision:
+        assert self._backend is not None
+        loaded = self._backend.load()
+        self._n_corrupt_files += loaded.corrupt_files
+        rows = loaded.rows
+        n_total = len(rows)
+        file_precision = loaded.precision
+        if (
+            not loaded.salvaged
+            and file_precision is not None
+            and file_precision != self.precision
+        ):
             raise ValueError(
                 f"result cache {self._cache_path} was written under "
                 f"precision={file_precision!r} but this store runs "
                 f"precision={self.precision!r}; refusing to merge "
                 "mixed-mode results (use a separate cache path per mode)"
             )
-        if salvaged and self.precision != file_precision:
+        if loaded.salvaged and self.precision != (file_precision or "exact"):
             # A corrupt cache carries no trustworthy precision stamp;
-            # salvaged rows are assumed exact and must not leak into a
-            # fast-mode store.
-            self._n_dropped += len(rows)
+            # salvaged rows keep the mode the artefact declared before it
+            # was damaged and must not leak into a store running the
+            # other mode. This is a precision drop, not schema drift —
+            # logged as such, with the real row count.
+            self._n_dropped += n_total
+            if n_total:
+                _log.warning(
+                    "result cache %s: dropping all %d salvaged row(s) — "
+                    "they were written under precision=%r and this store "
+                    "runs precision=%r; they will be recomputed",
+                    self._cache_path,
+                    n_total,
+                    file_precision or "exact",
+                    self.precision,
+                )
             rows = []
+        n_schema_dropped = 0
         for row in rows:
             try:
                 result = PairResult(**row)
             except TypeError:
-                self._n_dropped += 1
+                n_schema_dropped += 1
                 continue  # schema drift: recompute
             key = (result.hp_name, result.be_name, result.n_be, result.policy)
             self._results[key] = result
             self._n_loaded += 1
-            if salvaged:
+            if loaded.salvaged:
                 self._n_salvaged += 1
-        if self._n_dropped:
+        self._n_dropped += n_schema_dropped
+        if n_schema_dropped:
             _log.warning(
                 "result cache %s: ignored %d of %d rows (schema drift); "
                 "they will be recomputed",
                 self._cache_path,
-                self._n_dropped,
-                len(rows),
+                n_schema_dropped,
+                n_total,
             )

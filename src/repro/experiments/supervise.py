@@ -287,6 +287,11 @@ class SupervisedExecutor:
     config:
         The :class:`SuperviseConfig` retry/timeout/failure policy
         (default: strict — no retries, abort on first failure).
+    label:
+        Optional tag stamped on this executor's ``campaign.batch``
+        telemetry events, so batches from several cooperating processes
+        (campaign-queue workers) stay attributable in one shared
+        telemetry stream.
     """
 
     #: Hard cap on pool rebuilds, as a termination backstop: every
@@ -299,6 +304,7 @@ class SupervisedExecutor:
         n_workers: int | None = None,
         *,
         config: SuperviseConfig | None = None,
+        label: str | None = None,
     ) -> None:
         import os
 
@@ -306,6 +312,7 @@ class SupervisedExecutor:
             n_workers = os.cpu_count() or 1
         self.n_workers = n_workers
         self.config = config if config is not None else SuperviseConfig()
+        self.label = label
 
     # -- public API ----------------------------------------------------------
 
@@ -349,6 +356,7 @@ class SupervisedExecutor:
             )
             log = get_event_log()
             if log.enabled:
+                extra = {"label": self.label} if self.label else {}
                 log.emit(
                     "campaign.batch",
                     cells=len(cells),
@@ -358,6 +366,7 @@ class SupervisedExecutor:
                     retries=outcome.n_retries,
                     pool_rebuilds=outcome.n_pool_rebuilds,
                     failed_cells=len(outcome.failures),
+                    **extra,
                 )
         return outcome
 

@@ -265,3 +265,94 @@ class TestSupervisionFlags:
     def test_bad_on_failure_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig1", "--limit", "2", "--on-failure", "explode"])
+
+
+class TestBackendFlag:
+    """--backend selects the result-store persistence engine."""
+
+    def test_sqlite_backend_writes_a_database(self, tmp_path, capsys):
+        cache = tmp_path / "results.db"
+        assert main([
+            "fig1", "--limit", "2", "--cache", str(cache),
+            "--backend", "sqlite",
+        ]) == 0
+        assert cache.read_bytes()[:16] == b"SQLite format 3\x00"
+        # Resume from it and render identical output.
+        first = capsys.readouterr().out
+        assert main([
+            "fig1", "--limit", "2", "--cache", str(cache),
+            "--backend", "sqlite",
+        ]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_backends_render_identical_reports(self, tmp_path, capsys):
+        assert main(["fig1", "--limit", "2"]) == 0
+        baseline = capsys.readouterr().out
+        for name in ("results.json", "results.db"):
+            assert main([
+                "fig1", "--limit", "2", "--cache", str(tmp_path / name),
+            ]) == 0  # backend=auto sniffs the suffix
+            assert capsys.readouterr().out == baseline
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--limit", "2", "--backend", "parquet"])
+
+
+class TestCampaignCli:
+    """The campaign subcommand: producer, worker and monitor modes."""
+
+    def test_worker_mode_requires_queue_and_store(self):
+        with pytest.raises(SystemExit, match="--queue"):
+            main(["campaign"])
+
+    def test_monitor_requires_existing_queue(self, tmp_path):
+        with pytest.raises(SystemExit, match="no queue database"):
+            main(["campaign", "monitor", str(tmp_path / "missing.db")])
+
+    def test_enqueue_drain_monitor_round_trip(self, tmp_path, capsys):
+        queue_db = tmp_path / "q.db"
+        store_db = tmp_path / "results.db"
+        base = [
+            "campaign", "--queue", str(queue_db), "--store", str(store_db),
+            "--limit", "2", "--cores", "3", "--precision", "fast",
+        ]
+        assert main(base + ["--enqueue-only", "--worker-id", "prod"]) == 0
+        out = capsys.readouterr().out
+        assert "[prod] enqueued" in out
+        assert "Campaign queue" in out
+
+        assert main(base + ["--worker-id", "w1"]) == 0
+        out = capsys.readouterr().out
+        assert "[w1] enqueued 0 new cell(s)" in out  # idempotent
+        assert "[w1] drained:" in out
+        assert "0 failed" in out
+
+        assert main(["campaign", "monitor", str(queue_db)]) == 0
+        monitor = capsys.readouterr().out
+        assert "drained" in monitor
+        assert "w1" in monitor
+
+    def test_shared_metrics_tag_batches_by_worker(self, tmp_path, capsys):
+        queue_db = tmp_path / "q.db"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "campaign", "--queue", str(queue_db),
+            "--store", str(tmp_path / "results.db"),
+            "--limit", "2", "--cores", "3", "--precision", "fast",
+            "--worker-id", "w1", "--metrics", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        labels = {
+            record.get("label")
+            for record in obs.load_jsonl(metrics)
+            if record.get("kind") == "campaign.batch"
+        }
+        assert labels == {"w1"}
+        assert main([
+            "campaign", "monitor", str(queue_db),
+            "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry:" in out
+        assert "cells/s" in out

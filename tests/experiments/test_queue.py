@@ -1,0 +1,313 @@
+"""Tests for the shared campaign queue (DESIGN.md §11).
+
+The acceptance property is at the bottom: N concurrent worker
+*processes* drain one queue into one shared SQLite store and produce an
+artefact whose canonical digest equals a serial single-process run over
+the same cells — every cell computed, none lost, none duplicated in the
+artefact.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.policies import (
+    CacheTakeoverPolicy,
+    DicerPolicy,
+    UnmanagedPolicy,
+)
+from repro.experiments.queue import (
+    CampaignQueue,
+    cell_key,
+    drain,
+    policy_from_name,
+    render_monitor,
+)
+from repro.experiments.store import ResultStore
+from repro.experiments.supervise import SuperviseConfig
+
+CELLS = [
+    ("milc1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("milc1", "gcc_base6", 3, CacheTakeoverPolicy()),
+    ("milc1", "gcc_base6", 3, DicerPolicy()),
+    ("omnetpp1", "gcc_base6", 3, UnmanagedPolicy()),
+    ("omnetpp1", "gcc_base6", 3, CacheTakeoverPolicy()),
+    ("omnetpp1", "gcc_base6", 3, DicerPolicy()),
+]
+
+
+class TestPolicyNames:
+    def test_round_trip_for_queueable_policies(self):
+        for policy in (
+            UnmanagedPolicy(),
+            CacheTakeoverPolicy(),
+            DicerPolicy(),
+        ):
+            assert policy_from_name(policy.name).name == policy.name
+
+    def test_static_policies_parse_ways_and_overlap(self):
+        assert policy_from_name("S5").name == "S5"
+        assert policy_from_name("S5+2o").name == "S5+2o"
+
+    def test_unqueueable_names_rejected(self):
+        with pytest.raises(ValueError, match="cannot rebuild"):
+            policy_from_name("DICER(alpha=0.5)")
+
+
+class TestCellKeys:
+    def test_deterministic_and_distinct(self):
+        a = cell_key("milc1", "gcc_base6", 3, "UM")
+        assert a == cell_key("milc1", "gcc_base6", 3, "UM")
+        assert a != cell_key("milc1", "gcc_base6", 3, "CT")
+        assert a != cell_key("milc1", "gcc_base6", 4, "UM")
+
+
+class TestQueueStateMachine:
+    def test_enqueue_is_idempotent_across_instances(self, tmp_path):
+        path = tmp_path / "q.db"
+        assert CampaignQueue(path).enqueue(CELLS) == len(CELLS)
+        assert CampaignQueue(path).enqueue(CELLS) == 0
+        snap = CampaignQueue(path).snapshot()
+        assert snap.total == len(CELLS)
+        assert snap.pending == len(CELLS)
+
+    def test_claims_come_in_enqueue_order(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS)
+        batch = queue.claim("w1", 3)
+        assert [q.seq for q in batch] == [0, 1, 2]
+        assert [q.policy for q in batch] == ["UM", "CT", "DICER"]
+        assert all(q.owner == "w1" for q in batch)
+
+    def test_two_workers_never_claim_the_same_cell(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS)
+        a = queue.claim("w1", 4)
+        b = queue.claim("w2", 4)
+        assert len(a) == 4 and len(b) == 2
+        assert {q.key for q in a}.isdisjoint({q.key for q in b})
+        assert queue.snapshot().pending == 0
+
+    def test_expired_lease_is_stolen_and_counted(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db", lease_s=0.05)
+        queue.enqueue(CELLS[:2])
+        queue.claim("w1", 2)
+        assert queue.claim("w2", 2) == []  # leases still live
+        time.sleep(0.1)
+        stolen = queue.claim("w2", 2)
+        assert len(stolen) == 2
+        assert all(q.owner == "w2" and q.steals == 1 for q in stolen)
+        assert queue.snapshot().steals == 2
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db", lease_s=0.2)
+        queue.enqueue(CELLS[:1])
+        [cell] = queue.claim("w1", 1)
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.heartbeat("w1", [cell.key])
+        assert queue.claim("w2", 1) == []  # never expired
+
+    def test_done_and_failed_are_terminal(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db", lease_s=0.01)
+        queue.enqueue(CELLS[:2])
+        batch = queue.claim("w1", 2)
+        assert queue.mark_done("w1", [batch[0].key]) == 1
+        queue.mark_failed("w1", batch[1].key, "ChaosInjected: boom")
+        time.sleep(0.05)
+        # Terminal cells are never reclaimed, even with expired leases.
+        assert queue.claim("w2", 5) == []
+        snap = queue.snapshot()
+        assert (snap.done, snap.failed) == (1, 1)
+        assert snap.terminal
+        failed = [q for q in queue.cells() if q.status == "failed"]
+        assert failed[0].error == "ChaosInjected: boom"
+
+    def test_done_wins_over_late_thief(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db", lease_s=0.01)
+        queue.enqueue(CELLS[:1])
+        [cell] = queue.claim("w1", 1)
+        time.sleep(0.05)
+        [stolen] = queue.claim("w2", 1)  # steal the expired lease
+        # The original owner finishes anyway: identical artefact, so the
+        # row goes terminal; the thief's later mark_done is a no-op.
+        assert queue.mark_done("w1", [cell.key]) == 1
+        assert queue.mark_done("w2", [stolen.key]) == 0
+
+    def test_release_returns_cells_to_pending(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS[:2])
+        batch = queue.claim("w1", 2)
+        queue.release("w1", [q.key for q in batch])
+        snap = queue.snapshot()
+        assert snap.pending == 2 and snap.claimed == 0
+
+
+class TestDrain:
+    def test_single_worker_drains_everything(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS)
+        store = ResultStore(
+            cache_path=tmp_path / "results.db", backend="sqlite"
+        )
+        tally = drain(store, queue, "w1", claim_batch=4)
+        assert tally["done"] == len(CELLS)
+        assert tally["failed"] == 0
+        assert queue.snapshot().terminal
+        assert len(store) == len(CELLS)
+
+    def test_failing_cell_becomes_failed_row_not_campaign_abort(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
+
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, chaos_env(schedule={2: "raise"}, persistent=[2])
+        )
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS[:3])
+        store = ResultStore(
+            cache_path=tmp_path / "results.db",
+            backend="sqlite",
+            supervise=SuperviseConfig(
+                max_retries=0, backoff_base_s=0.0, on_failure="skip"
+            ),
+        )
+        tally = drain(store, queue, "w1", claim_batch=3)
+        assert tally == {"done": 2, "failed": 1, "batches": 1, "stolen": 0}
+        snap = queue.snapshot()
+        assert snap.terminal and snap.failed == 1
+        [failed] = [q for q in queue.cells() if q.status == "failed"]
+        assert "ChaosInjected" in failed.error
+
+    def test_results_durable_before_done(self, tmp_path):
+        """Every cell the queue reports done must be in the artefact."""
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS)
+        store = ResultStore(
+            cache_path=tmp_path / "results.db", backend="sqlite"
+        )
+        drain(store, queue, "w1", claim_batch=2)
+        persisted = ResultStore(
+            cache_path=tmp_path / "results.db", backend="sqlite"
+        )
+        assert persisted.stats()["loaded"] == len(CELLS)
+
+
+class TestMonitor:
+    def test_render_contains_counts_and_workers(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS)
+        batch = queue.claim("w1", 2)
+        queue.mark_done("w1", [batch[0].key])
+        out = render_monitor(queue.snapshot(), path="q.db")
+        assert "Campaign queue: q.db" in out
+        assert "pending" in out and "claimed" in out
+        assert "w1" in out
+
+    def test_eta_reads_drained_when_terminal(self, tmp_path):
+        queue = CampaignQueue(tmp_path / "q.db")
+        queue.enqueue(CELLS[:1])
+        [cell] = queue.claim("w1", 1)
+        queue.mark_done("w1", [cell.key])
+        assert "drained" in render_monitor(queue.snapshot())
+
+
+_WORKER_SCRIPT = """
+import json, sys
+from repro.core.policies import (
+    CacheTakeoverPolicy, DicerPolicy, UnmanagedPolicy)
+from repro.experiments.queue import CampaignQueue, drain
+from repro.experiments.store import ResultStore
+from repro.experiments.supervise import SuperviseConfig
+
+store_db, queue_db, worker_id = sys.argv[1:4]
+cells = [
+    (hp, "gcc_base6", 3, policy())
+    for hp in ("milc1", "omnetpp1")
+    for policy in (UnmanagedPolicy, CacheTakeoverPolicy, DicerPolicy)
+]
+queue = CampaignQueue(queue_db, lease_s=120.0)
+queue.enqueue(cells)
+store = ResultStore(
+    cache_path=store_db,
+    backend="sqlite",
+    supervise=SuperviseConfig(on_failure="skip"),
+    min_checkpoint_interval_s=0.0,
+    batch_label=worker_id,
+)
+tally = drain(store, queue, worker_id, claim_batch=2, poll_s=0.1)
+print(json.dumps(tally))
+"""
+
+
+class TestMultiProcessCampaign:
+    def test_two_workers_match_serial_byte_for_byte(self, tmp_path):
+        """The acceptance property: 2 concurrent worker processes drain
+        one queue into one shared store; every cell completes exactly
+        once queue-wise, and the artefact's canonical digest equals both
+        a serial sqlite run and a serial file-backend run."""
+        store_db = tmp_path / "results.db"
+        queue_db = tmp_path / "q.db"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WORKER_SCRIPT,
+                 str(store_db), str(queue_db), f"w{i}"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=Path(__file__).resolve().parents[2],
+                env={
+                    **__import__("os").environ,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[2] / "src"
+                    ),
+                },
+            )
+            for i in (1, 2)
+        ]
+        tallies = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err
+            tallies.append(json.loads(out.strip().splitlines()[-1]))
+
+        queue = CampaignQueue(queue_db)
+        snap = queue.snapshot()
+        assert snap.terminal
+        assert snap.failed == 0
+        assert snap.done == snap.total == 6
+        # Exactly-once completion: the workers' done tallies partition
+        # the queue (mark_done is first-writer-wins).
+        assert sum(t["done"] for t in tallies) == snap.total
+        assert all(t["failed"] == 0 for t in tallies)
+
+        # Byte-identical artefacts: queue-parallel sqlite vs serial
+        # sqlite vs serial file.
+        cells = [
+            (hp, "gcc_base6", 3, policy())
+            for hp in ("milc1", "omnetpp1")
+            for policy in (
+                UnmanagedPolicy, CacheTakeoverPolicy, DicerPolicy,
+            )
+        ]
+        serial_sql = ResultStore(
+            cache_path=tmp_path / "serial.db", backend="sqlite"
+        )
+        serial_sql.get_many(cells)
+        serial_sql.save()
+        serial_file = ResultStore(cache_path=tmp_path / "serial.json")
+        serial_file.get_many(cells)
+        serial_file.save()
+
+        shared = ResultStore(cache_path=store_db, backend="sqlite")
+        digests = {
+            shared.backend.digest(),
+            serial_sql.backend.digest(),
+            serial_file.backend.digest(),
+        }
+        assert len(digests) == 1

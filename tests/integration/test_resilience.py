@@ -1,10 +1,12 @@
 """Integration: a campaign killed mid-grid leaves a resumable cache.
 
 The acceptance scenario for the supervised executor's crash-safe
-persistence: ``kill -TERM`` a real campaign process while it is wedged
-mid-cell and verify that (a) the cache on disk is a complete,
-checksum-verified v2 payload holding every finished cell, and (b) a
-fresh process resumes from it recomputing only the unfinished cells.
+persistence, run against **both storage backends**: ``kill -TERM`` a
+real campaign process while it is wedged mid-cell and verify that (a)
+the artefact on disk is complete and verified — a checksummed v2 JSON
+payload or an integrity-clean SQLite database — holding every finished
+cell, and (b) a fresh process resumes from it recomputing only the
+unfinished cells.
 """
 
 from __future__ import annotations
@@ -13,13 +15,17 @@ import hashlib
 import json
 import os
 import signal
+import sqlite3
 import subprocess
 import sys
 import time
 from pathlib import Path
 
+import pytest
+
 import repro
 from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+from repro.experiments.backends import open_backend
 from repro.experiments.chaos import CHAOS_ENV_VAR, chaos_env
 from repro.experiments.store import ResultStore
 
@@ -45,6 +51,7 @@ cells = [
 ]
 store = ResultStore(
     cache_path=sys.argv[1],
+    backend=sys.argv[2],
     checkpoint_every=1,
     min_checkpoint_interval_s=0.0,
 )
@@ -60,8 +67,21 @@ def _read_payload(path: Path) -> dict | None:
     return payload if isinstance(payload, dict) else None
 
 
-def test_sigterm_mid_grid_leaves_verified_resumable_cache(tmp_path):
-    cache = tmp_path / "cache.json"
+def _rows_on_disk(path: Path, backend: str) -> int:
+    """Checkpointed row count, polled while the child is still running."""
+    if backend == "file":
+        payload = _read_payload(path)
+        return payload.get("n_rows", 0) if payload else 0
+    try:
+        with sqlite3.connect(path, timeout=1.0) as conn:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+    except sqlite3.Error:
+        return 0
+
+
+@pytest.mark.parametrize("backend", ["file", "sqlite"])
+def test_sigterm_mid_grid_leaves_verified_resumable_cache(tmp_path, backend):
+    cache = tmp_path / ("cache.json" if backend == "file" else "cache.db")
     src = Path(repro.__file__).resolve().parents[1]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
@@ -69,15 +89,14 @@ def test_sigterm_mid_grid_leaves_verified_resumable_cache(tmp_path):
         schedule={4: "hang"}, persistent=[4], hang_s=600.0
     )
     child = subprocess.Popen(
-        [sys.executable, "-c", _CHILD, str(cache)],
+        [sys.executable, "-c", _CHILD, str(cache), backend],
         env=env,
         cwd=tmp_path,
     )
     try:
         deadline = time.monotonic() + 120.0
         while time.monotonic() < deadline:
-            payload = _read_payload(cache)
-            if payload and payload.get("n_rows", 0) >= 3:
+            if _rows_on_disk(cache, backend) >= 3:
                 break
             if child.poll() is not None:
                 raise AssertionError(
@@ -98,16 +117,30 @@ def test_sigterm_mid_grid_leaves_verified_resumable_cache(tmp_path):
     # The chained handler flushed a checkpoint, then let SIGTERM kill.
     assert child.returncode == -signal.SIGTERM
 
-    payload = _read_payload(cache)
-    assert payload is not None
-    rows = payload["rows"]
-    assert payload["version"] == 2
-    assert payload["n_rows"] == len(rows) == 3
-    canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
-    assert payload["sha256"] == hashlib.sha256(canonical.encode()).hexdigest()
+    if backend == "file":
+        payload = _read_payload(cache)
+        assert payload is not None
+        rows = payload["rows"]
+        assert payload["version"] == 2
+        assert payload["n_rows"] == len(rows) == 3
+        canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+        assert (
+            payload["sha256"]
+            == hashlib.sha256(canonical.encode()).hexdigest()
+        )
+    else:
+        with sqlite3.connect(cache) as conn:
+            assert conn.execute(
+                "PRAGMA integrity_check"
+            ).fetchone() == ("ok",)
+
+    # Either way the artefact loads clean — nothing salvaged or dropped.
+    loaded = open_backend(cache, backend).load()
+    assert len(loaded.rows) == 3
+    assert not loaded.salvaged and loaded.corrupt_files == 0
 
     # Resume without chaos: only the wedged cell is recomputed.
-    resumed = ResultStore(cache_path=cache)
+    resumed = ResultStore(cache_path=cache, backend=backend)
     assert resumed.stats()["loaded"] == 3
     results = resumed.get_many(CELLS)
     assert all(r is not None for r in results)
