@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test fastmath chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick queue-smoke examples clean
+.PHONY: all install lint test fastmath kernels chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick bench-kernel bench-kernel-quick queue-smoke examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test chaos conformance queue-smoke bench-fast-quick
+all: lint test chaos conformance queue-smoke bench-fast-quick bench-kernel-quick
 
 install:
 	pip install -e .
@@ -21,6 +21,9 @@ test:
 
 fastmath:         ## fast_math-marked suites (catalog-wide fast-vs-exact sweeps; slow)
 	pytest tests/ -m fast_math
+
+kernels:          ## kernels-marked compiled-kernel parity suites (need `pip install .[compiled]`)
+	pytest tests/ -m kernels
 
 chaos:            ## chaos-marked fault-injection suites (worker crash/hang fuzz; fixed seeds)
 	pytest tests/ -m chaos
@@ -61,6 +64,12 @@ bench-fast:       ## fast-math speedup gate: full 3481-pair grid, exact vs fast,
 
 bench-fast-quick: ## fast-math speedup gate on the truncated population (floor 3x)
 	PYTHONPATH=src python benchmarks/bench_fast.py --quick
+
+bench-kernel:     ## kernel gate: full grid, compiled-vs-fast + thread-pool digest identity
+	PYTHONPATH=src python benchmarks/bench_kernel.py
+
+bench-kernel-quick: ## kernel gate on the truncated population (floors relaxed/waived)
+	PYTHONPATH=src python benchmarks/bench_kernel.py --quick
 
 queue-smoke:      ## two-worker shared-queue campaign, digest-checked against serial
 	PYTHONPATH=src python benchmarks/queue_smoke.py

@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""Kernel registry + thread-pool gate (``make bench-kernel``).
+
+Exercises the solver kernel registry (DESIGN.md §12) over the paper-scale
+operating-point population — the same full 3481-pair fused grid
+``bench_fast.py`` times — and the thread-pool execution mode end to end:
+
+* times the ``fast`` (NumPy) and, when numba is importable, ``compiled``
+  kernels over one fused batch and enforces a compiled-over-fast speedup
+  floor (default 2.0x full / 1.2x quick);
+* verifies whichever fast-precision kernel ran against the bitwise-exact
+  results with the runtime accuracy contract — **zero violations is a
+  hard gate in every environment**;
+* runs one small real campaign three ways (serial, ``pool="threads"``,
+  ``pool="processes"``) through :class:`~repro.experiments.store.
+  ResultStore` and requires all three artefacts to carry the same
+  canonical content digest — thread-pool results must be
+  digest-identical to serial;
+* enforces a threads-vs-processes wall-clock ratio floor when the
+  GIL-releasing compiled kernel is available (thread mode exists for it);
+* merges everything into ``BENCH_headline.json`` (top-level
+  ``compiled_speedup`` plus a ``kernels`` detail block) and refreshes the
+  committed repo-root copy of the artefact.
+
+When numba is absent (the ``compiled`` kernel falls back to ``fast``;
+``pip install .[compiled]`` enables it) the speedup floors are waived
+with a printed notice — the contract and digest gates still apply.
+
+Usage::
+
+    python benchmarks/bench_kernel.py             # full 3481-pair gate
+    python benchmarks/bench_kernel.py --quick     # truncated population
+    python benchmarks/bench_kernel.py --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_fast import build_population, check_contract, time_mode  # noqa: E402
+
+#: Default artefact the kernel numbers are merged into.
+DEFAULT_BENCH_JSON = Path(__file__).parent / "results" / "BENCH_headline.json"
+
+#: Committed repo-root copy of the artefact (refreshed on every run).
+ROOT_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_headline.json"
+
+#: Compiled-over-fast acceptance floors (waived when numba is absent).
+MIN_COMPILED_FULL = 2.0
+MIN_COMPILED_QUICK = 1.2
+
+#: Threads-vs-processes wall-clock floor: with the GIL-releasing compiled
+#: kernel a thread campaign must take no more than 1/MIN_THREAD_RATIO of
+#: the process campaign's wall (i.e. processes_wall / threads_wall >=
+#: MIN_THREAD_RATIO). Waived without numba — a GIL-bound thread pool
+#: serialises the solves and only the digest gate applies.
+MIN_THREAD_RATIO = 0.8
+
+
+def time_kernel(points: list[tuple], kernel: str, rounds: int) -> tuple:
+    """(best wall seconds, results) for one fused fast batch on ``kernel``."""
+    from repro.sim.contention import solve_steady_state_batch
+    from repro.sim.kernels import use_kernel
+    from repro.sim.platform import TABLE1_PLATFORM
+
+    best = None
+    results = None
+    with use_kernel(kernel):
+        # Warm-up on a slice first: the compiled kernel pays its JIT /
+        # cache-load cost here instead of inside the timed rounds.
+        solve_steady_state_batch(
+            TABLE1_PLATFORM, points[: min(8, len(points))], precision="fast"
+        )
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            results = solve_steady_state_batch(
+                TABLE1_PLATFORM, points, precision="fast"
+            )
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+    return best, results
+
+
+def campaign_run(
+    tmpdir: Path,
+    name: str,
+    *,
+    workers: int,
+    pool: str,
+    limit: int,
+    cores: int,
+) -> tuple[str, float]:
+    """(canonical digest, wall seconds) of one small real campaign.
+
+    The same workload a queue worker drains (classification sample +
+    canonical grid), run through ResultStore with the given pool so the
+    digest covers the full supervised path, not just the solver.
+    """
+    from repro.experiments.backends import open_backend
+    from repro.experiments.grid import build_sample, grid_cells
+    from repro.experiments.store import ResultStore
+    from repro.sim.contention import GLOBAL_STEADY_CACHE
+
+    # Each run starts from a cold shared memo so thread mode cannot
+    # coast on the previous run's in-process cache entries.
+    GLOBAL_STEADY_CACHE.clear()
+    path = tmpdir / name
+    store = ResultStore(
+        cache_path=path,
+        n_workers=workers,
+        precision="fast",
+        pool=pool,
+    )
+    t0 = time.perf_counter()
+    sample = build_sample(store, limit=limit)
+    store.get_many(grid_cells(sample, cores=(cores,)))
+    wall = time.perf_counter() - t0
+    store.save()
+    return open_backend(path).digest(), wall
+
+
+def merge_artefact(path: Path, kernel_block: dict) -> dict:
+    """Fold the kernel numbers into BENCH_headline.json; return the payload."""
+    payload: dict = {"schema": 1}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass  # keep the artefact usable even over a torn previous write
+    payload["compiled_speedup"] = kernel_block["compiled_speedup"]
+    payload["kernels"] = kernel_block
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="truncate the catalog to 16 apps (~1280 points) and relax "
+        f"the compiled floor to {MIN_COMPILED_QUICK}x",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="acceptance floor for fast/compiled wall-clock ratio "
+        f"(default {MIN_COMPILED_FULL}, quick {MIN_COMPILED_QUICK})",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="timing rounds per kernel; the best round counts (default 3)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="pool width for the threads/processes campaign legs "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=DEFAULT_BENCH_JSON,
+        metavar="PATH",
+        help="BENCH_headline.json to merge the kernel block into "
+        "(the repo-root copy is refreshed as well)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.sim.kernels import available_kernels, numba_available
+
+    has_numba = numba_available()
+    floor = args.min_speedup
+    if floor is None:
+        floor = MIN_COMPILED_QUICK if args.quick else MIN_COMPILED_FULL
+
+    points = build_population(limit=16 if args.quick else None)
+    print(
+        f"kernel gate: {len(points)} operating points "
+        f"({'quick' if args.quick else 'full'} population), "
+        f"kernels available: {', '.join(available_kernels())}"
+    )
+
+    # Exact results only anchor the accuracy contract — one round.
+    _, exact = time_mode(points, "exact", 1)
+    t_fast, fast = time_kernel(points, "fast", args.rounds)
+    if has_numba:
+        t_compiled, compiled = time_kernel(points, "compiled", args.rounds)
+        compiled_speedup = t_fast / t_compiled
+        violations, worst = check_contract(compiled, exact)
+        print(
+            f"  fast: {t_fast:.3f}s   compiled: {t_compiled:.3f}s   "
+            f"speedup: {compiled_speedup:.2f}x (floor {floor}x)"
+        )
+    else:
+        t_compiled = None
+        compiled_speedup = None
+        violations, worst = check_contract(fast, exact)
+        print(
+            f"  fast: {t_fast:.3f}s   compiled: unavailable (numba not "
+            "installed; pip install .[compiled]) — speedup floor WAIVED, "
+            "contract checked on the fast fallback"
+        )
+    print(
+        f"  accuracy contract: {violations} violation(s), "
+        f"worst |ipc rel err| {worst:.3e}"
+    )
+
+    # Thread-pool determinism + threads-vs-processes wall clock, through
+    # the real supervised campaign path.
+    limit, cores = (2, 3) if args.quick else (3, 4)
+    with tempfile.TemporaryDirectory(prefix="bench-kernel-") as tmp:
+        tmpdir = Path(tmp)
+        d_serial, t_serial = campaign_run(
+            tmpdir, "serial.json", workers=1, pool="processes",
+            limit=limit, cores=cores,
+        )
+        d_threads, t_threads = campaign_run(
+            tmpdir, "threads.json", workers=args.workers, pool="threads",
+            limit=limit, cores=cores,
+        )
+        d_procs, t_procs = campaign_run(
+            tmpdir, "processes.json", workers=args.workers, pool="processes",
+            limit=limit, cores=cores,
+        )
+    digest_match = d_serial == d_threads == d_procs
+    thread_ratio = t_procs / t_threads if t_threads > 0 else float("inf")
+    print(
+        f"  campaign wall: serial {t_serial:.2f}s   "
+        f"threads({args.workers}) {t_threads:.2f}s   "
+        f"processes({args.workers}) {t_procs:.2f}s   "
+        f"threads-vs-processes {thread_ratio:.2f}x"
+        + ("" if has_numba else "   (floor WAIVED: no numba)")
+    )
+    print(
+        "  digests: "
+        + ("identical across serial/threads/processes"
+           if digest_match
+           else f"serial={d_serial} threads={d_threads} procs={d_procs}")
+    )
+
+    payload = merge_artefact(
+        args.bench_json,
+        {
+            "numba": has_numba,
+            "available": list(available_kernels()),
+            "compiled_speedup": (
+                None if compiled_speedup is None
+                else round(compiled_speedup, 3)
+            ),
+            "fast_wall_s": round(t_fast, 4),
+            "compiled_wall_s": (
+                None if t_compiled is None else round(t_compiled, 4)
+            ),
+            "n_points": len(points),
+            "quick": args.quick,
+            "rounds": args.rounds,
+            "contract_violations": violations,
+            "worst_ipc_rel_err": float(f"{worst:.6e}"),
+            "campaign": {
+                "workers": args.workers,
+                "serial_wall_s": round(t_serial, 4),
+                "threads_wall_s": round(t_threads, 4),
+                "processes_wall_s": round(t_procs, 4),
+                "threads_vs_processes": round(thread_ratio, 3),
+                "digest_match": digest_match,
+            },
+        },
+    )
+    ROOT_BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  merged into {args.bench_json} (+ root {ROOT_BENCH_JSON.name})")
+
+    if violations:
+        print(f"FAIL: {violations} point(s) broke the accuracy contract")
+        return 1
+    if not digest_match:
+        print("FAIL: thread-pool campaign diverged from serial digest")
+        return 1
+    if has_numba:
+        if compiled_speedup < floor:
+            print(
+                f"FAIL: compiled speedup {compiled_speedup:.2f}x below "
+                f"the {floor}x floor"
+            )
+            return 1
+        if thread_ratio < MIN_THREAD_RATIO:
+            print(
+                f"FAIL: thread pool {thread_ratio:.2f}x of process pool, "
+                f"below the {MIN_THREAD_RATIO}x floor"
+            )
+            return 1
+        print("OK: compiled kernel and thread pool clear their floors "
+              "with the contract held")
+    else:
+        print("OK: contract held and thread pool digest-identical to "
+              "serial (speedup floors waived: numba not installed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

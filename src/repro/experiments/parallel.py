@@ -74,10 +74,12 @@ def _prewarm_solo_profiles(
     campaign's solver ``precision`` (from ``run_kwargs``) so the prewarmed
     profiles are the ones the cells will actually look up.
     """
+    from repro.sim.kernels import use_kernel
     from repro.sim.solo import prewarm_profiles
     from repro.workloads.catalog import catalog
 
     precision = (run_kwargs or {}).get("precision", "exact")
+    kernel = (run_kwargs or {}).get("kernel", "auto")
     apps = catalog()
     names: list[str] = []
     seen: set[str] = set()
@@ -86,11 +88,12 @@ def _prewarm_solo_profiles(
             if name not in seen:
                 seen.add(name)
                 names.append(name)
-    prewarm_profiles(
-        [apps[name] for name in names if name in apps],
-        platform,
-        precision=precision,
-    )
+    with use_kernel(kernel):
+        prewarm_profiles(
+            [apps[name] for name in names if name in apps],
+            platform,
+            precision=precision,
+        )
 
 
 def _prewarm_phase_products(
@@ -115,10 +118,12 @@ def _prewarm_phase_products(
     Returns the number of operating points submitted.
     """
     from repro.sim.contention import GLOBAL_STEADY_CACHE
+    from repro.sim.kernels import use_kernel
     from repro.sim.partition import PartitionSpec
     from repro.sim.server import phase_product_points
 
     precision = (run_kwargs or {}).get("precision", "exact")
+    kernel = (run_kwargs or {}).get("kernel", "auto")
     if precision != "fast":
         return 0
     points: list[tuple] = []
@@ -143,7 +148,8 @@ def _prewarm_phase_products(
             phase_product_points(models, partition, None, max_points_per_cell)
         )
     if points:
-        GLOBAL_STEADY_CACHE.solve_many(platform, points, precision="fast")
+        with use_kernel(kernel):
+            GLOBAL_STEADY_CACHE.solve_many(platform, points, precision="fast")
     return len(points)
 
 
@@ -170,6 +176,10 @@ class ParallelExecutor:
     label:
         Optional tag for this executor's ``campaign.batch`` telemetry
         events (see :class:`SupervisedExecutor`).
+    pool:
+        ``"processes"`` (default) or ``"threads"`` — forwarded to
+        :class:`SupervisedExecutor` (thread mode shares the in-process
+        solver caches; built for the GIL-releasing compiled kernel).
     """
 
     def __init__(
@@ -178,6 +188,7 @@ class ParallelExecutor:
         *,
         chunk_size: int | None = None,
         label: str | None = None,
+        pool: str = "processes",
     ) -> None:
         if n_workers is None or n_workers <= 0:
             n_workers = os.cpu_count() or 1
@@ -186,6 +197,7 @@ class ParallelExecutor:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
         self.label = label
+        self.pool = pool
 
     def run(
         self,
@@ -203,7 +215,10 @@ class ParallelExecutor:
         cache and checkpoint long campaigns for mid-grid resume.
         """
         executor = SupervisedExecutor(
-            self.n_workers, config=SuperviseConfig(), label=self.label
+            self.n_workers,
+            config=SuperviseConfig(),
+            label=self.label,
+            pool=self.pool,
         )
         try:
             outcome = executor.run(

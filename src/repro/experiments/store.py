@@ -129,6 +129,23 @@ class ResultStore:
         Optional tag stamped on this store's ``campaign.batch`` telemetry
         events — campaign-queue workers set it to their worker id so a
         shared telemetry file attributes batches to workers.
+    pool:
+        Execution pool for bulk requests: ``"processes"`` (default,
+        crash-isolated workers) or ``"threads"`` (GIL-sharing workers
+        over the in-process solver caches — built for the compiled
+        kernel; see DESIGN.md §12). Serial, thread and process campaigns
+        produce digest-identical artefacts.
+    kernel:
+        Solver kernel request stamped into every execution
+        (``auto``/``exact``/``fast``/``compiled``; DESIGN.md §12).
+        Like ``precision``, a store is single-kernel-request: a
+        per-request ``kernel`` that disagrees is refused, and the
+        request must not contradict the store's ``precision``
+        (``exact`` kernel ⇔ exact precision). ``auto`` (default)
+        composes with either precision and picks the best available
+        fast implementation at solve time — kernels honouring the fast
+        tolerance contract share cache keys, so artefact contents do
+        not depend on which fast implementation ran.
     """
 
     #: Minimum seconds between mid-campaign checkpoint rewrites.
@@ -146,12 +163,18 @@ class ResultStore:
         precision: str = "exact",
         backend: str | StoreBackend = "auto",
         batch_label: str | None = None,
+        pool: str = "processes",
+        kernel: str = "auto",
     ) -> None:
+        from repro.sim.kernels import check_kernel_precision
+
         self.platform = platform
         self.precision = _check_precision(precision)
+        check_kernel_precision(kernel, self.precision)
+        self.kernel = kernel
         self._supervise = supervise if supervise is not None else SuperviseConfig()
         self._executor = SupervisedExecutor(
-            n_workers, config=self._supervise, label=batch_label
+            n_workers, config=self._supervise, label=batch_label, pool=pool
         )
         if checkpoint_every < 1:
             raise ValueError(
@@ -192,6 +215,11 @@ class ResultStore:
         return self._executor.n_workers
 
     @property
+    def pool(self) -> str:
+        """Execution pool bulk requests fan out over."""
+        return self._executor.pool
+
+    @property
     def supervise_config(self) -> SuperviseConfig:
         """The retry/timeout/failure policy bulk requests run under."""
         return self._supervise
@@ -207,11 +235,11 @@ class ResultStore:
         return (hp_name, be_name, n_be, policy.name)
 
     def _run_kwargs(self, run_kwargs: dict) -> dict:
-        """Stamp the store's precision into per-request run kwargs.
+        """Stamp the store's precision and kernel into per-request kwargs.
 
-        An explicit ``precision`` that matches the store is redundant but
-        allowed; one that disagrees would mix solver modes inside a single
-        cache file and is refused.
+        An explicit ``precision`` (or ``kernel``) that matches the store
+        is redundant but allowed; one that disagrees would mix solver
+        modes inside a single cache file and is refused.
         """
         requested = run_kwargs.get("precision")
         if requested is not None and requested != self.precision:
@@ -220,7 +248,17 @@ class ResultStore:
                 f"per-request precision={requested!r} (mixed-mode results "
                 "must not merge into one cache)"
             )
-        return {**run_kwargs, "precision": self.precision}
+        requested_kernel = run_kwargs.get("kernel")
+        if requested_kernel is not None and requested_kernel != self.kernel:
+            raise ValueError(
+                f"store runs kernel={self.kernel!r}; refusing per-request "
+                f"kernel={requested_kernel!r}"
+            )
+        return {
+            **run_kwargs,
+            "precision": self.precision,
+            "kernel": self.kernel,
+        }
 
     # -- execution ---------------------------------------------------------
 

@@ -34,6 +34,18 @@ bit-identical to a clean serial run — the determinism audit asserts
 this. All recovery actions emit ``supervise.*`` events/counters through
 :mod:`repro.obs`. Worker-fault injection for tests lives in
 :mod:`repro.experiments.chaos`.
+
+``pool="threads"`` (DESIGN.md §12) swaps the process pool for a
+``ThreadPoolExecutor``: no spawn cost, no pickling, and every worker
+shares the in-process ``GLOBAL_STEADY_CACHE`` and ResultStore — the mode
+built for the GIL-releasing compiled solver kernel. Retry, backoff,
+quarantine and ordered emission are identical; what threads cannot do is
+crash isolation (a segfault takes the whole process, so there is no
+``pool_crash``/solo-rerun machinery) or hard preemption — an expired
+``cell_timeout_s`` *abandons* the future (strike + retry/quarantine as
+usual, late result discarded) but the wedged thread occupies its worker
+slot until it returns. Chaos kinds ``crash`` and ``hang`` are
+process-pool-only for the same reasons.
 """
 
 from __future__ import annotations
@@ -41,7 +53,13 @@ from __future__ import annotations
 import heapq
 import time
 import traceback as _traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
@@ -292,6 +310,13 @@ class SupervisedExecutor:
         telemetry events, so batches from several cooperating processes
         (campaign-queue workers) stay attributable in one shared
         telemetry stream.
+    pool:
+        ``"processes"`` (default) fans out over crash-isolated worker
+        processes; ``"threads"`` over a thread pool sharing the
+        in-process solver caches — same retry/timeout/quarantine
+        semantics minus crash attribution and hard preemption (see the
+        module docstring). Threads only beat the GIL when the solve
+        itself releases it, i.e. with the ``compiled`` kernel.
     """
 
     #: Hard cap on pool rebuilds, as a termination backstop: every
@@ -305,14 +330,20 @@ class SupervisedExecutor:
         *,
         config: SuperviseConfig | None = None,
         label: str | None = None,
+        pool: str = "processes",
     ) -> None:
         import os
 
         if n_workers is None or n_workers <= 0:
             n_workers = os.cpu_count() or 1
+        if pool not in ("processes", "threads"):
+            raise ValueError(
+                f"pool must be 'processes' or 'threads', got {pool!r}"
+            )
         self.n_workers = n_workers
         self.config = config if config is not None else SuperviseConfig()
         self.label = label
+        self.pool = pool
 
     # -- public API ----------------------------------------------------------
 
@@ -339,9 +370,14 @@ class SupervisedExecutor:
         )
         if use_pool:
             workers_used = min(self.n_workers, max(1, len(cells)))
-            outcome = self._run_pool(
-                cells, platform, run_kwargs, on_result, workers_used
-            )
+            if self.pool == "threads":
+                outcome = self._run_threads(
+                    cells, platform, run_kwargs, on_result, workers_used
+                )
+            else:
+                outcome = self._run_pool(
+                    cells, platform, run_kwargs, on_result, workers_used
+                )
         else:
             workers_used = 1
             outcome = self._run_serial(cells, platform, run_kwargs, on_result)
@@ -361,6 +397,7 @@ class SupervisedExecutor:
                     "campaign.batch",
                     cells=len(cells),
                     workers=workers_used,
+                    pool=self.pool if use_pool else "serial",
                     seconds=round(elapsed, 6),
                     cells_per_second=round(throughput, 3),
                     retries=outcome.n_retries,
@@ -826,6 +863,277 @@ class SupervisedExecutor:
                         processes = getattr(pool, "_processes", None) or {}
                         for proc in list(processes.values()):
                             proc.kill()
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+        if abort is not None:
+            flush_completed()
+            if abort.cause is not None:
+                raise abort from abort.cause
+            raise abort
+        return outcome
+
+    # -- thread path ---------------------------------------------------------
+
+    def _run_threads(
+        self,
+        cells: list,
+        platform: PlatformConfig,
+        run_kwargs: dict | None,
+        on_result,
+        workers: int,
+    ) -> CampaignOutcome:
+        """GIL-sharing variant of :meth:`_run_pool` (DESIGN.md §12).
+
+        Same supervisor loop minus everything that needs process
+        isolation: no ``BrokenProcessPool`` handling, no solo-rerun crash
+        attribution, no pool rebuilds. Timeouts are *soft* — an expired
+        future is abandoned (struck and retried/quarantined exactly like
+        a pool-mode timeout, its eventual result discarded), but the
+        wedged thread keeps occupying a worker slot until it returns, so
+        a campaign full of genuine hangs degrades to serial throughput
+        rather than being killed. Worker threads share the process's
+        solver caches, which is the point: the prewarmed
+        ``GLOBAL_STEADY_CACHE`` serves every thread, and the compiled
+        kernel solves with the GIL released.
+        """
+        from repro.experiments.parallel import (
+            _prewarm_phase_products,
+            _prewarm_solo_profiles,
+            run_cell,
+        )
+
+        config = self.config
+        registry = get_registry()
+        states = [_CellState(i, cell) for i, cell in enumerate(cells)]
+        resolved: list = [_PENDING] * len(cells)
+        outcome = CampaignOutcome(results=[None] * len(cells))
+        next_emit = 0
+        unresolved = len(cells)
+
+        # Shared-cache prewarm (the serial path does the same): solo
+        # profiles and fused phase products are solved once up front in
+        # the supervisor thread, so worker threads start from a hot
+        # in-process memo instead of racing each other on cold points.
+        _prewarm_solo_profiles(platform, cells, run_kwargs)
+        _prewarm_phase_products(platform, cells, run_kwargs)
+
+        ready: list[int] = list(range(len(cells)))
+        heapq.heapify(ready)
+        delayed: list[tuple[float, int]] = []
+
+        inflight: dict[Future, int] = {}
+        deadlines: dict[Future, float] = {}
+        submit_times: dict[Future, float] = {}
+        #: Futures struck for timeout whose threads are still running;
+        #: their late results (or errors) are discarded on completion.
+        abandoned: set[Future] = set()
+        abort: CampaignError | None = None
+
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="supervise"
+        )
+
+        def work(index1: int, attempt: int, cell) -> PairResult:
+            garbage = maybe_inject(index1, attempt)
+            if garbage is not None:
+                return garbage
+            return run_cell(platform, cell, run_kwargs)
+
+        def emit_ready() -> None:
+            nonlocal next_emit
+            while next_emit < len(cells) and resolved[next_emit] is not _PENDING:
+                value = resolved[next_emit]
+                if isinstance(value, PairResult):
+                    outcome.results[next_emit] = value
+                    if on_result is not None:
+                        on_result(next_emit, cells[next_emit], value)
+                next_emit += 1
+
+        def flush_completed() -> None:
+            nonlocal next_emit
+            for index in range(next_emit, len(cells)):
+                value = resolved[index]
+                if isinstance(value, PairResult):
+                    outcome.results[index] = value
+                    if on_result is not None:
+                        on_result(index, cells[index], value)
+            next_emit = len(cells)
+
+        def resolve_ok(state: _CellState, result: PairResult, duration: float) -> None:
+            nonlocal unresolved
+            self._record_attempt(state, "ok", duration_s=duration)
+            registry.counter("parallel.cells").inc()
+            registry.counter("supervise.cells_ok").inc()
+            if registry.enabled:
+                registry.histogram("parallel.cell_seconds").observe(duration)
+            resolved[state.index] = result
+            unresolved -= 1
+            emit_ready()
+
+        def quarantine(state: _CellState, exc: BaseException | None) -> None:
+            nonlocal unresolved, abort
+            failure = self._failed_cell(state, run_kwargs)
+            self._emit_recovery(
+                "quarantine",
+                state,
+                outcome=failure.last_error.outcome if failure.last_error else "?",
+            )
+            if config.on_failure == "abort":
+                abort = CampaignError(
+                    f"campaign aborted: cell {failure.describe()}",
+                    failure=failure,
+                    cause=exc,
+                )
+                return
+            outcome.failures.append(failure)
+            resolved[state.index] = failure
+            unresolved -= 1
+            emit_ready()
+
+        def strike(
+            state: _CellState,
+            kind: str,
+            *,
+            exc: BaseException | None = None,
+            duration: float = 0.0,
+        ) -> None:
+            self._record_attempt(state, kind, exc=exc, duration_s=duration)
+            if state.counted <= config.max_retries:
+                outcome.n_retries += 1
+                delay = config.backoff_delay(state.counted)
+                self._emit_recovery(
+                    "retry", state, outcome=kind, delay_s=delay
+                )
+                if delay > 0:
+                    heapq.heappush(
+                        delayed, (time.monotonic() + delay, state.index)
+                    )
+                else:
+                    heapq.heappush(ready, state.index)
+                return
+            quarantine(state, exc)
+
+        def submit(state: _CellState) -> None:
+            fut = pool.submit(
+                work, state.index + 1, state.next_attempt, state.cell
+            )
+            inflight[fut] = state.index
+            submit_times[fut] = time.monotonic()
+            if config.cell_timeout_s is not None:
+                deadlines[fut] = time.monotonic() + config.cell_timeout_s
+
+        def consume(fut: Future) -> None:
+            index = inflight.pop(fut)
+            deadlines.pop(fut, None)
+            duration = time.monotonic() - submit_times.pop(fut)
+            state = states[index]
+            exc = fut.exception()
+            if exc is None:
+                result = fut.result()
+                if isinstance(result, PairResult):
+                    resolve_ok(state, result, duration)
+                else:
+                    registry.counter("supervise.garbage").inc()
+                    strike(
+                        state,
+                        "garbage",
+                        exc=TypeError(
+                            f"worker returned "
+                            f"{type(result).__name__!s}, not PairResult"
+                        ),
+                        duration=duration,
+                    )
+            else:
+                registry.counter("supervise.errors").inc()
+                strike(state, "error", exc=exc, duration=duration)
+
+        try:
+            while unresolved and abort is None:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _due, index = heapq.heappop(delayed)
+                    heapq.heappush(ready, index)
+
+                # Refill. Abandoned futures still hold worker slots, so
+                # count them against capacity: submitting past the pool
+                # width would only queue work behind the wedged threads.
+                while ready and len(inflight) + len(abandoned) < workers:
+                    submit(states[heapq.heappop(ready)])
+
+                if not inflight:
+                    if abandoned and unresolved:
+                        # Every worker slot is wedged: nothing can make
+                        # progress until one of them returns. Block on
+                        # the abandoned set rather than spinning.
+                        done, _ = wait(set(abandoned), timeout=0.25)
+                        abandoned.difference_update(done)
+                        continue
+                    if delayed:
+                        time.sleep(
+                            min(0.05, max(0.0, delayed[0][0] - time.monotonic()))
+                        )
+                        continue
+                    if ready:
+                        continue
+                    break
+
+                tick = 0.25
+                if deadlines:
+                    tick = min(
+                        tick,
+                        max(0.0, min(deadlines.values()) - time.monotonic()),
+                    )
+                if delayed:
+                    tick = min(
+                        tick, max(0.0, delayed[0][0] - time.monotonic())
+                    )
+                done, _pending = wait(
+                    set(inflight), timeout=tick, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    consume(fut)
+
+                # Reap any abandoned threads that have since returned
+                # (their results are discarded — the strike already
+                # resolved the cell's fate).
+                abandoned.difference_update(
+                    {fut for fut in abandoned if fut.done()}
+                )
+
+                # Deadline sweep: soft timeout — abandon the future and
+                # strike the cell; the thread cannot be killed.
+                if deadlines:
+                    now = time.monotonic()
+                    expired = [
+                        fut
+                        for fut, deadline in deadlines.items()
+                        if now >= deadline and not fut.done()
+                    ]
+                    for fut in expired:
+                        index = inflight.pop(fut)
+                        deadlines.pop(fut, None)
+                        duration = time.monotonic() - submit_times.pop(fut)
+                        abandoned.add(fut)
+                        state = states[index]
+                        self._emit_recovery(
+                            "timeout",
+                            state,
+                            timeout_s=config.cell_timeout_s,
+                            enforcement="abandoned",
+                        )
+                        strike(
+                            state,
+                            "timeout",
+                            exc=TimeoutError(
+                                f"cell exceeded {config.cell_timeout_s}s "
+                                f"(thread abandoned, not killed)"
+                            ),
+                            duration=duration,
+                        )
         finally:
             try:
                 pool.shutdown(wait=False, cancel_futures=True)

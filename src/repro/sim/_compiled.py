@@ -1,0 +1,383 @@
+"""numba-compiled steady-state solver lanes (the ``compiled`` kernel).
+
+This module imports :mod:`numba` at import time and therefore fails to
+import cleanly when numba is absent — :mod:`repro.sim.kernels` probes for
+it and falls back to the NumPy ``fast`` kernel, so nothing outside the
+registry may import this module directly.
+
+Every function is ``@njit(cache=True, nogil=True)``: ``cache=True``
+persists the machine code next to this file so the JIT cost is paid once
+per interpreter *installation* rather than once per process, and
+``nogil=True`` releases the GIL for the whole solve, which is what makes
+``SupervisedExecutor(pool="threads")`` scale (DESIGN.md §12).
+
+The algorithm is a scalar-per-lane port of the ``precision="fast"``
+NumPy kernel (:func:`repro.sim.contention._solve_batch_fast`): fused MRC
+evaluation, damped fixed point with per-lane adaptive damping and budget
+escalation, Illinois regula falsi for the latency root (loosened
+``1e-4`` bracket gap on intermediate roots, full ``1e-7`` precision on
+the final consistency root), pressure-proportional water-filling with
+occupancy caps and shared-zone splitting, and the bandwidth-rationing
+epilogue. It honours the same tolerance contract (``FAST_REL_TOL`` /
+``FAST_WAYS_ATOL``) and the same lane-purity guarantee — each lane's
+arithmetic touches only its own row, so results are independent of batch
+composition and stay memoisable in ``SteadyStateCache`` under the
+existing ``precision="fast"`` keys.
+
+All inputs are flat float64/int64 arrays; the object-to-plane encoding
+lives in :func:`repro.sim.kernels.compiled_solve_batch`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+_EPS = 1e-12
+
+
+@njit(cache=True, nogil=True)
+def _mrc_fused(w, knee, sharp, blend, scale, floor_, span, at1):
+    """Fused miss-ratio curve, elementwise-identical to the NumPy form."""
+    z = (w - knee) / sharp
+    if z > 40.0:
+        kp = 0.0
+    elif z < -40.0:
+        kp = 1.0
+    else:
+        kp = 1.0 - 1.0 / (1.0 + math.exp(-z))
+    captured = blend * math.exp(-w / scale) + (1.0 - blend) * kp
+    value = floor_ + span * captured
+    if w < 1.0:
+        value = 1.0 + (at1 - 1.0) * w
+    if value < 0.0:
+        value = 0.0
+    elif value > 1.0:
+        value = 1.0
+    return value
+
+
+@njit(cache=True, nogil=True)
+def _excess(lat, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp):
+    """Latency excess ``g(L) - L`` for one lane (fixed core order)."""
+    demand = 0.0
+    for j in range(k):
+        demand += c[j] / (e[j] + s[j] * lat)
+    u = demand * inv_capacity
+    if u > u_cap:
+        u = u_cap
+    return lat_floor * (1.0 + gain * (u / (1.0 - u)) ** q_exp) - lat
+
+
+@njit(cache=True, nogil=True)
+def _illinois(
+    c, e, s, k, guess, lat_floor, lat_ceil, gap_rtol,
+    inv_capacity, u_cap, gain, q_exp,
+):
+    """Port of ``contention._illinois_root`` with a parametrised gap."""
+    if _excess(
+        lat_floor, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+    ) <= 0.0:
+        return lat_floor
+    if _excess(
+        lat_ceil, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+    ) >= 0.0:
+        return lat_ceil
+
+    lo = guess
+    if lo < lat_floor:
+        lo = lat_floor
+    if lo > lat_ceil:
+        lo = lat_ceil
+    f_lo = _excess(
+        lo, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+    )
+    hi = lo
+    f_hi = f_lo
+    if f_lo > 0.0:
+        for _ in range(60):
+            lo = hi
+            f_lo = f_hi
+            hi = hi * 1.5
+            if hi > lat_ceil:
+                hi = lat_ceil
+            f_hi = _excess(
+                hi, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+            )
+            if f_hi <= 0.0:
+                break
+    else:
+        for _ in range(60):
+            hi = lo
+            f_hi = f_lo
+            lo = lo / 1.5
+            if lo < lat_floor:
+                lo = lat_floor
+            f_lo = _excess(
+                lo, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+            )
+            if f_lo >= 0.0:
+                break
+
+    for _ in range(60):
+        if hi - lo < gap_rtol * hi:
+            break
+        mid = (lo * f_hi - hi * f_lo) / (f_hi - f_lo)
+        if not (lo < mid < hi):
+            mid = 0.5 * (lo + hi)
+        f_mid = _excess(
+            mid, c, e, s, k, lat_floor, inv_capacity, u_cap, gain, q_exp
+        )
+        if f_mid > 0.0:
+            lo = mid
+            f_lo = f_mid
+            f_hi *= 0.5
+        elif f_mid < 0.0:
+            hi = mid
+            f_hi = f_mid
+            f_lo *= 0.5
+        else:
+            return mid
+    return 0.5 * (lo + hi)
+
+
+@njit(cache=True, nogil=True)
+def _waterfill(total, weights, caps, k, out):
+    """Port of ``llc.waterfill``: capped proportional split into ``out``."""
+    active = np.empty(k, np.bool_)
+    for i in range(k):
+        out[i] = 0.0
+        active[i] = weights[i] > _EPS and caps[i] > _EPS
+    remaining = total
+    for _ in range(k):
+        if remaining <= _EPS:
+            break
+        weight_sum = 0.0
+        any_active = False
+        for i in range(k):
+            if active[i]:
+                weight_sum += weights[i]
+                any_active = True
+        if not any_active:
+            break
+        overflow = False
+        for i in range(k):
+            if active[i]:
+                if out[i] + remaining * weights[i] / weight_sum >= caps[i] - 1e-9:
+                    overflow = True
+        if not overflow:
+            for i in range(k):
+                if active[i]:
+                    out[i] += remaining * weights[i] / weight_sum
+            remaining = 0.0
+            break
+        granted = 0.0
+        for i in range(k):
+            if active[i]:
+                if out[i] + remaining * weights[i] / weight_sum >= caps[i] - 1e-9:
+                    granted += caps[i] - out[i]
+                    out[i] = caps[i]
+                    active[i] = False
+        remaining -= granted
+
+
+@njit(cache=True, nogil=True)
+def _effective_ways(
+    pressure, caps_row, k, group_of_row, group_ways_row, n_groups,
+    shared, theta, out,
+):
+    """Port of ``llc.effective_ways`` over one lane's encoded partition."""
+    weights = np.empty(k)
+    for j in range(k):
+        p = pressure[j]
+        if p < 0.0:
+            p = 0.0
+        weights[j] = p ** theta
+
+    zone = np.zeros(n_groups)
+    if shared > _EPS:
+        total_weight = 0.0
+        for j in range(k):
+            zone[group_of_row[j]] += weights[j]
+        for g in range(n_groups):
+            total_weight += zone[g]
+        if total_weight > _EPS:
+            for g in range(n_groups):
+                zone[g] = shared * zone[g] / total_weight
+        else:
+            for g in range(n_groups):
+                zone[g] = 0.0
+
+    for g in range(n_groups):
+        m = 0
+        for j in range(k):
+            if group_of_row[j] == g:
+                m += 1
+        if m == 0:
+            continue
+        idx = np.empty(m, np.int64)
+        t = 0
+        for j in range(k):
+            if group_of_row[j] == g:
+                idx[t] = j
+                t += 1
+        capacity = group_ways_row[g] + zone[g]
+        g_weights = np.empty(m)
+        g_caps = np.empty(m)
+        g_out = np.empty(m)
+        for t in range(m):
+            j = idx[t]
+            g_weights[t] = weights[j]
+            cj = caps_row[j]
+            g_caps[t] = cj if cj < capacity else capacity
+        _waterfill(capacity, g_weights, g_caps, m, g_out)
+        for t in range(m):
+            out[idx[t]] = g_out[t]
+
+
+@njit(cache=True, nogil=True)
+def solve_lanes(
+    cpi2, apki2, blk2, bpm2, caps2, thr2,
+    knee2, sharp2, blend2, scale2, floor2, span2, at12,
+    ways2, n_cores, group_of, group_ways, n_groups, shared,
+    freq, lat_floor, lat_ceil, inv_capacity, u_cap, gain, q_exp,
+    capacity_bytes, theta, delta_tol, max_iter, damping,
+):
+    """Solve every lane of the encoded batch; returns result planes.
+
+    ``status[b]`` is 0 on convergence, 1 on budget exhaustion (the Python
+    wrapper raises ``ConvergenceError`` — exceptions cannot cross the
+    nogil boundary cheaply). ``ways2`` is mutated in place and doubles as
+    the output ways plane.
+    """
+    n_points = cpi2.shape[0]
+    width = cpi2.shape[1]
+    mr2 = np.zeros((n_points, width))
+    ipc2 = np.zeros((n_points, width))
+    bw2 = np.zeros((n_points, width))
+    out_lat = np.empty(n_points)
+    out_util = np.empty(n_points)
+    iterations = np.zeros(n_points, np.int64)
+    status = np.zeros(n_points, np.int64)
+
+    for b in range(n_points):
+        k = n_cores[b]
+        mr = np.empty(k)
+        mpi = np.empty(k)
+        c = np.empty(k)
+        e = np.empty(k)
+        s = np.empty(k)
+        ipc = np.empty(k)
+        pressure = np.empty(k)
+        target = np.empty(k)
+        ways = np.empty(k)
+        for j in range(k):
+            ways[j] = ways2[b, j]
+
+        lat = lat_floor
+        step = damping
+        budget = max_iter
+        prev_delta = np.inf
+        it = 0
+        while it < budget:
+            it += 1
+            for j in range(k):
+                mr[j] = _mrc_fused(
+                    ways[j], knee2[b, j], sharp2[b, j], blend2[b, j],
+                    scale2[b, j], floor2[b, j], span2[b, j], at12[b, j],
+                )
+                mpi[j] = apki2[b, j] * mr[j]
+                c[j] = (freq * mpi[j]) * bpm2[b, j]
+                e[j] = cpi2[b, j]
+                s[j] = (mpi[j] * blk2[b, j]) / thr2[b, j]
+            lat = _illinois(
+                c, e, s, k, lat, lat_floor, lat_ceil, 1e-4,
+                inv_capacity, u_cap, gain, q_exp,
+            )
+            for j in range(k):
+                ipc[j] = 1.0 / (
+                    cpi2[b, j] + mpi[j] * blk2[b, j] * (lat / thr2[b, j])
+                )
+                pressure[j] = freq * ipc[j] * mpi[j]
+            _effective_ways(
+                pressure, caps2[b], k, group_of[b], group_ways[b],
+                n_groups[b], shared[b], theta, target,
+            )
+            delta = 0.0
+            for j in range(k):
+                nxt = (1.0 - step) * ways[j] + step * target[j]
+                d = nxt - ways[j]
+                if d < 0.0:
+                    d = -d
+                if d > delta:
+                    delta = d
+                ways[j] = nxt
+            if delta < delta_tol:
+                break
+            # Per-lane adaptive damping, same rules as the NumPy kernels.
+            if delta >= prev_delta:
+                if step > 0.021:
+                    step = step * 0.7
+                    if step < 0.02:
+                        step = 0.02
+                else:
+                    budget = max_iter * 10
+            prev_delta = delta
+        iterations[b] = it
+        if it >= budget:
+            status[b] = 1
+            out_lat[b] = lat
+            continue
+
+        # Final consistent evaluation at the converged operating point.
+        for j in range(k):
+            if ways[j] > caps2[b, j]:
+                ways[j] = caps2[b, j]
+            mr[j] = _mrc_fused(
+                ways[j], knee2[b, j], sharp2[b, j], blend2[b, j],
+                scale2[b, j], floor2[b, j], span2[b, j], at12[b, j],
+            )
+            mpi[j] = apki2[b, j] * mr[j]
+            c[j] = (freq * mpi[j]) * bpm2[b, j]
+            e[j] = cpi2[b, j]
+            s[j] = (mpi[j] * blk2[b, j]) / thr2[b, j]
+        lat = _illinois(
+            c, e, s, k, lat, lat_floor, lat_ceil, 1e-7,
+            inv_capacity, u_cap, gain, q_exp,
+        )
+        demand = 0.0
+        for j in range(k):
+            ipc[j] = 1.0 / (
+                cpi2[b, j] + mpi[j] * blk2[b, j] * (lat / thr2[b, j])
+            )
+            bw2[b, j] = (freq * ipc[j] * mpi[j]) * bpm2[b, j]
+            demand += bw2[b, j]
+
+        # Bandwidth rationing under extreme overload (scalar epilogue).
+        if demand > capacity_bytes:
+            ones = np.ones(k)
+            bw_row = np.empty(k)
+            granted = np.empty(k)
+            for j in range(k):
+                bw_row[j] = bw2[b, j]
+            _waterfill(capacity_bytes, ones, bw_row, k, granted)
+            demand = 0.0
+            for j in range(k):
+                if bw_row[j] > 0.0:
+                    denom = bw_row[j]
+                    if denom < 1e-30:
+                        denom = 1e-30
+                    ipc[j] = ipc[j] * (granted[j] / denom)
+                bw2[b, j] = granted[j]
+                demand += granted[j]
+
+        for j in range(k):
+            ways2[b, j] = ways[j]
+            mr2[b, j] = mr[j]
+            ipc2[b, j] = ipc[j]
+        out_lat[b] = lat
+        out_util[b] = demand * inv_capacity
+
+    return ipc2, ways2, mr2, bw2, out_lat, out_util, iterations, status

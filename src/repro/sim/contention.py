@@ -37,6 +37,7 @@ exact solve and assert the contract at runtime.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -104,6 +105,16 @@ SOLVER_COUNTERS: dict[str, int] = {
     "fast_solves": 0,
     "fast_points": 0,
     "fast_iterations": 0,
+    # The numba kernel (repro.sim.kernels "compiled"); when it bails out
+    # or numba is absent the work lands in the fast_* counters instead,
+    # so fast_* + compiled_* is the total precision="fast" workload.
+    "compiled_solves": 0,
+    "compiled_points": 0,
+    "compiled_iterations": 0,
+    # _PARAMS_MEMO parse-cache effectiveness (bounded LRU, see below).
+    "params_memo_hits": 0,
+    "params_memo_misses": 0,
+    "params_memo_evictions": 0,
 }
 
 
@@ -155,9 +166,35 @@ def _record_point(
         )
 
 
-def solver_counters() -> dict[str, int]:
-    """A snapshot of the process-wide solver call/iteration counters."""
-    return dict(SOLVER_COUNTERS)
+def solver_counters() -> dict:
+    """A snapshot of the process-wide solver call/iteration counters.
+
+    The flat keys are the raw counters. ``by_kernel`` is a derived view
+    attributing work to the kernel implementation that did it (``exact``
+    combines the scalar and exact-batch paths; ``fast`` is the NumPy
+    kernel; ``compiled`` the numba kernel), so ``report --metrics`` and
+    bench artefacts can say which kernel solved what.
+    """
+    snap: dict = dict(SOLVER_COUNTERS)
+    snap["by_kernel"] = {
+        "exact": {
+            "solves": snap["scalar_solves"] + snap["batch_solves"],
+            "points": snap["scalar_solves"] + snap["batch_points"],
+            "iterations": snap["scalar_iterations"]
+            + snap["batch_iterations"],
+        },
+        "fast": {
+            "solves": snap["fast_solves"],
+            "points": snap["fast_points"],
+            "iterations": snap["fast_iterations"],
+        },
+        "compiled": {
+            "solves": snap["compiled_solves"],
+            "points": snap["compiled_points"],
+            "iterations": snap["compiled_iterations"],
+        },
+    }
+    return snap
 
 
 def reset_solver_counters() -> None:
@@ -614,8 +651,16 @@ def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil, gap_rtol=1e-7):
 #: single bit of any solve. Bounded by wholesale clearing at the cap —
 #: campaign working sets (one entry per distinct phase combination) sit
 #: orders of magnitude below it.
-_PARAMS_MEMO: dict[tuple, tuple] = {}
+#: Bounded LRU over per-point parameter arrays, keyed ``(platform,
+#: phases, mba)``. Long-running queue workers revisit phase tuples across
+#: thousands of solver calls; LRU eviction (oldest entry out, counted in
+#: ``solver_counters()["params_memo_evictions"]``) keeps the cache from
+#: growing without limit while preserving the hot working set — the old
+#: wholesale ``clear()`` at the cap threw the entire working set away.
+#: The lock makes concurrent access safe under ``pool="threads"``.
+_PARAMS_MEMO: OrderedDict[tuple, tuple] = OrderedDict()
 _PARAMS_MEMO_MAX = 100_000
+_PARAMS_MEMO_LOCK = threading.Lock()
 
 
 def _parse_points(
@@ -662,12 +707,19 @@ def _parse_points(
                 )
         else:
             key = (platform, phases, mba)
-            params = memo.get(key)
+            with _PARAMS_MEMO_LOCK:
+                params = memo.get(key)
+                if params is not None:
+                    memo.move_to_end(key)
+                    SOLVER_COUNTERS["params_memo_hits"] += 1
             if params is None:
                 params = _point_params(platform, phases, partition, mba)
-                if len(memo) >= _PARAMS_MEMO_MAX:
-                    memo.clear()
-                memo[key] = params
+                with _PARAMS_MEMO_LOCK:
+                    SOLVER_COUNTERS["params_memo_misses"] += 1
+                    memo[key] = params
+                    while len(memo) > _PARAMS_MEMO_MAX:
+                        memo.popitem(last=False)
+                        SOLVER_COUNTERS["params_memo_evictions"] += 1
             elif len(phases) != partition.n_cores:
                 # The memo hit skipped _point_params' shape validation.
                 raise ValueError(
@@ -1047,7 +1099,26 @@ def _solve_batch_fast(
     elementwise transcendental kernels are value-deterministic regardless
     of array position — guarded by a property test in
     tests/sim/test_fastmath.py.
+
+    When the thread's active kernel request resolves to ``compiled``
+    (see :mod:`repro.sim.kernels`), the batch is handed to the numba
+    kernel first — same tolerance contract, same lane purity — and this
+    NumPy path only runs when the compiled kernel is unavailable or
+    bails out (tabulated curves).
     """
+    from repro.sim import kernels as _kernels
+
+    if _kernels.resolve_kernel(precision="fast") == "compiled":
+        out = _kernels.compiled_solve_batch(
+            platform, parsed, tol=tol, max_iter=max_iter, damping=damping
+        )
+        if out is not None:
+            if _fast_check_enabled():
+                _assert_fast_contract(
+                    platform, parsed, out,
+                    tol=tol, max_iter=max_iter, damping=damping,
+                )
+            return out
     n_points = len(parsed)
     n_cores = np.array([partition.n_cores for _, partition, _, _ in parsed])
     width = int(n_cores.max())
@@ -1442,6 +1513,12 @@ class SteadyStateCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._data: OrderedDict[tuple, SteadyState] = OrderedDict()
+        # Guards _data and the counters under pool="threads" campaigns.
+        # Held only around lookup/insert bookkeeping — never across a
+        # solve — so concurrent threads still solve in parallel. Entries
+        # are pure functions of their key, so two threads racing the same
+        # cold key at worst solve it twice and insert identical values.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         # Lifetime per-precision counters (never reset by clear()): BENCH
@@ -1481,15 +1558,16 @@ class SteadyStateCache:
         """Fetch (or solve and memoise) one operating point."""
         key = self.make_key(platform, phases, partition, mba_scale, precision)
         registry = get_registry()
-        state = self._data.get(key)
-        if state is not None:
-            self.hits += 1
-            self.lifetime[precision]["hits"] += 1
-            registry.counter("steady_cache.hits").inc()
-            self._data.move_to_end(key)
-            return state
-        self.misses += 1
-        self.lifetime[precision]["misses"] += 1
+        with self._lock:
+            state = self._data.get(key)
+            if state is not None:
+                self.hits += 1
+                self.lifetime[precision]["hits"] += 1
+                registry.counter("steady_cache.hits").inc()
+                self._data.move_to_end(key)
+                return state
+            self.misses += 1
+            self.lifetime[precision]["misses"] += 1
         registry.counter("steady_cache.misses").inc()
         if registry.enabled:
             t0 = time.perf_counter()
@@ -1511,10 +1589,12 @@ class SteadyStateCache:
                 precision=precision,
             )
         if warm_start is None:
-            self._data[key] = state
-            if len(self._data) > self.max_entries:
-                self._data.popitem(last=False)
-            registry.gauge("steady_cache.size").set(len(self._data))
+            with self._lock:
+                self._data[key] = state
+                if len(self._data) > self.max_entries:
+                    self._data.popitem(last=False)
+                size = len(self._data)
+            registry.gauge("steady_cache.size").set(size)
         return state
 
     def solve_many(
@@ -1561,21 +1641,22 @@ class SteadyStateCache:
 
         results: dict[tuple, SteadyState] = {}
         pending: dict[tuple, tuple] = {}
-        for key, point in zip(keys, normalised):
-            if key in results or key in pending:
-                continue
-            state = self._data.get(key)
-            if state is not None:
-                results[key] = state
-                self._data.move_to_end(key)
-            else:
-                pending[key] = point
+        with self._lock:
+            for key, point in zip(keys, normalised):
+                if key in results or key in pending:
+                    continue
+                state = self._data.get(key)
+                if state is not None:
+                    results[key] = state
+                    self._data.move_to_end(key)
+                else:
+                    pending[key] = point
 
-        hits = len(keys) - len(pending)
-        self.hits += hits
-        self.misses += len(pending)
-        self.lifetime[precision]["hits"] += hits
-        self.lifetime[precision]["misses"] += len(pending)
+            hits = len(keys) - len(pending)
+            self.hits += hits
+            self.misses += len(pending)
+            self.lifetime[precision]["hits"] += hits
+            self.lifetime[precision]["misses"] += len(pending)
         if hits:
             registry.counter("steady_cache.hits").inc(hits)
         if pending:
@@ -1613,12 +1694,14 @@ class SteadyStateCache:
                 registry.counter("steady_cache.solve_iterations").inc(
                     sum(s.iterations for s in states)
                 )
-            for (key, _point), state in zip(cold, states):
-                results[key] = state
-                self._data[key] = state
-                if len(self._data) > self.max_entries:
-                    self._data.popitem(last=False)
-            registry.gauge("steady_cache.size").set(len(self._data))
+            with self._lock:
+                for (key, _point), state in zip(cold, states):
+                    results[key] = state
+                    self._data[key] = state
+                    if len(self._data) > self.max_entries:
+                        self._data.popitem(last=False)
+                size = len(self._data)
+            registry.gauge("steady_cache.size").set(size)
         return [results[key] for key in keys]
 
     def __len__(self) -> int:
@@ -1632,9 +1715,10 @@ class SteadyStateCache:
         lookup the process made even when ``clear_caches()`` runs between
         campaign stages.
         """
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
         """Counters for benchmark reports.

@@ -1,0 +1,347 @@
+"""Solver kernel registry: ``exact`` / ``fast`` / ``compiled``.
+
+Three implementations of the steady-state contention solver coexist
+(DESIGN.md §12):
+
+``exact``
+    The bitwise-reproducible scalar/batch pair in
+    :mod:`repro.sim.contention` — the parity anchor pinned by the
+    conformance and golden suites. Never touched by this registry.
+``fast``
+    The tolerance-contracted NumPy kernel (``precision="fast"``,
+    DESIGN.md §10).
+``compiled``
+    A numba ``@njit(cache=True, nogil=True)`` port of the fast kernel
+    (:mod:`repro.sim._compiled`) honouring the *same* tolerance contract
+    and lane-purity guarantee, so its results share ``SteadyStateCache``
+    entries with the NumPy kernel under the existing
+    ``precision="fast"`` keys. Because it releases the GIL,
+    ``SupervisedExecutor(pool="threads")`` scales across cores without
+    process spawn or pickling cost.
+
+numba is an *optional* dependency (``pip install .[compiled]``). The
+registry probes for it once per process; requesting ``compiled`` (or
+``auto``) without numba silently serves ``fast`` and records a one-shot
+``kernels.compiled_fallback`` telemetry event, so every kernel/pool
+combination degrades cleanly on a NumPy-only install.
+
+Kernel selection is thread-local (:func:`use_kernel`) with a
+process-wide default (:func:`set_default_kernel`), mirroring how
+``precision`` flows: the ``exact`` kernel *is* ``precision="exact"``,
+while ``fast``/``compiled``/``auto`` are implementations of
+``precision="fast"`` — :func:`kernel_precision` maps one onto the other
+and :func:`check_kernel_precision` rejects contradictions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_CHOICES",
+    "numba_available",
+    "available_kernels",
+    "check_kernel",
+    "kernel_precision",
+    "check_kernel_precision",
+    "resolve_kernel",
+    "get_active_kernel",
+    "set_default_kernel",
+    "use_kernel",
+    "compiled_solve_batch",
+]
+
+#: Concrete kernel implementations, in cost order.
+KERNELS = ("exact", "fast", "compiled")
+#: Valid values everywhere a kernel is *requested* (CLI, stores, runner).
+KERNEL_CHOICES = ("auto",) + KERNELS
+
+_NUMBA_STATE = {"checked": False, "available": False}
+_FALLBACK_NOTED = False
+
+
+def numba_available() -> bool:
+    """True when the numba-compiled kernel module imports (probed once)."""
+    if not _NUMBA_STATE["checked"]:
+        try:
+            import repro.sim._compiled  # noqa: F401
+        except Exception:
+            _NUMBA_STATE["available"] = False
+        else:
+            _NUMBA_STATE["available"] = True
+        _NUMBA_STATE["checked"] = True
+    return _NUMBA_STATE["available"]
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernels that can actually run in this process."""
+    return KERNELS if numba_available() else ("exact", "fast")
+
+
+def check_kernel(kernel: str) -> str:
+    """Validate a kernel *request* (``auto`` allowed); returns it."""
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_CHOICES}, got {kernel!r}"
+        )
+    return kernel
+
+
+def kernel_precision(kernel: str) -> str | None:
+    """The precision a kernel request implies (``None`` for ``auto``)."""
+    check_kernel(kernel)
+    if kernel == "auto":
+        return None
+    return "exact" if kernel == "exact" else "fast"
+
+
+def check_kernel_precision(kernel: str, precision: str) -> None:
+    """Reject contradictory kernel/precision requests.
+
+    ``auto`` composes with either precision; ``exact`` demands
+    ``precision="exact"`` and ``fast``/``compiled`` demand
+    ``precision="fast"`` — mixing them would silently serve results from
+    a different accuracy contract than the caller asked for.
+    """
+    implied = kernel_precision(kernel)
+    if implied is not None and implied != precision:
+        raise ValueError(
+            f"kernel={kernel!r} implies precision={implied!r}, "
+            f"which contradicts precision={precision!r}"
+        )
+
+
+_DEFAULT_KERNEL = "auto"
+_TLS = threading.local()
+
+
+def set_default_kernel(kernel: str) -> None:
+    """Set the process-wide default kernel request (CLI entry points)."""
+    global _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = check_kernel(kernel)
+
+
+def get_active_kernel() -> str:
+    """The kernel request in effect on this thread."""
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        return stack[-1]
+    return _DEFAULT_KERNEL
+
+
+@contextmanager
+def use_kernel(kernel: str):
+    """Scope a kernel request to the current thread.
+
+    Thread-local so concurrent ``pool="threads"`` workers can never leak
+    a selection into each other; nests, restoring the previous request
+    on exit.
+    """
+    check_kernel(kernel)
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(kernel)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def _note_fallback() -> None:
+    """Record (once per process) that ``compiled`` degraded to ``fast``."""
+    global _FALLBACK_NOTED
+    if _FALLBACK_NOTED:
+        return
+    _FALLBACK_NOTED = True
+    from repro import obs
+
+    obs.counter("kernels.compiled_fallback").inc()
+    log = obs.get_event_log()
+    if log.enabled:
+        log.emit(
+            "kernels.compiled_fallback",
+            reason="numba not importable; serving the NumPy fast kernel",
+        )
+
+
+def resolve_kernel(kernel: str | None = None, precision: str = "fast") -> str:
+    """Map a kernel request onto the implementation that will run.
+
+    ``precision="exact"`` always resolves to ``exact`` (the parity
+    kernels are never substituted). For fast precision, ``auto`` prefers
+    ``compiled`` when numba is importable and otherwise serves ``fast``;
+    an explicit ``compiled`` request without numba also degrades to
+    ``fast``, recording a one-shot fallback event. ``kernel=None`` reads
+    the thread's active request (:func:`get_active_kernel`).
+    """
+    if kernel is None:
+        kernel = get_active_kernel()
+    check_kernel(kernel)
+    if precision == "exact":
+        return "exact"
+    if kernel in ("auto", "compiled"):
+        if numba_available():
+            return "compiled"
+        if kernel == "compiled":
+            _note_fallback()
+    return "fast"
+
+
+def compiled_solve_batch(
+    platform,
+    parsed: list[tuple],
+    *,
+    tol: float,
+    max_iter: int,
+    damping: float,
+):
+    """Solve a parsed batch with the numba kernel; ``None`` = can't.
+
+    Returns ``None`` (caller falls back to the NumPy fast kernel) when
+    numba is unavailable or any lane's curve lacks fused coefficients
+    (tabulated MRCs evaluate through Python-level interpolation the
+    compiled kernel cannot call). Otherwise returns one ``SteadyState``
+    per lane, contract-compatible with ``_solve_batch_fast``.
+    """
+    if not numba_available():
+        return None
+    from repro.sim import _compiled
+    from repro.sim.contention import (
+        SOLVER_COUNTERS,
+        ConvergenceError,
+        SteadyState,
+    )
+    from repro.sim.membus import MemoryLink
+
+    n_points = len(parsed)
+    n_cores = np.empty(n_points, dtype=np.int64)
+    for i, (_phases, partition, _mba, _params) in enumerate(parsed):
+        n_cores[i] = partition.n_cores
+    width = int(n_cores.max())
+
+    # Parameter planes, padded with the same neutral values as the NumPy
+    # kernel (zero access rate / bytes-per-miss, unit cpi and throttle).
+    cpi2 = np.ones((n_points, width))
+    apki2 = np.zeros((n_points, width))
+    blk2 = np.zeros((n_points, width))
+    bpm2 = np.zeros((n_points, width))
+    thr2 = np.ones((n_points, width))
+    caps2 = np.full((n_points, width), np.inf)
+    # Fused-curve coefficient planes (unit-scale pads keep the fused
+    # evaluation finite; pad floor/span are 0 so pad mr stays clipped).
+    knee2 = np.ones((n_points, width))
+    sharp2 = np.ones((n_points, width))
+    blend2 = np.ones((n_points, width))
+    scale2 = np.ones((n_points, width))
+    floor2 = np.zeros((n_points, width))
+    span2 = np.zeros((n_points, width))
+    at12 = np.ones((n_points, width))
+    # Partition encoding: per-core group index, per-group exclusive ways
+    # (padded to the widest group count), group count and shared zone.
+    max_groups = 1
+    for _phases, partition, _mba, _params in parsed:
+        if len(partition.groups) > max_groups:
+            max_groups = len(partition.groups)
+    group_of = np.zeros((n_points, width), dtype=np.int64)
+    group_ways = np.zeros((n_points, max_groups))
+    n_groups = np.ones(n_points, dtype=np.int64)
+    shared = np.zeros(n_points)
+    ways2 = np.zeros((n_points, width))
+
+    # fused_fast_params is pure per curve object and the catalog reuses a
+    # handful of curve instances across thousands of slots.
+    fp_cache: dict[int, tuple | None] = {}
+    _unset = object()
+    for i, (phases, partition, _mba, params) in enumerate(parsed):
+        cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = params
+        k = partition.n_cores
+        cpi2[i, :k] = cpi_exe
+        apki2[i, :k] = apki
+        blk2[i, :k] = blocking
+        bpm2[i, :k] = bytes_per_miss
+        thr2[i, :k] = throttle
+        caps2[i, :k] = caps
+        for c, phase in enumerate(phases):
+            curve = phase.mrc
+            fp = fp_cache.get(id(curve), _unset)
+            if fp is _unset:
+                fp = curve.fused_fast_params()
+                fp_cache[id(curve)] = fp
+            if fp is None:
+                return None  # tabulated curve: NumPy fast kernel handles it
+            # fp order: (floor, span, blend, scale, knee, sharpness, at_one)
+            floor2[i, c] = fp[0]
+            span2[i, c] = fp[1]
+            blend2[i, c] = fp[2]
+            scale2[i, c] = fp[3]
+            knee2[i, c] = fp[4]
+            sharp2[i, c] = fp[5]
+            at12[i, c] = fp[6]
+        n_groups[i] = len(partition.groups)
+        shared[i] = partition.shared_ways
+        # Cold-start iterate, elementwise-identical to _initial_ways.
+        base = np.zeros(k)
+        for g, grp in enumerate(partition.groups):
+            group_ways[i, g] = grp.ways
+            idx = list(grp.cores)
+            base[idx] = grp.ways / len(idx)
+            for core in idx:
+                group_of[i, core] = g
+        base += partition.shared_ways / k
+        ways2[i, :k] = np.minimum(base, caps)
+
+    link = MemoryLink.from_platform(platform)
+    ipc2, ways2, mr2, bw2, lat, util, iterations, status = (
+        _compiled.solve_lanes(
+            cpi2, apki2, blk2, bpm2, caps2, thr2,
+            knee2, sharp2, blend2, scale2, floor2, span2, at12,
+            ways2, n_cores, group_of, group_ways, n_groups, shared,
+            platform.freq_hz,
+            link.base_latency_cycles,
+            link.max_latency_cycles,
+            1.0 / link.capacity_bytes,
+            link.utilisation_cap,
+            link.queue_gain,
+            link.queue_exponent,
+            link.capacity_bytes,
+            platform.pressure_theta,
+            tol * platform.llc_ways,
+            max_iter,
+            damping,
+        )
+    )
+    if status.any():
+        i = int(np.nonzero(status)[0][0])
+        raise ConvergenceError(
+            f"compiled lane {i}: no convergence after "
+            f"{int(iterations[i])} iterations "
+            f"(latency={lat[i]:.1f} cy, kernel=compiled)"
+        )
+
+    SOLVER_COUNTERS["compiled_solves"] += 1
+    SOLVER_COUNTERS["compiled_points"] += n_points
+    SOLVER_COUNTERS["compiled_iterations"] += int(iterations.sum())
+
+    lat_list = lat.tolist()
+    util_list = util.tolist()
+    iter_list = iterations.tolist()
+    out = []
+    for i, (_phases, partition, _mba, _params) in enumerate(parsed):
+        nc = partition.n_cores
+        out.append(
+            SteadyState(
+                ipc=ipc2[i, :nc],
+                ways=ways2[i, :nc],
+                miss_ratio=mr2[i, :nc],
+                bw_bytes=bw2[i, :nc],
+                latency_cycles=lat_list[i],
+                utilisation=util_list[i],
+                iterations=iter_list[i],
+            )
+        )
+    return out

@@ -25,6 +25,7 @@ from repro.sim.contention import (
     _parse_points,
     solve_steady_state_batch,
 )
+from repro.sim.kernels import available_kernels, use_kernel
 from repro.sim.partition import PartitionSpec
 from repro.sim.platform import TABLE1_PLATFORM
 from repro.workloads.catalog import app_names, catalog
@@ -37,10 +38,28 @@ PARTITIONS = (
     PartitionSpec.hp_be(19, 10, 20),
 )
 
+#: Every fast-precision kernel implementation, skip-with-reason for the
+#: ones this environment cannot run (DESIGN.md §12) — the contract and
+#: composition-independence sweeps must hold for whichever kernel serves
+#: ``precision="fast"``.
+FAST_KERNELS = [
+    pytest.param(
+        kernel,
+        marks=()
+        if kernel in available_kernels()
+        else pytest.mark.skip(
+            reason=f"kernel {kernel!r} unavailable: numba not installed "
+            "(pip install .[compiled])"
+        ),
+    )
+    for kernel in ("fast", "compiled")
+]
 
-def solve_both(points):
+
+def solve_both(points, kernel="fast"):
     """(fast, exact) result lists for one point population."""
-    fast = solve_steady_state_batch(PLAT, points, precision="fast")
+    with use_kernel(kernel):
+        fast = solve_steady_state_batch(PLAT, points, precision="fast")
     exact = solve_steady_state_batch(PLAT, points, precision="exact")
     return fast, exact
 
@@ -61,11 +80,12 @@ def assert_states_bitwise(a, b, label=""):
     assert a.iterations == b.iterations, f"{label}: iterations"
 
 
+@pytest.mark.parametrize("kernel", FAST_KERNELS)
 class TestToleranceContract:
     """Fast results track exact ones within the documented band."""
 
     @pytest.mark.parametrize("hp_name", app_names()[::8])
-    def test_catalog_slice_within_contract(self, hp_name):
+    def test_catalog_slice_within_contract(self, hp_name, kernel):
         apps = catalog()
         be_phase = apps["bzip22"].phases[0]
         points = []
@@ -73,7 +93,7 @@ class TestToleranceContract:
             phases = (hp_phase,) + (be_phase,) * 9
             for part in PARTITIONS:
                 points.append((phases, part))
-        fast, exact = solve_both(points)
+        fast, exact = solve_both(points, kernel)
         assert_within_contract(fast, exact, points)
 
     @settings(deadline=None, max_examples=30)
@@ -86,7 +106,9 @@ class TestToleranceContract:
             st.none(), st.floats(min_value=0.1, max_value=1.0)
         ),
     )
-    def test_contract_holds_everywhere(self, hp, be, n_be, hp_ways, throttle):
+    def test_contract_holds_everywhere(
+        self, kernel, hp, be, n_be, hp_ways, throttle
+    ):
         apps = catalog()
         phases = (apps[hp].phases[0],) + (apps[be].phases[0],) * n_be
         n = n_be + 1
@@ -97,19 +119,20 @@ class TestToleranceContract:
         )
         mba = None if throttle is None else (1.0,) + (throttle,) * n_be
         points = [(phases, partition, mba)]
-        fast, exact = solve_both(points)
+        fast, exact = solve_both(points, kernel)
         assert_within_contract(fast, exact, points)
 
-    def test_mba_throttled_points_within_contract(self):
+    def test_mba_throttled_points_within_contract(self, kernel):
         apps = catalog()
         phases = (apps["omnetpp1"].phases[0],) + (apps["lbm1"].phases[0],) * 9
         points = [
             (phases, part, (1.0,) + (0.25,) * 9) for part in PARTITIONS
         ]
-        fast, exact = solve_both(points)
+        fast, exact = solve_both(points, kernel)
         assert_within_contract(fast, exact, points)
 
 
+@pytest.mark.parametrize("kernel", FAST_KERNELS)
 class TestCompositionIndependence:
     """A fast lane's bits cannot depend on its batch mates.
 
@@ -130,24 +153,28 @@ class TestCompositionIndependence:
                 points.append((phases, part))
         return points
 
-    def test_singleton_equals_batch(self):
+    def test_singleton_equals_batch(self, kernel):
         points = self._points()
-        batch = solve_steady_state_batch(PLAT, points, precision="fast")
-        for i, point in enumerate(points):
-            solo = solve_steady_state_batch(PLAT, [point], precision="fast")
-            assert_states_bitwise(solo[0], batch[i], label=f"point {i}")
+        with use_kernel(kernel):
+            batch = solve_steady_state_batch(PLAT, points, precision="fast")
+            for i, point in enumerate(points):
+                solo = solve_steady_state_batch(
+                    PLAT, [point], precision="fast"
+                )
+                assert_states_bitwise(solo[0], batch[i], label=f"point {i}")
 
-    def test_permutation_invariant(self):
+    def test_permutation_invariant(self, kernel):
         points = self._points()
-        batch = solve_steady_state_batch(PLAT, points, precision="fast")
-        order = list(reversed(range(len(points))))
-        shuffled = solve_steady_state_batch(
-            PLAT, [points[i] for i in order], precision="fast"
-        )
+        with use_kernel(kernel):
+            batch = solve_steady_state_batch(PLAT, points, precision="fast")
+            order = list(reversed(range(len(points))))
+            shuffled = solve_steady_state_batch(
+                PLAT, [points[i] for i in order], precision="fast"
+            )
         for pos, i in enumerate(order):
             assert_states_bitwise(shuffled[pos], batch[i], label=f"point {i}")
 
-    def test_ragged_core_counts_pad_neutrally(self):
+    def test_ragged_core_counts_pad_neutrally(self, kernel):
         apps = catalog()
         narrow = (
             (apps["omnetpp1"].phases[0],) * 2,
@@ -157,12 +184,17 @@ class TestCompositionIndependence:
             (apps["lbm1"].phases[0],) * 10,
             PartitionSpec.hp_be(5, 10, 20),
         )
-        together = solve_steady_state_batch(
-            PLAT, [narrow, wide], precision="fast"
-        )
-        for i, point in enumerate((narrow, wide)):
-            solo = solve_steady_state_batch(PLAT, [point], precision="fast")
-            assert_states_bitwise(solo[0], together[i], label=f"point {i}")
+        with use_kernel(kernel):
+            together = solve_steady_state_batch(
+                PLAT, [narrow, wide], precision="fast"
+            )
+            for i, point in enumerate((narrow, wide)):
+                solo = solve_steady_state_batch(
+                    PLAT, [point], precision="fast"
+                )
+                assert_states_bitwise(
+                    solo[0], together[i], label=f"point {i}"
+                )
 
 
 class TestFastCheckMode:
@@ -208,10 +240,11 @@ class TestFailureAttribution:
 
 
 @pytest.mark.fast_math
+@pytest.mark.parametrize("kernel", FAST_KERNELS)
 class TestFullCatalogSweep:
     """The exhaustive 3481-pair contract sweep (``make fastmath``)."""
 
-    def test_every_pair_every_partition(self):
+    def test_every_pair_every_partition(self, kernel):
         apps = catalog()
         names = app_names()
         points = []
@@ -220,5 +253,5 @@ class TestFullCatalogSweep:
                 phases = (apps[hp].phases[0],) + (apps[be].phases[0],) * 9
                 for part in PARTITIONS:
                     points.append((phases, part))
-        fast, exact = solve_both(points)
+        fast, exact = solve_both(points, kernel)
         assert_within_contract(fast, exact, points)
