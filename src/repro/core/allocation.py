@@ -1,19 +1,26 @@
-"""HP/BE way allocations — the controller's decision variable.
+"""Way allocations — the controller's decision variable.
 
 DICER's whole output is a single number per period: how many of the LLC's
 ways the High-Priority application owns exclusively (the BEs share the
 rest). :class:`Allocation` wraps that number with validation and the
 transitions the controller performs (shrink by one way, Cache-Takeover,
 etc.), and converts to the simulator's partition spec.
+
+:class:`GroupAllocation` is the M-class generalisation for the policy zoo
+(DESIGN.md "Policy zoo"): an ordered list of core groups, each with its own
+exclusive way count, plus an optional shared zone. LFOC's fairness clusters
+and any future multi-priority controller emit these; the actuation surface
+(:meth:`~repro.rdt.simulated.SimulatedRdt.apply`, the runners) duck-types
+on ``to_partition`` so both shapes flow through unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.partition import PartitionSpec
+from repro.sim.partition import CacheGroup, PartitionSpec
 
-__all__ = ["Allocation"]
+__all__ = ["Allocation", "GroupAllocation"]
 
 
 @dataclass(frozen=True, order=True)
@@ -103,3 +110,105 @@ class Allocation:
                 f"BE:{self.be_ways}+{self.overlap_ways}sh"
             )
         return f"HP:{self.hp_ways}/BE:{self.be_ways}"
+
+
+@dataclass(frozen=True)
+class GroupAllocation:
+    """An M-class split of ``total_ways`` across explicit core groups.
+
+    The policy-zoo generalisation of :class:`Allocation`: instead of one
+    HP/BE number, a policy emits an ordered list of core groups (LFOC's
+    fairness clusters, CBP's priority classes) with one exclusive way
+    count each, plus an optional zone shared by every core. Groups are
+    named ``G0..Gk`` unless ``names`` overrides them; naming the first
+    group ``"HP"`` keeps HP-aware telemetry (timeline ``hp_ways``) alive
+    for policies that still distinguish a primary class.
+
+    ``cores`` lists the member cores of each group; together the groups
+    must cover every core exactly once — :meth:`to_partition` revalidates
+    through :class:`~repro.sim.partition.PartitionSpec`, this constructor
+    checks the way arithmetic eagerly so controller bugs fail at decision
+    time with a precise message.
+    """
+
+    total_ways: int
+    cores: tuple[tuple[int, ...], ...]
+    ways: tuple[float, ...]
+    shared_ways: float = 0.0
+    names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_ways < 2:
+            raise ValueError(f"total_ways must be >= 2, got {self.total_ways}")
+        if not self.cores:
+            raise ValueError("need at least one group")
+        if len(self.cores) != len(self.ways):
+            raise ValueError(
+                f"{len(self.cores)} core groups but {len(self.ways)} "
+                "way counts"
+            )
+        if self.names is not None and len(self.names) != len(self.cores):
+            raise ValueError(
+                f"{len(self.cores)} core groups but {len(self.names)} names"
+            )
+        if self.shared_ways < 0:
+            raise ValueError(
+                f"shared_ways must be >= 0, got {self.shared_ways}"
+            )
+        for group, w in zip(self.cores, self.ways):
+            if not group:
+                raise ValueError("every group needs at least one core")
+            if w < 1:
+                raise ValueError(
+                    f"every group needs >= 1 way, got {w} for cores {group}"
+                )
+        total = sum(self.ways) + self.shared_ways
+        if abs(total - self.total_ways) > 1e-9:
+            raise ValueError(
+                f"group ways ({total}) must sum to total_ways "
+                f"({self.total_ways})"
+            )
+
+    @property
+    def n_groups(self) -> int:
+        """Number of priority classes in this allocation."""
+        return len(self.cores)
+
+    def group_names(self) -> tuple[str, ...]:
+        """Display/partition names, ``G0..Gk`` unless overridden."""
+        if self.names is not None:
+            return self.names
+        return tuple(f"G{i}" for i in range(len(self.cores)))
+
+    # -- conversions -------------------------------------------------------
+
+    def to_partition(self, n_cores: int) -> PartitionSpec:
+        """The simulator-side partition this allocation denotes.
+
+        ``n_cores`` must match the cores the groups cover (the runner
+        passes the active core count, same duck-typed call it makes on
+        :class:`Allocation`).
+        """
+        groups = tuple(
+            CacheGroup(name=name, cores=tuple(cores), ways=float(w))
+            for name, cores, w in zip(
+                self.group_names(), self.cores, self.ways
+            )
+        )
+        return PartitionSpec(
+            n_cores=n_cores,
+            total_ways=self.total_ways,
+            groups=groups,
+            shared_ways=float(self.shared_ways),
+        )
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}:{w:g}({len(cores)}c)"
+            for name, cores, w in zip(
+                self.group_names(), self.cores, self.ways
+            )
+        ]
+        if self.shared_ways:
+            parts.append(f"shared:{self.shared_ways:g}")
+        return "/".join(parts)

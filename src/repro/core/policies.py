@@ -1,4 +1,4 @@
-"""Co-location policies: UM, CT, static splits, and the DICER wrapper.
+"""Co-location policies: UM, CT, static splits, DICER, and the policy zoo.
 
 A :class:`Policy` is the runner-facing abstraction: it declares whether the
 LLC is partitioned at all, the initial allocation, and (for dynamic
@@ -6,38 +6,65 @@ policies) a per-period update. UM and CT are the paper's baselines
 (Section 2.2); :class:`StaticPolicy` provides the per-way sweep behind
 Figure 3; :class:`DicerPolicy` adapts every period via
 :class:`~repro.core.dicer.DicerController`.
+
+The policy surface is M-class and three-knob (DESIGN.md "Policy zoo"):
+
+* ``setup``/``update`` may return either the classic HP/BE
+  :class:`~repro.core.allocation.Allocation` or an M-group
+  :class:`~repro.core.allocation.GroupAllocation` — the runner only calls
+  ``to_partition``, so both flow through unchanged (knob 1: CAT ways);
+* a policy exposing a ``be_throttle`` attribute steers MBA (knob 2);
+* a policy exposing a ``be_prefetch`` attribute steers the prefetch
+  throttle (knob 3).
+
+:class:`~repro.core.lfoc.LfocPolicy` (fairness clustering over many
+co-equal apps) and :class:`~repro.core.cbp.CbpPolicy` (coordinated
+ways + MBA + prefetch) live in their own modules and are re-exported
+through :func:`repro.experiments.queue.policy_from_name`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Union
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, GroupAllocation
 from repro.core.config import DicerConfig, TABLE1_DICER_CONFIG
 from repro.core.dicer import DicerController
 from repro.rdt.sample import PeriodSample
 
 __all__ = [
     "Policy",
+    "AnyAllocation",
     "UnmanagedPolicy",
     "CacheTakeoverPolicy",
     "StaticPolicy",
     "DicerPolicy",
 ]
 
+#: What a policy decision may carry: the classic HP/BE split or an
+#: M-group allocation. ``None`` (keep current / stay unmanaged) composes
+#: at the call sites.
+AnyAllocation = Union[Allocation, GroupAllocation]
+
 
 class Policy(ABC):
-    """A cache-allocation policy for one HP + N×BE experiment."""
+    """A cache-allocation policy for one consolidation experiment."""
 
     #: Display name used in reports ("UM", "CT", "DICER", ...).
     name: str = "?"
 
     @abstractmethod
-    def setup(self, total_ways: int) -> Allocation | None:
-        """Initial allocation; ``None`` means the LLC stays unmanaged."""
+    def setup(self, total_ways: int) -> AnyAllocation | None:
+        """Initial allocation; ``None`` means the LLC stays unmanaged.
 
-    def update(self, sample: PeriodSample) -> Allocation | None:
+        M-class policies that need per-core observations before they can
+        group anything (LFOC's warmup classification) also return ``None``
+        here and emit their first :class:`~repro.core.allocation.
+        GroupAllocation` from :meth:`update`.
+        """
+
+    def update(self, sample: PeriodSample) -> AnyAllocation | None:
         """Per-period decision; ``None`` means keep the current allocation.
 
         Only called when :attr:`dynamic` is true.

@@ -25,9 +25,11 @@ from repro.workloads.catalog import app_names
 __all__ = [
     "CT_F_THRESHOLD",
     "PairClass",
+    "ShootoutRow",
     "classify_pair",
     "classify_all",
     "representative_sample",
+    "shootout",
 ]
 
 #: Minimum relative HP-slowdown improvement for CT to count as "favoured".
@@ -101,6 +103,84 @@ def classify_all(
         for um_result, ct_result in zip(results[::2], results[1::2])
         if um_result is not None and ct_result is not None
     ]
+
+
+@dataclass(frozen=True)
+class ShootoutRow:
+    """One workload's head-to-head outcome across a policy roster.
+
+    Per-policy metrics are tuples aligned with ``policies``; quarantined
+    cells leave ``nan`` holes rather than dropping the row, so a partial
+    shoot-out still reports the policies that did run.
+    """
+
+    hp_name: str
+    be_name: str
+    n_be: int
+    policies: tuple[str, ...]
+    hp_norm_ipcs: tuple[float, ...]
+    efus: tuple[float, ...]
+
+    @property
+    def winner(self) -> str:
+        """Policy with the best HP normalised IPC (ties: roster order)."""
+        best = max(
+            range(len(self.policies)),
+            key=lambda i: (
+                -float("inf")
+                if self.hp_norm_ipcs[i] != self.hp_norm_ipcs[i]
+                else self.hp_norm_ipcs[i]
+            ),
+        )
+        return self.policies[best]
+
+
+def shootout(
+    store: ResultStore,
+    pairs: Iterable[tuple[str, str]],
+    policies=None,
+    n_be: int = 9,
+) -> list[ShootoutRow]:
+    """Head-to-head: every pair under every policy, as one bulk batch.
+
+    ``policies`` defaults to the full zoo roster
+    (:func:`repro.experiments.grid.zoo_policies`); pass the paper trio to
+    reproduce the original three-way comparison. All cells go to the
+    store in one ``get_many`` request, so serial, multi-process and
+    thread-pool stores produce identical rows.
+    """
+    from repro.experiments.grid import zoo_policies
+
+    if policies is None:
+        policies = zoo_policies()
+    pair_list = list(pairs)
+    cells = [
+        (hp, be, n_be, policy)
+        for hp, be in pair_list
+        for policy in policies
+    ]
+    results = store.get_many(cells)
+    names = tuple(p.name for p in policies)
+    rows = []
+    k = len(policies)
+    for index, (hp, be) in enumerate(pair_list):
+        chunk = results[index * k:(index + 1) * k]
+        rows.append(
+            ShootoutRow(
+                hp_name=hp,
+                be_name=be,
+                n_be=n_be,
+                policies=names,
+                hp_norm_ipcs=tuple(
+                    float("nan") if r is None else r.hp_norm_ipc
+                    for r in chunk
+                ),
+                efus=tuple(
+                    float("nan") if r is None else r.efu for r in chunk
+                ),
+            )
+        )
+    return rows
 
 
 def representative_sample(

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 
 from repro import obs
 from repro.experiments.ablation import (
@@ -61,6 +62,8 @@ from repro.experiments.fig5 import extract_fig5, render_fig5
 from repro.experiments.fig6 import extract_fig6, render_fig6
 from repro.experiments.fig7 import extract_fig7, render_fig7
 from repro.experiments.fig8 import extract_fig8, render_fig8
+from repro.core.cbp import CbpPolicy
+from repro.core.lfoc import LfocPolicy
 from repro.core.policies import (
     CacheTakeoverPolicy,
     DicerPolicy,
@@ -107,6 +110,8 @@ RUN_POLICIES = {
     "UM": UnmanagedPolicy,
     "CT": CacheTakeoverPolicy,
     "DICER": DicerPolicy,
+    "LFOC": LfocPolicy,
+    "CBP": CbpPolicy,
 }
 
 
@@ -278,14 +283,24 @@ def _run_single(store: ResultStore, args: argparse.Namespace) -> str:
         ["hp_completions", result.hp_completions],
     ]
     if result.trace:
-        summary = summarise_trace(result.trace)
-        rows += [
-            ["periods", summary["periods"]],
-            ["sampling_share", summary["sampling_share"]],
-            ["resets (CT-F/CT-T)",
-             f"{summary['resets_ctf']}/{summary['resets_ctt']}"],
-            ["final_hp_ways", summary["final_hp_ways"]],
-        ]
+        if hasattr(result.trace[0], "mode"):
+            # DICER decision records carry mode/reset structure.
+            summary = summarise_trace(result.trace)
+            rows += [
+                ["periods", summary["periods"]],
+                ["sampling_share", summary["sampling_share"]],
+                ["resets (CT-F/CT-T)",
+                 f"{summary['resets_ctf']}/{summary['resets_ctt']}"],
+                ["final_hp_ways", summary["final_hp_ways"]],
+            ]
+        else:
+            # Zoo policies (LFOC/CBP) share only period + event fields.
+            events = Counter(r.event for r in result.trace)
+            rows += [
+                ["periods", len(result.trace)],
+                ["events", ", ".join(
+                    f"{kind}:{n}" for kind, n in sorted(events.items()))],
+            ]
     return format_table(
         ["metric", "value"],
         rows,

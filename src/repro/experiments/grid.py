@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cbp import CbpPolicy
+from repro.core.lfoc import LfocPolicy
 from repro.core.policies import (
     CacheTakeoverPolicy,
     DicerPolicy,
     Policy,
+    StaticPolicy,
     UnmanagedPolicy,
 )
 from repro.experiments.classify import (
@@ -30,6 +33,7 @@ __all__ = [
     "GridPoint",
     "GridData",
     "default_policies",
+    "zoo_policies",
     "grid_cells",
     "run_grid",
     "build_sample",
@@ -42,6 +46,25 @@ PAPER_CORES: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10)
 def default_policies() -> list[Policy]:
     """The paper's three co-location policies."""
     return [UnmanagedPolicy(), CacheTakeoverPolicy(), DicerPolicy()]
+
+
+def zoo_policies() -> list[Policy]:
+    """The full shoot-out roster: paper trio + static + the policy zoo.
+
+    ``S10`` is the even 10/10 split on the Table-1 20-way LLC — the
+    natural static baseline between UM (no partition) and CT (HP takes
+    all but one way). LFOC and CBP are the related-work controllers
+    (:mod:`repro.core.lfoc`, :mod:`repro.core.cbp`); every name here is
+    queueable through :func:`repro.experiments.queue.policy_from_name`.
+    """
+    return [
+        UnmanagedPolicy(),
+        CacheTakeoverPolicy(),
+        StaticPolicy(10),
+        DicerPolicy(),
+        LfocPolicy(),
+        CbpPolicy(),
+    ]
 
 
 @dataclass(frozen=True)

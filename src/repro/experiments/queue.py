@@ -53,6 +53,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.core.cbp import CbpPolicy
+from repro.core.lfoc import LfocPolicy
 from repro.core.policies import (
     CacheTakeoverPolicy,
     DicerPolicy,
@@ -103,11 +105,11 @@ _STATIC_NAME = re.compile(r"^S(?P<ways>\d+)(?:\+(?P<overlap>\d+)o)?$")
 def policy_from_name(name: str) -> Policy:
     """Rebuild a :class:`Policy` from its display name.
 
-    The queue stores policy *names* (``UM``, ``CT``, ``DICER``,
-    ``S<k>[+<o>o]``), the cross-process currency the store is keyed by;
-    this inverts :attr:`Policy.name` for the policies campaigns run.
-    Parameterised DICER variants (ablations) are process-local and not
-    queueable — they raise here.
+    The queue stores policy *names* (``UM``, ``CT``, ``DICER``, ``LFOC``,
+    ``CBP``, ``S<k>[+<o>o]``), the cross-process currency the store is
+    keyed by; this inverts :attr:`Policy.name` for the policies campaigns
+    run. Parameterised variants (ablation configs) are process-local and
+    not queueable — they raise here.
     """
     if name == "UM":
         return UnmanagedPolicy()
@@ -115,6 +117,10 @@ def policy_from_name(name: str) -> Policy:
         return CacheTakeoverPolicy()
     if name == "DICER":
         return DicerPolicy()
+    if name == "LFOC":
+        return LfocPolicy()
+    if name == "CBP":
+        return CbpPolicy()
     match = _STATIC_NAME.match(name)
     if match:
         return StaticPolicy(
@@ -122,7 +128,7 @@ def policy_from_name(name: str) -> Policy:
         )
     raise ValueError(
         f"cannot rebuild policy from name {name!r}; queueable policies "
-        "are UM, CT, DICER and S<k>[+<o>o]"
+        "are UM, CT, DICER, LFOC, CBP and S<k>[+<o>o]"
     )
 
 

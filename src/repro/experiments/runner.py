@@ -19,9 +19,16 @@ from repro.sim.partition import PartitionSpec
 from repro.sim.platform import PlatformConfig, TABLE1_PLATFORM
 from repro.sim.server import Server
 from repro.sim.solo import solo_profile
-from repro.workloads.mix import WorkloadMix
+from repro.workloads.mix import MultiHpMix, WorkloadMix
 
-__all__ = ["PairResult", "run_pair", "CustomResult", "run_custom"]
+__all__ = [
+    "PairResult",
+    "run_pair",
+    "CustomResult",
+    "run_custom",
+    "MultiResult",
+    "run_multi",
+]
 
 
 def _wire_prefetch(policy: Policy, rdt: SimulatedRdt) -> None:
@@ -132,6 +139,9 @@ def _run_pair_impl(
             throttle = getattr(policy, "be_throttle", None)
             if throttle is not None:
                 rdt.apply_be_throttle(throttle)
+            prefetch = getattr(policy, "be_prefetch", None)
+            if prefetch is not None:
+                rdt.apply_be_prefetch(prefetch)
         controller = getattr(policy, "controller", None)
         if controller is not None:
             trace = tuple(controller.trace)
@@ -243,6 +253,9 @@ def _run_custom_impl(
             throttle = getattr(policy, "be_throttle", None)
             if throttle is not None:
                 rdt.apply_be_throttle(throttle)
+            prefetch = getattr(policy, "be_prefetch", None)
+            if prefetch is not None:
+                rdt.apply_be_prefetch(prefetch)
         controller = getattr(policy, "controller", None)
         if controller is not None:
             trace = tuple(controller.trace)
@@ -264,6 +277,121 @@ def _run_custom_impl(
         policy=policy.name,
         hp_norm_ipc=norms[0],
         be_norm_ipcs=tuple(norms[1:]),
+        efu=efu(norms),
+        duration_s=duration,
+        trace=trace,
+    )
+
+
+@dataclass(frozen=True)
+class MultiResult:
+    """Metrics of a multi-HP consolidation (M co-equal classes)."""
+
+    label: str
+    policy: str
+    #: Per-app normalised IPCs, in core order (HPs first, then BEs).
+    norm_ipcs: tuple[float, ...]
+    #: Number of high-priority apps (the first ``n_hp`` entries).
+    n_hp: int
+    #: Minimum normalised IPC over the HP apps — the fairness headline
+    #: (LFOC optimises exactly this: no co-equal app left behind).
+    min_hp_norm_ipc: float
+    efu: float
+    duration_s: float
+    trace: tuple = ()
+
+    @property
+    def hp_norm_ipcs(self) -> tuple[float, ...]:
+        """The HP apps' normalised IPCs."""
+        return self.norm_ipcs[: self.n_hp]
+
+
+def run_multi(
+    mix: MultiHpMix,
+    policy: Policy,
+    platform: PlatformConfig = TABLE1_PLATFORM,
+    *,
+    max_time_s: float = 4000.0,
+    precision: str = "exact",
+    kernel: str = "auto",
+) -> MultiResult:
+    """Execute a :class:`~repro.workloads.mix.MultiHpMix`.
+
+    Same methodology as :func:`run_pair` but every app — HP and BE alike —
+    is normalised against its *own* solo profile, and the headline metric
+    is the worst HP slowdown (fairness across co-equal classes) rather
+    than core 0's QoS. M-class policies (LFOC) read the per-core arrays
+    of each sample; HP/BE policies see core 0 as "the" HP and treat the
+    rest as best-effort, which is exactly how they would behave if
+    deployed on this mix unmodified.
+    """
+    check_kernel_precision(kernel, precision)
+    with use_kernel(kernel):
+        return _run_multi_impl(
+            mix, policy, platform, max_time_s=max_time_s, precision=precision
+        )
+
+
+def _run_multi_impl(
+    mix: MultiHpMix,
+    policy: Policy,
+    platform: PlatformConfig,
+    *,
+    max_time_s: float,
+    precision: str,
+) -> MultiResult:
+    apps = mix.apps()
+    n_cores = len(apps)
+    policy = policy.fresh()
+
+    allocation = policy.setup(platform.llc_ways)
+    partition = (
+        allocation.to_partition(n_cores)
+        if allocation is not None
+        else PartitionSpec.unmanaged(n_cores, platform.llc_ways)
+    )
+    server = Server(platform, apps, partition, precision=precision)
+
+    trace: tuple = ()
+    if policy.dynamic:
+        rdt = SimulatedRdt(server)
+        _wire_prefetch(policy, rdt)
+        server.prefetch_phase_product()
+        while not rdt.finished and server.time < max_time_s:
+            sample = rdt.sample(policy.period_s)
+            new_allocation = policy.update(sample)
+            if new_allocation is not None:
+                rdt.apply(new_allocation)
+            throttle = getattr(policy, "be_throttle", None)
+            if throttle is not None:
+                rdt.apply_be_throttle(throttle)
+            prefetch = getattr(policy, "be_prefetch", None)
+            if prefetch is not None:
+                rdt.apply_be_prefetch(prefetch)
+        controller = getattr(policy, "controller", None)
+        if controller is not None:
+            trace = tuple(controller.trace)
+    else:
+        server.prefetch_phase_product()
+        server.run_until_all_complete(max_time_s=max_time_s)
+
+    duration = server.time
+    freq = platform.freq_hz
+    norms = []
+    for running, model in zip(server.apps, apps):
+        solo = solo_profile(model, platform, precision=precision)
+        norms.append(
+            float(
+                running.total_instructions / (freq * duration) / solo.avg_ipc
+            )
+        )
+
+    return MultiResult(
+        label=mix.label,
+        policy=policy.name,
+        norm_ipcs=tuple(norms),
+        n_hp=mix.n_hp,
+        min_hp_norm_ipc=min(norms[: mix.n_hp]),
         efu=efu(norms),
         duration_s=duration,
         trace=trace,

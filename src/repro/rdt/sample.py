@@ -28,6 +28,17 @@ class PeriodSample:
     hp_llc_occupancy_bytes:
         CMT snapshot for the HP class of service (informational; DICER's
         decisions use IPC and bandwidth only).
+    core_ipcs:
+        Optional per-core IPCs, in core order (empty when the backend only
+        tracks the HP/total aggregates DICER needs). M-class controllers
+        (LFOC's classification, CBP's per-class accounting) require these;
+        :meth:`~repro.rdt.simulated.SimulatedRdt.sample` always fills
+        them.
+    core_mem_bytes_s:
+        Optional per-core memory traffic, bytes/second, in core order.
+    core_occupancy_ways:
+        Optional per-core effective LLC occupancy in ways (the simulator's
+        converged share; a resctrl backend would report CMT per CLOS).
     """
 
     duration_s: float
@@ -35,6 +46,9 @@ class PeriodSample:
     hp_mem_bytes_s: float
     total_mem_bytes_s: float
     hp_llc_occupancy_bytes: float = 0.0
+    core_ipcs: tuple[float, ...] = ()
+    core_mem_bytes_s: tuple[float, ...] = ()
+    core_occupancy_ways: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -42,6 +56,14 @@ class PeriodSample:
         for name in ("hp_ipc", "hp_mem_bytes_s", "total_mem_bytes_s"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        for name in ("core_ipcs", "core_mem_bytes_s", "core_occupancy_ways"):
+            if any(v < 0 for v in getattr(self, name)):
+                raise ValueError(f"{name} entries must be >= 0")
+
+    @property
+    def n_cores(self) -> int:
+        """Cores covered by the per-core arrays (0 = aggregates only)."""
+        return len(self.core_ipcs)
 
     @property
     def be_mem_bytes_s(self) -> float:

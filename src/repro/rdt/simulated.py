@@ -48,7 +48,12 @@ class SimulatedRdt(RdtBackend):
         return self._server.all_completed
 
     def apply(self, allocation: Allocation) -> None:
-        """Map the allocation onto the simulator's partition spec."""
+        """Map the allocation onto the simulator's partition spec.
+
+        Accepts anything with ``to_partition(n_cores)`` — the classic
+        HP/BE :class:`~repro.core.allocation.Allocation` and the M-group
+        :class:`~repro.core.allocation.GroupAllocation` alike.
+        """
         self._server.set_partition(
             allocation.to_partition(self._server.n_active)
         )
@@ -75,6 +80,26 @@ class SimulatedRdt(RdtBackend):
         self._server.set_mba_scale(
             None if scale >= 1.0 else [1.0] + [scale] * (n - 1)
         )
+
+    def apply_be_prefetch(self, level: float) -> None:
+        """Throttle every BE core's prefetcher to ``level`` (0 = fully on).
+
+        The scalar mirror of :meth:`apply_be_throttle` for the third knob:
+        core 0 always stays unthrottled (the HP keeps its prefetcher), the
+        rest get ``level``. Levels quantise onto the platform's actuator
+        grid inside the server; ``level=0.0`` restores the unthrottled
+        operating point bit-for-bit.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {level}")
+        n = self._server.n_active
+        self._server.set_prefetch_levels(
+            None if level <= 0.0 else [0.0] + [level] * (n - 1)
+        )
+
+    def apply_prefetch_levels(self, levels) -> None:
+        """Set the full per-core prefetch-throttle vector (None = all on)."""
+        self._server.set_prefetch_levels(levels)
 
     def sample(self, period_s: float) -> PeriodSample:
         """Advance simulated time one period and diff the counters."""
@@ -114,4 +139,10 @@ class SimulatedRdt(RdtBackend):
             hp_mem_bytes_s=hp_bw,
             total_mem_bytes_s=total_bw,
             hp_llc_occupancy_bytes=occupancy,
+            # Per-core views for M-class controllers (LFOC/CBP). Derived
+            # from the same counter diffs and occupancy snapshot as the
+            # aggregates, so core 0's entries always agree with hp_*.
+            core_ipcs=tuple(float(x) / cycles for x in d_instr),
+            core_mem_bytes_s=tuple(float(x) / dt for x in d_bytes),
+            core_occupancy_ways=tuple(float(w) for w in state.ways),
         )

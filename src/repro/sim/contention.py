@@ -135,9 +135,11 @@ _POINT_RECORDER: list | None = None
 def record_solver_points():
     """Capture every cold operating point the solvers see while active.
 
-    Yields a list that accumulates ``(phases, partition, mba_scale)``
-    tuples — one per point entering :func:`solve_steady_state` or a batch
-    kernel (memo hits are not recorded; they never reach the kernels).
+    Yields a list that accumulates ``(phases, partition, mba_scale,
+    prefetch)`` tuples — one per point entering
+    :func:`solve_steady_state` or a batch kernel (memo hits are not
+    recorded; they never reach the kernels). Recorded tuples feed straight
+    back into :func:`solve_steady_state_batch` as points.
     Benchmarks use this to harvest a campaign's exact solve population and
     re-solve it under both precision modes for an apples-to-apples kernel
     speedup (``make bench-fast``).
@@ -155,6 +157,7 @@ def _record_point(
     phases: tuple,
     partition: PartitionSpec,
     mba_scale,
+    prefetch=None,
 ) -> None:
     if _POINT_RECORDER is not None:
         _POINT_RECORDER.append(
@@ -162,6 +165,7 @@ def _record_point(
                 phases,
                 partition,
                 None if mba_scale is None else tuple(mba_scale),
+                None if prefetch is None else tuple(prefetch),
             )
         )
 
@@ -235,11 +239,19 @@ def _point_params(
     phases: Sequence[Phase],
     partition: PartitionSpec,
     mba_scale: Sequence[float] | None,
+    prefetch: Sequence[float] | None = None,
 ) -> tuple[np.ndarray, ...]:
     """Per-core parameter arrays for one operating point.
 
     Shared by the scalar and batched solvers so both see bit-identical
-    inputs (same construction, same op order).
+    inputs (same construction, same op order). The prefetch-throttle axis
+    folds into the parameter arrays here — effective blocking grows by the
+    re-exposed stall, bytes-per-miss shrinks by the suppressed waste — so
+    all three kernels (exact / fast / compiled) pick it up without any
+    change to their iteration bodies. ``prefetch=None`` skips the
+    transform entirely, and a level of exactly ``0.0`` multiplies by
+    ``1.0`` (a bitwise identity), so unthrottled points stay byte-for-byte
+    what they were before the axis existed.
     """
     n = partition.n_cores
     if len(phases) != n:
@@ -256,6 +268,16 @@ def _point_params(
             for p in phases
         ]
     )
+    if prefetch is not None:
+        level = np.asarray(prefetch, dtype=float)
+        if level.shape != (n,):
+            raise ValueError(f"prefetch must have length {n}")
+        if np.any((level < 0.0) | (level > 1.0)):
+            raise ValueError("prefetch levels must be in [0, 1]")
+        hide = np.array([p.prefetch_hide for p in phases])
+        waste = np.array([p.prefetch_waste for p in phases])
+        blocking = blocking * (1.0 + hide * level)
+        bytes_per_miss = bytes_per_miss * (1.0 - waste * level)
     if mba_scale is None:
         throttle = np.ones(n)
     else:
@@ -344,6 +366,7 @@ def solve_steady_state(
     partition: PartitionSpec,
     *,
     mba_scale: Sequence[float] | None = None,
+    prefetch: Sequence[float] | None = None,
     tol: float = 1e-6,
     max_iter: int = 800,
     damping: float = 0.5,
@@ -363,6 +386,14 @@ def solve_steady_state(
         1.0 = unthrottled. Models Intel MBA's request-rate throttling as a
         proportional increase in per-request effective latency (and hence a
         proportional cut in achievable bandwidth) for the throttled core.
+    prefetch:
+        Optional per-core prefetch-throttle level in [0, 1]: 0.0 = the
+        prefetcher fully on (the default behaviour before this axis
+        existed). Level ``l`` re-exposes hidden stall (effective blocking
+        × ``1 + prefetch_hide*l``) and suppresses wasted traffic
+        (bytes-per-miss × ``1 - prefetch_waste*l``) per the phase's
+        prefetch parameters; see :class:`~repro.workloads.app.Phase`.
+        ``None`` and all-zero levels are bitwise-identical.
     warm_start:
         Optional ``(ways, latency_cycles)`` initial iterate, typically the
         previous monitoring period's converged operating point. Cuts the
@@ -380,15 +411,17 @@ def solve_steady_state(
         they stay safe to memoise.
     """
     if _check_precision(precision) == "fast":
-        parsed = _parse_points(platform, [(phases, partition, mba_scale)])
+        parsed = _parse_points(
+            platform, [(phases, partition, mba_scale, prefetch)]
+        )
         return _solve_batch_fast(
             platform, parsed, tol=tol, max_iter=max_iter, damping=damping
         )[0]
     n = partition.n_cores
     cpi_exe, apki, blocking, bytes_per_miss, caps, throttle = _point_params(
-        platform, phases, partition, mba_scale
+        platform, phases, partition, mba_scale, prefetch
     )
-    _record_point(tuple(phases), partition, mba_scale)
+    _record_point(tuple(phases), partition, mba_scale, prefetch)
 
     link = MemoryLink.from_platform(platform)
     freq = platform.freq_hz
@@ -645,14 +678,14 @@ def _illinois_root_batch(excess_b, guess, lat_floor, lat_ceil, gap_rtol=1e-7):
 
 
 #: Module-level memo of :func:`_point_params` arrays, keyed
-#: ``(platform, phases, mba)``. The arrays are construction-identical on
+#: ``(platform, phases, mba, prefetch)``. The arrays are construction-identical on
 #: every rebuild and never mutated downstream (both kernels already share
 #: them across lanes within a call), so cross-call reuse cannot change a
 #: single bit of any solve. Bounded by wholesale clearing at the cap —
 #: campaign working sets (one entry per distinct phase combination) sit
 #: orders of magnitude below it.
 #: Bounded LRU over per-point parameter arrays, keyed ``(platform,
-#: phases, mba)``. Long-running queue workers revisit phase tuples across
+#: phases, mba, prefetch)``. Long-running queue workers revisit phase tuples across
 #: thousands of solver calls; LRU eviction (oldest entry out, counted in
 #: ``solver_counters()["params_memo_evictions"]``) keeps the cache from
 #: growing without limit while preserving the hot working set — the old
@@ -670,10 +703,12 @@ def _parse_points(
 
     Shared by both batch kernels so each sees identically validated
     inputs; also feeds the active :func:`record_solver_points` recorder.
-    Parameter arrays are memoised per ``(platform, phases, mba)`` in a
-    bounded module-level cache — campaign populations reuse one phase
+    Parameter arrays are memoised per ``(platform, phases, mba, prefetch)``
+    in a bounded module-level cache — campaign populations reuse one phase
     tuple across many partitions and many solver calls, so most points
-    share already-built (never-mutated) arrays.
+    share already-built (never-mutated) arrays. The prefetch axis lives
+    entirely inside the params (see :func:`_point_params`), so parsed
+    tuples stay 4-long and the kernel bodies never see it.
     """
     parsed = []
     memo = _PARAMS_MEMO
@@ -688,17 +723,24 @@ def _parse_points(
     recorder = _POINT_RECORDER
     parsed_append = parsed.append
     for point in points:
+        prefetch = None
         if len(point) == 2:
             (phases, partition), mba = point, None
         elif len(point) == 3:
             phases, partition, mba = point
+        elif len(point) == 4:
+            phases, partition, mba, prefetch = point
         else:
             raise ValueError(
-                "points must be (phases, partition[, mba_scale]) tuples"
+                "points must be (phases, partition[, mba_scale"
+                "[, prefetch]]) tuples"
             )
         phases = tuple(phases)
         mba = None if mba is None else tuple(float(x) for x in mba)
-        hit = id_memo_get((id(phases), mba))
+        prefetch = (
+            None if prefetch is None else tuple(float(x) for x in prefetch)
+        )
+        hit = id_memo_get((id(phases), mba, prefetch))
         if hit is not None:
             _ref, params = hit
             if len(phases) != partition.n_cores:
@@ -706,14 +748,16 @@ def _parse_points(
                     f"expected {partition.n_cores} phases, got {len(phases)}"
                 )
         else:
-            key = (platform, phases, mba)
+            key = (platform, phases, mba, prefetch)
             with _PARAMS_MEMO_LOCK:
                 params = memo.get(key)
                 if params is not None:
                     memo.move_to_end(key)
                     SOLVER_COUNTERS["params_memo_hits"] += 1
             if params is None:
-                params = _point_params(platform, phases, partition, mba)
+                params = _point_params(
+                    platform, phases, partition, mba, prefetch
+                )
                 with _PARAMS_MEMO_LOCK:
                     SOLVER_COUNTERS["params_memo_misses"] += 1
                     memo[key] = params
@@ -725,9 +769,9 @@ def _parse_points(
                 raise ValueError(
                     f"expected {partition.n_cores} phases, got {len(phases)}"
                 )
-            id_memo[(id(phases), mba)] = (phases, params)
+            id_memo[(id(phases), mba, prefetch)] = (phases, params)
         if recorder is not None:
-            recorder.append((phases, partition, mba))
+            recorder.append((phases, partition, mba, prefetch))
         parsed_append((phases, partition, mba, params))
     return parsed
 
@@ -743,8 +787,9 @@ def solve_steady_state_batch(
 ) -> list[SteadyState]:
     """Solve B operating points simultaneously with masked NumPy lanes.
 
-    ``points`` is a sequence of ``(phases, partition)`` or ``(phases,
-    partition, mba_scale)`` tuples sharing one ``platform``; one
+    ``points`` is a sequence of ``(phases, partition)``, ``(phases,
+    partition, mba_scale)`` or ``(phases, partition, mba_scale,
+    prefetch)`` tuples sharing one ``platform``; one
     :class:`SteadyState` is returned per point, in order. Points may have
     different core counts — lanes are padded to the widest point with
     neutral parameters (zero access rate, zero bytes per miss) that
@@ -1485,7 +1530,8 @@ def _solve_batch_fast(
 class SteadyStateCache:
     """Bounded LRU memo over :func:`solve_steady_state`.
 
-    One operating point — ``(phases, partition, mba_scale, platform)`` — is
+    One operating point — ``(phases, partition, mba_scale, platform,
+    prefetch)`` — is
     solved at most once per process; every later request is a dictionary
     hit. The stepped :class:`~repro.sim.server.Server` path re-requests an
     identical operating point every monitoring period, and campaign runs
@@ -1535,14 +1581,22 @@ class SteadyStateCache:
         partition: PartitionSpec,
         mba_scale: Sequence[float] | None,
         precision: str = "exact",
+        *,
+        prefetch: Sequence[float] | None = None,
     ) -> tuple:
-        """Hashable identity of one operating point under one contract."""
+        """Hashable identity of one operating point under one contract.
+
+        ``prefetch=None`` produces the same key shape older callers built
+        (with a trailing ``None``), so pre-axis cache entries and new
+        unthrottled requests share entries.
+        """
         return (
             tuple(phases),
             partition.key(),
             None if mba_scale is None else tuple(mba_scale),
             platform,
             _check_precision(precision),
+            None if prefetch is None else tuple(prefetch),
         )
 
     def solve(
@@ -1552,11 +1606,15 @@ class SteadyStateCache:
         partition: PartitionSpec,
         *,
         mba_scale: Sequence[float] | None = None,
+        prefetch: Sequence[float] | None = None,
         warm_start: tuple[Sequence[float], float] | None = None,
         precision: str = "exact",
     ) -> SteadyState:
         """Fetch (or solve and memoise) one operating point."""
-        key = self.make_key(platform, phases, partition, mba_scale, precision)
+        key = self.make_key(
+            platform, phases, partition, mba_scale, precision,
+            prefetch=prefetch,
+        )
         registry = get_registry()
         with self._lock:
             state = self._data.get(key)
@@ -1573,8 +1631,8 @@ class SteadyStateCache:
             t0 = time.perf_counter()
             state = solve_steady_state(
                 platform, phases, partition,
-                mba_scale=mba_scale, warm_start=warm_start,
-                precision=precision,
+                mba_scale=mba_scale, prefetch=prefetch,
+                warm_start=warm_start, precision=precision,
             )
             registry.histogram("steady_cache.solve_seconds").observe(
                 time.perf_counter() - t0
@@ -1585,8 +1643,8 @@ class SteadyStateCache:
         else:
             state = solve_steady_state(
                 platform, phases, partition,
-                mba_scale=mba_scale, warm_start=warm_start,
-                precision=precision,
+                mba_scale=mba_scale, prefetch=prefetch,
+                warm_start=warm_start, precision=precision,
             )
         if warm_start is None:
             with self._lock:
@@ -1607,8 +1665,9 @@ class SteadyStateCache:
     ) -> list[SteadyState]:
         """Fetch (or batch-solve and memoise) many operating points.
 
-        ``points`` entries are ``(phases, partition)`` or ``(phases,
-        partition, mba_scale)`` tuples. Memo hits are served directly; the
+        ``points`` entries are ``(phases, partition)``, ``(phases,
+        partition, mba_scale)`` or ``(phases, partition, mba_scale,
+        prefetch)`` tuples. Memo hits are served directly; the
         distinct misses are solved in ONE
         :func:`solve_steady_state_batch` call (below ``min_batch`` the
         scalar solver is used instead — NumPy dispatch overhead beats lane
@@ -1629,14 +1688,20 @@ class SteadyStateCache:
         registry = get_registry()
         normalised = []
         for point in points:
+            prefetch = None
             if len(point) == 2:
                 (phases, partition), mba = point, None
-            else:
+            elif len(point) == 3:
                 phases, partition, mba = point
-            normalised.append((tuple(phases), partition, mba))
+            else:
+                phases, partition, mba, prefetch = point
+            normalised.append((tuple(phases), partition, mba, prefetch))
         keys = [
-            self.make_key(platform, phases, partition, mba, precision)
-            for phases, partition, mba in normalised
+            self.make_key(
+                platform, phases, partition, mba, precision,
+                prefetch=prefetch,
+            )
+            for phases, partition, mba, prefetch in normalised
         ]
 
         results: dict[tuple, SteadyState] = {}
@@ -1673,9 +1738,9 @@ class SteadyStateCache:
                 states = [
                     solve_steady_state(
                         platform, phases, partition, mba_scale=mba,
-                        precision=precision,
+                        prefetch=prefetch, precision=precision,
                     )
-                    for _key, (phases, partition, mba) in cold
+                    for _key, (phases, partition, mba, prefetch) in cold
                 ]
             if registry.enabled:
                 elapsed = time.perf_counter() - t0

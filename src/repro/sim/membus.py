@@ -57,6 +57,16 @@ class MemoryLink:
             1.0 + self.queue_gain * (u / (1.0 - u)) ** self.queue_exponent
         )
 
+    def headroom_fraction(self, demand_bytes: float) -> float:
+        """Remaining link headroom before the utilisation cap, in [0, 1].
+
+        1.0 = idle link, 0.0 = at (or beyond) the cap. Coordinated
+        controllers (CBP) use this to decide whether throttling prefetch
+        or MBA is worth the IPC cost: near-zero headroom means every freed
+        byte converts into latency relief for everyone.
+        """
+        return 1.0 - self.utilisation(demand_bytes) / self.utilisation_cap
+
     @property
     def max_latency_cycles(self) -> float:
         """Latency at the utilisation cap (the model's ceiling)."""

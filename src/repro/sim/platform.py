@@ -66,6 +66,12 @@ class PlatformConfig:
     #: ways split proportionally to LLC access rate, the classic result for
     #: LRU under competing streams).
     pressure_theta: float = 1.0
+    #: Number of discrete prefetch-throttle steps above "fully on" the
+    #: platform's actuator exposes (real MSR 0x1A4 prefetcher controls are
+    #: a handful of on/off bits; CBP-style controllers step through a small
+    #: ladder). Continuous levels from a controller are quantised onto
+    #: ``k / prefetch_levels`` for ``k = 0..prefetch_levels``.
+    prefetch_levels: int = 4
 
     def __post_init__(self) -> None:
         check_positive_int("n_cores", self.n_cores)
@@ -78,11 +84,23 @@ class PlatformConfig:
         check_positive("queue_gain", self.queue_gain)
         check_in_range("utilisation_cap", self.utilisation_cap, 0.5, 0.999)
         check_positive("pressure_theta", self.pressure_theta)
+        check_positive_int("prefetch_levels", self.prefetch_levels)
 
     @property
     def way_bytes(self) -> float:
         """Capacity of a single LLC way."""
         return self.llc_bytes / self.llc_ways
+
+    def quantise_prefetch(self, level: float) -> float:
+        """Snap a continuous prefetch-throttle level onto the actuator grid.
+
+        Rounds to the nearest of the ``prefetch_levels + 1`` steps in
+        [0, 1] (0.0 = prefetcher fully on). Out-of-range requests clamp —
+        a controller asking for "more than fully throttled" gets 1.0, the
+        hardware's hardest setting.
+        """
+        clamped = min(max(level, 0.0), 1.0)
+        return round(clamped * self.prefetch_levels) / self.prefetch_levels
 
 
 #: The paper's evaluation platform.

@@ -52,17 +52,20 @@ def phase_product_points(
     partition: PartitionSpec,
     mba_scale: tuple[float, ...] | None = None,
     max_points: int = 64,
+    *,
+    prefetch: tuple[float, ...] | None = None,
 ) -> list[tuple]:
     """The cross product of per-app phases as solver batch points.
 
     A static-partition execution over ``models`` visits exactly the phase
     combinations in the product of each *distinct* model's phase list
     (clones share their model's phases). Returns the corresponding
-    ``(phases, partition, mba_scale)`` points, or ``[]`` when the product
-    exceeds ``max_points`` (multi-phase zoos are cheaper to solve on
-    demand). Shared by :meth:`Server.prefetch_phase_product` and the
-    campaign-level fused prewarm in
-    :mod:`repro.experiments.parallel`.
+    ``(phases, partition, mba_scale, prefetch)`` points, or ``[]`` when
+    the product exceeds ``max_points`` (multi-phase zoos are cheaper to
+    solve on demand). Shared by :meth:`Server.prefetch_phase_product` and
+    the campaign-level fused prewarm in
+    :mod:`repro.experiments.parallel`. ``prefetch`` is keyword-only so the
+    long-standing positional ``max_points`` callers keep binding.
     """
     distinct: list[tuple[tuple[Phase, ...], list[int]]] = []
     index_of: dict[tuple[Phase, ...], int] = {}
@@ -86,7 +89,7 @@ def phase_product_points(
         for (_model_phases, cores), chosen in zip(distinct, combo):
             for core in cores:
                 per_core[core] = chosen
-        points.append((tuple(per_core), partition, mba_scale))
+        points.append((tuple(per_core), partition, mba_scale, prefetch))
     return points
 
 
@@ -178,6 +181,7 @@ class Server:
                 f"{self.n_active} apps are running"
             )
         self.mba_scale: tuple[float, ...] | None = None
+        self.prefetch: tuple[float, ...] | None = None
         self.timeline: list[TimelinePoint] = []
         self._record_timeline = record_timeline
         # Operating points already visited by THIS server (includes warm-
@@ -210,13 +214,37 @@ class Server:
         """Apply per-core MBA throttles (None = unthrottled)."""
         self.mba_scale = None if scale is None else tuple(scale)
 
+    def set_prefetch_levels(self, levels: Sequence[float] | None) -> None:
+        """Apply per-core prefetch-throttle levels (None = fully on).
+
+        Levels are quantised onto the platform's actuator grid
+        (:meth:`~repro.sim.platform.PlatformConfig.quantise_prefetch`).
+        An all-zero vector normalises to ``None`` — the two are
+        bitwise-identical operating points (see
+        :func:`~repro.sim.contention.solve_steady_state`), and collapsing
+        them keeps memo keys, prewarm batches and the serial-vs-parallel
+        digest audit on a single canonical spelling.
+        """
+        if levels is None:
+            self.prefetch = None
+            return
+        if len(levels) != self.n_active:
+            raise ValueError(
+                f"prefetch covers {len(levels)} cores but "
+                f"{self.n_active} apps are running"
+            )
+        quantised = tuple(
+            self.platform.quantise_prefetch(float(x)) for x in levels
+        )
+        self.prefetch = None if not any(quantised) else quantised
+
     # -- execution -------------------------------------------------------
 
     def _steady(self) -> SteadyState:
         phases = tuple(app.current_phase()[0] for app in self.apps)
         key = SteadyStateCache.make_key(
             self.platform, phases, self.partition, self.mba_scale,
-            self.precision,
+            self.precision, prefetch=self.prefetch,
         )
         registry = get_registry()
         state = self._memo.get(key)
@@ -236,6 +264,7 @@ class Server:
                 phases,
                 self.partition,
                 mba_scale=self.mba_scale,
+                prefetch=self.prefetch,
                 warm_start=warm,
                 precision=self.precision,
             )
@@ -280,11 +309,11 @@ class Server:
                 )
             key = SteadyStateCache.make_key(
                 self.platform, phases, partition, self.mba_scale,
-                self.precision,
+                self.precision, prefetch=self.prefetch,
             )
             if key in self._memo:
                 continue
-            points.append((phases, partition, self.mba_scale))
+            points.append((phases, partition, self.mba_scale, self.prefetch))
             keys.append(key)
         if not points:
             return 0
@@ -313,16 +342,18 @@ class Server:
             self.partition,
             self.mba_scale,
             max_points,
+            prefetch=self.prefetch,
         )
         points = []
         keys = []
-        for phases, partition, mba_scale in candidates:
+        for phases, partition, mba_scale, prefetch in candidates:
             key = SteadyStateCache.make_key(
-                self.platform, phases, partition, mba_scale, self.precision
+                self.platform, phases, partition, mba_scale, self.precision,
+                prefetch=prefetch,
             )
             if key in self._memo:
                 continue
-            points.append((phases, partition, mba_scale))
+            points.append((phases, partition, mba_scale, prefetch))
             keys.append(key)
         if not points:
             return 0

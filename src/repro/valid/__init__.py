@@ -5,9 +5,9 @@ faithfully implementing paper Listings 1-3, and hand-written unit tests
 have already missed state-machine bugs twice. This package is the
 correctness harness that survives refactors:
 
-* :mod:`repro.valid.reference` — a deliberately naive, line-by-line
-  transcription of the paper's listings (no telemetry, no prefetch, no
-  clever state machine) used as an executable oracle;
+* :mod:`repro.valid.reference` — deliberately naive, line-by-line
+  transcriptions used as executable oracles: the DICER listings plus the
+  policy-zoo controllers (LFOC clustering, CBP coordination);
 * :mod:`repro.valid.differential` — feeds identical synthetic RDT counter
   streams to both implementations and reports any per-period divergence,
   dumping replayable JSONL traces for shrunk counterexamples;
@@ -25,14 +25,23 @@ from repro.valid.differential import (
     DifferentialResult,
     ScriptedRdt,
     dump_trace,
+    dump_zoo_trace,
     load_trace,
+    load_zoo_trace,
     replay_trace,
+    replay_zoo_trace,
+    run_cbp_differential,
     run_differential,
+    run_lfoc_differential,
 )
 from repro.valid.reference import (
+    ReferenceCbp,
+    ReferenceCbpDecision,
     ReferenceController,
     ReferenceDecision,
     ReferenceDicer,
+    ReferenceLfoc,
+    ReferenceLfocDecision,
 )
 
 __all__ = [
@@ -40,12 +49,21 @@ __all__ = [
     "DifferentialResult",
     "FaultKind",
     "FaultyRdt",
+    "ReferenceCbp",
+    "ReferenceCbpDecision",
     "ReferenceController",
     "ReferenceDecision",
     "ReferenceDicer",
+    "ReferenceLfoc",
+    "ReferenceLfocDecision",
     "ScriptedRdt",
     "dump_trace",
+    "dump_zoo_trace",
     "load_trace",
+    "load_zoo_trace",
     "replay_trace",
+    "replay_zoo_trace",
+    "run_cbp_differential",
     "run_differential",
+    "run_lfoc_differential",
 ]

@@ -46,6 +46,13 @@ __all__ = [
     "dump_trace",
     "load_trace",
     "replay_trace",
+    "run_lfoc_differential",
+    "run_cbp_differential",
+    "dump_zoo_trace",
+    "load_zoo_trace",
+    "replay_zoo_trace",
+    "zoo_sample_to_dict",
+    "zoo_sample_from_dict",
 ]
 
 #: Trace file schema version (bump on incompatible format changes).
@@ -324,3 +331,264 @@ def replay_trace(path: Path | str) -> DifferentialResult:
     """Re-run the differential comparison recorded in a trace file."""
     config, total_ways, samples = load_trace(path)
     return run_differential(samples, config=config, total_ways=total_ways)
+
+
+# -- policy-zoo differentials ------------------------------------------------
+
+#: Extra per-core fields zoo traces serialise on top of ``_SAMPLE_FIELDS``.
+_ZOO_SAMPLE_FIELDS = _SAMPLE_FIELDS + (
+    "core_ipcs",
+    "core_mem_bytes_s",
+    "core_occupancy_ways",
+)
+
+
+def zoo_sample_to_dict(sample: PeriodSample) -> dict:
+    """Serialise one sample including the per-core arrays (zoo traces)."""
+    out = {}
+    for name in _ZOO_SAMPLE_FIELDS:
+        value = getattr(sample, name)
+        out[name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def zoo_sample_from_dict(record: dict) -> PeriodSample:
+    """Rebuild a sample from a zoo trace line (lists back to tuples)."""
+    kwargs = {}
+    for name in _ZOO_SAMPLE_FIELDS:
+        value = record[name]
+        kwargs[name] = tuple(value) if isinstance(value, list) else value
+    return PeriodSample(**kwargs)
+
+
+def _compare_lfoc_period(record, decision) -> list[Divergence]:
+    facets = (
+        ("event", record.event, decision.event),
+        ("classes", record.classes, decision.classes),
+        ("groups", record.groups, decision.groups),
+        ("ways", record.ways, decision.ways),
+    )
+    return [
+        Divergence(record.period, facet, ours, theirs)
+        for facet, ours, theirs in facets
+        if ours != theirs
+    ]
+
+
+def _compare_cbp_period(record, decision) -> list[Divergence]:
+    facets = (
+        ("event", record.event, decision.event),
+        ("hp_ways", record.hp_ways, decision.hp_ways),
+        ("mba_idx", record.mba_idx, decision.mba_idx),
+        ("prefetch_idx", record.prefetch_idx, decision.prefetch_idx),
+        ("saturated", record.saturated, decision.saturated),
+    )
+    return [
+        Divergence(record.period, facet, ours, theirs)
+        for facet, ours, theirs in facets
+        if ours != theirs
+    ]
+
+
+def run_lfoc_differential(
+    samples: Sequence[PeriodSample],
+    *,
+    config=None,
+    total_ways: int = 20,
+    dump_dir: Path | str | None = None,
+) -> DifferentialResult:
+    """LFOC controller vs :class:`~repro.valid.reference.ReferenceLfoc`.
+
+    Compares the per-period event, classification, cluster membership and
+    way split. Divergent streams dump a replayable zoo trace when
+    ``dump_dir`` is given.
+    """
+    from repro.core.lfoc import DEFAULT_LFOC_CONFIG, LfocController
+    from repro.valid.reference import ReferenceLfoc
+
+    if config is None:
+        config = DEFAULT_LFOC_CONFIG
+    controller = LfocController(config, total_ways)
+    oracle = ReferenceLfoc(config, total_ways)
+    divergences: list[Divergence] = []
+    for sample in samples:
+        controller.update(sample)
+        decision = oracle.update(sample)
+        divergences.extend(
+            _compare_lfoc_period(controller.trace[-1], decision)
+        )
+    trace_path = None
+    if divergences and dump_dir is not None:
+        trace_path = dump_zoo_trace(
+            Path(dump_dir),
+            samples,
+            controller="lfoc",
+            config=config,
+            total_ways=total_ways,
+            divergences=divergences,
+        )
+    return DifferentialResult(
+        n_periods=len(samples),
+        divergences=tuple(divergences),
+        trace_path=trace_path,
+    )
+
+
+def run_cbp_differential(
+    samples: Sequence[PeriodSample],
+    *,
+    config=None,
+    total_ways: int = 20,
+    dump_dir: Path | str | None = None,
+) -> DifferentialResult:
+    """CBP controller vs :class:`~repro.valid.reference.ReferenceCbp`.
+
+    Compares the per-period event, HP way count, both ladder indices and
+    the saturation flag; also cross-checks the two knob properties after
+    every period (the runner actuates those, not the raw indices).
+    """
+    from repro.core.cbp import DEFAULT_CBP_CONFIG, CbpController
+    from repro.valid.reference import ReferenceCbp
+
+    if config is None:
+        config = DEFAULT_CBP_CONFIG
+    controller = CbpController(config, total_ways)
+    oracle = ReferenceCbp(config, total_ways)
+    if controller.hp_ways != oracle.initial_hp_ways():
+        raise AssertionError("initial allocations differ before any sample")
+    divergences: list[Divergence] = []
+    for sample in samples:
+        controller.update(sample)
+        decision = oracle.update(sample)
+        divergences.extend(
+            _compare_cbp_period(controller.trace[-1], decision)
+        )
+    trace_path = None
+    if divergences and dump_dir is not None:
+        trace_path = dump_zoo_trace(
+            Path(dump_dir),
+            samples,
+            controller="cbp",
+            config=config,
+            total_ways=total_ways,
+            divergences=divergences,
+        )
+    return DifferentialResult(
+        n_periods=len(samples),
+        divergences=tuple(divergences),
+        trace_path=trace_path,
+    )
+
+
+def dump_zoo_trace(
+    dump_dir: Path | str,
+    samples: Sequence[PeriodSample],
+    *,
+    controller: str,
+    config,
+    total_ways: int,
+    divergences: Sequence[Divergence] = (),
+) -> Path:
+    """Write a replayable zoo trace (meta carries the controller kind)."""
+    if controller not in ("lfoc", "cbp"):
+        raise ValueError(f"unknown zoo controller {controller!r}")
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "version": TRACE_VERSION,
+                "controller": controller,
+                "total_ways": total_ways,
+                "config": asdict(config),
+            },
+            sort_keys=True,
+        )
+    ]
+    for period, sample in enumerate(samples, start=1):
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "sample",
+                    "period": period,
+                    **zoo_sample_to_dict(sample),
+                },
+                sort_keys=True,
+            )
+        )
+    digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()[:12]
+    for divergence in divergences:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "divergence",
+                    "period": divergence.period,
+                    "facet": divergence.facet,
+                    "controller": divergence.controller,
+                    "reference": divergence.reference,
+                },
+                sort_keys=True,
+                default=str,
+            )
+        )
+    dump_dir = Path(dump_dir)
+    dump_dir.mkdir(parents=True, exist_ok=True)
+    path = dump_dir / f"divergence-{controller}-{digest}.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_zoo_trace(path: Path | str):
+    """Parse a zoo trace into (controller, config, total_ways, samples)."""
+    from repro.core.cbp import CbpConfig
+    from repro.core.lfoc import LfocConfig
+
+    controller: str | None = None
+    config = None
+    total_ways: int | None = None
+    samples: list[PeriodSample] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "meta":
+            if record.get("version") != TRACE_VERSION:
+                raise ValueError(
+                    f"trace version {record.get('version')!r} unsupported "
+                    f"(expected {TRACE_VERSION})"
+                )
+            controller = record.get("controller")
+            raw = dict(record["config"])
+            if controller == "lfoc":
+                config = LfocConfig(**raw)
+            elif controller == "cbp":
+                raw["mba_levels"] = tuple(raw["mba_levels"])
+                raw["prefetch_ladder"] = tuple(raw["prefetch_ladder"])
+                config = CbpConfig(**raw)
+            else:
+                raise ValueError(
+                    f"{path}: unknown zoo controller {controller!r}"
+                )
+            total_ways = int(record["total_ways"])
+        elif kind == "sample":
+            if config is None:
+                raise ValueError(
+                    f"{path}: no meta line — not a zoo trace"
+                )
+            samples.append(zoo_sample_from_dict(record))
+    if controller is None or config is None or total_ways is None:
+        raise ValueError(f"{path}: no meta line — not a zoo trace")
+    return controller, config, total_ways, samples
+
+
+def replay_zoo_trace(path: Path | str) -> DifferentialResult:
+    """Re-run the zoo differential recorded in a trace file."""
+    controller, config, total_ways, samples = load_zoo_trace(path)
+    if controller == "lfoc":
+        return run_lfoc_differential(
+            samples, config=config, total_ways=total_ways
+        )
+    return run_cbp_differential(
+        samples, config=config, total_ways=total_ways
+    )

@@ -31,12 +31,25 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.core.cbp import CbpConfig, CbpController
 from repro.core.config import DicerConfig
 from repro.core.dicer import DicerController
+from repro.core.lfoc import LfocConfig, LfocController
 from repro.rdt.sample import PeriodSample
-from repro.valid.differential import TRACE_VERSION, sample_to_dict
+from repro.valid.differential import (
+    TRACE_VERSION,
+    sample_to_dict,
+    zoo_sample_to_dict,
+)
 
-__all__ = ["SCENARIOS", "render_scenario", "record_corpus", "main"]
+__all__ = [
+    "SCENARIOS",
+    "ZOO_SCENARIOS",
+    "render_scenario",
+    "render_zoo_scenario",
+    "record_corpus",
+    "main",
+]
 
 #: Default corpus location, relative to the repository root.
 DEFAULT_OUT = Path("tests") / "golden"
@@ -195,6 +208,219 @@ SCENARIOS = {
 }
 
 
+# -- policy-zoo scenarios ----------------------------------------------------
+#
+# Same corpus, different controllers: each zoo scenario pins the per-period
+# behaviour of the LFOC clustering loop or the CBP coordination ladder.
+# Replay (tests/valid/test_golden_zoo.py) runs the production controller
+# *and* the paper-literal oracle over the stream, like the DICER corpus.
+
+#: 2.0 GB/s per core — above the 1.5 GB/s (12 Gbps) streaming threshold.
+_STREAM_CORE_BW = 2.0e9
+#: 0.8 GB/s per core — between the light and streaming thresholds.
+_SENSITIVE_CORE_BW = 0.8e9
+#: 0.05 GB/s per core — below the 0.125 GB/s (1 Gbps) light threshold.
+_LIGHT_CORE_BW = 0.05e9
+
+
+def _per_core(
+    bw: Sequence[float], occ: Sequence[float]
+) -> PeriodSample:
+    """A period with per-core telemetry (aggregates derived from core 0)."""
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=bw[0],
+        total_mem_bytes_s=sum(bw),
+        core_ipcs=tuple(1.0 for _ in bw),
+        core_mem_bytes_s=tuple(bw),
+        core_occupancy_ways=tuple(occ),
+    )
+
+
+def _scenario_lfoc_mixed_recluster() -> (
+    tuple[str, LfocConfig, int, list[PeriodSample]]
+):
+    """Streams + a light + sensitives; one core migrates class mid-run."""
+    config = LfocConfig(recluster_periods=3)
+    bw = [
+        _STREAM_CORE_BW,
+        _STREAM_CORE_BW,
+        _LIGHT_CORE_BW,
+        _SENSITIVE_CORE_BW,
+        _SENSITIVE_CORE_BW,
+        _SENSITIVE_CORE_BW,
+    ]
+    occ = [1.0, 1.0, 0.5, 6.0, 4.0, 2.0]
+    stream = [_per_core(bw, occ) for _ in range(3)]  # warmup x2, cluster
+    # Core 5 turns into a streamer: the next re-evaluation reclusters.
+    bw2 = list(bw)
+    bw2[5] = _STREAM_CORE_BW
+    stream += [_per_core(bw2, occ) for _ in range(3)]  # hold x2, recluster
+    stream += [_per_core(bw2, occ) for _ in range(3)]  # hold x2, hold
+    return "lfoc", config, 20, stream
+
+
+def _scenario_lfoc_no_sensitive() -> (
+    tuple[str, LfocConfig, int, list[PeriodSample]]
+):
+    """Only streams and lights: leftover ways join the light cluster."""
+    config = LfocConfig()
+    bw = [_STREAM_CORE_BW, _STREAM_CORE_BW, _LIGHT_CORE_BW, _LIGHT_CORE_BW]
+    occ = [1.0, 1.0, 0.5, 0.5]
+    return "lfoc", config, 20, [_per_core(bw, occ) for _ in range(5)]
+
+
+def _scenario_lfoc_fault_storm() -> (
+    tuple[str, LfocConfig, int, list[PeriodSample]]
+):
+    """Empty / mismatched / non-finite per-core reads stay inert."""
+    config = LfocConfig()
+    bw = [_SENSITIVE_CORE_BW, _SENSITIVE_CORE_BW, _LIGHT_CORE_BW]
+    occ = [5.0, 3.0, 0.5]
+    good = _per_core(bw, occ)
+    no_cores = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=bw[0],
+        total_mem_bytes_s=sum(bw),
+    )
+    mismatched = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=bw[0],
+        total_mem_bytes_s=sum(bw),
+        core_ipcs=(1.0, 1.0, 1.0),
+        core_mem_bytes_s=(bw[0],),
+        core_occupancy_ways=(5.0, 3.0, 0.5),
+    )
+    nonfinite = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=bw[0],
+        total_mem_bytes_s=sum(bw),
+        core_ipcs=(1.0, 1.0, 1.0),
+        core_mem_bytes_s=(float("inf"), bw[1], bw[2]),
+        core_occupancy_ways=(5.0, 3.0, 0.5),
+    )
+    return "lfoc", config, 20, [
+        good,
+        no_cores,
+        good,
+        mismatched,
+        good,
+        nonfinite,
+        good,
+    ]
+
+
+def _cbp_calm(ipc: float) -> PeriodSample:
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=_CALM_BW + 1e9,
+    )
+
+
+def _cbp_saturated(ipc: float) -> PeriodSample:
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipc,
+        hp_mem_bytes_s=3e9,
+        total_mem_bytes_s=_SATURATED_BW,
+    )
+
+
+def _scenario_cbp_escalate_relax() -> (
+    tuple[str, CbpConfig, int, list[PeriodSample]]
+):
+    """Both ladders up under saturation, then back down once calm.
+
+    ``min_hp_ways`` pins the partition at its start size so the relax
+    branch exercises the MBA and prefetch rungs instead of donating ways.
+    """
+    config = CbpConfig(
+        bw_threshold_bytes=6e9,
+        mba_levels=(1.0, 0.5),
+        prefetch_ladder=(0.0, 1.0),
+        relax_periods=2,
+        min_hp_ways=10,
+    )
+    stream = [_cbp_calm(1.0), _cbp_calm(1.0)]  # warmup
+    stream += [_cbp_saturated(1.0)]  # throttle_prefetch
+    stream += [_cbp_saturated(1.0)]  # throttle_mba
+    stream += [_cbp_saturated(1.0)]  # saturated_hold
+    stream += [_cbp_calm(1.0)]  # hold (calm 1)
+    stream += [_cbp_calm(1.0)]  # relax_mba (ways pinned at the floor)
+    stream += [_cbp_calm(1.0)]  # hold
+    stream += [_cbp_calm(1.0)]  # relax_prefetch
+    stream += [_cbp_calm(1.0)]  # hold
+    return "cbp", config, 20, stream
+
+
+def _scenario_cbp_ways_adapt() -> (
+    tuple[str, CbpConfig, int, list[PeriodSample]]
+):
+    """IPC sag grows the HP partition; recovery donates ways back."""
+    config = CbpConfig(bw_threshold_bytes=6e9, relax_periods=2)
+    stream = [_cbp_calm(1.0), _cbp_calm(1.0)]  # warmup (best = 1.0)
+    stream += [_cbp_calm(0.8)]  # unstable -> grow_ways
+    stream += [_cbp_calm(0.8)]  # still unstable -> grow_ways
+    stream += [_cbp_calm(1.0)]  # recovered -> hold (calm 1)
+    stream += [_cbp_calm(1.0)]  # stable relax -> shrink_ways
+    stream += [_cbp_calm(1.0)]  # hold
+    stream += [_cbp_calm(1.0)]  # shrink_ways
+    return "cbp", config, 20, stream
+
+
+def _scenario_cbp_fault_storm() -> (
+    tuple[str, CbpConfig, int, list[PeriodSample]]
+):
+    """Non-finite aggregates are inert; the loop resumes around them."""
+    config = CbpConfig(bw_threshold_bytes=6e9)
+    bad_duration = PeriodSample(
+        duration_s=float("nan"),
+        hp_ipc=1.0,
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=_CALM_BW,
+    )
+    bad_ipc = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=float("inf"),
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=_CALM_BW,
+    )
+    bad_bw = PeriodSample(
+        duration_s=1.0,
+        hp_ipc=1.0,
+        hp_mem_bytes_s=_CALM_BW,
+        total_mem_bytes_s=float("nan"),
+    )
+    return "cbp", config, 20, [
+        _cbp_calm(1.0),
+        bad_duration,
+        _cbp_calm(1.0),
+        bad_ipc,
+        bad_bw,
+        _cbp_calm(1.0),
+        _cbp_calm(1.0),
+    ]
+
+
+ZOO_SCENARIOS: dict[
+    str, Callable[[], tuple[str, object, int, list[PeriodSample]]]
+]
+ZOO_SCENARIOS = {
+    "lfoc_mixed_recluster": _scenario_lfoc_mixed_recluster,
+    "lfoc_no_sensitive": _scenario_lfoc_no_sensitive,
+    "lfoc_fault_storm": _scenario_lfoc_fault_storm,
+    "cbp_escalate_relax": _scenario_cbp_escalate_relax,
+    "cbp_ways_adapt": _scenario_cbp_ways_adapt,
+    "cbp_fault_storm": _scenario_cbp_fault_storm,
+}
+
+
 def render_scenario(name: str) -> str:
     """The golden JSONL content for one scenario (byte-stable)."""
     config, total_ways, samples = SCENARIOS[name]()
@@ -235,6 +461,68 @@ def render_scenario(name: str) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_zoo_scenario(name: str) -> str:
+    """The golden JSONL content for one zoo scenario (byte-stable)."""
+    kind, config, total_ways, samples = ZOO_SCENARIOS[name]()
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "scenario": name,
+                "controller": kind,
+                "version": TRACE_VERSION,
+                "total_ways": total_ways,
+                "config": asdict(config),
+            },
+            sort_keys=True,
+        )
+    ]
+    if kind == "lfoc":
+        lfoc = LfocController(config, total_ways)
+        for sample in samples:
+            lfoc.update(sample)
+            record = lfoc.trace[-1]
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "period",
+                        "period": record.period,
+                        "sample": zoo_sample_to_dict(sample),
+                        "expect": {
+                            "event": record.event,
+                            "classes": list(record.classes),
+                            "groups": [list(g) for g in record.groups],
+                            "ways": list(record.ways),
+                        },
+                    },
+                    sort_keys=True,
+                )
+            )
+    else:
+        cbp = CbpController(config, total_ways)
+        for sample in samples:
+            cbp.update(sample)
+            record = cbp.trace[-1]
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "period",
+                        "period": record.period,
+                        "sample": zoo_sample_to_dict(sample),
+                        "expect": {
+                            "event": record.event,
+                            "hp_ways": record.hp_ways,
+                            "mba_idx": record.mba_idx,
+                            "prefetch_idx": record.prefetch_idx,
+                            "saturated": record.saturated,
+                        },
+                    },
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
 def record_corpus(out_dir: Path, *, check: bool = False) -> list[str]:
     """Write (or, with ``check``, verify) every scenario's golden file.
 
@@ -242,9 +530,11 @@ def record_corpus(out_dir: Path, *, check: bool = False) -> list[str]:
     """
     out_dir.mkdir(parents=True, exist_ok=True)
     changed = []
-    for name in sorted(SCENARIOS):
+    renders = [(name, render_scenario) for name in SCENARIOS]
+    renders += [(name, render_zoo_scenario) for name in ZOO_SCENARIOS]
+    for name, render in sorted(renders):
         path = out_dir / f"{name}.jsonl"
-        content = render_scenario(name)
+        content = render(name)
         if path.exists() and path.read_text() == content:
             continue
         changed.append(name)
@@ -277,12 +567,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         if changed:
             print(f"stale golden traces: {', '.join(changed)}")
             return 1
-        print(f"golden corpus current ({len(SCENARIOS)} scenarios)")
+        print(
+            "golden corpus current "
+            f"({len(SCENARIOS) + len(ZOO_SCENARIOS)} scenarios)"
+        )
         return 0
     if changed:
         print(f"recorded: {', '.join(changed)}")
     else:
-        print(f"golden corpus already current ({len(SCENARIOS)} scenarios)")
+        print(
+            "golden corpus already current "
+            f"({len(SCENARIOS) + len(ZOO_SCENARIOS)} scenarios)"
+        )
     return 0
 
 

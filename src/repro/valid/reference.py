@@ -50,7 +50,15 @@ from repro.core.allocation import Allocation
 from repro.core.config import DicerConfig
 from repro.rdt.sample import PeriodSample
 
-__all__ = ["ReferenceDecision", "ReferenceDicer", "ReferenceController"]
+__all__ = [
+    "ReferenceDecision",
+    "ReferenceDicer",
+    "ReferenceController",
+    "ReferenceLfocDecision",
+    "ReferenceLfoc",
+    "ReferenceCbpDecision",
+    "ReferenceCbp",
+]
 
 
 @dataclass(frozen=True)
@@ -388,3 +396,320 @@ class ReferenceController:
         return Allocation(
             hp_ways=decision.hp_ways, total_ways=self.total_ways
         )
+
+
+# -- policy-zoo oracles ------------------------------------------------------
+#
+# Same rules as above: straight-line transcriptions of the LFOC clustering
+# step (Garcia-Garcia et al., Section 4) and the CBP coordination loop
+# (Holtryd et al., Section 3), written against the published descriptions
+# and the deterministic tie-breaks documented in repro.core.lfoc /
+# repro.core.cbp. No helper is shared with the production modules.
+
+
+@dataclass(frozen=True)
+class ReferenceLfocDecision:
+    """One period's outcome from the LFOC oracle (mirrors ``LfocDecision``)."""
+
+    period: int
+    event: str
+    classes: tuple[str, ...] = ()
+    groups: tuple[tuple[int, ...], ...] = ()
+    ways: tuple[int, ...] = ()
+
+
+class ReferenceLfoc:
+    """Naive transcription of LFOC's classify-then-cluster step."""
+
+    def __init__(self, config, total_ways: int) -> None:
+        self.config = config
+        self.total_ways = total_ways
+        self.period = 0
+        self.sum_bw: list[float] = []
+        self.sum_occ: list[float] = []
+        self.n_samples = 0
+        self.periods_since_cluster = 0
+        self.classes: tuple[str, ...] = ()
+        self.groups: tuple[tuple[int, ...], ...] = ()
+        self.ways: tuple[int, ...] = ()
+        self.trace: list[ReferenceLfocDecision] = []
+
+    def sample_is_unusable(self, sample: PeriodSample) -> bool:
+        """DESIGN §8 fault contract, per-core edition."""
+        n = len(sample.core_ipcs)
+        if n == 0:
+            return True
+        if len(sample.core_mem_bytes_s) != n:
+            return True
+        if len(sample.core_occupancy_ways) != n:
+            return True
+        for value in sample.core_ipcs:
+            if not math.isfinite(value):
+                return True
+        for value in sample.core_mem_bytes_s:
+            if not math.isfinite(value):
+                return True
+        for value in sample.core_occupancy_ways:
+            if not math.isfinite(value):
+                return True
+        return False
+
+    def classify_one(self, bandwidth: float, occupancy: float) -> str:
+        """Section 4.1: stream / light / sensitive, in that test order."""
+        if bandwidth >= self.config.streaming_bw_bytes:
+            return "stream"
+        if (
+            bandwidth < self.config.light_bw_bytes
+            and occupancy < self.config.light_occupancy_ways
+        ):
+            return "light"
+        return "sensitive"
+
+    def split_ways(self, weights: list[float], total: int) -> list[int]:
+        """Largest-remainder apportionment, one way guaranteed apiece."""
+        k = len(weights)
+        shares = [1 for _ in range(k)]
+        spare = total - k
+        if spare == 0:
+            return shares
+        weight_sum = 0.0
+        for w in weights:
+            weight_sum = weight_sum + w
+        quotas = []
+        for w in weights:
+            if weight_sum <= 0.0:
+                quotas.append(spare / k)
+            else:
+                quotas.append(spare * w / weight_sum)
+        handed_out = 0
+        remainders = []
+        for i in range(k):
+            whole = math.floor(quotas[i])
+            shares[i] = shares[i] + whole
+            handed_out = handed_out + whole
+            remainders.append((quotas[i] - whole, i))
+        # Give the leftover ways to the largest remainders, ties by index.
+        order = sorted(remainders, key=lambda pair: (-pair[0], pair[1]))
+        for j in range(spare - handed_out):
+            shares[order[j][1]] = shares[order[j][1]] + 1
+        return shares
+
+    def build_clusters(self, classes, occupancy):
+        """Section 4.2: streams confined, lights parked, sensitives split."""
+        stream_cores = [i for i in range(len(classes)) if classes[i] == "stream"]
+        light_cores = [i for i in range(len(classes)) if classes[i] == "light"]
+        sens_cores = [
+            i for i in range(len(classes)) if classes[i] == "sensitive"
+        ]
+        groups: list[tuple[int, ...]] = []
+        ways: list[int] = []
+        if stream_cores:
+            groups.append(tuple(stream_cores))
+            ways.append(self.config.streaming_ways)
+        if light_cores:
+            groups.append(tuple(light_cores))
+            ways.append(self.config.light_ways)
+        remaining = self.total_ways
+        for w in ways:
+            remaining = remaining - w
+        if not sens_cores:
+            if remaining > 0 and groups:
+                ways[len(ways) - 1] = ways[len(ways) - 1] + remaining
+            return tuple(groups), tuple(ways)
+        k = self.config.max_clusters - len(groups)
+        if len(sens_cores) < k:
+            k = len(sens_cores)
+        if remaining < k:
+            k = remaining
+        if k < 1:
+            k = 1
+        by_occupancy = sorted(
+            sens_cores, key=lambda i: (-occupancy[i], i)
+        )
+        chunk_size = len(by_occupancy) // k
+        oversized = len(by_occupancy) - chunk_size * k
+        chunks = []
+        position = 0
+        for j in range(k):
+            size = chunk_size
+            if j < oversized:
+                size = size + 1
+            chunks.append(by_occupancy[position:position + size])
+            position = position + size
+        weights = []
+        for chunk in chunks:
+            total_occ = 0.0
+            for i in chunk:
+                total_occ = total_occ + occupancy[i]
+            weights.append(total_occ)
+        shares = self.split_ways(weights, remaining)
+        for j in range(k):
+            groups.append(tuple(sorted(chunks[j])))
+            ways.append(shares[j])
+        return tuple(groups), tuple(ways)
+
+    def record(self, event: str) -> ReferenceLfocDecision:
+        decision = ReferenceLfocDecision(
+            period=self.period,
+            event=event,
+            classes=self.classes,
+            groups=self.groups,
+            ways=self.ways,
+        )
+        self.trace.append(decision)
+        return decision
+
+    def update(self, sample: PeriodSample) -> ReferenceLfocDecision:
+        """One monitoring period of the clustering loop."""
+        self.period = self.period + 1
+        if self.sample_is_unusable(sample):
+            return self.record("fault")
+
+        n = len(sample.core_ipcs)
+        if len(self.sum_bw) != n:
+            self.sum_bw = [0.0 for _ in range(n)]
+            self.sum_occ = [0.0 for _ in range(n)]
+            self.n_samples = 0
+        for i in range(n):
+            self.sum_bw[i] = self.sum_bw[i] + sample.core_mem_bytes_s[i]
+            self.sum_occ[i] = self.sum_occ[i] + sample.core_occupancy_ways[i]
+        self.n_samples = self.n_samples + 1
+
+        if self.period < self.config.warmup_periods:
+            return self.record("warmup")
+
+        if not self.groups:
+            bw = [x / self.n_samples for x in self.sum_bw]
+            occ = [x / self.n_samples for x in self.sum_occ]
+            self.classes = tuple(
+                self.classify_one(bw[i], occ[i]) for i in range(n)
+            )
+            self.groups, self.ways = self.build_clusters(self.classes, occ)
+            self.sum_bw = []
+            self.sum_occ = []
+            self.n_samples = 0
+            return self.record("cluster")
+
+        self.periods_since_cluster = self.periods_since_cluster + 1
+        if self.periods_since_cluster < self.config.recluster_periods:
+            return self.record("hold")
+
+        bw = [x / self.n_samples for x in self.sum_bw]
+        occ = [x / self.n_samples for x in self.sum_occ]
+        classes = tuple(self.classify_one(bw[i], occ[i]) for i in range(n))
+        groups, ways = self.build_clusters(classes, occ)
+        self.sum_bw = []
+        self.sum_occ = []
+        self.n_samples = 0
+        self.periods_since_cluster = 0
+        if groups == self.groups and ways == self.ways:
+            self.classes = classes
+            return self.record("hold")
+        self.classes = classes
+        self.groups = groups
+        self.ways = ways
+        return self.record("recluster")
+
+
+@dataclass(frozen=True)
+class ReferenceCbpDecision:
+    """One period's outcome from the CBP oracle (mirrors ``CbpDecision``)."""
+
+    period: int
+    event: str
+    hp_ways: int
+    mba_idx: int
+    prefetch_idx: int
+    saturated: bool
+
+
+class ReferenceCbp:
+    """Naive transcription of CBP's escalate/relax coordination ladder."""
+
+    def __init__(self, config, total_ways: int) -> None:
+        self.config = config
+        self.total_ways = total_ways
+        self.period = 0
+        self.hp_ways = total_ways // 2
+        self.mba_idx = 0
+        self.prefetch_idx = 0
+        self.best_ipc = 0.0
+        self.calm_count = 0
+        self.trace: list[ReferenceCbpDecision] = []
+
+    def initial_hp_ways(self) -> int:
+        """The even split enforced before the first monitoring period."""
+        return self.hp_ways
+
+    def sample_is_unusable(self, sample: PeriodSample) -> bool:
+        """DESIGN §8 fault contract."""
+        if not math.isfinite(sample.duration_s):
+            return True
+        if not math.isfinite(sample.hp_ipc):
+            return True
+        if not math.isfinite(sample.total_mem_bytes_s):
+            return True
+        if sample.hp_ipc < 0.0:
+            return True
+        return False
+
+    def record(self, event: str, saturated: bool) -> ReferenceCbpDecision:
+        decision = ReferenceCbpDecision(
+            period=self.period,
+            event=event,
+            hp_ways=self.hp_ways,
+            mba_idx=self.mba_idx,
+            prefetch_idx=self.prefetch_idx,
+            saturated=saturated,
+        )
+        self.trace.append(decision)
+        return decision
+
+    def update(self, sample: PeriodSample) -> ReferenceCbpDecision:
+        """One monitoring period of the coordination loop."""
+        self.period = self.period + 1
+        if self.sample_is_unusable(sample):
+            return self.record("fault", False)
+        saturated = (
+            sample.total_mem_bytes_s >= self.config.bw_threshold_bytes
+        )
+
+        if self.period <= self.config.warmup_periods:
+            if sample.hp_ipc > self.best_ipc:
+                self.best_ipc = sample.hp_ipc
+            return self.record("warmup", saturated)
+
+        if sample.hp_ipc > self.best_ipc:
+            self.best_ipc = sample.hp_ipc
+
+        if saturated:
+            # Escalation ladder: prefetch first (cheapest), then MBA.
+            self.calm_count = 0
+            if self.prefetch_idx < len(self.config.prefetch_ladder) - 1:
+                self.prefetch_idx = self.prefetch_idx + 1
+                return self.record("throttle_prefetch", saturated)
+            if self.mba_idx < len(self.config.mba_levels) - 1:
+                self.mba_idx = self.mba_idx + 1
+                return self.record("throttle_mba", saturated)
+            return self.record("saturated_hold", saturated)
+
+        self.calm_count = self.calm_count + 1
+        floor = (1.0 - self.config.alpha) * self.best_ipc
+        stable = sample.hp_ipc >= floor
+        if not stable and self.hp_ways < self.total_ways - 1:
+            self.hp_ways = self.hp_ways + 1
+            self.calm_count = 0
+            return self.record("grow_ways", saturated)
+        if self.calm_count >= self.config.relax_periods:
+            # Relaxation ladder: ways back first, then MBA, then prefetch.
+            self.calm_count = 0
+            if stable and self.hp_ways > self.config.min_hp_ways:
+                self.hp_ways = self.hp_ways - 1
+                return self.record("shrink_ways", saturated)
+            if self.mba_idx > 0:
+                self.mba_idx = self.mba_idx - 1
+                return self.record("relax_mba", saturated)
+            if self.prefetch_idx > 0:
+                self.prefetch_idx = self.prefetch_idx - 1
+                return self.record("relax_prefetch", saturated)
+        return self.record("hold", saturated)

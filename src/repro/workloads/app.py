@@ -55,6 +55,21 @@ class Phase:
         its miss-ratio curve is flat — the paper observes milc claiming
         ~26 % of the LLC under UM). ``None`` means unbounded (can fill the
         whole cache).
+    prefetch_hide:
+        How much of the phase's memory stall the hardware prefetcher hides
+        at full aggression, as a fraction of ``blocking``. Throttling the
+        prefetcher to level ``l`` (see the solver's ``prefetch`` axis)
+        scales effective blocking by ``1 + prefetch_hide * l`` — at
+        ``l=1`` the hidden stall is fully re-exposed. 0.0 (the default)
+        means the phase gains nothing from prefetching, so throttling is
+        free for it.
+    prefetch_waste:
+        Fraction of the phase's link traffic that is *useless* prefetch
+        (inaccurate streams evicted before use). Throttling to level ``l``
+        scales bytes-per-miss by ``1 - prefetch_waste * l``: the wasted
+        bytes disappear from the shared link. CBP's coordination exploits
+        exactly this asymmetry — throttling waste-heavy BEs frees
+        bandwidth at little IPC cost.
     """
 
     name: str
@@ -65,6 +80,8 @@ class Phase:
     blocking: float = 0.7
     write_frac: float = 0.3
     occupancy_ways: float | None = None
+    prefetch_hide: float = 0.0
+    prefetch_waste: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("instructions", self.instructions)
@@ -75,8 +92,12 @@ class Phase:
         check_fraction("write_frac", self.write_frac)
         if self.occupancy_ways is not None:
             check_positive("occupancy_ways", self.occupancy_ways)
+        check_fraction("prefetch_hide", self.prefetch_hide)
+        # waste < 1 keeps bytes-per-miss strictly positive at full throttle
+        # (zero link traffic would break the solver's demand accounting).
+        check_in_range("prefetch_waste", self.prefetch_waste, 0.0, 0.9)
         # Cache the (frozen) hash: solver memo keys hash phase tuples on
-        # every cache lookup, and rehashing all eight fields per lookup
+        # every cache lookup, and rehashing all ten fields per lookup
         # dominates large batched-solve profiles.
         object.__setattr__(
             self,
@@ -91,6 +112,8 @@ class Phase:
                     self.blocking,
                     self.write_frac,
                     self.occupancy_ways,
+                    self.prefetch_hide,
+                    self.prefetch_waste,
                 )
             ),
         )
@@ -184,6 +207,8 @@ def single_phase_app(
     mrc: MissRatioCurve,
     blocking: float = 0.7,
     write_frac: float = 0.3,
+    prefetch_hide: float = 0.0,
+    prefetch_waste: float = 0.0,
 ) -> AppModel:
     """Convenience constructor for the (common) one-phase application."""
     phase = Phase(
@@ -194,5 +219,7 @@ def single_phase_app(
         mrc=mrc,
         blocking=blocking,
         write_frac=write_frac,
+        prefetch_hide=prefetch_hide,
+        prefetch_waste=prefetch_waste,
     )
     return AppModel(name=name, suite=suite, archetype=archetype, phases=(phase,))

@@ -85,6 +85,8 @@ def make_phase(
     blocking: float,
     write_frac: float,
     occupancy_ways: float | None = None,
+    prefetch_hide: float = 0.0,
+    prefetch_waste: float = 0.0,
 ) -> Phase:
     """Build a phase whose solo duration is approximately ``duration_s``."""
     est = estimate_solo_ipc(cpi_exe, apki, mrc, blocking)
@@ -97,6 +99,8 @@ def make_phase(
         blocking=blocking,
         write_frac=write_frac,
         occupancy_ways=occupancy_ways,
+        prefetch_hide=prefetch_hide,
+        prefetch_waste=prefetch_waste,
     )
 
 
@@ -110,8 +114,18 @@ def streaming_app(
     blocking: float = 0.3,
     write_frac: float = 0.35,
     duration_s: float = 35.0,
+    prefetch_hide: float = 0.35,
+    prefetch_waste: float = 0.30,
 ) -> AppModel:
-    """Bandwidth-bound streaming application (lbm, libquantum, milc, ...)."""
+    """Bandwidth-bound streaming application (lbm, libquantum, milc, ...).
+
+    Streamers are where the hardware prefetcher earns (and wastes) the
+    most: regular strides mean much of the memory stall is hidden
+    (``prefetch_hide``), but aggressive next-line streams also drag in
+    lines that are evicted unused (``prefetch_waste``). Throttling a
+    streaming BE therefore frees real link bandwidth at a modest IPC
+    cost — the asymmetry CBP-style coordination exploits.
+    """
     phase = make_phase(
         "stream",
         duration_s=duration_s,
@@ -120,6 +134,8 @@ def streaming_app(
         mrc=ConstantMRC(miss_ratio),
         blocking=blocking,
         write_frac=write_frac,
+        prefetch_hide=prefetch_hide,
+        prefetch_waste=prefetch_waste,
     )
     return AppModel(name=name, suite=suite, archetype="streaming", phases=(phase,))
 
@@ -138,6 +154,8 @@ def cache_sensitive_app(
     write_frac: float = 0.3,
     duration_s: float = 40.0,
     form: str = "exp",
+    prefetch_hide: float = 0.15,
+    prefetch_waste: float = 0.05,
 ) -> AppModel:
     """Cache-sensitive application (omnetpp, xalancbmk, soplex, gcc, ...).
 
@@ -179,6 +197,8 @@ def cache_sensitive_app(
         mrc=mrc,
         blocking=blocking,
         write_frac=write_frac,
+        prefetch_hide=prefetch_hide,
+        prefetch_waste=prefetch_waste,
     )
     return AppModel(
         name=name, suite=suite, archetype="cache_sensitive", phases=(phase,)

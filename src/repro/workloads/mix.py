@@ -15,7 +15,14 @@ from repro.workloads.app import AppModel
 from repro.workloads.catalog import app_names, get_app
 from repro.util.validation import check_positive_int
 
-__all__ = ["WorkloadMix", "HeterogeneousMix", "all_pairs", "make_mix"]
+__all__ = [
+    "WorkloadMix",
+    "HeterogeneousMix",
+    "MultiHpMix",
+    "all_pairs",
+    "make_mix",
+    "make_multi_mix",
+]
 
 
 @dataclass(frozen=True)
@@ -97,3 +104,63 @@ class HeterogeneousMix:
         for k, be in enumerate(self.bes):
             out.append(be.with_name(f"{be.name}#{k}"))
         return out
+
+
+@dataclass(frozen=True)
+class MultiHpMix:
+    """Several co-equal high-priority apps plus best-effort fillers.
+
+    The policy-zoo scenario class the 1-HP pairing cannot express: LFOC
+    clusters many co-equal apps, and CBP coordinates knobs across classes.
+    ``hps`` occupy the first cores (in order), ``bes`` the rest; both may
+    repeat — instances get ``#k`` suffixes like the other mixes.
+
+    The runner treats core 0 as the primary app for HP-centric telemetry,
+    but the multi-HP metrics (``run_multi``) normalise *every* app against
+    its own solo profile, so no core is privileged in the scoring.
+    """
+
+    hps: tuple[AppModel, ...]
+    bes: tuple[AppModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.hps:
+            raise ValueError("need at least one HP application")
+
+    @property
+    def n_hp(self) -> int:
+        """Number of high-priority apps (the first cores)."""
+        return len(self.hps)
+
+    @property
+    def n_cores(self) -> int:
+        """Cores used: one per HP plus one per BE."""
+        return len(self.hps) + len(self.bes)
+
+    @property
+    def label(self) -> str:
+        """Human-readable id for reports."""
+        hp_part = "+".join(a.name for a in self.hps)
+        if not self.bes:
+            return hp_part
+        return f"{hp_part} | {'+'.join(a.name for a in self.bes)}"
+
+    def apps(self) -> list[AppModel]:
+        """Per-core application instances (HPs first, then BEs)."""
+        out: list[AppModel] = []
+        for k, hp in enumerate(self.hps):
+            out.append(hp.with_name(f"{hp.name}#{k}"))
+        for k, be in enumerate(self.bes):
+            out.append(be.with_name(f"{be.name}#{len(self.hps) + k}"))
+        return out
+
+
+def make_multi_mix(
+    hp_names: tuple[str, ...] | list[str],
+    be_names: tuple[str, ...] | list[str] = (),
+) -> MultiHpMix:
+    """Build a multi-HP mix from catalog entry names."""
+    return MultiHpMix(
+        hps=tuple(get_app(n) for n in hp_names),
+        bes=tuple(get_app(n) for n in be_names),
+    )

@@ -1,0 +1,162 @@
+"""Unit tests for the CBP coordination ladder.
+
+The differential fuzz suite (tests/valid/test_cbp_differential.py)
+checks production against the paper-literal oracle on random streams;
+these tests walk the state machine through each transition by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.cbp import CbpConfig, CbpController, CbpPolicy
+
+#: Short ladders make every escalation stage reachable in a few periods.
+CFG = CbpConfig(
+    bw_threshold_bytes=6e9,
+    warmup_periods=1,
+    relax_periods=2,
+    mba_levels=(1.0, 0.5),
+    prefetch_ladder=(0.0, 1.0),
+    min_hp_ways=2,
+)
+
+
+def calm(ipc=1.0):
+    from repro.rdt.sample import PeriodSample
+
+    return PeriodSample(1.0, ipc, 1e9, 3e9)
+
+
+def saturated(ipc=1.0):
+    from repro.rdt.sample import PeriodSample
+
+    return PeriodSample(1.0, ipc, 4e9, 9e9)
+
+
+def events(ctl):
+    return [d.event for d in ctl.trace]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw, msg",
+        [
+            (dict(mba_levels=()), "mba_levels"),
+            (dict(mba_levels=(0.5, 1.0)), "mba_levels"),
+            (dict(mba_levels=(1.0, 0.0)), "mba_levels"),
+            (dict(prefetch_ladder=()), "prefetch_ladder"),
+            (dict(prefetch_ladder=(0.5, 1.0)), "prefetch_ladder"),
+            (dict(prefetch_ladder=(0.0, 1.5)), "prefetch_ladder"),
+            (dict(prefetch_ladder=(0.0, 0.75, 0.5)), "prefetch_ladder"),
+            (dict(alpha=1.5), "alpha"),
+        ],
+    )
+    def test_rejects_malformed(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            CbpConfig(**kw)
+
+    def test_controller_needs_room_above_floor(self):
+        with pytest.raises(ValueError, match="min_hp_ways"):
+            CbpController(CbpConfig(min_hp_ways=4), total_ways=4)
+
+
+class TestEscalation:
+    def test_prefetch_first_then_mba_then_hold(self):
+        ctl = CbpController(CFG, total_ways=20)
+        assert isinstance(ctl.initial_allocation(), Allocation)
+        assert ctl.initial_allocation().hp_ways == 10
+        ctl.update(saturated())  # warmup
+        for _ in range(3):
+            assert ctl.update(saturated()) is None
+        assert events(ctl) == [
+            "warmup", "throttle_prefetch", "throttle_mba", "saturated_hold"
+        ]
+        assert ctl.be_prefetch == 1.0
+        assert ctl.be_throttle == 0.5
+
+    def test_saturation_resets_calm_streak(self):
+        ctl = CbpController(CFG, total_ways=20)
+        ctl.update(calm())          # warmup
+        ctl.update(calm())          # calm 1
+        ctl.update(saturated())     # escalate, streak back to zero
+        ctl.update(calm())          # calm 1 again
+        assert events(ctl)[-1] == "hold"  # not yet at relax_periods
+
+
+class TestCalmAdaptation:
+    def test_ipc_sag_grows_hp_ways(self):
+        ctl = CbpController(CFG, total_ways=20)
+        ctl.update(calm(ipc=1.0))   # warmup: best = 1.0
+        alloc = ctl.update(calm(ipc=0.8))  # sag beyond alpha
+        assert events(ctl)[-1] == "grow_ways"
+        assert alloc is not None and alloc.hp_ways == 11
+
+    def test_growth_stops_at_total_minus_one(self):
+        ctl = CbpController(CFG, total_ways=6)
+        ctl.update(calm(ipc=1.0))
+        for _ in range(6):
+            ctl.update(calm(ipc=0.1))
+        assert ctl.hp_ways == 5  # total - 1: BEs always keep one way
+        assert events(ctl)[-1] == "hold"
+
+    def test_stable_streak_shrinks_then_relaxes(self):
+        ctl = CbpController(CFG, total_ways=20)
+        ctl.update(saturated())  # warmup
+        ctl.update(saturated())  # throttle_prefetch
+        ctl.update(saturated())  # throttle_mba
+        # Calm and stable from here: every relax_periods-th period gives
+        # one way back until min_hp_ways, then relaxes MBA, then prefetch.
+        seen = []
+        for _ in range(26):
+            ctl.update(calm())
+            seen.append(events(ctl)[-1])
+        shrinks = [e for e in seen if e == "shrink_ways"]
+        assert len(shrinks) == 10 - CFG.min_hp_ways
+        assert ctl.hp_ways == CFG.min_hp_ways
+        ordered = [e for e in seen if e.startswith(("shrink", "relax"))]
+        assert ordered[-2:] == ["relax_mba", "relax_prefetch"]
+        assert ctl.be_throttle == 1.0
+        assert ctl.be_prefetch == 0.0
+
+    def test_fault_is_inert(self):
+        ctl = CbpController(CFG, total_ways=20)
+        ctl.update(calm())
+        before = (ctl.hp_ways, ctl.mba_idx, ctl.prefetch_idx, ctl.calm_count)
+        from repro.rdt.sample import PeriodSample
+
+        assert ctl.update(
+            PeriodSample(1.0, float("nan"), 1e9, 3e9)
+        ) is None
+        assert events(ctl)[-1] == "fault"
+        after = (ctl.hp_ways, ctl.mba_idx, ctl.prefetch_idx, ctl.calm_count)
+        assert before == after
+
+
+class TestPolicy:
+    def test_policy_surface(self):
+        policy = CbpPolicy(CFG)
+        assert policy.name == "CBP"
+        assert policy.dynamic
+        with pytest.raises(RuntimeError, match="setup"):
+            policy.controller
+
+    def test_knobs_track_the_controller(self):
+        policy = CbpPolicy(CFG)
+        policy.setup(20)
+        assert (policy.be_throttle, policy.be_prefetch) == (1.0, 0.0)
+        policy.update(saturated())  # warmup
+        policy.update(saturated())  # throttle_prefetch
+        assert (policy.be_throttle, policy.be_prefetch) == (1.0, 1.0)
+        policy.update(saturated())  # throttle_mba
+        assert (policy.be_throttle, policy.be_prefetch) == (0.5, 1.0)
+
+    def test_fresh_resets_state(self):
+        policy = CbpPolicy(CFG)
+        policy.setup(20)
+        policy.update(saturated())
+        clone = policy.fresh()
+        assert clone.config == policy.config
+        with pytest.raises(RuntimeError):
+            clone.controller

@@ -1,0 +1,91 @@
+"""GroupAllocation: the M-class generalisation of the HP/BE split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import Allocation, GroupAllocation
+
+
+def make(
+    cores=((0,), (1, 2)),
+    ways=(12.0, 8.0),
+    total_ways=20,
+    **kw,
+):
+    return GroupAllocation(
+        total_ways=total_ways, cores=cores, ways=ways, **kw
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        ga = make()
+        assert ga.n_groups == 2
+        assert ga.group_names() == ("G0", "G1")
+
+    def test_names_override(self):
+        ga = make(names=("HP", "BE"))
+        assert ga.group_names() == ("HP", "BE")
+
+    def test_str_lists_groups(self):
+        assert str(make(names=("HP", "BE"))) == "HP:12(1c)/BE:8(2c)"
+
+    def test_shared_zone_in_str(self):
+        ga = make(ways=(10.0, 8.0), shared_ways=2.0)
+        assert "shared:2" in str(ga)
+
+    @pytest.mark.parametrize(
+        "kw, msg",
+        [
+            (dict(cores=()), "at least one group"),
+            (dict(ways=(20.0,)), "way counts"),
+            (dict(ways=(12.0, 9.0)), "sum to total_ways"),
+            (dict(ways=(19.5, 0.5)), ">= 1 way"),
+            (dict(cores=((0,), ())), "at least one core"),
+            (dict(names=("HP",)), "names"),
+            (dict(shared_ways=-1.0), "shared_ways"),
+            (dict(total_ways=1, ways=(1.0, 0.0)), "total_ways"),
+        ],
+    )
+    def test_rejects_malformed(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            make(**kw)
+
+
+class TestToPartition:
+    def test_round_trips_groups(self):
+        ga = make(cores=((0,), (1, 2), (3, 4)), ways=(10.0, 6.0, 4.0))
+        spec = ga.to_partition(5)
+        assert spec.n_cores == 5
+        assert spec.total_ways == 20
+        assert tuple(g.cores for g in spec.groups) == (
+            (0,), (1, 2), (3, 4)
+        )
+        assert tuple(g.ways for g in spec.groups) == (10.0, 6.0, 4.0)
+
+    def test_shared_ways_forwarded(self):
+        ga = make(ways=(10.0, 8.0), shared_ways=2.0)
+        assert ga.to_partition(3).shared_ways == 2.0
+
+    def test_core_cover_mismatch_rejected(self):
+        # Groups cover cores {0,1,2}; claiming 4 active cores must fail
+        # in PartitionSpec's revalidation.
+        with pytest.raises(ValueError):
+            make().to_partition(4)
+
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(ValueError):
+            make(cores=((0,), (0, 1))).to_partition(2)
+
+    def test_matches_two_class_allocation(self):
+        """A 2-group GroupAllocation names the same partition the classic
+        HP/BE Allocation builds — policies can switch shapes freely."""
+        classic = Allocation(hp_ways=12, total_ways=20)
+        grouped = GroupAllocation(
+            total_ways=20,
+            cores=((0,), (1, 2)),
+            ways=(12.0, 8.0),
+            names=("HP", "BE"),
+        )
+        assert grouped.to_partition(3) == classic.to_partition(3)

@@ -1,0 +1,205 @@
+"""Unit tests for LFOC classification, apportionment and clustering.
+
+The differential fuzz suite (tests/valid/test_lfoc_differential.py)
+checks production against the paper-literal oracle on random streams;
+these tests pin the *intended* behaviour of each piece directly, with
+hand-computed expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import GroupAllocation
+from repro.core.lfoc import (
+    LfocConfig,
+    LfocController,
+    LfocPolicy,
+    apportion_ways,
+    classify_cores,
+    cluster_cores,
+)
+from repro.rdt.sample import PeriodSample
+from repro.sim.platform import gbps_to_bytes
+
+CFG = LfocConfig()
+
+
+def sample(bw, occ, ipcs=None):
+    n = len(bw)
+    ipcs = tuple(ipcs) if ipcs is not None else (1.0,) * n
+    return PeriodSample(
+        duration_s=1.0,
+        hp_ipc=ipcs[0],
+        hp_mem_bytes_s=bw[0],
+        total_mem_bytes_s=sum(bw),
+        core_ipcs=ipcs,
+        core_mem_bytes_s=tuple(bw),
+        core_occupancy_ways=tuple(occ),
+    )
+
+
+class TestClassify:
+    def test_thresholds(self):
+        bw = [
+            gbps_to_bytes(12.0),  # at the streaming threshold -> stream
+            gbps_to_bytes(11.9),  # just below -> not streaming
+            gbps_to_bytes(0.5),   # light traffic, small footprint
+            gbps_to_bytes(0.5),   # light traffic, big footprint
+        ]
+        occ = [5.0, 5.0, 1.0, 6.0]
+        assert classify_cores(bw, occ, CFG) == [
+            "stream", "sensitive", "light", "sensitive"
+        ]
+
+    def test_light_needs_both_signals(self):
+        # Low bandwidth alone is not "light": occupancy at the threshold
+        # keeps the core sensitive (it holds cache state worth protecting).
+        bw = [gbps_to_bytes(0.5)]
+        assert classify_cores(bw, [CFG.light_occupancy_ways], CFG) == [
+            "sensitive"
+        ]
+
+
+class TestApportion:
+    def test_proportional_with_floor(self):
+        # 10 ways over weights 6/3/1: quotas 4.2/2.1/0.7 on the 7 spare
+        # -> floors 4/2/0, remainder to the largest fraction (index 2).
+        assert apportion_ways([6.0, 3.0, 1.0], 10) == [5, 3, 2]
+
+    def test_each_cluster_gets_at_least_one(self):
+        assert apportion_ways([100.0, 0.0], 2) == [1, 1]
+
+    def test_zero_weights_split_evenly(self):
+        assert apportion_ways([0.0, 0.0], 6) == [3, 3]
+
+    def test_remainder_ties_break_by_index(self):
+        # Equal weights, 3 spare over 2 clusters: both remainders 0.5,
+        # the extra way lands on the lower index.
+        assert apportion_ways([1.0, 1.0], 5) == [3, 2]
+
+    def test_total_conserved(self):
+        for total in range(3, 24):
+            shares = apportion_ways([5.0, 2.0, 1.0], total)
+            assert sum(shares) == total
+            assert min(shares) >= 1
+
+    def test_too_few_ways_rejected(self):
+        with pytest.raises(ValueError, match="cannot share"):
+            apportion_ways([1.0, 1.0, 1.0], 2)
+
+
+class TestCluster:
+    def test_mixed_population(self):
+        classes = ["stream", "stream", "light", "sensitive", "sensitive",
+                   "sensitive"]
+        occ = [1.0, 1.0, 0.5, 6.0, 4.0, 2.0]
+        groups, ways = cluster_cores(classes, occ, 20, CFG)
+        # Streams confined on 2 ways, lights parked on 1; 17 left for the
+        # sensitives, split into max_clusters-2=2 chunks by occupancy:
+        # {3,4} (occ 10) and {5} (occ 2).
+        assert groups == ((0, 1), (2,), (3, 4), (5,))
+        assert ways[0] == CFG.streaming_ways
+        assert ways[1] == CFG.light_ways
+        assert sum(ways) == 20
+        assert ways[2] > ways[3]  # occupancy-proportional
+
+    def test_no_sensitive_gives_leftover_to_lights(self):
+        groups, ways = cluster_cores(
+            ["stream", "light"], [1.0, 0.5], 20, CFG
+        )
+        assert groups == ((0,), (1,))
+        assert ways == (CFG.streaming_ways, 20 - CFG.streaming_ways)
+
+    def test_all_streaming_takes_every_way(self):
+        groups, ways = cluster_cores(["stream"] * 3, [1.0] * 3, 20, CFG)
+        assert groups == ((0, 1, 2),)
+        assert ways == (20,)
+
+    def test_all_sensitive_uses_max_clusters(self):
+        occ = [8.0, 6.0, 4.0, 2.0, 1.0]
+        groups, ways = cluster_cores(["sensitive"] * 5, occ, 20, CFG)
+        assert len(groups) == CFG.max_clusters
+        assert sum(ways) == 20
+        # Chunked by decreasing occupancy: first chunks get the extras.
+        assert groups == ((0, 1), (2,), (3,), (4,))
+
+
+class TestController:
+    def _stream(self, n=6):
+        bw = [gbps_to_bytes(13.0)] * 2 + [gbps_to_bytes(0.5)] + [
+            gbps_to_bytes(5.0)
+        ] * 3
+        occ = [1.0, 1.0, 0.5, 6.0, 4.0, 2.0]
+        return sample(bw[:n], occ[:n])
+
+    def test_lifecycle(self):
+        ctl = LfocController(LfocConfig(warmup_periods=2), total_ways=20)
+        assert ctl.initial_allocation() is None
+        assert ctl.update(self._stream()) is None  # warmup (period 1)
+        alloc = ctl.update(self._stream())         # first clustering
+        assert isinstance(alloc, GroupAllocation)
+        assert sum(alloc.ways) == 20
+        assert [d.event for d in ctl.trace] == ["warmup", "cluster"]
+
+    def test_stable_regime_holds(self):
+        cfg = LfocConfig(warmup_periods=1, recluster_periods=2)
+        ctl = LfocController(cfg, total_ways=20)
+        ctl.update(self._stream())
+        assert ctl.update(self._stream()) is None  # off-cadence hold
+        assert ctl.update(self._stream()) is None  # re-eval, same -> hold
+        assert [d.event for d in ctl.trace] == ["cluster", "hold", "hold"]
+
+    def test_migration_triggers_recluster(self):
+        cfg = LfocConfig(warmup_periods=1, recluster_periods=1)
+        ctl = LfocController(cfg, total_ways=20)
+        ctl.update(self._stream())
+        # Core 5 turns streaming: the next re-evaluation regroups.
+        bw = [gbps_to_bytes(13.0)] * 2 + [gbps_to_bytes(0.5)] + [
+            gbps_to_bytes(5.0)
+        ] * 2 + [gbps_to_bytes(14.0)]
+        moved = sample(bw, [1.0, 1.0, 0.5, 6.0, 4.0, 1.0])
+        alloc = ctl.update(moved)
+        assert alloc is not None
+        assert ctl.trace[-1].event == "recluster"
+        assert 5 in ctl.trace[-1].groups[0]  # joined the stream cluster
+
+    def test_fault_is_inert(self):
+        cfg = LfocConfig(warmup_periods=1, recluster_periods=1)
+        ctl = LfocController(cfg, total_ways=20)
+        ctl.update(self._stream())
+        bad = PeriodSample(1.0, 1.0, 1e9, 2e9)  # no per-core arrays
+        assert ctl.update(bad) is None
+        assert ctl.trace[-1].event == "fault"
+        # Cadence unchanged: the following good period re-evaluates.
+        ctl.update(self._stream())
+        assert ctl.trace[-1].event in ("hold", "recluster")
+
+
+class TestPolicy:
+    def test_policy_surface(self):
+        policy = LfocPolicy()
+        assert policy.name == "LFOC"
+        assert policy.dynamic
+        assert policy.period_s == policy.config.period_s
+        with pytest.raises(RuntimeError, match="setup"):
+            policy.controller
+
+    def test_setup_and_fresh(self):
+        policy = LfocPolicy(LfocConfig(warmup_periods=1))
+        assert policy.setup(20) is None
+        assert policy.update(
+            sample([gbps_to_bytes(5.0)] * 2, [3.0, 3.0])
+        ) is not None
+        clone = policy.fresh()
+        assert clone.config == policy.config
+        assert clone is not policy
+        with pytest.raises(RuntimeError):
+            clone.controller
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="light_bw_bytes"):
+            LfocConfig(
+                light_bw_bytes=gbps_to_bytes(13.0),
+                streaming_bw_bytes=gbps_to_bytes(12.0),
+            )

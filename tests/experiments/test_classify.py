@@ -83,3 +83,61 @@ class TestRepresentativeSample:
     def test_underpopulated_rejected(self):
         with pytest.raises(ValueError, match="population"):
             representative_sample(self._classes(10, 100), n_ctf=50, n_ctt=70)
+
+
+class TestShootout:
+    def test_rows_align_pairs_and_policies(self, store):
+        from repro.core.policies import CacheTakeoverPolicy, UnmanagedPolicy
+        from repro.experiments.classify import shootout
+
+        pairs = [("milc1", "gcc_base6"), ("omnetpp1", "bzip22")]
+        roster = [UnmanagedPolicy(), CacheTakeoverPolicy()]
+        rows = shootout(store, pairs, roster, n_be=3)
+        assert [(r.hp_name, r.be_name) for r in rows] == pairs
+        for row in rows:
+            assert row.policies == ("UM", "CT")
+            assert len(row.hp_norm_ipcs) == len(row.efus) == 2
+            assert all(0.0 < v <= 1.5 for v in row.hp_norm_ipcs)
+
+    def test_rows_match_individual_gets(self, store):
+        from repro.core.policies import UnmanagedPolicy
+        from repro.experiments.classify import shootout
+
+        [row] = shootout(
+            store, [("milc1", "gcc_base6")], [UnmanagedPolicy()], n_be=3
+        )
+        direct = store.get("milc1", "gcc_base6", UnmanagedPolicy(), n_be=3)
+        assert row.hp_norm_ipcs == (direct.hp_norm_ipc,)
+        assert row.efus == (direct.efu,)
+
+    def test_default_roster_is_the_zoo(self):
+        from repro.experiments.grid import zoo_policies
+
+        names = [p.name for p in zoo_policies()]
+        assert names == ["UM", "CT", "S10", "DICER", "LFOC", "CBP"]
+
+    def test_winner_ignores_nan_holes(self):
+        from repro.experiments.classify import ShootoutRow
+
+        row = ShootoutRow(
+            hp_name="a",
+            be_name="b",
+            n_be=9,
+            policies=("UM", "CT", "DICER"),
+            hp_norm_ipcs=(0.7, float("nan"), 0.9),
+            efus=(0.5, float("nan"), 0.6),
+        )
+        assert row.winner == "DICER"
+
+    def test_winner_ties_break_in_roster_order(self):
+        from repro.experiments.classify import ShootoutRow
+
+        row = ShootoutRow(
+            hp_name="a",
+            be_name="b",
+            n_be=9,
+            policies=("UM", "CT"),
+            hp_norm_ipcs=(0.8, 0.8),
+            efus=(0.5, 0.5),
+        )
+        assert row.winner == "UM"

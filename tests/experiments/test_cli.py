@@ -80,6 +80,19 @@ class TestRunExperiment:
         assert "UM" in out
         assert "resets" not in out  # UM produces no trace
 
+    @pytest.mark.parametrize("policy", ["LFOC", "CBP"])
+    def test_zoo_policies_render_event_summary(self, capsys, policy):
+        # Regression: zoo decision records have no DICER ``mode`` field;
+        # the trace summary must fall back to the event histogram instead
+        # of crashing in summarise_trace.
+        assert main([
+            "run", "--hp", "namd1", "--be", "povray1", "--policy", policy,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert policy in out
+        assert "events" in out and "warmup:" in out
+        assert "resets" not in out  # DICER-only counters stay DICER-only
+
     def test_unknown_policy_rejected(self, capsys):
         # argparse rejects unlisted choices with usage + exit code 2.
         with pytest.raises(SystemExit) as exc:

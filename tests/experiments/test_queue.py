@@ -49,6 +49,23 @@ class TestPolicyNames:
         ):
             assert policy_from_name(policy.name).name == policy.name
 
+    def test_full_zoo_roster_is_queueable(self):
+        """Every policy the shoot-out runs can be rebuilt from its name —
+        the property that lets campaign-queue workers execute zoo cells."""
+        from repro.experiments.grid import zoo_policies
+
+        for policy in zoo_policies():
+            rebuilt = policy_from_name(policy.name)
+            assert rebuilt.name == policy.name
+            assert type(rebuilt) is type(policy)
+
+    def test_lfoc_and_cbp_rebuild_with_default_configs(self):
+        from repro.core.cbp import DEFAULT_CBP_CONFIG
+        from repro.core.lfoc import DEFAULT_LFOC_CONFIG
+
+        assert policy_from_name("LFOC").config == DEFAULT_LFOC_CONFIG
+        assert policy_from_name("CBP").config == DEFAULT_CBP_CONFIG
+
     def test_static_policies_parse_ways_and_overlap(self):
         assert policy_from_name("S5").name == "S5"
         assert policy_from_name("S5+2o").name == "S5+2o"

@@ -1,0 +1,88 @@
+"""The multi-HP execution path: MultiHpMix through run_multi.
+
+Covers the mix container, the fairness-centric MultiResult metrics, and
+that every zoo policy — HP/BE split and M-class alike — executes a
+co-equal consolidation deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cbp import CbpPolicy
+from repro.core.lfoc import LfocPolicy
+from repro.core.policies import StaticPolicy, UnmanagedPolicy
+from repro.experiments.runner import run_multi
+from repro.workloads.mix import MultiHpMix, make_multi_mix
+
+PRECISION = "fast"
+
+
+class TestMultiHpMix:
+    def test_layout_and_label(self):
+        mix = make_multi_mix(("omnetpp1", "milc1"), ("bzip22", "bzip22"))
+        assert mix.n_hp == 2
+        assert mix.n_cores == 4
+        assert mix.label == "omnetpp1+milc1 | bzip22+bzip22"
+        names = [a.name for a in mix.apps()]
+        assert names[0].startswith("omnetpp1")
+        assert names[1].startswith("milc1")
+        assert len(set(names)) == 4  # instances get #k suffixes
+
+    def test_no_bes_allowed(self):
+        mix = make_multi_mix(("omnetpp1", "milc1"))
+        assert mix.n_cores == 2
+        assert mix.label == "omnetpp1+milc1"
+
+    def test_needs_an_hp(self):
+        with pytest.raises(ValueError, match="at least one HP"):
+            MultiHpMix(hps=())
+
+    def test_unknown_name_is_a_catalog_error(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            make_multi_mix(("omnetpp1", "nonesuch"))
+
+
+class TestRunMulti:
+    def _mix(self):
+        return make_multi_mix(("omnetpp1", "milc1"), ("bzip22",))
+
+    def test_metrics_shape(self, clean_caches):
+        r = run_multi(self._mix(), UnmanagedPolicy(), precision=PRECISION)
+        assert r.policy == "UM"
+        assert r.n_hp == 2
+        assert len(r.norm_ipcs) == 3
+        assert r.hp_norm_ipcs == r.norm_ipcs[:2]
+        assert r.min_hp_norm_ipc == min(r.hp_norm_ipcs)
+        assert all(0.0 < v <= 1.5 for v in r.norm_ipcs)
+        assert all(isinstance(v, float) for v in r.norm_ipcs)
+        assert 0.0 < r.efu
+        assert r.duration_s > 0.0
+
+    def test_deterministic_repeats(self, clean_caches):
+        a = run_multi(self._mix(), LfocPolicy(), precision=PRECISION)
+        b = run_multi(self._mix(), LfocPolicy(), precision=PRECISION)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "policy",
+        [UnmanagedPolicy(), StaticPolicy(10), LfocPolicy(), CbpPolicy()],
+        ids=lambda p: p.name,
+    )
+    def test_every_policy_shape_executes(self, policy, clean_caches):
+        r = run_multi(self._mix(), policy, precision=PRECISION)
+        assert r.policy == policy.name
+        assert 0.0 < r.min_hp_norm_ipc <= 1.5
+
+    def test_lfoc_decisions_reach_the_trace(self, clean_caches):
+        r = run_multi(self._mix(), LfocPolicy(), precision=PRECISION)
+        events = {d.event for d in r.trace}
+        assert "cluster" in events  # it really clustered
+
+    def test_policy_not_mutated(self, clean_caches):
+        policy = CbpPolicy()
+        run_multi(self._mix(), policy, precision=PRECISION)
+        # run_multi works on policy.fresh(); the caller's instance stays
+        # pristine and reusable.
+        with pytest.raises(RuntimeError):
+            policy.controller

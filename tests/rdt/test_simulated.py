@@ -106,3 +106,69 @@ class TestApply:
         assert after.be_mem_bytes_s < before.be_mem_bytes_s
         with pytest.raises(ValueError):
             backend.apply_be_throttle(0.0)
+
+
+class TestPrefetchKnob:
+    def test_be_prefetch_cuts_be_traffic(self):
+        # lbm BEs are waste-heavy streamers: squelching their prefetchers
+        # removes useless link bytes.
+        backend, _ = make_backend(hp="namd1", be="lbm1")
+        before = backend.sample(1.0)
+        backend.apply_be_prefetch(1.0)
+        after = backend.sample(1.0)
+        assert after.be_mem_bytes_s < before.be_mem_bytes_s
+
+    def test_level_zero_restores_unthrottled_point(self):
+        backend, server = make_backend()
+        backend.apply_be_prefetch(0.75)
+        assert server.prefetch is not None
+        backend.apply_be_prefetch(0.0)
+        assert server.prefetch is None
+
+    def test_hp_core_never_throttled(self):
+        backend, server = make_backend()
+        backend.apply_be_prefetch(0.5)
+        assert server.prefetch[0] == 0.0
+
+    def test_level_validated(self):
+        backend, _ = make_backend()
+        with pytest.raises(ValueError):
+            backend.apply_be_prefetch(1.5)
+        with pytest.raises(ValueError):
+            backend.apply_be_prefetch(-0.1)
+
+    def test_full_vector_passthrough(self):
+        backend, server = make_backend(n_be=2)
+        backend.apply_prefetch_levels((0.0, 0.5, 1.0))
+        assert server.prefetch == (0.0, 0.5, 1.0)
+        backend.apply_prefetch_levels(None)
+        assert server.prefetch is None
+
+
+class TestPerCoreFields:
+    def test_arrays_cover_every_core(self):
+        backend, server = make_backend(n_be=4)
+        s = backend.sample(1.0)
+        n = server.n_active
+        assert len(s.core_ipcs) == n
+        assert len(s.core_mem_bytes_s) == n
+        assert len(s.core_occupancy_ways) == n
+
+    def test_core_zero_matches_hp_aggregates(self):
+        backend, _ = make_backend()
+        s = backend.sample(1.0)
+        assert s.core_ipcs[0] == pytest.approx(s.hp_ipc)
+        assert s.core_mem_bytes_s[0] == pytest.approx(s.hp_mem_bytes_s)
+
+    def test_core_traffic_sums_to_total(self):
+        backend, _ = make_backend()
+        s = backend.sample(1.0)
+        assert sum(s.core_mem_bytes_s) == pytest.approx(
+            s.total_mem_bytes_s, rel=1e-9
+        )
+
+    def test_occupancy_within_the_cache(self):
+        backend, _ = make_backend(n_be=4)
+        s = backend.sample(1.0)
+        assert all(w >= 0.0 for w in s.core_occupancy_ways)
+        assert sum(s.core_occupancy_ways) <= 20.0 + 1e-9

@@ -148,7 +148,20 @@ class TestBatchEdgeCases:
         phases = (apps[app_names()[0]].phases[0],)
         part = PartitionSpec.unmanaged(1, 20)
         with pytest.raises(ValueError, match="points must be"):
-            solve_steady_state_batch(PLAT, [(phases, part, None, "extra")])
+            solve_steady_state_batch(
+                PLAT, [(phases, part, None, None, "extra")]
+            )
+
+    def test_bad_prefetch_level_rejected(self):
+        apps = catalog()
+        phases = (apps[app_names()[0]].phases[0],)
+        part = PartitionSpec.unmanaged(1, 20)
+        with pytest.raises(ValueError, match="prefetch levels"):
+            solve_steady_state_batch(PLAT, [(phases, part, None, (1.5,))])
+        with pytest.raises(ValueError, match="prefetch must have length"):
+            solve_steady_state_batch(
+                PLAT, [(phases, part, None, (0.5, 0.5))]
+            )
 
     def test_phase_count_mismatch_rejected(self):
         apps = catalog()

@@ -23,6 +23,7 @@ from repro.rdt.sample import PeriodSample
 from repro.valid.record import (
     DEFAULT_OUT,
     SCENARIOS,
+    ZOO_SCENARIOS,
     main,
     record_corpus,
     render_scenario,
@@ -162,7 +163,7 @@ class TestRecorder:
         assert main(["--out", str(out)]) == 0
         assert "recorded" in capsys.readouterr().out
         assert sorted(p.stem for p in out.glob("*.jsonl")) == sorted(
-            SCENARIOS
+            list(SCENARIOS) + list(ZOO_SCENARIOS)
         )
         # Freshly recorded -> check passes, recording again is a no-op.
         assert main(["--out", str(out), "--check"]) == 0
