@@ -1,10 +1,10 @@
 # Convenience targets for the DICER reproduction.
 
-.PHONY: all install lint test fastmath kernels kernels-ci chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick bench-kernel bench-kernel-quick queue-smoke examples clean
+.PHONY: all install lint test fastmath kernels kernels-ci chaos conformance coverage golden bench bench-quick bench-json bench-full bench-fast bench-fast-quick bench-kernel bench-kernel-quick queue-smoke serve serve-smoke examples clean
 
 .DEFAULT_GOAL := all
 
-all: lint test chaos conformance queue-smoke bench-fast-quick bench-kernel-quick
+all: lint test chaos serve conformance queue-smoke serve-smoke bench-fast-quick bench-kernel-quick
 
 install:
 	pip install -e .
@@ -91,6 +91,12 @@ bench-kernel-quick: ## kernel gate on the truncated population (floors relaxed/w
 
 queue-smoke:      ## two-worker shared-queue campaign, digest-checked against serial
 	PYTHONPATH=src python benchmarks/queue_smoke.py
+
+serve:            ## serve-marked control-plane integration suites (daemon, API, chaos determinism)
+	pytest tests/ -m serve
+
+serve-smoke:      ## seeded 1200-event churn + node chaos + SIGTERM kill/restart, digest-checked
+	PYTHONPATH=src python benchmarks/serve_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

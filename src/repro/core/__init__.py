@@ -7,7 +7,7 @@ from repro.core.config import TABLE1_DICER_CONFIG, DicerConfig
 from repro.core.dcpqos import DcpQosPolicy
 from repro.core.trace_tools import allocation_strip, render_trace, summarise_trace
 from repro.core.dicer import ControllerMode, DecisionRecord, DicerController
-from repro.core.admission import AdmissionPlan, find_max_bes
+from repro.core.admission import AdmissionPlan, find_max_bes, hp_admission_metric
 from repro.core.mba import MBA_LEVELS, MbaDicerController, MbaDicerPolicy
 from repro.core.overlap import OverlapSweep, explore_overlap, render_overlap
 from repro.core.policies import (
@@ -36,6 +36,7 @@ __all__ = [
     "summarise_trace",
     "AdmissionPlan",
     "find_max_bes",
+    "hp_admission_metric",
     "MBA_LEVELS",
     "MbaDicerController",
     "MbaDicerPolicy",

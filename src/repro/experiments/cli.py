@@ -35,6 +35,18 @@ queue (lease/heartbeat claims, work-stealing of dead workers' leases)
 through its own supervised store into the shared SQLite result store;
 ``campaign monitor`` renders live progress from queue state and the
 shared telemetry stream.
+
+The ``serve`` subcommand drives the :mod:`repro.serve` control plane
+(DESIGN.md §14)::
+
+    dicer-repro serve loadgen --out events.jsonl --events 1000
+    dicer-repro serve chaos --base events.jsonl --out chaos.jsonl --nodes 3
+    dicer-repro serve run --events chaos.jsonl --snapshot snap.json
+    dicer-repro serve monitor snap.json --interval 2
+
+``serve run`` replays the event stream through a supervised multi-node
+daemon (SIGTERM checkpoints; rerunning resumes); ``serve monitor``
+renders live placement/health/throughput from the snapshot.
 """
 
 from __future__ import annotations
@@ -342,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["campaign"]:
         return _campaign_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     _resolve_modes(args)
     exp = args.experiment
@@ -633,7 +647,14 @@ def _campaign_parser() -> argparse.ArgumentParser:
 
 
 def _monitor_telemetry(path: str) -> str | None:
-    """Per-worker batch throughput from a shared telemetry JSONL."""
+    """Per-worker batch throughput + failures from shared telemetry JSONL.
+
+    Failure counts render right beside throughput: a worker "making
+    progress" by quarantining every cell shows up as `failed` climbing
+    with `cells/s`, not as silent success. Rate math is guarded — a
+    worker with no completed cells (or clock-skewed zero seconds)
+    renders 0.0, never a division error.
+    """
     from pathlib import Path
 
     if not Path(path).exists():
@@ -644,10 +665,11 @@ def _monitor_telemetry(path: str) -> str | None:
             continue
         label = record.get("label") or record.get("campaign_id") or "?"
         agg = per_worker.setdefault(
-            label, {"batches": 0, "cells": 0, "seconds": 0.0}
+            label, {"batches": 0, "cells": 0, "failed": 0, "seconds": 0.0}
         )
         agg["batches"] += 1
         agg["cells"] += record.get("cells", 0)
+        agg["failed"] += record.get("failed_cells", 0)
         agg["seconds"] += record.get("seconds", 0.0)
     if not per_worker:
         return None
@@ -656,12 +678,17 @@ def _monitor_telemetry(path: str) -> str | None:
             label,
             int(agg["batches"]),
             int(agg["cells"]),
-            agg["cells"] / agg["seconds"] if agg["seconds"] > 0 else 0.0,
+            int(agg["failed"]),
+            (
+                agg["cells"] / agg["seconds"]
+                if agg["cells"] > 0 and agg["seconds"] > 0
+                else 0.0
+            ),
         ]
         for label, agg in sorted(per_worker.items())
     ]
     return format_table(
-        ["worker", "batches", "cells", "cells/s"],
+        ["worker", "batches", "cells", "failed", "cells/s"],
         rows,
         title=f"Telemetry: {path}",
     )
@@ -789,6 +816,312 @@ def _campaign_main(argv: list[str]) -> int:
         if telemetry:
             _emit_kernel_gauges(obs.get_registry())
             obs.emit("campaign.end", worker=worker_id)
+            obs.finalise()
+    return 0
+
+
+# -- serve: the repro.serve control plane (DESIGN.md §14) --------------------
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dicer-repro serve",
+        description="Drive the fault-tolerant multi-node control plane "
+        "(loadgen / chaos / run / monitor; see DESIGN.md §14).",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="generate a seeded submit/depart event stream"
+    )
+    loadgen.add_argument("--out", required=True, metavar="JSONL")
+    loadgen.add_argument("--events", type=int, default=1000, metavar="N")
+    loadgen.add_argument("--seed", type=int, default=None)
+    loadgen.add_argument("--hp-frac", type=float, default=0.12)
+    loadgen.add_argument("--depart-frac", type=float, default=0.45)
+
+    chaos = sub.add_parser(
+        "chaos", help="weave seeded node faults into a base stream"
+    )
+    chaos.add_argument("--base", required=True, metavar="JSONL",
+                       help="loadgen output to weave into")
+    chaos.add_argument("--out", required=True, metavar="JSONL")
+    chaos.add_argument("--plan", default=None, metavar="JSON",
+                       help="write the injection ledger + kill_seq here")
+    chaos.add_argument("--seed", type=int, default=None)
+    chaos.add_argument("--nodes", type=int, default=3)
+    chaos.add_argument("--crashes", type=int, default=1)
+    chaos.add_argument("--hangs", type=int, default=1)
+    chaos.add_argument("--partitions", type=int, default=1)
+    chaos.add_argument("--assign-faults", type=int, default=2)
+
+    run = sub.add_parser(
+        "run", help="replay an event stream through the serve daemon "
+        "(SIGTERM checkpoints; rerunning resumes from the snapshot)"
+    )
+    run.add_argument("--events", required=True, metavar="JSONL")
+    run.add_argument("--snapshot", required=True, metavar="JSON")
+    run.add_argument("--nodes", type=int, default=3)
+    run.add_argument("--policy", default="DICER",
+                     help="per-node policy (any policy_from_name spec)")
+    run.add_argument("--slo", type=float, default=0.9)
+    run.add_argument("--precision", choices=("exact", "fast"),
+                     default="fast")
+    run.add_argument("--kernel",
+                     choices=("auto", "exact", "fast", "compiled"),
+                     default="auto")
+    run.add_argument("--snapshot-every", type=int, default=100)
+    run.add_argument("--throttle-s", type=float, default=0.0,
+                     help="pacing between events (kill/restart testing)")
+    run.add_argument("--evaluate-every", type=int, default=0,
+                     help="drive dirty nodes' controllers every N events")
+    run.add_argument("--max-retries", type=int, default=3)
+    run.add_argument("--retry-base-s", type=float, default=0.0)
+    run.add_argument("--supervise", action="store_true",
+                     help="run the per-node heartbeat supervisors")
+    run.add_argument("--summary", default=None, metavar="JSON",
+                     help="write the final daemon summary here")
+    run.add_argument("--metrics", default=None, metavar="JSONL",
+                     help="telemetry stream (repro.obs)")
+
+    monitor = sub.add_parser(
+        "monitor", help="render fleet status from a serve snapshot"
+    )
+    monitor.add_argument("snapshot_path", metavar="SNAPSHOT")
+    monitor.add_argument("--events", default=None, metavar="JSONL",
+                         help="the run's event stream (enables ETA)")
+    monitor.add_argument("--interval", type=float, default=None,
+                         metavar="SECONDS")
+    monitor.add_argument("--iterations", type=int, default=None, metavar="N")
+    return parser
+
+
+def _render_serve_status(
+    state: dict, *, path: str = "", total_events: int | None = None
+) -> str:
+    """One serve snapshot as monitor tables.
+
+    All rate math is guarded: a snapshot with zero applied events or
+    zero elapsed time renders "-" for throughput and ETA instead of
+    dividing by zero, and failures render right beside throughput so a
+    fleet "progressing" by failing placements is visible at a glance.
+    """
+    counters = state.get("counters", {})
+    applied = int(counters.get("events_applied", 0))
+    elapsed = float(state.get("elapsed_s", 0.0))
+    throughput = applied / elapsed if applied > 0 and elapsed > 0 else None
+    by_status = Counter(
+        job.get("status", "?") for job in state.get("jobs", [])
+    )
+    rows = [
+        ["applied_seq", state.get("applied_seq", -1)],
+        ["events applied", applied],
+        ["elapsed", f"{elapsed:.1f}s"],
+        [
+            "throughput",
+            f"{throughput:.1f} events/s" if throughput else "-",
+        ],
+        ["failed placements", counters.get("placement_failures", 0)],
+        ["retries", counters.get("placement_retries", 0)],
+    ]
+    if total_events is not None:
+        remaining = max(0, total_events - (state.get("applied_seq", -1) + 1))
+        rows.append(["remaining", remaining])
+        rows.append(
+            [
+                "eta",
+                "drained"
+                if remaining == 0
+                else (
+                    f"{remaining / throughput:.0f}s" if throughput else "-"
+                ),
+            ]
+        )
+    for status in ("placed", "pending", "rejected", "departed"):
+        rows.append([f"jobs {status}", by_status.get(status, 0)])
+    rows.append(["submitted", counters.get("submitted", 0)])
+    title = "Serve fleet" + (f": {path}" if path else "")
+    out = format_table(["metric", "value"], rows, title=title)
+
+    node_jobs: Counter = Counter(
+        job["node_id"]
+        for job in state.get("jobs", [])
+        if job.get("status") == "placed" and job.get("node_id")
+    )
+    node_rows = [
+        [nid, entry.get("health", "?"), entry.get("restarts", 0),
+         node_jobs.get(nid, 0)]
+        for nid, entry in sorted(state.get("nodes", {}).items())
+    ]
+    if node_rows:
+        out += "\n\n" + format_table(
+            ["node", "health", "restarts", "jobs"],
+            node_rows,
+            title="Nodes",
+        )
+    return out
+
+
+def _serve_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.serve.events import read_events
+    from repro.serve.snapshot import load_snapshot
+
+    total_events = None
+    if args.events:
+        if not Path(args.events).exists():
+            raise SystemExit(f"serve monitor: no event stream at {args.events}")
+        total_events = len(read_events(args.events))
+    renders = 0
+    while True:
+        state = load_snapshot(args.snapshot_path)
+        if state is None:
+            print(f"serve monitor: no snapshot at {args.snapshot_path} yet")
+        else:
+            print(
+                _render_serve_status(
+                    state,
+                    path=str(args.snapshot_path),
+                    total_events=total_events,
+                )
+            )
+        renders += 1
+        drained = (
+            state is not None
+            and total_events is not None
+            and state.get("applied_seq", -1) + 1 >= total_events
+        )
+        if args.interval is None or drained:
+            return 0
+        if args.iterations is not None and renders >= args.iterations:
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: loadgen / chaos / run / monitor."""
+    args = _serve_parser().parse_args(argv)
+    if args.mode == "monitor":
+        return _serve_monitor(args)
+
+    import json as _json
+    from pathlib import Path
+
+    from repro.util.rng import DEFAULT_SEED
+
+    seed = getattr(args, "seed", None)
+    seed = DEFAULT_SEED if seed is None else seed
+
+    if args.mode == "loadgen":
+        from repro.serve.events import write_events
+        from repro.serve.loadgen import generate_events
+
+        events = generate_events(
+            seed,
+            args.events,
+            hp_frac=args.hp_frac,
+            depart_frac=args.depart_frac,
+        )
+        write_events(args.out, events)
+        n_submit = sum(1 for e in events if e.kind == "submit")
+        print(
+            f"serve loadgen: {len(events)} events ({n_submit} submits) "
+            f"seed={seed} -> {args.out}"
+        )
+        return 0
+
+    if args.mode == "chaos":
+        from repro.serve.chaos import weave_chaos
+        from repro.serve.events import read_events, write_events
+        from repro.serve.placement import PlaneConfig
+
+        base = read_events(args.base)
+        node_ids = PlaneConfig.for_nodes(args.nodes).node_ids
+        plan = weave_chaos(
+            base,
+            seed=seed,
+            node_ids=node_ids,
+            n_crashes=args.crashes,
+            n_hangs=args.hangs,
+            n_partitions=args.partitions,
+            n_assign_faults=args.assign_faults,
+        )
+        write_events(args.out, list(plan.events))
+        if args.plan:
+            Path(args.plan).write_text(
+                _json.dumps(
+                    {
+                        "kill_seq": plan.kill_seq,
+                        "counts": plan.counts(),
+                        "faults": list(plan.faults),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        print(
+            f"serve chaos: {len(plan.events)} events "
+            f"({plan.counts()}) kill_seq={plan.kill_seq} -> {args.out}"
+        )
+        return 0
+
+    # args.mode == "run"
+    import asyncio
+
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+    from repro.serve.placement import PlaneConfig
+
+    telemetry = args.metrics is not None
+    if telemetry:
+        obs.enable(args.metrics, campaign_id="serve")
+    try:
+        plane = PlaneConfig.for_nodes(
+            args.nodes,
+            policy=args.policy,
+            slo=args.slo,
+            precision=args.precision,
+            kernel=args.kernel,
+        )
+        daemon = ServeDaemon(
+            ServeConfig(
+                plane=plane,
+                events_path=Path(args.events),
+                snapshot_path=Path(args.snapshot),
+                snapshot_every=args.snapshot_every,
+                throttle_s=args.throttle_s,
+                evaluate_every=args.evaluate_every,
+                max_retries=args.max_retries,
+                retry_base_s=args.retry_base_s,
+                supervise=args.supervise,
+            )
+        )
+        if daemon.resumed:
+            print(
+                f"serve run: resumed from snapshot at "
+                f"applied_seq={daemon.plane.applied_seq}"
+            )
+        summary = asyncio.run(daemon.run())
+        if args.summary:
+            Path(args.summary).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.summary).write_text(
+                _json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
+        jobs = summary["jobs"]
+        print(
+            f"serve run: applied_seq={summary['applied_seq']} "
+            f"placed={jobs['placed']} pending={jobs['pending']} "
+            f"rejected={jobs['rejected']} departed={jobs['departed']} "
+            f"failures={summary['counters']['placement_failures']} "
+            f"{'(stopped early)' if summary['stopped_early'] else ''}"
+        )
+        print(f"serve run: digest={summary['digest']}")
+    finally:
+        if telemetry:
+            obs.emit("campaign.end", experiment="serve")
             obs.finalise()
     return 0
 

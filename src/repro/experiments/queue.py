@@ -63,6 +63,7 @@ from repro.core.policies import (
     UnmanagedPolicy,
 )
 from repro.obs import get_event_log, get_registry
+from repro.util.lease import LeaseClock, jittered_interval
 from repro.util.tables import format_table
 
 __all__ = [
@@ -98,6 +99,11 @@ CREATE INDEX IF NOT EXISTS cells_status_seq ON cells (status, seq);
 
 #: Seconds a writer waits on a locked queue before giving up.
 _BUSY_TIMEOUT_S = 30.0
+
+#: Process-wide lease clock: wall-clock-valued (cross-process comparable)
+#: but monotonically non-decreasing, so a backwards NTP step can neither
+#: un-expire a peer's lease nor prematurely expire one we are extending.
+LEASE_CLOCK = LeaseClock()
 
 _STATIC_NAME = re.compile(r"^S(?P<ways>\d+)(?:\+(?P<overlap>\d+)o)?$")
 
@@ -251,7 +257,7 @@ class CampaignQueue:
         the same canonical order yields one identical queue.
         """
         rows = []
-        now = time.time()
+        now = LEASE_CLOCK.now()
         for hp_name, be_name, n_be, policy in cells:
             name = getattr(policy, "name", str(policy))
             policy_from_name(name)  # refuse unqueueable policies early
@@ -302,7 +308,7 @@ class CampaignQueue:
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
-        now = time.time()
+        now = LEASE_CLOCK.now()
         claimed: list[QueuedCell] = []
         stolen = 0
         with closing(self._connect()) as conn:
@@ -354,7 +360,7 @@ class CampaignQueue:
         """Extend ``worker_id``'s leases on ``keys`` (still-claimed only)."""
         if not keys:
             return
-        now = time.time()
+        now = LEASE_CLOCK.now()
         with closing(self._connect()) as conn:
             with conn:
                 conn.executemany(
@@ -375,7 +381,7 @@ class CampaignQueue:
         """
         if not keys:
             return 0
-        now = time.time()
+        now = LEASE_CLOCK.now()
         with closing(self._connect()) as conn:
             with conn:
                 moved = 0
@@ -391,7 +397,7 @@ class CampaignQueue:
 
     def mark_failed(self, worker_id: str, key: str, error: str) -> None:
         """Move ``key`` to ``failed`` with a diagnostic (unless done)."""
-        now = time.time()
+        now = LEASE_CLOCK.now()
         with closing(self._connect()) as conn:
             with conn:
                 conn.execute(
@@ -491,9 +497,17 @@ def drain(
     ``None`` waits as long as the queue is non-terminal. Returns this
     worker's tally: ``{"done": ..., "failed": ..., "batches": ...,
     "stolen": ...}``.
+
+    Heartbeats are throttled to roughly a third of the lease (so a
+    healthy worker refreshes well before expiry without writing the
+    queue on *every* result) and jittered deterministically per worker
+    id, so a fleet started in lockstep spreads its heartbeat writes
+    instead of stampeding the shared database.
     """
     tally = {"done": 0, "failed": 0, "batches": 0, "stolen": 0}
     polls = 0
+    beat_every_s = jittered_interval(queue.lease_s / 3.0, worker_id)
+    last_beat = time.monotonic()
     while True:
         batch = queue.claim(worker_id, claim_batch)
         if not batch:
@@ -514,6 +528,11 @@ def drain(
         failed_before = len(store.failures)
 
         def pulse(index, cell, result, _keys=keys):
+            nonlocal last_beat
+            now_mono = time.monotonic()
+            if now_mono - last_beat < beat_every_s:
+                return
+            last_beat = now_mono
             queue.heartbeat(worker_id, _keys)
 
         try:

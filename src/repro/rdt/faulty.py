@@ -19,6 +19,7 @@ of them crashes the loop or corrupts the Equation-2 bandwidth history
 from __future__ import annotations
 
 import enum
+import time
 from typing import Iterable, Mapping
 
 from repro.core.allocation import Allocation
@@ -27,7 +28,13 @@ from repro.rdt.interface import RdtBackend
 from repro.rdt.sample import PeriodSample
 from repro.util.rng import make_rng
 
-__all__ = ["FaultKind", "FaultyRdt"]
+__all__ = [
+    "FaultKind",
+    "FaultyRdt",
+    "NodeFaultKind",
+    "NodeFaultyRdt",
+    "RdtUnavailableError",
+]
 
 #: Duration used for zero-dt reads: below the controller's plausibility
 #: floor (1e-10 s) and well below the simulator's own 1e-9 s degenerate
@@ -192,3 +199,231 @@ class FaultyRdt(RdtBackend):
             total_mem_bytes_s=clean.total_mem_bytes_s,
             hp_llc_occupancy_bytes=clean.hp_llc_occupancy_bytes,
         )
+
+
+class RdtUnavailableError(RuntimeError):
+    """The node's RDT surface did not answer (node-boundary fault).
+
+    Raised by :class:`NodeFaultyRdt` instead of corrupting a sample:
+    where :class:`FaultyRdt` models *bad data* from a live node, this
+    models *no data* — the node crashed, hung, or is partitioned away.
+    Carries the :class:`NodeFaultKind` that caused it.
+    """
+
+    def __init__(self, kind: "NodeFaultKind", message: str | None = None):
+        super().__init__(
+            message or f"rdt backend unavailable (node fault: {kind.value})"
+        )
+        self.kind = kind
+
+
+class NodeFaultKind(enum.Enum):
+    """Node-level fault modes the serve control plane supervises.
+
+    These extend the DESIGN.md §9 taxonomy one layer up: §8's counter
+    faults corrupt a reading, §9's chaos kills a campaign worker, and
+    these take out a *node* under a control plane (DESIGN.md §14).
+    """
+
+    #: The node process died: persistently unavailable until restored,
+    #: and any in-memory controller state is lost.
+    CRASH = "crash"
+    #: The node wedged: calls block (``hang_s``) before failing, so only
+    #: deadline supervision catches it.
+    HANG = "hang"
+    #: The network lost the node: calls fail fast for a bounded window,
+    #: then the partition heals on its own.
+    PARTITION = "partition"
+
+
+class NodeFaultyRdt(RdtBackend):
+    """Decorator backend injecting *node-level* faults (DESIGN.md §14).
+
+    Composes with :class:`FaultyRdt`/:class:`~repro.rdt.noisy.NoisyRdt`
+    (wrap them as ``inner``): a node can simultaneously report noisy,
+    occasionally-corrupt counters *and* drop off the network entirely.
+    Faults surface as :class:`RdtUnavailableError` from :meth:`sample`
+    and :meth:`apply` — the supervisor's retry/deadline machinery, not
+    the controller's sample-fault taxonomy, must handle them.
+
+    Parameters
+    ----------
+    inner:
+        The backend to make unreliable.
+    schedule:
+        Deterministic injection: maps 1-based ``sample`` call indices to
+        a :class:`NodeFaultKind` (or its string value).
+    rate, kinds, seed:
+        Seeded random injection for unscheduled calls, as in
+        :class:`FaultyRdt`.
+    hang_s:
+        How long a ``HANG`` blocks before raising (keep small in tests).
+    partition_calls:
+        How many subsequent calls a ``PARTITION`` keeps failing before
+        it heals on its own.
+    """
+
+    def __init__(
+        self,
+        inner: RdtBackend,
+        *,
+        schedule: Mapping[int, NodeFaultKind | str] | None = None,
+        rate: float = 0.0,
+        kinds: Iterable[NodeFaultKind] = tuple(NodeFaultKind),
+        seed: int | None = None,
+        hang_s: float = 0.01,
+        partition_calls: int = 3,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {hang_s}")
+        if partition_calls < 1:
+            raise ValueError(
+                f"partition_calls must be >= 1, got {partition_calls}"
+            )
+        self._inner = inner
+        self._schedule = {
+            int(k): NodeFaultKind(v) for k, v in (schedule or {}).items()
+        }
+        self._rate = rate
+        self._kinds = tuple(NodeFaultKind(k) for k in kinds)
+        if rate > 0.0 and not self._kinds:
+            raise ValueError("rate > 0 with an empty fault population")
+        self._rng = make_rng(seed)
+        self._hang_s = hang_s
+        self._partition_calls = partition_calls
+        self._n_sampled = 0
+        self._crashed = False
+        self._partition_left = 0
+        self._hang_next = False
+        #: Injection log: (1-based sample index, kind) per injected fault.
+        self.injected: list[tuple[int, NodeFaultKind]] = []
+
+    # -- health --------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """Whether the node currently answers at all."""
+        return not self._crashed and self._partition_left == 0
+
+    @property
+    def unavailable_kind(self) -> NodeFaultKind | None:
+        """Which fault makes the node unreachable (``None`` when up)."""
+        if self._crashed:
+            return NodeFaultKind.CRASH
+        if self._partition_left > 0:
+            return NodeFaultKind.PARTITION
+        return None
+
+    def restore(self) -> None:
+        """Bring a crashed/partitioned node back (supervisor restart)."""
+        self._crashed = False
+        self._partition_left = 0
+        self._hang_next = False
+
+    def inject(self, kind: NodeFaultKind | str) -> None:
+        """Force a fault state directly (control-plane-driven chaos).
+
+        Unlike the schedule/rate paths this does not raise — it arms the
+        state so the *next* boundary call fails: a ``CRASH`` persists
+        until :meth:`restore`, a ``PARTITION`` fails fast for
+        ``partition_calls`` calls, a ``HANG`` blocks one call for
+        ``hang_s`` before failing.
+        """
+        kind = NodeFaultKind(kind)
+        self.injected.append((self._n_sampled, kind))
+        if kind is NodeFaultKind.CRASH:
+            self._crashed = True
+        elif kind is NodeFaultKind.PARTITION:
+            self._partition_left = self._partition_calls
+        else:
+            self._hang_next = True
+
+    def rebind(self, inner: RdtBackend) -> None:
+        """Point the boundary at a new inner backend.
+
+        The serve node runtime builds a fresh simulator per evaluation;
+        the fault boundary (and its armed state) outlives them all.
+        """
+        self._inner = inner
+
+    def _raise(self, kind: NodeFaultKind) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("rdt.node_faulty.injected").inc()
+            registry.counter(f"rdt.node_faulty.{kind.value}").inc()
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                "rdt.node_fault",
+                sample_index=self._n_sampled,
+                fault=kind.value,
+            )
+        raise RdtUnavailableError(kind)
+
+    # -- RdtBackend ----------------------------------------------------------
+
+    @property
+    def total_ways(self) -> int:
+        """Way count of the wrapped backend."""
+        return self._inner.total_ways
+
+    @property
+    def finished(self) -> bool:
+        """Delegates to the wrapped backend."""
+        return self._inner.finished
+
+    def apply(self, allocation: Allocation) -> None:
+        """Actuation fails while the node is crashed or partitioned."""
+        if not self.available:
+            kind = (
+                NodeFaultKind.CRASH
+                if self._crashed
+                else NodeFaultKind.PARTITION
+            )
+            self._raise(kind)
+        self._inner.apply(allocation)
+
+    def apply_be_throttle(self, scale: float) -> None:
+        """Forward the MBA throttle when the node is reachable."""
+        if not self.available:
+            kind = (
+                NodeFaultKind.CRASH
+                if self._crashed
+                else NodeFaultKind.PARTITION
+            )
+            self._raise(kind)
+        inner_throttle = getattr(self._inner, "apply_be_throttle", None)
+        if inner_throttle is not None:
+            inner_throttle(scale)
+
+    def sample(self, period_s: float) -> PeriodSample:
+        """Sample the inner backend unless a node fault intervenes."""
+        self._n_sampled += 1
+        if self._crashed:
+            self._raise(NodeFaultKind.CRASH)
+        if self._partition_left > 0:
+            self._partition_left -= 1
+            self._raise(NodeFaultKind.PARTITION)
+        if self._hang_next:
+            self._hang_next = False
+            time.sleep(self._hang_s)
+            self._raise(NodeFaultKind.HANG)
+        kind = self._schedule.get(self._n_sampled)
+        if kind is None and self._rate > 0.0:
+            if float(self._rng.random()) < self._rate:
+                kind = self._kinds[
+                    int(self._rng.integers(len(self._kinds)))
+                ]
+        if kind is None:
+            return self._inner.sample(period_s)
+        self.injected.append((self._n_sampled, kind))
+        if kind is NodeFaultKind.CRASH:
+            self._crashed = True
+        elif kind is NodeFaultKind.HANG:
+            time.sleep(self._hang_s)
+        elif kind is NodeFaultKind.PARTITION:
+            self._partition_left = self._partition_calls - 1
+        self._raise(kind)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,185 @@
+"""Chaos weaving: seeded fault injection into a serve event stream.
+
+:func:`weave_chaos` takes the load generator's submit/depart stream and
+splices node faults into it — crashes, hangs, partitions (each paired
+with a guaranteed ``node_recover`` before the stream ends) and transient
+``assign_fault`` arming events (absorbed by the daemon's bounded retry).
+The weave is a pure function of its seed, so a chaos stream is exactly
+reproducible, and because every woven fault recovers before the final
+event, the terminal reconciliation runs over the full healthy roster:
+the chaos run's placement digest must equal the clean run's
+(``make serve-smoke`` asserts exactly this).
+
+The plan also nominates a ``kill_seq`` — the event at which the smoke
+test SIGTERMs the daemon to exercise snapshot-restore on top of the
+woven node faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serve.events import ServeEvent
+from repro.util.rng import make_rng
+
+__all__ = ["ChaosPlan", "weave_chaos"]
+
+#: Node fault kinds a weave can splice in (each pairs with a recover).
+_NODE_FAULTS = ("node_crash", "node_hang", "node_partition")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A woven event stream plus its injection ledger."""
+
+    #: The full stream (base + faults), seqs renumbered contiguously.
+    events: tuple[ServeEvent, ...]
+    #: Event seq at which the smoke test kills/restarts the daemon.
+    kill_seq: int
+    #: One row per injected fault: kind, node, seqs.
+    faults: tuple[dict, ...]
+
+    def counts(self) -> dict[str, int]:
+        """Injected-event totals by kind (recoveries included)."""
+        out: dict[str, int] = {}
+        for row in self.faults:
+            out[row["kind"]] = out.get(row["kind"], 0) + 1
+            if row["kind"] in _NODE_FAULTS:
+                out["node_recover"] = out.get("node_recover", 0) + 1
+        return out
+
+
+def weave_chaos(
+    base_events: Sequence[ServeEvent],
+    *,
+    seed: int,
+    node_ids: Sequence[str],
+    n_crashes: int = 1,
+    n_hangs: int = 1,
+    n_partitions: int = 1,
+    n_assign_faults: int = 2,
+    fault_count: int = 2,
+    recover_after: int = 40,
+) -> ChaosPlan:
+    """Splice seeded node faults into ``base_events``.
+
+    Every node fault is placed in the first ~70% of the stream and paired
+    with a ``node_recover`` ``recover_after`` base events later (always
+    before the final event), with per-node fault windows kept disjoint.
+    ``assign_fault`` events arm ``fault_count`` transient placement
+    failures each. At least one crash is required — a chaos run that
+    cannot lose a node proves nothing.
+    """
+    base = list(base_events)
+    if len(base) < 20:
+        raise ValueError(f"need >= 20 base events, got {len(base)}")
+    if not node_ids:
+        raise ValueError("need at least one node")
+    if n_crashes < 1:
+        raise ValueError("a chaos plan needs at least one node crash")
+    for event in base:
+        if event.kind not in ("submit", "depart"):
+            raise ValueError(
+                f"base stream must be submit/depart only, got {event.kind!r}"
+            )
+
+    rng = make_rng(seed)
+    n = len(base)
+    lo, hi = max(1, n // 10), max(2, int(n * 0.7))
+    # position -> base-event index the insertion lands *before*.
+    insertions: list[tuple[int, int, ServeEvent]] = []
+    faults: list[dict] = []
+    busy: dict[str, list[tuple[int, int]]] = {nid: [] for nid in node_ids}
+    order = 0
+
+    def node_free(nid: str, start: int, stop: int) -> bool:
+        return all(
+            stop <= a or start >= b for a, b in busy[nid]
+        )
+
+    wanted = (
+        [("node_crash", None)] * n_crashes
+        + [("node_hang", None)] * n_hangs
+        + [("node_partition", None)] * n_partitions
+    )
+    for kind, _ in wanted:
+        placed = False
+        for _attempt in range(50):
+            start = int(rng.integers(lo, hi))
+            stop = min(start + recover_after, n - 1)
+            if stop <= start:
+                continue
+            nid = str(node_ids[int(rng.integers(len(node_ids)))])
+            if not node_free(nid, start, stop):
+                continue
+            busy[nid].append((start, stop))
+            insertions.append(
+                (start, order, ServeEvent(seq=-1, kind=kind, node_id=nid))
+            )
+            order += 1
+            insertions.append(
+                (
+                    stop,
+                    order,
+                    ServeEvent(seq=-1, kind="node_recover", node_id=nid),
+                )
+            )
+            order += 1
+            faults.append(
+                {"kind": kind, "node_id": nid, "at": start, "recover_at": stop}
+            )
+            placed = True
+            break
+        if not placed and kind == "node_crash" and not any(
+            f["kind"] == "node_crash" for f in faults
+        ):
+            raise ValueError(
+                "could not place the mandatory node crash; widen the "
+                "stream or shrink recover_after"
+            )
+    for _ in range(n_assign_faults):
+        at = int(rng.integers(lo, hi))
+        nid = str(node_ids[int(rng.integers(len(node_ids)))])
+        insertions.append(
+            (
+                at,
+                order,
+                ServeEvent(
+                    seq=-1, kind="assign_fault", node_id=nid, count=fault_count
+                ),
+            )
+        )
+        order += 1
+        faults.append({"kind": "assign_fault", "node_id": nid, "at": at})
+
+    insertions.sort(key=lambda row: (row[0], row[1]))
+    woven: list[ServeEvent] = []
+    cursor = 0
+    for i, event in enumerate(base):
+        while cursor < len(insertions) and insertions[cursor][0] <= i:
+            inserted = insertions[cursor][2]
+            woven.append(
+                ServeEvent(
+                    seq=len(woven),
+                    kind=inserted.kind,
+                    node_id=inserted.node_id,
+                    count=inserted.count,
+                )
+            )
+            cursor += 1
+        woven.append(
+            ServeEvent(
+                seq=len(woven),
+                kind=event.kind,
+                job_id=event.job_id,
+                job_kind=event.job_kind,
+                app=event.app,
+            )
+        )
+    # Positions were capped at n-1, so nothing trails the final event.
+    assert cursor == len(insertions)
+    kill_seq = woven[len(woven) // 2].seq
+    return ChaosPlan(
+        events=tuple(woven), kill_seq=kill_seq, faults=tuple(faults)
+    )

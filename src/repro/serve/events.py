@@ -1,0 +1,101 @@
+"""The serve event model: one JSONL line per control-plane input.
+
+Everything that changes control-plane state is an event — job arrivals
+and departures from the load generator or the REST API, node faults and
+recoveries from the chaos schedule or the live heartbeat supervisor.
+Events are totally ordered by ``seq``; the plane applies them one at a
+time, which is what makes a chaos run replayable and a restarted daemon
+able to resume mid-stream (DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = [
+    "EVENT_KINDS",
+    "ServeEvent",
+    "read_events",
+    "write_events",
+]
+
+#: Every event kind the control plane understands.
+EVENT_KINDS = (
+    "submit",          # a job arrives (job_id, job_kind, app)
+    "depart",          # a job leaves (job_id); no-op if not live
+    "node_crash",      # node down, controller state lost (node_id)
+    "node_hang",       # node wedged: unhealthy until recover (node_id)
+    "node_partition",  # node unreachable: unhealthy until recover (node_id)
+    "node_recover",    # node healthy again (node_id)
+    "assign_fault",    # arm `count` transient placement faults (node_id)
+)
+
+
+@dataclass(frozen=True)
+class ServeEvent:
+    """One ordered control-plane input."""
+
+    seq: int
+    kind: str
+    job_id: str | None = None
+    job_kind: str | None = None  #: ``"hp"`` or ``"be"`` (submit only).
+    app: str | None = None       #: Catalog app name (submit only).
+    node_id: str | None = None   #: Target node (node_* / assign_fault).
+    count: int = 0               #: Armed fault count (assign_fault only).
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, omitting unset optional fields."""
+        out = {k: v for k, v in asdict(self).items() if v not in (None, 0)}
+        out["seq"] = self.seq  # seq 0 must survive the filter
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ServeEvent":
+        """Inverse of :meth:`to_dict` (tolerates extra keys)."""
+        return cls(
+            seq=int(raw["seq"]),
+            kind=str(raw["kind"]),
+            job_id=raw.get("job_id"),
+            job_kind=raw.get("job_kind"),
+            app=raw.get("app"),
+            node_id=raw.get("node_id"),
+            count=int(raw.get("count", 0)),
+        )
+
+
+def write_events(path: Path | str, events: list[ServeEvent]) -> None:
+    """Write ``events`` as one JSONL file (the durable replay input)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+
+def read_events(path: Path | str) -> list[ServeEvent]:
+    """Read a JSONL event stream; raises ``ValueError`` on a bad line.
+
+    The events file is the control plane's ground truth — unlike the
+    snapshot (which can be quarantined and rebuilt by replay), a corrupt
+    input stream is not survivable and fails loudly.
+    """
+    events = []
+    for i, line in enumerate(Path(path).read_text().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            events.append(ServeEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(
+                f"{path}: bad event on line {i + 1}: {exc}"
+            ) from exc
+    return events

@@ -1,0 +1,92 @@
+"""Seeded load generator: thousands of job arrivals and departures.
+
+The generator produces the *workload half* of a serve run — ``submit``
+and ``depart`` events only; :mod:`repro.serve.chaos` weaves the fault
+half in afterwards. Everything is driven by :func:`repro.util.rng.
+make_rng`, so one seed fully determines the stream: the same seed always
+yields the same jobs in the same order, which is the precondition for
+the clean-run/chaos-run digest comparison.
+
+Default app pools are small, fixed slices of the paper catalog chosen
+for contrast (cache-insensitive HPs like ``namd1``/``povray1`` beside
+thrashing BEs like ``lbm1``/``milc1``) — and kept small on purpose, so a
+long stream revisits the same (HP, BE) admission pairings and the
+memoised :class:`~repro.serve.placement.AdmissionCache` stays warm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serve.events import ServeEvent
+from repro.util.rng import make_rng
+from repro.workloads import app_names
+
+__all__ = ["DEFAULT_BE_APPS", "DEFAULT_HP_APPS", "generate_events"]
+
+#: Latency-critical candidates (low cache pressure — admit many BEs).
+DEFAULT_HP_APPS = ("namd1", "povray1", "gamess1", "h264ref1")
+#: Batch candidates spanning the pressure spectrum.
+DEFAULT_BE_APPS = ("bzip22", "lbm1", "milc1", "soplex1", "hmmer1", "astar1")
+
+
+def generate_events(
+    seed: int,
+    n_events: int,
+    *,
+    hp_apps: Sequence[str] = DEFAULT_HP_APPS,
+    be_apps: Sequence[str] = DEFAULT_BE_APPS,
+    hp_frac: float = 0.12,
+    depart_frac: float = 0.45,
+) -> list[ServeEvent]:
+    """Generate ``n_events`` submit/depart events under one seed.
+
+    Each step is a departure with probability ``depart_frac`` (when any
+    submitted job remains to depart), else a submission; submissions are
+    HP with probability ``hp_frac``. Departures pick uniformly from the
+    not-yet-departed submissions — including rejected or still-pending
+    ones, which the plane treats as no-ops, mirroring clients that never
+    learn their job was refused. Sequence numbers are ``0..n_events-1``.
+    """
+    if n_events < 1:
+        raise ValueError(f"n_events must be >= 1, got {n_events}")
+    if not 0.0 <= hp_frac <= 1.0:
+        raise ValueError(f"hp_frac must be in [0, 1], got {hp_frac}")
+    if not 0.0 <= depart_frac < 1.0:
+        raise ValueError(f"depart_frac must be in [0, 1), got {depart_frac}")
+    known = set(app_names())
+    for app in tuple(hp_apps) + tuple(be_apps):
+        if app not in known:
+            raise ValueError(f"unknown catalog app {app!r}")
+    if not hp_apps or not be_apps:
+        raise ValueError("need at least one HP and one BE app")
+
+    rng = make_rng(seed)
+    events: list[ServeEvent] = []
+    outstanding: list[str] = []  # submitted, not yet departed
+    n_jobs = 0
+    for seq in range(n_events):
+        if outstanding and rng.random() < depart_frac:
+            index = int(rng.integers(len(outstanding)))
+            job_id = outstanding.pop(index)
+            events.append(ServeEvent(seq=seq, kind="depart", job_id=job_id))
+            continue
+        job_id = f"j{n_jobs:05d}"
+        n_jobs += 1
+        if rng.random() < hp_frac:
+            job_kind = "hp"
+            app = hp_apps[int(rng.integers(len(hp_apps)))]
+        else:
+            job_kind = "be"
+            app = be_apps[int(rng.integers(len(be_apps)))]
+        events.append(
+            ServeEvent(
+                seq=seq,
+                kind="submit",
+                job_id=job_id,
+                job_kind=job_kind,
+                app=app,
+            )
+        )
+        outstanding.append(job_id)
+    return events

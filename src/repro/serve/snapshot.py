@@ -1,0 +1,139 @@
+"""Checksummed atomic control-plane snapshots.
+
+The daemon checkpoints :meth:`ControlPlane.snapshot_state` with the same
+crash-safety idioms the result store earned in DESIGN.md §9/§11: a
+payload carrying its own SHA-256, written to a per-pid temp file,
+fsynced, atomically renamed over the target, parent directory fsynced.
+A reader therefore sees either the previous snapshot or the new one,
+never a torn hybrid.
+
+Unlike the result cache, a snapshot has a second source of truth — the
+events file. A corrupt snapshot is quarantined (``<name>.corrupt.N``)
+and :func:`load_snapshot` returns ``None``; the daemon then rebuilds by
+replaying events from seq 0, which lands on the identical state because
+the plane is a pure fold over its inputs. Corruption costs time, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.obs import get_event_log, get_registry
+
+__all__ = ["SNAPSHOT_VERSION", "load_snapshot", "save_snapshot"]
+
+SNAPSHOT_VERSION = 1
+
+_log = logging.getLogger(__name__)
+
+
+def _state_digest(state: dict) -> str:
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def save_snapshot(path: Path | str, state: dict) -> None:
+    """Atomically persist ``state`` (a ``snapshot_state()`` dict)."""
+    path = Path(path)
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "sha256": _state_digest(state),
+        "state": state,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, sort_keys=True))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    get_registry().counter("serve.snapshot.saves").inc()
+    log = get_event_log()
+    if log.enabled:
+        log.emit(
+            "serve.snapshot.save",
+            path=str(path),
+            applied_seq=state.get("applied_seq"),
+        )
+
+
+def _quarantine(path: Path, raw: bytes, reason: str) -> None:
+    """Move a corrupt snapshot aside so replay can rebuild cleanly."""
+    target = path.with_name(path.name + ".corrupt")
+    n = 0
+    while target.exists():
+        n += 1
+        target = path.with_name(f"{path.name}.corrupt.{n}")
+    try:
+        target.write_bytes(raw)
+        path.unlink()
+        moved = str(target)
+    except OSError:  # pragma: no cover - read-only snapshot dir
+        moved = None
+    _log.warning(
+        "snapshot %s is corrupt (%s); %s — rebuilding by event replay",
+        path,
+        reason,
+        f"quarantined to {moved}" if moved else "could not quarantine",
+    )
+    get_registry().counter("serve.snapshot.corrupt").inc()
+    log = get_event_log()
+    if log.enabled:
+        log.emit(
+            "serve.snapshot.corrupt",
+            path=str(path),
+            reason=reason,
+            quarantined=moved,
+        )
+
+
+def load_snapshot(path: Path | str) -> dict | None:
+    """Load and verify a snapshot; ``None`` means "replay from scratch".
+
+    ``None`` covers both the benign case (no snapshot yet) and the
+    corrupt one (bad JSON, missing state, checksum mismatch — the
+    artefact is quarantined first). Callers never need to distinguish:
+    event replay reconstructs the exact same plane either way.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    except OSError:  # pragma: no cover - I/O error reading snapshot
+        _log.warning("snapshot %s unreadable; rebuilding by replay", path)
+        return None
+    try:
+        payload = json.loads(raw.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError:
+        _quarantine(path, raw, "invalid JSON")
+        return None
+    if not isinstance(payload, dict):
+        _quarantine(path, raw, "not an object")
+        return None
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        _quarantine(path, raw, "no state object")
+        return None
+    recorded = payload.get("sha256")
+    actual = _state_digest(state)
+    if recorded != actual:
+        _quarantine(
+            path, raw, f"checksum mismatch ({recorded} recorded, {actual})"
+        )
+        return None
+    get_registry().counter("serve.snapshot.loads").inc()
+    return state

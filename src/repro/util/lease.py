@@ -1,0 +1,73 @@
+"""Monotonic-guarded lease clocks and deterministic heartbeat jitter.
+
+Lease-based coordination (the campaign queue, the serve control plane)
+needs two clock properties the bare wall clock does not give:
+
+* **Monotonicity under wall-clock adjustment.** Lease deadlines are
+  stored as wall-clock timestamps because they must be comparable across
+  processes and hosts, but a *single* process computing ``expired =
+  now() > deadline`` must never see its own ``now()`` jump backwards —
+  an NTP step or a manual clock set would otherwise un-expire leases
+  (stalling work-stealing) or, jumping forward and back, expire a lease
+  the holder is still heartbeating. :class:`LeaseClock` anchors a
+  monotonic reference at construction and returns ``max(wall, anchor +
+  monotonic_elapsed)``: the value tracks real time under normal
+  operation and is non-decreasing by construction.
+
+* **Decorrelated heartbeats.** N workers started together and
+  heartbeating every ``interval`` hit the shared queue in lockstep.
+  :func:`jittered_interval` derives a deterministic per-key offset (a
+  SHA-256 of the key — no RNG state, reproducible across restarts) so a
+  fleet's heartbeats spread over ``[interval, interval * (1 + spread)]``
+  without any coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+__all__ = ["LeaseClock", "jittered_interval"]
+
+
+class LeaseClock:
+    """A wall-clock-valued, monotonically non-decreasing ``now()``.
+
+    Values are ordinary Unix timestamps (comparable with ``time.time()``
+    output from other processes), but within one clock instance ``now()``
+    never decreases: backwards wall-clock steps are bridged by the
+    monotonic reference, forward steps are followed immediately.
+    """
+
+    def __init__(self) -> None:
+        self._wall0 = time.time()
+        self._mono0 = time.monotonic()
+        self._floor = self._wall0
+
+    def now(self) -> float:
+        """Current time, immune to backwards wall-clock adjustment."""
+        candidate = max(
+            time.time(),
+            self._wall0 + (time.monotonic() - self._mono0),
+        )
+        # A second guard floors the value at the largest timestamp ever
+        # returned, so even re-anchoring bugs cannot surface a regression.
+        if candidate > self._floor:
+            self._floor = candidate
+        return self._floor
+
+
+def jittered_interval(base_s: float, key: str, *, spread: float = 0.25) -> float:
+    """``base_s`` stretched by a deterministic per-``key`` jitter.
+
+    Returns a value in ``[base_s, base_s * (1 + spread)]``; the same key
+    always gets the same value (hash-derived, not RNG-derived), so a
+    restarted worker keeps its slot in the fleet's heartbeat spread.
+    """
+    if base_s <= 0:
+        raise ValueError(f"base_s must be > 0, got {base_s}")
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError(f"spread must be in [0, 1], got {spread}")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(2**64)
+    return base_s * (1.0 + spread * fraction)

@@ -1,0 +1,64 @@
+"""Property suites for the admission search (serve's placement oracle).
+
+The control plane's bin-packing is only sound if ``max_bes`` behaves
+monotonically: tightening the SLO can never admit *more* BEs, and adding
+BE/HP pressure can never raise the admissible count. Hypothesis samples
+(HP, BE, SLO) combinations from small catalog populations; probes are
+memoised module-wide so repeated examples cost dict lookups.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import find_max_bes
+from repro.sim.platform import TABLE1_PLATFORM
+
+HP_APPS = ("namd1", "povray1", "gamess1")
+BE_APPS = ("bzip22", "lbm1", "hmmer1")
+SLOS = (0.8, 0.9, 0.95)
+
+
+@lru_cache(maxsize=None)
+def max_bes(hp_names: tuple, be_name: str, slo: float) -> int:
+    hp = hp_names[0] if len(hp_names) == 1 else hp_names
+    return find_max_bes(hp, be_name, "DICER", slo, precision="fast").max_bes
+
+
+hp_app = st.sampled_from(HP_APPS)
+be_app = st.sampled_from(BE_APPS)
+slo_pair = st.tuples(st.sampled_from(SLOS), st.sampled_from(SLOS))
+
+
+class TestAdmissionMonotonicity:
+    @given(hp=hp_app, be=be_app, slos=slo_pair)
+    @settings(max_examples=40, deadline=None)
+    def test_max_bes_non_increasing_in_slo_strictness(self, hp, be, slos):
+        loose, strict = sorted(slos)
+        assert max_bes((hp,), be, strict) <= max_bes((hp,), be, loose)
+
+    @given(hp=hp_app, be=be_app, slo=st.sampled_from(SLOS))
+    @settings(max_examples=30, deadline=None)
+    def test_max_bes_within_physical_core_budget(self, hp, be, slo):
+        n = max_bes((hp,), be, slo)
+        assert 0 <= n <= TABLE1_PLATFORM.n_cores - 1
+
+    @given(
+        hps=st.lists(
+            st.sampled_from(HP_APPS), min_size=1, max_size=2, unique=True
+        ),
+        be=be_app,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_extra_hp_pressure_never_admits_more(self, hps, be):
+        # A multi-HP mix is judged on its worst HP, so widening the mix
+        # (more cache/bandwidth pressure, one fewer BE core) can only
+        # keep or shrink the admissible BE count relative to its
+        # easiest-to-satisfy member alone... which is not knowable a
+        # priori — but it must never exceed the *best* single-HP bound.
+        mixed = max_bes(tuple(sorted(hps)), be, 0.9)
+        best_alone = max(max_bes((hp,), be, 0.9) for hp in hps)
+        assert mixed <= best_alone

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serve control-plane suites.
+
+One :class:`AdmissionCache` is shared across the whole session: the
+solver-backed ``max_bes`` searches are the only expensive part of a
+plane, and they are pure functions of (policy, slo, hp, be) — sharing
+the memo keeps these suites fast without coupling the tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.placement import AdmissionCache, ControlPlane, PlaneConfig
+
+#: The default plane everywhere in these suites: 3 nodes, DICER, fast solver.
+N_NODES = 3
+SLO = 0.9
+
+_CACHE = AdmissionCache(policy="DICER", slo=SLO, precision="fast")
+
+
+@pytest.fixture(scope="session")
+def admission() -> AdmissionCache:
+    return _CACHE
+
+
+def make_plane(n_nodes: int = N_NODES, **kwargs) -> ControlPlane:
+    """A fresh plane sharing the session-wide admission memo."""
+    config = PlaneConfig.for_nodes(n_nodes, slo=SLO, **kwargs)
+    return ControlPlane(config, admission=_CACHE)
+
+
+@pytest.fixture()
+def plane() -> ControlPlane:
+    return make_plane()

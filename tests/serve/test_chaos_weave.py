@@ -1,0 +1,92 @@
+"""Unit tests for the chaos weaver (pure stream manipulation, no solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.chaos import weave_chaos
+from repro.serve.events import ServeEvent
+from repro.serve.loadgen import generate_events
+
+NODES = ("node00", "node01", "node02")
+
+
+def base_stream(n=120, seed=7):
+    return generate_events(seed, n)
+
+
+class TestWeaveChaos:
+    def test_seqs_are_contiguous_and_base_order_preserved(self):
+        base = base_stream()
+        plan = weave_chaos(base, seed=1, node_ids=NODES)
+        assert [e.seq for e in plan.events] == list(range(len(plan.events)))
+        replayed = [
+            (e.kind, e.job_id)
+            for e in plan.events
+            if e.kind in ("submit", "depart")
+        ]
+        assert replayed == [(e.kind, e.job_id) for e in base]
+
+    def test_counts_match_the_request(self):
+        plan = weave_chaos(
+            base_stream(), seed=1, node_ids=NODES,
+            n_crashes=1, n_hangs=1, n_partitions=1, n_assign_faults=2,
+        )
+        counts = plan.counts()
+        assert counts["node_crash"] == 1
+        assert counts["node_hang"] == 1
+        assert counts["node_partition"] == 1
+        assert counts["assign_fault"] == 2
+        assert counts["node_recover"] == 3
+
+    def test_every_fault_recovers_before_the_final_event(self):
+        plan = weave_chaos(base_stream(), seed=3, node_ids=NODES)
+        down: set[str] = set()
+        for event in plan.events[:-1]:
+            if event.kind in ("node_crash", "node_hang", "node_partition"):
+                down.add(event.node_id)
+            elif event.kind == "node_recover":
+                down.discard(event.node_id)
+        assert not down
+
+    def test_same_seed_same_plan(self):
+        base = base_stream()
+        a = weave_chaos(base, seed=11, node_ids=NODES)
+        b = weave_chaos(base, seed=11, node_ids=NODES)
+        assert a == b
+        c = weave_chaos(base, seed=12, node_ids=NODES)
+        assert c != a
+
+    def test_per_node_fault_windows_are_disjoint(self):
+        plan = weave_chaos(
+            base_stream(300, seed=9), seed=9, node_ids=NODES,
+            n_crashes=2, n_hangs=2, n_partitions=2, recover_after=20,
+        )
+        windows: dict[str, list[tuple[int, int]]] = {}
+        for row in plan.faults:
+            if row["kind"] == "assign_fault":
+                continue
+            windows.setdefault(row["node_id"], []).append(
+                (row["at"], row["recover_at"])
+            )
+        for spans in windows.values():
+            spans.sort()
+            for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+                assert a1 <= b0
+
+    def test_kill_seq_is_mid_stream(self):
+        plan = weave_chaos(base_stream(), seed=1, node_ids=NODES)
+        assert 0 < plan.kill_seq < len(plan.events) - 1
+
+    def test_validation(self):
+        base = base_stream()
+        with pytest.raises(ValueError, match=">= 20"):
+            weave_chaos(base[:10], seed=1, node_ids=NODES)
+        with pytest.raises(ValueError, match="at least one node crash"):
+            weave_chaos(base, seed=1, node_ids=NODES, n_crashes=0)
+        bad = base[:-1] + [
+            ServeEvent(seq=len(base) - 1, kind="node_crash",
+                       node_id="node00")
+        ]
+        with pytest.raises(ValueError, match="submit/depart"):
+            weave_chaos(bad, seed=1, node_ids=NODES)

@@ -1,0 +1,92 @@
+"""Property suites for the control plane's determinism contract.
+
+Hypothesis drives the two structural claims the smoke test checks once:
+
+* **Snapshot round-trip**: folding a prefix, snapshotting, restoring and
+  folding the rest lands on the same digest as folding straight through
+  — for any stream and any split point.
+* **Chaos invariance**: weaving seeded node faults (all recovered before
+  the end) into a stream never changes the terminal placement digest.
+
+Streams come from the seeded load generator, so every example is a
+realistic churn history; the admission memo is shared session-wide, so
+examples after the first are solver-free.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.chaos import weave_chaos
+from repro.serve.loadgen import generate_events
+from repro.serve.placement import ControlPlane
+from repro.serve.snapshot import load_snapshot, save_snapshot
+
+from tests.serve.conftest import make_plane
+
+N_EVENTS = 60
+
+
+def fold(events, upto=None):
+    plane = make_plane()
+    for event in events if upto is None else events[:upto]:
+        plane.apply_event(event)
+    return plane
+
+
+class TestSnapshotRoundTripProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        split_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_split_fold_equals_straight_fold(self, seed, split_frac):
+        events = generate_events(seed, N_EVENTS)
+        split = int(split_frac * len(events))
+        straight = fold(events)
+        prefix = fold(events, upto=split)
+        resumed = ControlPlane.from_snapshot(
+            prefix.snapshot_state(), admission=prefix.admission
+        )
+        for event in events[split:]:
+            resumed.apply_event(event)
+        assert resumed.digest() == straight.digest()
+        assert resumed.counters == straight.counters
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_disk_round_trip_is_lossless(self, seed, tmp_path_factory):
+        events = generate_events(seed, N_EVENTS // 2)
+        plane = fold(events)
+        path = tmp_path_factory.mktemp("snap") / "snap.json"
+        save_snapshot(path, plane.snapshot_state())
+        restored = ControlPlane.from_snapshot(
+            load_snapshot(path), admission=plane.admission
+        )
+        assert restored.digest() == plane.digest()
+        assert restored.applied_seq == plane.applied_seq
+
+
+class TestChaosInvarianceProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        chaos_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_weave_never_moves_the_terminal_digest(self, seed, chaos_seed):
+        base = generate_events(seed, N_EVENTS)
+        plan = weave_chaos(
+            base,
+            seed=chaos_seed,
+            node_ids=tuple(f"node{i:02d}" for i in range(3)),
+            recover_after=15,
+        )
+        clean = fold(base)
+        chaotic = fold(list(plan.events))
+        assert chaotic.digest() == clean.digest()
+        # Admission outcomes are chaos-invariant too, not just placement.
+        assert chaotic.counters["rejected"] == clean.counters["rejected"]
+        assert chaotic.counters["accepted"] == clean.counters["accepted"]
+        # The weave actually exercised failure handling.
+        assert chaotic.counters["node_crashes"] >= 1

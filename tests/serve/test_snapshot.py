@@ -1,0 +1,69 @@
+"""Unit tests for the checksummed atomic snapshot store."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.snapshot import load_snapshot, save_snapshot
+
+
+STATE = {"applied_seq": 41, "jobs": [], "counters": {"submitted": 0}}
+
+
+class TestSnapshotRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, STATE)
+        assert load_snapshot(path) == STATE
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, STATE)
+        newer = dict(STATE, applied_seq=42)
+        save_snapshot(path, newer)
+        assert load_snapshot(path) == newer
+        # No stray temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(tmp_path / "absent.json") is None
+
+
+class TestSnapshotCorruption:
+    def test_truncated_payload_quarantined(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, STATE)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        assert load_snapshot(path) is None
+        assert not path.exists()
+        assert (tmp_path / "snap.json.corrupt").exists()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(path, STATE)
+        payload = json.loads(path.read_text())
+        payload["state"]["applied_seq"] = 999  # tamper without re-hashing
+        path.write_text(json.dumps(payload))
+        assert load_snapshot(path) is None
+        assert (tmp_path / "snap.json.corrupt").exists()
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        path = tmp_path / "snap.json"
+        for _ in range(3):
+            path.write_text("{broken")
+            assert load_snapshot(path) is None
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "snap.json.corrupt",
+            "snap.json.corrupt.1",
+            "snap.json.corrupt.2",
+        ]
+
+    def test_wrong_shape_quarantined(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(["not", "an", "object"]))
+        assert load_snapshot(path) is None
+        path2 = tmp_path / "snap2.json"
+        path2.write_text(json.dumps({"version": 1}))  # no state
+        assert load_snapshot(path2) is None

@@ -1,0 +1,63 @@
+"""Unit tests for the lease clock and deterministic heartbeat jitter."""
+
+from __future__ import annotations
+
+import time
+from unittest import mock
+
+import pytest
+
+from repro.util.lease import LeaseClock, jittered_interval
+
+
+class TestLeaseClock:
+    def test_now_is_wall_clock_valued(self):
+        clock = LeaseClock()
+        assert abs(clock.now() - time.time()) < 1.0
+
+    def test_now_never_decreases_across_calls(self):
+        clock = LeaseClock()
+        values = [clock.now() for _ in range(100)]
+        assert values == sorted(values)
+
+    def test_backwards_wall_step_is_bridged_by_the_monotonic_anchor(self):
+        clock = LeaseClock()
+        before = clock.now()
+        with mock.patch("time.time", return_value=before - 3600.0):
+            # The wall clock stepped back an hour; leases must not
+            # un-expire — now() keeps tracking the monotonic reference.
+            assert clock.now() >= before
+
+    def test_forward_wall_step_is_followed(self):
+        clock = LeaseClock()
+        ahead = time.time() + 3600.0
+        with mock.patch("time.time", return_value=ahead):
+            assert clock.now() >= ahead
+
+
+class TestJitteredInterval:
+    def test_deterministic_per_key(self):
+        assert jittered_interval(1.0, "node00") == jittered_interval(
+            1.0, "node00"
+        )
+
+    def test_within_the_spread_band(self):
+        for key in (f"node{i:02d}" for i in range(50)):
+            value = jittered_interval(2.0, key, spread=0.25)
+            assert 2.0 <= value <= 2.5
+
+    def test_distinct_keys_decorrelate(self):
+        values = {
+            jittered_interval(1.0, f"worker-{i}") for i in range(20)
+        }
+        assert len(values) > 15  # hash-spread, not lockstep
+
+    def test_scales_linearly_with_base(self):
+        a = jittered_interval(1.0, "k")
+        assert jittered_interval(3.0, "k") == pytest.approx(3.0 * a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jittered_interval(0.0, "k")
+        with pytest.raises(ValueError):
+            jittered_interval(1.0, "k", spread=1.5)
