@@ -1057,6 +1057,7 @@ def _serve_main(argv: list[str]) -> int:
                         "kill_seq": plan.kill_seq,
                         "counts": plan.counts(),
                         "faults": list(plan.faults),
+                        "dropped": list(plan.dropped),
                     },
                     indent=2,
                     sort_keys=True,
@@ -1067,6 +1068,12 @@ def _serve_main(argv: list[str]) -> int:
             f"serve chaos: {len(plan.events)} events "
             f"({plan.counts()}) kill_seq={plan.kill_seq} -> {args.out}"
         )
+        if plan.dropped:
+            kinds = ", ".join(row["kind"] for row in plan.dropped)
+            print(
+                f"serve chaos: WARNING {len(plan.dropped)} requested "
+                f"fault(s) found no free window and were dropped: {kinds}"
+            )
         return 0
 
     # args.mode == "run"

@@ -294,7 +294,8 @@ class NodeFaultyRdt(RdtBackend):
         self._hang_s = hang_s
         self._partition_calls = partition_calls
         self._n_sampled = 0
-        self._crashed = False
+        #: Persistent fault state: the node stays down until restore().
+        self._down: NodeFaultKind | None = None
         self._partition_left = 0
         self._hang_next = False
         #: Injection log: (1-based sample index, kind) per injected fault.
@@ -305,36 +306,42 @@ class NodeFaultyRdt(RdtBackend):
     @property
     def available(self) -> bool:
         """Whether the node currently answers at all."""
-        return not self._crashed and self._partition_left == 0
+        return self._down is None and self._partition_left == 0
 
     @property
     def unavailable_kind(self) -> NodeFaultKind | None:
         """Which fault makes the node unreachable (``None`` when up)."""
-        if self._crashed:
-            return NodeFaultKind.CRASH
+        if self._down is not None:
+            return self._down
         if self._partition_left > 0:
             return NodeFaultKind.PARTITION
         return None
 
     def restore(self) -> None:
-        """Bring a crashed/partitioned node back (supervisor restart)."""
-        self._crashed = False
+        """Bring a crashed/hung/partitioned node back (supervisor restart)."""
+        self._down = None
         self._partition_left = 0
         self._hang_next = False
 
-    def inject(self, kind: NodeFaultKind | str) -> None:
+    def inject(
+        self, kind: NodeFaultKind | str, *, persistent: bool = False
+    ) -> None:
         """Force a fault state directly (control-plane-driven chaos).
 
         Unlike the schedule/rate paths this does not raise — it arms the
         state so the *next* boundary call fails: a ``CRASH`` persists
         until :meth:`restore`, a ``PARTITION`` fails fast for
         ``partition_calls`` calls, a ``HANG`` blocks one call for
-        ``hang_s`` before failing.
+        ``hang_s`` before failing. With ``persistent=True`` a hang or
+        partition instead holds until :meth:`restore`, like a crash —
+        the serve daemon uses this so the boundary stays down for
+        exactly the window the control plane reports the node down
+        (every call hangs / fails fast until ``node_recover``).
         """
         kind = NodeFaultKind(kind)
         self.injected.append((self._n_sampled, kind))
-        if kind is NodeFaultKind.CRASH:
-            self._crashed = True
+        if kind is NodeFaultKind.CRASH or persistent:
+            self._down = kind
         elif kind is NodeFaultKind.PARTITION:
             self._partition_left = self._partition_calls
         else:
@@ -375,24 +382,16 @@ class NodeFaultyRdt(RdtBackend):
         return self._inner.finished
 
     def apply(self, allocation: Allocation) -> None:
-        """Actuation fails while the node is crashed or partitioned."""
-        if not self.available:
-            kind = (
-                NodeFaultKind.CRASH
-                if self._crashed
-                else NodeFaultKind.PARTITION
-            )
+        """Actuation fails while the node is down (crash/hang/partition)."""
+        kind = self.unavailable_kind
+        if kind is not None:
             self._raise(kind)
         self._inner.apply(allocation)
 
     def apply_be_throttle(self, scale: float) -> None:
         """Forward the MBA throttle when the node is reachable."""
-        if not self.available:
-            kind = (
-                NodeFaultKind.CRASH
-                if self._crashed
-                else NodeFaultKind.PARTITION
-            )
+        kind = self.unavailable_kind
+        if kind is not None:
             self._raise(kind)
         inner_throttle = getattr(self._inner, "apply_be_throttle", None)
         if inner_throttle is not None:
@@ -401,8 +400,10 @@ class NodeFaultyRdt(RdtBackend):
     def sample(self, period_s: float) -> PeriodSample:
         """Sample the inner backend unless a node fault intervenes."""
         self._n_sampled += 1
-        if self._crashed:
-            self._raise(NodeFaultKind.CRASH)
+        if self._down is not None:
+            if self._down is NodeFaultKind.HANG:
+                time.sleep(self._hang_s)
+            self._raise(self._down)
         if self._partition_left > 0:
             self._partition_left -= 1
             self._raise(NodeFaultKind.PARTITION)
@@ -420,7 +421,7 @@ class NodeFaultyRdt(RdtBackend):
             return self._inner.sample(period_s)
         self.injected.append((self._n_sampled, kind))
         if kind is NodeFaultKind.CRASH:
-            self._crashed = True
+            self._down = NodeFaultKind.CRASH
         elif kind is NodeFaultKind.HANG:
             time.sleep(self._hang_s)
         elif kind is NodeFaultKind.PARTITION:

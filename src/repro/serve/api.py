@@ -10,9 +10,11 @@ ships no web framework, and the surface is four routes of JSON:
 * ``POST /submit``  — ``{"job_kind": "hp"|"be", "app": ..., "job_id"?}``
 * ``POST /depart``  — ``{"job_id": ...}``
 
-Writes go through :meth:`ServeDaemon.apply_external`, which appends to
-the durable events file before applying — so API-driven history replays
-after a crash exactly like generator-driven history.
+Writes go through :meth:`ServeDaemon.apply_external`, which validates
+against the plane, appends to the durable events file, then applies —
+so API-driven history replays after a crash exactly like
+generator-driven history, and a rejected submit (400) never reaches the
+log. While the daemon is still replaying its stream, writes return 503.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ import asyncio
 import json
 
 from repro.obs import get_registry
-from repro.serve.daemon import ServeDaemon
+from repro.serve.daemon import ReplayInProgressError, ServeDaemon
 
 __all__ = ["ServeApi"]
 
@@ -61,9 +63,12 @@ class ServeApi:
         except Exception as exc:  # noqa: BLE001 - API boundary
             status, payload = 500, {"error": str(exc)}
         body = json.dumps(payload).encode("utf-8")
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-            status, "Internal Server Error"
-        )
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            503: "Service Unavailable",
+        }.get(status, "Internal Server Error")
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
@@ -93,7 +98,10 @@ class ServeApi:
                 break
             name, _, value = line.partition(":")
             if name.strip().lower() == "content-length":
-                length = int(value.strip())
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
         if length > _MAX_BODY:
             return 400, {"error": "body too large"}
         body: dict = {}
@@ -140,6 +148,8 @@ class ServeApi:
                     app=app,
                     job_id=body.get("job_id"),
                 )
+            except ReplayInProgressError as exc:
+                return 503, {"error": str(exc)}
             except ValueError as exc:
                 return 400, {"error": str(exc)}
             return 200, outcome
@@ -147,8 +157,11 @@ class ServeApi:
             job_id = body.get("job_id")
             if not job_id:
                 return 400, {"error": "depart needs job_id"}
-            outcome = await self.daemon.apply_external(
-                "depart", job_id=job_id
-            )
+            try:
+                outcome = await self.daemon.apply_external(
+                    "depart", job_id=job_id
+                )
+            except ReplayInProgressError as exc:
+                return 503, {"error": str(exc)}
             return 200, outcome
         return 404, {"error": f"no route for {method} {path}"}

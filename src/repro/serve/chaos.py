@@ -39,6 +39,10 @@ class ChaosPlan:
     kill_seq: int
     #: One row per injected fault: kind, node, seqs.
     faults: tuple[dict, ...]
+    #: Requested faults that found no free window and were NOT injected
+    #: (one ``{"kind": ...}`` row each) — callers asking for
+    #: ``n_hangs``/``n_partitions`` must check this for under-injection.
+    dropped: tuple[dict, ...] = ()
 
     def counts(self) -> dict[str, int]:
         """Injected-event totals by kind (recoveries included)."""
@@ -69,7 +73,10 @@ def weave_chaos(
     before the final event), with per-node fault windows kept disjoint.
     ``assign_fault`` events arm ``fault_count`` transient placement
     failures each. At least one crash is required — a chaos run that
-    cannot lose a node proves nothing.
+    cannot lose a node proves nothing — and failing to place it raises;
+    any *other* fault that finds no disjoint per-node window after
+    bounded attempts is recorded in :attr:`ChaosPlan.dropped` rather
+    than vanishing silently.
     """
     base = list(base_events)
     if len(base) < 20:
@@ -103,6 +110,7 @@ def weave_chaos(
         + [("node_hang", None)] * n_hangs
         + [("node_partition", None)] * n_partitions
     )
+    dropped: list[dict] = []
     for kind, _ in wanted:
         placed = False
         for _attempt in range(50):
@@ -131,13 +139,18 @@ def weave_chaos(
             )
             placed = True
             break
-        if not placed and kind == "node_crash" and not any(
-            f["kind"] == "node_crash" for f in faults
-        ):
-            raise ValueError(
-                "could not place the mandatory node crash; widen the "
-                "stream or shrink recover_after"
-            )
+        if not placed:
+            if kind == "node_crash" and not any(
+                f["kind"] == "node_crash" for f in faults
+            ):
+                raise ValueError(
+                    "could not place the mandatory node crash; widen the "
+                    "stream or shrink recover_after"
+                )
+            # Record the shortfall rather than dropping it silently —
+            # a caller requesting n faults must be able to see it got
+            # fewer (the smoke test and CLI surface this).
+            dropped.append({"kind": kind})
     for _ in range(n_assign_faults):
         at = int(rng.integers(lo, hi))
         nid = str(node_ids[int(rng.integers(len(node_ids)))])
@@ -181,5 +194,8 @@ def weave_chaos(
     assert cursor == len(insertions)
     kill_seq = woven[len(woven) // 2].seq
     return ChaosPlan(
-        events=tuple(woven), kill_seq=kill_seq, faults=tuple(faults)
+        events=tuple(woven),
+        kill_seq=kill_seq,
+        faults=tuple(faults),
+        dropped=tuple(dropped),
     )

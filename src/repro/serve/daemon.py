@@ -39,7 +39,7 @@ from repro.serve.node import NodeRuntime, NodeSupervisor
 from repro.serve.placement import ControlPlane, PlaneConfig
 from repro.serve.snapshot import load_snapshot, save_snapshot
 
-__all__ = ["ServeConfig", "ServeDaemon"]
+__all__ = ["ReplayInProgressError", "ServeConfig", "ServeDaemon"]
 
 #: Event kind → boundary fault kind injected into the node runtime.
 _FAULT_KINDS = {
@@ -47,6 +47,36 @@ _FAULT_KINDS = {
     "node_hang": "hang",
     "node_partition": "partition",
 }
+
+#: Snapshot health state → boundary fault to re-arm on resume.
+_HEALTH_FAULTS = {
+    "crashed": "crash",
+    "hung": "hang",
+    "partitioned": "partition",
+}
+
+
+class ReplayInProgressError(RuntimeError):
+    """An external event was refused because the stream is not drained.
+
+    Raised by :meth:`ServeDaemon.apply_external` while :meth:`ServeDaemon.
+    run` is still replaying the events file (or the file holds events
+    beyond ``applied_seq``): admitting an external event then would steal
+    the sequence number of a not-yet-applied stream event, dropping it
+    and breaking the replay-identical guarantee. The API maps this to
+    503 — the client retries once replay has drained.
+    """
+
+
+def _tail_seq(path: Path) -> int | None:
+    """Seq of the last event in the durable file (``None`` if none)."""
+    try:
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+    except FileNotFoundError:
+        return None
+    if not lines:
+        return None
+    return int(json.loads(lines[-1])["seq"])
 
 
 @dataclass(frozen=True)
@@ -108,18 +138,21 @@ class ServeDaemon:
             for nid in self.plane.config.node_ids
         }
         # A resumed daemon must re-arm the boundaries the snapshot says
-        # are down, or the supervision picture would disagree with the
-        # plane's (node_recover events still heal both).
+        # are down — crashed, hung AND partitioned — or the supervision
+        # picture would disagree with the plane's. Persistent injection
+        # holds the fault until the stream's node_recover heals both (a
+        # one-shot hang or self-healing partition would let heartbeats
+        # see a healthy node the plane still reports down).
         for nid, entry in self.plane.nodes.items():
-            if entry.health in ("crashed", "partitioned"):
-                self.runtimes[nid].inject(
-                    "crash" if entry.health == "crashed" else "partition"
-                )
+            fault = _HEALTH_FAULTS.get(entry.health)
+            if fault is not None:
+                self.runtimes[nid].inject(fault, persistent=True)
         self.supervisors: dict[str, NodeSupervisor] = {}
         self.retry_stats = _RetryStats()
         self.downs_reported: list[tuple[str, str]] = []
         self._stop = False
         self._snapshot_due = 0
+        self._replaying = False
         self._external_lock = asyncio.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -240,7 +273,11 @@ class ServeDaemon:
         outcome = self.plane.apply_event(event)  # validates the event
         kind = _FAULT_KINDS.get(event.kind)
         if kind is not None:
-            self.runtimes[event.node_id].inject(kind)
+            # Persistent: the plane reports the node down until the
+            # paired node_recover, so the boundary must stay down for
+            # exactly that window too (a self-healing partition or a
+            # one-shot hang would diverge from plane health mid-window).
+            self.runtimes[event.node_id].inject(kind, persistent=True)
         elif event.kind == "node_recover":
             self.runtimes[event.node_id].restore()
         elif event.kind == "assign_fault":
@@ -270,17 +307,27 @@ class ServeDaemon:
         """
         self._install_signal_handlers()
         supervisor_tasks = self._start_supervisors()
+        # External events are refused until the stream has drained: an
+        # external submit mid-replay would steal the next file event's
+        # seq (that event would then be silently skipped) and append a
+        # duplicate-seq line that replays in a different order.
+        self._replaying = True
         t0 = time.monotonic()
         try:
-            events = read_events(self.config.events_path)
-            for event in events:
-                if event.seq <= self.plane.applied_seq:
-                    continue  # already applied before the restart
-                if self._stop:
-                    break
-                await self.apply_event(event)
-                if self.config.throttle_s > 0:
-                    await asyncio.sleep(self.config.throttle_s)
+            async with self._external_lock:
+                events = read_events(self.config.events_path)
+                for event in events:
+                    if event.seq <= self.plane.applied_seq:
+                        continue  # already applied before the restart
+                    if self._stop:
+                        break
+                    await self.apply_event(event)
+                    if self.config.throttle_s > 0:
+                        await asyncio.sleep(self.config.throttle_s)
+                else:
+                    # Drained without an early stop: every file event is
+                    # applied, so external seqs are collision-free again.
+                    self._replaying = False
         finally:
             self.plane.elapsed_s += time.monotonic() - t0
             self._snapshot()
@@ -301,16 +348,36 @@ class ServeDaemon:
     async def apply_external(self, kind: str, **fields) -> dict:
         """Admit an event from outside the replay stream (the REST API).
 
-        The event is assigned the next sequence number, appended to the
-        durable events file *before* it is applied (write-ahead: a crash
-        between the two replays it on restart), then applied normally.
+        The event is assigned the next sequence number, **fully
+        validated** against the plane, appended to the durable events
+        file (write-ahead: a crash between append and apply replays it
+        on restart), then applied normally. Validation precedes the
+        append so a rejected input — unknown app, duplicate job id,
+        unknown node — never reaches the log: a poisoned line would
+        fail on every restart and crash-loop the daemon.
+
+        Raises :class:`ReplayInProgressError` while :meth:`run` is still
+        replaying (or the file holds events beyond ``applied_seq``) —
+        admitting an event then would steal a stream event's seq.
         """
+        if self._replaying:
+            raise ReplayInProgressError(
+                "event stream replay in progress; retry once drained"
+            )
         async with self._external_lock:
             seq = self.plane.applied_seq + 1
             if kind == "submit" and not fields.get("job_id"):
                 fields["job_id"] = f"api{seq:05d}"
             event = ServeEvent(seq=seq, kind=kind, **fields)
+            self.plane.validate_event(event)  # refuse BEFORE the append
             path = Path(self.config.events_path)
+            tail = _tail_seq(path)
+            if tail is not None and seq <= tail:
+                raise ReplayInProgressError(
+                    f"events file holds seqs up to {tail} but only "
+                    f"{self.plane.applied_seq} applied; refusing external "
+                    "event until the stream is drained"
+                )
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")

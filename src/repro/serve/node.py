@@ -110,9 +110,16 @@ class NodeRuntime:
         """Whether the node boundary currently answers."""
         return self.boundary.available
 
-    def inject(self, kind: NodeFaultKind | str) -> None:
-        """Arm a node-level fault (crash/hang/partition) at the boundary."""
-        self.boundary.inject(kind)
+    def inject(
+        self, kind: NodeFaultKind | str, *, persistent: bool = False
+    ) -> None:
+        """Arm a node-level fault (crash/hang/partition) at the boundary.
+
+        ``persistent=True`` holds a hang or partition down until
+        :meth:`restore` (the daemon uses it so the boundary stays down
+        for exactly the window the plane reports the node down).
+        """
+        self.boundary.inject(kind, persistent=persistent)
 
     def restore(self) -> None:
         """Node repaired/restarted: the boundary answers again.

@@ -428,6 +428,31 @@ class ControlPlane:
 
     # -- the state machine -----------------------------------------------
 
+    def validate_event(self, event: ServeEvent) -> None:
+        """Raise ``ValueError`` iff :meth:`apply_event` would reject this.
+
+        A pure pre-check — no mutation, no reconcile. The daemon's
+        write-ahead path runs it *before* committing an event to the
+        durable stream, so a bad input (unknown app, duplicate job id,
+        unknown node) is refused up front and can never poison the
+        replay log with a line that fails on every restart.
+        """
+        if event.seq <= self.applied_seq:
+            raise ValueError(
+                f"event seq {event.seq} already applied "
+                f"(applied_seq={self.applied_seq})"
+            )
+        if not hasattr(self, f"_on_{event.kind}"):
+            raise ValueError(f"unhandled event kind {event.kind!r}")
+        if event.kind == "submit":
+            self._check_submit(event)
+        elif event.kind != "depart":  # node_* / assign_fault
+            self._node(event)
+            if event.kind == "assign_fault" and event.count < 0:
+                raise ValueError(
+                    f"assign_fault count must be >= 0, got {event.count}"
+                )
+
     def apply_event(self, event: ServeEvent) -> dict:
         """Apply one ordered event and reconcile; returns an outcome row.
 
@@ -435,16 +460,9 @@ class ControlPlane:
         event (``seq <= applied_seq``) is the replay-overlap case after a
         restart and raises — feeders must skip already-applied events.
         """
-        if event.seq <= self.applied_seq:
-            raise ValueError(
-                f"event seq {event.seq} already applied "
-                f"(applied_seq={self.applied_seq})"
-            )
+        self.validate_event(event)
         outcome: dict = {"seq": event.seq, "kind": event.kind}
-        handler = getattr(self, f"_on_{event.kind}", None)
-        if handler is None:  # pragma: no cover - EVENT_KINDS guards this
-            raise ValueError(f"unhandled event kind {event.kind!r}")
-        outcome.update(handler(event) or {})
+        outcome.update(getattr(self, f"_on_{event.kind}")(event) or {})
         self.applied_seq = event.seq
         self.counters["events_applied"] += 1
         self.reconcile()
@@ -457,7 +475,7 @@ class ControlPlane:
 
     # -- event handlers --------------------------------------------------
 
-    def _on_submit(self, event: ServeEvent) -> dict:
+    def _check_submit(self, event: ServeEvent) -> None:
         if not event.job_id or not event.app or event.job_kind not in (
             "hp",
             "be",
@@ -467,6 +485,9 @@ class ControlPlane:
             raise ValueError(f"unknown catalog app {event.app!r}")
         if event.job_id in self.jobs:
             raise ValueError(f"duplicate job id {event.job_id!r}")
+
+    def _on_submit(self, event: ServeEvent) -> dict:
+        self._check_submit(event)
         job = Job(
             job_id=event.job_id,
             kind=event.job_kind,

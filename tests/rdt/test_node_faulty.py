@@ -111,6 +111,39 @@ class TestInjectedHang:
         assert inner.samples == 1
 
 
+class TestPersistentInjection:
+    def test_persistent_partition_holds_until_restore(self):
+        inner = _StubRdt()
+        boundary = NodeFaultyRdt(inner, partition_calls=2)
+        boundary.inject("partition", persistent=True)
+        assert boundary.unavailable_kind is NodeFaultKind.PARTITION
+        for _ in range(5):  # well past partition_calls: no self-heal
+            with pytest.raises(RdtUnavailableError) as err:
+                boundary.sample(0.1)
+            assert err.value.kind is NodeFaultKind.PARTITION
+        assert not boundary.available
+        boundary.restore()
+        boundary.sample(0.1)
+        assert inner.samples == 1
+
+    def test_persistent_hang_fails_every_call_until_restore(self):
+        inner = _StubRdt()
+        boundary = NodeFaultyRdt(inner, hang_s=0.0)
+        boundary.inject("hang", persistent=True)
+        # Unlike the one-shot hang, the node counts as unavailable...
+        assert boundary.unavailable_kind is NodeFaultKind.HANG
+        for _ in range(3):  # ...and every call fails, not just the next
+            with pytest.raises(RdtUnavailableError) as err:
+                boundary.sample(0.1)
+            assert err.value.kind is NodeFaultKind.HANG
+        with pytest.raises(RdtUnavailableError):
+            boundary.apply(None)
+        assert inner.samples == 0 and inner.applies == 0
+        boundary.restore()
+        boundary.sample(0.1)
+        assert inner.samples == 1
+
+
 class TestRebind:
     def test_rebind_swaps_inner_but_keeps_armed_state(self):
         first, second = _StubRdt(), _StubRdt()

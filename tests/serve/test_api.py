@@ -130,6 +130,43 @@ class TestRoutes:
         assert status == 404
         assert bad_status == 400
 
+    def test_bad_content_length_is_400(self, tmp_path):
+        async def scenario(daemon, api):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", api.port
+            )
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return int(raw.split(b" ")[1])
+
+        assert with_api(tmp_path, scenario) == 400
+
+    def test_rejected_submit_never_poisons_the_log(self, tmp_path):
+        async def scenario(daemon, api):
+            status, _ = await request(
+                api.port, "POST", "/submit",
+                {"job_kind": "be", "app": "not-an-app"},
+            )
+            assert status == 400
+            status, _ = await request(
+                api.port, "POST", "/submit",
+                {"job_kind": "be", "app": "bzip22"},
+            )
+            assert status == 200
+
+        with_api(tmp_path, scenario)
+        # The rejected submit left no line behind: only the accepted
+        # event is durable, and a restart replays without crash-looping.
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        fresh = make_daemon(tmp_path)
+        summary = asyncio.run(fresh.run())
+        assert summary["counters"]["submitted"] == 1
+
     def test_api_writes_are_replayable(self, tmp_path):
         async def scenario(daemon, api):
             await request(

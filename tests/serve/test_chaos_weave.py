@@ -78,6 +78,25 @@ class TestWeaveChaos:
         plan = weave_chaos(base_stream(), seed=1, node_ids=NODES)
         assert 0 < plan.kill_seq < len(plan.events) - 1
 
+    def test_roomy_weave_drops_nothing(self):
+        plan = weave_chaos(base_stream(), seed=1, node_ids=NODES)
+        assert plan.dropped == ()
+
+    def test_unplaceable_faults_are_recorded_as_dropped(self):
+        # One node and a recover window spanning the whole stream: once
+        # the mandatory crash claims it, no other fault can fit — the
+        # shortfall must be visible, not silent.
+        plan = weave_chaos(
+            base_stream(40), seed=1, node_ids=("node00",),
+            n_crashes=1, n_hangs=3, n_partitions=2, n_assign_faults=0,
+            recover_after=40,
+        )
+        assert [f["kind"] for f in plan.faults] == ["node_crash"]
+        assert len(plan.dropped) == 5
+        assert {row["kind"] for row in plan.dropped} == {
+            "node_hang", "node_partition",
+        }
+
     def test_validation(self):
         base = base_stream()
         with pytest.raises(ValueError, match=">= 20"):

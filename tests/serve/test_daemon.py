@@ -12,11 +12,17 @@ import asyncio
 
 import pytest
 
+from repro.rdt.faulty import RdtUnavailableError
 from repro.serve.chaos import weave_chaos
-from repro.serve.daemon import ServeConfig, ServeDaemon
-from repro.serve.events import write_events
+from repro.serve.daemon import (
+    ReplayInProgressError,
+    ServeConfig,
+    ServeDaemon,
+)
+from repro.serve.events import ServeEvent, write_events
 from repro.serve.loadgen import generate_events
 from repro.serve.placement import PlaneConfig
+from repro.serve.snapshot import save_snapshot
 
 from tests.serve.conftest import make_plane
 
@@ -174,3 +180,73 @@ class TestSupervision:
         summary = asyncio.run(replayed.run())
         assert summary["counters"]["submitted"] == 1
         assert summary["counters"]["departed"] == 1
+
+    def test_invalid_external_never_reaches_the_log(self, tmp_path):
+        daemon = daemon_for(tmp_path, [])
+
+        async def bad_good_duplicate():
+            with pytest.raises(ValueError, match="unknown catalog app"):
+                await daemon.apply_external(
+                    "submit", job_kind="be", app="not-an-app"
+                )
+            await daemon.apply_external(
+                "submit", job_kind="be", app="bzip22", job_id="j0"
+            )
+            with pytest.raises(ValueError, match="duplicate job id"):
+                await daemon.apply_external(
+                    "submit", job_kind="be", app="bzip22", job_id="j0"
+                )
+
+        asyncio.run(bad_good_duplicate())
+        # Only the good submit was committed — a rejected event in the
+        # WAL would fail on every restart and crash-loop the daemon.
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        replayed = daemon_for(tmp_path, None)
+        summary = asyncio.run(replayed.run())
+        assert summary["counters"]["submitted"] == 1
+        assert summary["applied_seq"] == 0  # no seq was skipped or reused
+
+    def test_external_refused_mid_replay(self, tmp_path):
+        events = generate_events(5, N_EVENTS)
+        daemon = daemon_for(tmp_path, events, throttle_s=0.005)
+
+        async def submit_mid_replay():
+            task = asyncio.create_task(daemon.run())
+            await asyncio.sleep(0.02)
+            with pytest.raises(ReplayInProgressError):
+                await daemon.apply_external(
+                    "submit", job_kind="be", app="bzip22"
+                )
+            return await task
+
+        summary = asyncio.run(submit_mid_replay())
+        # The refused submit stole no seq: every stream event applied
+        # and nothing extra was appended to the file.
+        assert summary["applied_seq"] == N_EVENTS - 1
+        assert summary["digest"] == clean_digest(events)
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == N_EVENTS
+        # Once replay has drained, externals are admitted again.
+        outcome = asyncio.run(
+            daemon.apply_external("submit", job_kind="be", app="bzip22")
+        )
+        assert outcome["outcome"] in ("accepted", "rejected")
+
+    def test_resume_rearms_hung_node_boundary(self, tmp_path):
+        plane = make_plane(NODES)
+        plane.apply_event(
+            ServeEvent(seq=0, kind="node_hang", node_id="node01")
+        )
+        save_snapshot(tmp_path / "snap.json", plane.snapshot_state())
+        daemon = daemon_for(tmp_path, [])
+        assert daemon.resumed
+        runtime = daemon.runtimes["node01"]
+        # The boundary is held down to match the plane: every probe
+        # fails until node_recover, not just the first.
+        assert not runtime.available
+        for _ in range(3):
+            with pytest.raises(RdtUnavailableError):
+                runtime.probe()
+        runtime.restore()
+        runtime.probe()
